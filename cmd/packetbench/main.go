@@ -1,0 +1,314 @@
+// Command packetbench runs one of the paper's network processing
+// applications over a packet trace on the simulated core and reports the
+// collected workload statistics.
+//
+// Usage:
+//
+//	packetbench -app radix|trie|flow|tsa [-trace file | -gen profile] [flags]
+//
+// Examples:
+//
+//	packetbench -app radix -gen MRA -n 10000
+//	packetbench -app flow -trace capture.pcap
+//	packetbench -app tsa -gen LAN -n 1000 -out anon.pcap
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/analysis"
+	"repro/internal/apps"
+	"repro/internal/core"
+	"repro/internal/flow"
+	"repro/internal/gen"
+	"repro/internal/isa"
+	"repro/internal/microarch"
+	"repro/internal/packet"
+	"repro/internal/route"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+func main() {
+	var (
+		appName  = flag.String("app", "radix", "application: radix, trie, flow, or tsa")
+		genName  = flag.String("gen", "", "generate a synthetic trace with this profile (MRA, COS, ODU, LAN)")
+		inFile   = flag.String("trace", "", "read packets from this pcap/TSH file instead of generating")
+		count    = flag.Int("n", 10000, "number of packets to process")
+		prefixes = flag.Int("prefixes", 32768, "routing table size for the forwarding applications")
+		buckets  = flag.Int("buckets", flow.DefaultBuckets, "hash buckets for flow classification")
+		tsaKey   = flag.Uint64("key", 0x5453412D31363A31, "TSA anonymization key")
+		outFile  = flag.String("out", "", "write processed packets to this pcap file (useful with -app tsa)")
+		topK     = flag.Int("top", 3, "rows in the instruction-count occurrence table")
+		preproc  = flag.Bool("preprocess", true, "apply NLANR renumbering + scrambling to generated backbone traces")
+		uarch    = flag.Bool("microarch", false, "also report microarchitectural statistics (mix, branches, caches, cycles)")
+		tableF   = flag.String("table", "", "load the routing table from this text file (\"a.b.c.d/len hop\" lines) instead of deriving it")
+		dumpPkt  = flag.Int("dumppkt", -1, "print the disassembled execution trace of this packet index")
+		annotate = flag.Bool("annotate", false, "print a gprof-style listing with per-instruction execution counts")
+		flowDot  = flag.String("flowgraph", "", "write the weighted basic-block flow graph to this Graphviz file")
+		pool     = flag.Int("pool", 1, "run on this many simulated cores in parallel (stateless applications only)")
+	)
+	flag.Parse()
+	if err := run(*appName, *genName, *inFile, *outFile, *tableF, *count, *prefixes, *buckets, *topK, *tsaKey, *preproc, *uarch, *dumpPkt, *annotate, *flowDot, *pool); err != nil {
+		fmt.Fprintln(os.Stderr, "packetbench:", err)
+		os.Exit(1)
+	}
+}
+
+func loadPackets(genName, inFile string, count int, preprocess bool) ([]*trace.Packet, error) {
+	if inFile != "" {
+		f, err := os.Open(inFile)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		format := trace.FormatPcap
+		if len(inFile) > 4 && inFile[len(inFile)-4:] == ".tsh" {
+			format = trace.FormatTSH
+		}
+		r, err := trace.NewReader(f, format)
+		if err != nil {
+			return nil, err
+		}
+		return trace.ReadAll(r, count)
+	}
+	if genName == "" {
+		genName = "MRA"
+	}
+	prof, err := gen.ProfileByName(genName)
+	if err != nil {
+		return nil, err
+	}
+	pkts := gen.Generate(prof, count)
+	if preprocess && genName != "LAN" {
+		gen.RenumberNLANR(pkts)
+		gen.ScrambleAddrs(pkts)
+	}
+	return pkts, nil
+}
+
+func run(appName, genName, inFile, outFile, tableFile string, count, prefixes, buckets, topK int, tsaKey uint64, preprocess, uarch bool, dumpPkt int, annotate bool, flowDot string, poolSize int) error {
+	pkts, err := loadPackets(genName, inFile, count, preprocess)
+	if err != nil {
+		return err
+	}
+	if len(pkts) == 0 {
+		return fmt.Errorf("no packets to process")
+	}
+
+	var app *core.App
+	switch appName {
+	case "radix", "trie":
+		var tbl *route.Table
+		if tableFile != "" {
+			f, err := os.Open(tableFile)
+			if err != nil {
+				return err
+			}
+			tbl, err = route.ParseTable(f)
+			f.Close()
+			if err != nil {
+				return err
+			}
+		} else {
+			var dsts []uint32
+			for _, p := range pkts {
+				if h, err := packet.ParseIPv4(p.Data); err == nil {
+					dsts = append(dsts, h.Dst)
+				}
+			}
+			tbl = route.TableFromTraffic(dsts, prefixes, 16, 1)
+		}
+		if appName == "radix" {
+			app = apps.IPv4Radix(tbl)
+		} else {
+			app = apps.IPv4Trie(tbl)
+		}
+		fmt.Printf("routing table: %d prefixes\n", len(tbl.Entries))
+	case "flow":
+		app = apps.FlowClassification(buckets)
+	case "tsa":
+		app = apps.TSAApp(tsaKey)
+	default:
+		return fmt.Errorf("unknown application %q (want radix, trie, flow or tsa)", appName)
+	}
+
+	if poolSize > 1 {
+		return runPool(app, pkts, poolSize, topK)
+	}
+
+	bench, err := core.New(app, core.Options{Coverage: true, Detail: dumpPkt >= 0 || flowDot != ""})
+	if err != nil {
+		return err
+	}
+	bench.Collector().CountPCs = annotate
+
+	var prof *microarch.Profiler
+	if uarch {
+		icache, err := microarch.NewCache(4096, 16, 2)
+		if err != nil {
+			return err
+		}
+		dcache, err := microarch.NewCache(8192, 16, 2)
+		if err != nil {
+			return err
+		}
+		prof = microarch.NewProfiler(icache, dcache)
+		bench.AddTracer(prof)
+	}
+
+	var outW trace.Writer
+	var outClose func() error
+	if outFile != "" {
+		f, err := os.Create(outFile)
+		if err != nil {
+			return err
+		}
+		w, err := trace.NewPcapWriter(f)
+		if err != nil {
+			f.Close()
+			return err
+		}
+		outW, outClose = w, f.Close
+	}
+
+	verdicts := make(map[uint32]int)
+	var blockSeqs [][]int
+	records, err := bench.RunPackets(pkts, func(i int, res core.Result) {
+		verdicts[res.Verdict]++
+		if i == dumpPkt {
+			dumpTrace(bench, i, res)
+		}
+		if flowDot != "" {
+			blockSeqs = append(blockSeqs, append([]int(nil), bench.Collector().BlockSeq...))
+		}
+		if outW != nil {
+			out := *pkts[i]
+			out.Data = bench.PacketBytes(len(pkts[i].Data))
+			if err := outW.WritePacket(&out); err != nil {
+				fmt.Fprintln(os.Stderr, "packetbench: write:", err)
+			}
+		}
+	})
+	if err != nil {
+		return err
+	}
+	if outClose != nil {
+		if err := outClose(); err != nil {
+			return err
+		}
+	}
+
+	s := stats.Summarize(records)
+	fmt.Printf("\n%s over %d packets\n", app.Name, s.Packets)
+	fmt.Printf("  instructions/packet:        %10.1f\n", s.MeanInstructions)
+	fmt.Printf("  unique instructions/packet: %10.1f\n", s.MeanUnique)
+	fmt.Printf("  packet mem accesses/packet: %10.1f\n", s.MeanPacketAcc)
+	fmt.Printf("  non-packet accesses/packet: %10.1f\n", s.MeanNonPacketAcc)
+	fmt.Printf("  instruction memory touched: %10d bytes\n", bench.Collector().InstrMemSize())
+	fmt.Printf("  data memory touched:        %10d bytes\n", bench.Collector().DataMemSize())
+
+	occ := analysis.Occurrences(stats.InstructionCounts(records), topK)
+	fmt.Printf("\n  most frequent instruction counts:\n")
+	for _, o := range occ.Top {
+		fmt.Printf("    %8d instructions: %6d packets (%.2f%%)\n", o.Value, o.Count, o.Pct(occ.Total))
+	}
+	fmt.Printf("    min %d (%.2f%%), max %d (%.2f%%), mean %.1f\n",
+		occ.Min.Value, occ.Min.Pct(occ.Total), occ.Max.Value, occ.Max.Pct(occ.Total), occ.Mean)
+
+	fmt.Printf("\n  verdicts:\n")
+	for v, n := range verdicts {
+		fmt.Printf("    %4d: %d packets\n", v, n)
+	}
+
+	if prof != nil {
+		prof.Flush()
+		fmt.Printf("\nmicroarchitectural profile:\n%s", prof.Report())
+	}
+	if annotate {
+		printAnnotatedListing(bench)
+	}
+	if flowDot != "" {
+		g := analysis.BuildFlowGraph(blockSeqs, bench.BlockMap().NumBlocks())
+		if err := os.WriteFile(flowDot, []byte(g.Dot()), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("\nwrote weighted flow graph (%d edges) to %s\n", len(g.Edges), flowDot)
+	}
+	return nil
+}
+
+// printAnnotatedListing renders the program with per-instruction
+// execution counts — the paper's application-optimization use case.
+func printAnnotatedListing(bench *core.Bench) {
+	col := bench.Collector()
+	prog := bench.Program()
+	var total uint64
+	for _, c := range col.PCCounts {
+		total += c
+	}
+	fmt.Printf("\nannotated listing (%d dynamic instructions):\n", total)
+	for i, in := range prog.Text {
+		pc := prog.TextBase + uint32(i)*4
+		count := uint64(0)
+		if i < len(col.PCCounts) {
+			count = col.PCCounts[i]
+		}
+		pct := 0.0
+		if total > 0 {
+			pct = 100 * float64(count) / float64(total)
+		}
+		marker := " "
+		if pct >= 2 {
+			marker = "*" // hot instruction
+		}
+		fmt.Printf("  %s %10d %6.2f%%  %08x  %s\n", marker, count, pct, pc, isa.Disassemble(pc, in))
+	}
+}
+
+// dumpTrace prints the disassembled execution trace of one packet (the
+// detail view behind the paper's Figure 6).
+func dumpTrace(bench *core.Bench, idx int, res core.Result) {
+	col := bench.Collector()
+	prog := bench.Program()
+	fmt.Printf("\nexecution trace of packet %d (%d instructions, verdict %d):\n",
+		idx, len(col.InstrTrace), res.Verdict)
+	const maxLines = 300
+	for n, pc := range col.InstrTrace {
+		if n == maxLines {
+			fmt.Printf("  ... %d more instructions ...\n", len(col.InstrTrace)-maxLines)
+			break
+		}
+		in, ok := prog.InstrAt(pc)
+		if !ok {
+			continue
+		}
+		fmt.Printf("  %6d  %08x  %s\n", n, pc, isa.Disassemble(pc, in))
+	}
+	fmt.Printf("  block entry sequence: %v\n", col.BlockSeq)
+}
+
+// runPool processes the trace on several simulated cores and prints the
+// pooled summary. Stateful applications (flow classification) keep
+// per-core tables in this mode, as real replicated-state engines would.
+func runPool(app *core.App, pkts []*trace.Packet, n, topK int) error {
+	pool, err := core.NewPool(app, n, core.Options{})
+	if err != nil {
+		return err
+	}
+	records, err := pool.RunPackets(pkts)
+	if err != nil {
+		return err
+	}
+	s := stats.Summarize(records)
+	fmt.Printf("\n%s over %d packets on %d simulated cores\n", app.Name, s.Packets, n)
+	fmt.Printf("  instructions/packet:        %10.1f\n", s.MeanInstructions)
+	fmt.Printf("  packet mem accesses/packet: %10.1f\n", s.MeanPacketAcc)
+	fmt.Printf("  non-packet accesses/packet: %10.1f\n", s.MeanNonPacketAcc)
+	occ := analysis.Occurrences(stats.InstructionCounts(records), topK)
+	fmt.Printf("  most frequent count: %d instructions (%.2f%%)\n",
+		occ.Top[0].Value, occ.Top[0].Pct(occ.Total))
+	return nil
+}

@@ -1,0 +1,88 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/route"
+)
+
+func TestRunAllApps(t *testing.T) {
+	for _, app := range []string{"radix", "trie", "flow", "tsa"} {
+		if err := run(app, "LAN", "", "", "", 100, 512, 64, 3, 1, true, false, -1, false, "", 1); err != nil {
+			t.Errorf("%s: %v", app, err)
+		}
+	}
+}
+
+func TestRunWithMicroarchAndOutput(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "anon.pcap")
+	if err := run("tsa", "COS", "", out, "", 50, 512, 64, 3, 2, true, true, -1, false, "", 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunFromTraceFile(t *testing.T) {
+	// Round trip: write a trace with the tsa run above, read it back in.
+	dir := t.TempDir()
+	out := filepath.Join(dir, "t.pcap")
+	if err := run("tsa", "LAN", "", out, "", 30, 512, 64, 3, 2, true, false, -1, false, "", 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("flow", "", out, "", "", 30, 512, 64, 3, 2, true, false, 0, false, "", 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunWithTableFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "routes.txt")
+	tbl := route.GenerateTable(route.GenOptions{Prefixes: 100, Seed: 4, IncludeDefault: true})
+	var buf bytes.Buffer
+	if err := tbl.WriteTable(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("radix", "LAN", "", "", path, 50, 512, 64, 3, 1, true, false, -1, false, "", 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("radix", "LAN", "", "", "/absent-table", 50, 512, 64, 3, 1, true, false, -1, false, "", 1); err == nil {
+		t.Error("missing table file accepted")
+	}
+}
+
+func TestRunAnnotateAndFlowgraph(t *testing.T) {
+	dot := filepath.Join(t.TempDir(), "g.dot")
+	if err := run("trie", "LAN", "", "", "", 60, 512, 64, 3, 1, true, false, -1, true, dot, 1); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(dot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(data, []byte("digraph")) {
+		t.Errorf("flow graph not Graphviz: %q", data[:min(len(data), 40)])
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run("bogus", "LAN", "", "", "", 10, 512, 64, 3, 1, true, false, -1, false, "", 1); err == nil {
+		t.Error("unknown app accepted")
+	}
+	if err := run("flow", "NOPE", "", "", "", 10, 512, 64, 3, 1, true, false, -1, false, "", 1); err == nil {
+		t.Error("unknown profile accepted")
+	}
+	if err := run("flow", "", "/absent.pcap", "", "", 10, 512, 64, 3, 1, true, false, -1, false, "", 1); err == nil {
+		t.Error("missing trace file accepted")
+	}
+}
+
+func TestRunPoolMode(t *testing.T) {
+	if err := run("tsa", "LAN", "", "", "", 80, 512, 64, 3, 1, true, false, -1, false, "", 4); err != nil {
+		t.Fatal(err)
+	}
+}

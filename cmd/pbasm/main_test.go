@@ -1,0 +1,49 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeSource(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "t.s")
+	src := `
+	.data
+v:	.word 1
+	.text
+	.global e
+e:	la  t0, v
+	lw  a0, 0(t0)
+	beqz a0, done
+	addi a0, a0, 1
+done:	ret
+`
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunModes(t *testing.T) {
+	path := writeSource(t)
+	for _, mode := range []struct{ syms, blocks bool }{
+		{false, false}, {true, false}, {false, true},
+	} {
+		if err := run(path, mode.syms, mode.blocks); err != nil {
+			t.Errorf("mode %+v: %v", mode, err)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run(filepath.Join(t.TempDir(), "absent.s"), false, false); err == nil {
+		t.Error("missing file accepted")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.s")
+	_ = os.WriteFile(bad, []byte("frobnicate a0"), 0o644)
+	if err := run(bad, false, false); err == nil {
+		t.Error("invalid assembly accepted")
+	}
+}

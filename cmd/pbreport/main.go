@@ -1,0 +1,218 @@
+// Command pbreport regenerates the tables and figures of the paper's
+// evaluation section from the reproduction's own simulated experiments.
+//
+// Usage:
+//
+//	pbreport                         # everything, paper-scale
+//	pbreport -exp table2             # one experiment
+//	pbreport -scale 0.1              # 10% of the paper's packet counts
+//
+// Experiments: table1, table2, table3, table4, table5, table6,
+// fig3, fig4, fig5, fig6, fig7, fig8, fig9, all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/report"
+	"repro/internal/stats"
+)
+
+func main() {
+	var (
+		exp    = flag.String("exp", "all", "experiment to run (table1..table6, fig3..fig9, microarch, all)")
+		scale  = flag.Float64("scale", 1.0, "scale factor on the paper's packet counts")
+		outDir = flag.String("out", "", "also write figure series as CSV files into this directory")
+	)
+	flag.Parse()
+	if err := run(*exp, *scale, *outDir); err != nil {
+		fmt.Fprintln(os.Stderr, "pbreport:", err)
+		os.Exit(1)
+	}
+}
+
+func scaled(n int, s float64) int {
+	v := int(float64(n) * s)
+	if v < 10 {
+		v = 10
+	}
+	return v
+}
+
+func run(exp string, scale float64, outDir string) error {
+	cfg := report.Config{
+		TablePackets:     scaled(10_000, scale),
+		CoveragePackets:  scaled(1_000, scale),
+		VariationPackets: scaled(100_000, scale),
+		FigurePackets:    scaled(500, scale),
+	}
+	want := func(name string) bool { return exp == "all" || exp == name }
+
+	names := []string{"table1", "table2", "table3", "table4", "table5", "table6",
+		"fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "microarch"}
+	known := exp == "all"
+	for _, n := range names {
+		if n == exp {
+			known = true
+		}
+	}
+	if !known {
+		return fmt.Errorf("unknown experiment %q (want one of %s, all)", exp, strings.Join(names, ", "))
+	}
+
+	if want("table1") {
+		fmt.Println(report.FormatTable1(report.Table1()))
+	}
+
+	needEnv := exp == "all"
+	for _, n := range names[1:] {
+		if exp == n {
+			needEnv = true
+		}
+	}
+	if !needEnv {
+		return nil
+	}
+
+	fmt.Fprintf(os.Stderr, "building environment (traces + routing tables)...\n")
+	env := report.NewEnv(cfg)
+
+	if want("table2") || want("table3") {
+		fmt.Fprintf(os.Stderr, "running the 4x4 application/trace matrix (%d packets per cell)...\n", cfg.TablePackets)
+		m, err := env.RunMatrix(cfg.TablePackets)
+		if err != nil {
+			return err
+		}
+		if want("table2") {
+			fmt.Println(report.FormatTable2(m))
+		}
+		if want("table3") {
+			fmt.Println(report.FormatTable3(m))
+		}
+	}
+	if want("table4") {
+		rows, err := env.Table4()
+		if err != nil {
+			return err
+		}
+		fmt.Println(report.FormatTable4(rows, cfg.CoveragePackets))
+	}
+	if want("table5") {
+		rows, err := env.Variation(false)
+		if err != nil {
+			return err
+		}
+		fmt.Println(report.FormatVariation(rows, false, cfg.VariationPackets))
+	}
+	if want("table6") {
+		rows, err := env.Variation(true)
+		if err != nil {
+			return err
+		}
+		fmt.Println(report.FormatVariation(rows, true, cfg.VariationPackets))
+	}
+	figSeries := []struct {
+		name   string
+		title  string
+		ylabel string
+		metric func(*stats.PacketRecord) float64
+	}{
+		{"fig3", "Figure 3: Packet processing complexity variation", "instructions", report.MetricInstructions},
+		{"fig4", "Figure 4: Packet memory access pattern", "packet accesses", report.MetricPacketAccesses},
+		{"fig5", "Figure 5: Non-packet memory access pattern", "non-packet accesses", report.MetricNonPacketAccesses},
+	}
+	for _, fig := range figSeries {
+		if !want(fig.name) {
+			continue
+		}
+		s, err := env.FigureSeries(fig.metric)
+		if err != nil {
+			return err
+		}
+		fmt.Println(report.FormatSeries(fig.title, fig.ylabel, s))
+		if outDir != "" {
+			if err := writeSeriesCSV(outDir, fig.name, fig.ylabel, s); err != nil {
+				return err
+			}
+		}
+	}
+	if want("fig6") {
+		p, err := env.Figure6(0)
+		if err != nil {
+			return err
+		}
+		fmt.Println(report.FormatFigure6(p))
+	}
+	if want("fig7") || want("fig8") {
+		bs, err := env.BlockStatistics()
+		if err != nil {
+			return err
+		}
+		if want("fig7") {
+			fmt.Println(report.FormatFigure7(bs))
+		}
+		if want("fig8") {
+			fmt.Println(report.FormatFigure8(bs))
+		}
+	}
+	if want("fig9") {
+		seqs, err := env.Figure9(0)
+		if err != nil {
+			return err
+		}
+		fmt.Println(report.FormatFigure9(seqs))
+	}
+	if want("microarch") {
+		rows, err := env.Microarch(cfg.TablePackets)
+		if err != nil {
+			return err
+		}
+		fmt.Println(report.FormatMicroarch(rows, cfg.TablePackets))
+	}
+	return nil
+}
+
+// writeSeriesCSV writes one figure's per-packet series as
+// <dir>/<name>.csv with a packet column and one column per application,
+// for external plotting tools.
+func writeSeriesCSV(dir, name, ylabel string, series []report.Series) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(dir, name+".csv"))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	header := "packet"
+	for _, s := range series {
+		header += "," + strings.ReplaceAll(s.App, " ", "_")
+	}
+	if _, err := fmt.Fprintln(f, header); err != nil {
+		return err
+	}
+	n := 0
+	for _, s := range series {
+		if len(s.Values) > n {
+			n = len(s.Values)
+		}
+	}
+	for i := 0; i < n; i++ {
+		row := fmt.Sprint(i)
+		for _, s := range series {
+			if i < len(s.Values) {
+				row += fmt.Sprintf(",%g", s.Values[i])
+			} else {
+				row += ","
+			}
+		}
+		if _, err := fmt.Fprintln(f, row); err != nil {
+			return err
+		}
+	}
+	return f.Close()
+}

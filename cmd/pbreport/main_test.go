@@ -1,0 +1,54 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunSingleExperiments(t *testing.T) {
+	// Tiny scale keeps this a smoke test; table1 needs no environment.
+	if err := run("table1", 0.01, ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("fig6", 0.01, ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("table4", 0.01, ""); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunFigureWithCSV(t *testing.T) {
+	dir := t.TempDir()
+	if err := run("fig3", 0.01, dir); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "fig3.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if !strings.HasPrefix(lines[0], "packet,IPv4-radix,") {
+		t.Errorf("csv header = %q", lines[0])
+	}
+	if len(lines) < 10 {
+		t.Errorf("csv has only %d lines", len(lines))
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if err := run("table99", 1, ""); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestScaled(t *testing.T) {
+	if scaled(10000, 0.5) != 5000 {
+		t.Error("scaled wrong")
+	}
+	if scaled(100, 0.0001) != 10 {
+		t.Error("scaled floor wrong")
+	}
+}

@@ -1,0 +1,59 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunWritesBothFormats(t *testing.T) {
+	dir := t.TempDir()
+	for _, name := range []string{"out.pcap", "out.tsh"} {
+		// LAN generates no IP options, so both formats accept it.
+		if err := run("LAN", "", filepath.Join(dir, name), 50, false, false); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestRunPreprocessing(t *testing.T) {
+	dir := t.TempDir()
+	if err := run("MRA", "", filepath.Join(dir, "m.pcap"), 20, true, true); err != nil {
+		t.Errorf("renumber+scramble: %v", err)
+	}
+}
+
+func TestRunWithSpec(t *testing.T) {
+	dir := t.TempDir()
+	spec := filepath.Join(dir, "p.json")
+	body := `{"Name": "tiny", "Flows": 20, "NewFlowProb": 0.1, "TCP": 1,
+	          "Sizes": [{"Bytes": 64, "Weight": 1}], "AddrBits": 10, "Seed": 9}`
+	if err := os.WriteFile(spec, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("", spec, filepath.Join(dir, "t.pcap"), 40, false, false); err != nil {
+		t.Fatal(err)
+	}
+	// Bad specs fail loudly.
+	bad := filepath.Join(dir, "bad.json")
+	_ = os.WriteFile(bad, []byte(`{"NotAField": 1}`), 0o644)
+	if err := run("", bad, filepath.Join(dir, "u.pcap"), 10, false, false); err == nil {
+		t.Error("unknown spec field accepted")
+	}
+	if err := run("", filepath.Join(dir, "absent.json"), filepath.Join(dir, "v.pcap"), 10, false, false); err == nil {
+		t.Error("missing spec accepted")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run("MRA", "", "", 10, false, false); err == nil || !strings.Contains(err.Error(), "required") {
+		t.Errorf("missing output accepted: %v", err)
+	}
+	if err := run("NOPE", "", t.TempDir()+"/x.pcap", 10, false, false); err == nil {
+		t.Error("unknown profile accepted")
+	}
+	if err := run("LAN", "", "/nonexistent-dir/x.pcap", 10, false, false); err == nil {
+		t.Error("unwritable path accepted")
+	}
+}

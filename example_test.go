@@ -1,0 +1,56 @@
+package packetbench_test
+
+import (
+	"fmt"
+
+	packetbench "repro"
+)
+
+// ExampleNew demonstrates the core workflow: generate a trace, build an
+// application over a routing table derived from it, and summarize the
+// workload.
+func ExampleNew() {
+	pkts := packetbench.GenerateTrace("LAN", 500)
+	table := packetbench.RouteTableFromTrace(pkts, 1024)
+	bench, err := packetbench.New(packetbench.NewIPv4Trie(table), packetbench.Options{})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	records, err := bench.RunPackets(pkts, nil)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	s := packetbench.Summarize(records)
+	fmt.Printf("packets: %d\n", s.Packets)
+	fmt.Printf("packet accesses are constant: %v\n", s.MeanPacketAcc > 10 && s.MeanPacketAcc < 60)
+	// Output:
+	// packets: 500
+	// packet accesses are constant: true
+}
+
+// ExampleGenerateTrace shows the deterministic synthetic traces standing
+// in for the paper's captures.
+func ExampleGenerateTrace() {
+	a := packetbench.GenerateTrace("COS", 3)
+	b := packetbench.GenerateTrace("COS", 3)
+	fmt.Println("deterministic:", string(a[0].Data) == string(b[0].Data))
+	fmt.Println("profiles:", len(packetbench.TraceProfiles()))
+	// Output:
+	// deterministic: true
+	// profiles: 4
+}
+
+// ExampleInstructionOccurrences reproduces the flavor of the paper's
+// Table V for one application.
+func ExampleInstructionOccurrences() {
+	pkts := packetbench.GenerateTrace("LAN", 400)
+	bench, _ := packetbench.New(packetbench.NewTSA(1), packetbench.Options{})
+	records, _ := bench.RunPackets(pkts, nil)
+	occ := packetbench.InstructionOccurrences(records, 1)
+	// TSA is strictly linear: one instruction count covers all packets.
+	fmt.Printf("top value covers %.0f%% of packets\n", occ.Top[0].Pct(occ.Total))
+	// Output:
+	// top value covers 100% of packets
+}

@@ -1,0 +1,98 @@
+// Anonymize: the network-measurement workflow the paper's TSA
+// application exists for — scrub the IP addresses of a capture while
+// preserving prefix relationships, so routing-level analyses still work
+// on the anonymized trace.
+//
+// The pipeline runs end to end through the simulator: packets are loaded
+// into simulated packet memory, the TSA application rewrites the
+// addresses in place, and the framework writes the modified packets to
+// an output pcap — while simultaneously collecting the application's
+// workload profile.
+package main
+
+import (
+	"encoding/binary"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	packetbench "repro"
+)
+
+func main() {
+	dir, err := os.MkdirTemp("", "pb-anon")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	inPath := filepath.Join(dir, "input.pcap")
+	outPath := filepath.Join(dir, "anonymized.pcap")
+
+	// 1. A capture to anonymize (synthetic COS-like traffic).
+	original := packetbench.GenerateTrace("COS", 2000)
+	if err := packetbench.WriteTraceFile(inPath, original); err != nil {
+		log.Fatal(err)
+	}
+
+	// 2. Run TSA over the capture on the simulated core.
+	bench, err := packetbench.New(packetbench.NewTSA(0xFEEDFACE), packetbench.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	input, err := packetbench.ReadTraceFile(inPath, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	anonymized := make([]*packetbench.Packet, len(input))
+	records, err := bench.RunPackets(input, func(i int, res packetbench.Result) {
+		out := *input[i]
+		out.Data = bench.PacketBytes(len(input[i].Data))
+		anonymized[i] = &out
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := packetbench.WriteTraceFile(outPath, anonymized); err != nil {
+		log.Fatal(err)
+	}
+
+	// 3. Verify the anonymization is useful: addresses changed, yet
+	// prefix relationships survive.
+	srcOf := func(p *packetbench.Packet) uint32 { return binary.BigEndian.Uint32(p.Data[12:]) }
+	changed := 0
+	for i := range original {
+		if srcOf(original[i]) != srcOf(anonymized[i]) {
+			changed++
+		}
+	}
+	preserved, checked := 0, 0
+	for i := 0; i+1 < len(original); i += 2 {
+		a, b := srcOf(original[i]), srcOf(original[i+1])
+		x, y := srcOf(anonymized[i]), srcOf(anonymized[i+1])
+		if commonPrefixLen(a, b) == commonPrefixLen(x, y) {
+			preserved++
+		}
+		checked++
+	}
+
+	s := packetbench.Summarize(records)
+	fmt.Printf("anonymized %d packets -> %s\n", len(anonymized), outPath)
+	fmt.Printf("  source addresses changed:   %d/%d\n", changed, len(original))
+	fmt.Printf("  prefix lengths preserved:   %d/%d sampled pairs\n", preserved, checked)
+	fmt.Printf("  TSA cost:                   %.0f instructions/packet (constant: min=max for linear code)\n",
+		s.MeanInstructions)
+	if preserved != checked {
+		log.Fatal("prefix preservation violated")
+	}
+}
+
+func commonPrefixLen(a, b uint32) int {
+	x := a ^ b
+	for n := 0; n < 32; n++ {
+		if x&(1<<(31-uint(n))) != 0 {
+			return n
+		}
+	}
+	return 32
+}

@@ -1,0 +1,91 @@
+// Latency: estimate per-packet processing delay through a loaded
+// network-processor port — the paper's delay-model use case ("useful in
+// the context of network simulations, where processing delay is
+// currently not or only superficially considered").
+//
+// The pipeline: run IPv4-radix over a trace while a microarchitectural
+// profiler converts each packet's instructions and memory behaviour into
+// a cycle count; feed the resulting per-packet service times, together
+// with the trace's arrival timestamps, into a discrete-event queueing
+// simulation of the port; report delay percentiles as the engine count
+// varies.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	packetbench "repro"
+)
+
+const clockHz = 600e6 // IXP2400-class engine clock
+
+func main() {
+	pkts := packetbench.GenerateTrace("MRA", 4000)
+	table := packetbench.RouteTableFromTrace(pkts, 16384)
+	bench, err := packetbench.New(packetbench.NewIPv4Radix(table), packetbench.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	prof, err := packetbench.NewMicroarchProfiler(4096, 8192)
+	if err != nil {
+		log.Fatal(err)
+	}
+	bench.AddTracer(prof)
+
+	// Per-packet cycle counts: the profiler's cycle counter deltas
+	// between packets.
+	var cycles []uint64
+	var secs, usecs []uint32
+	last := uint64(0)
+	_, err = bench.RunPackets(pkts, func(i int, res packetbench.Result) {
+		cycles = append(cycles, prof.Cycles-last)
+		last = prof.Cycles
+		secs = append(secs, pkts[i].Sec)
+		usecs = append(usecs, pkts[i].Usec)
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	jobs, err := packetbench.QueueJobs(secs, usecs, cycles, clockHz)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Scale the trace's arrival process so one engine would be offered
+	// 160% load — the regime where queueing, not service time, dominates
+	// delay and extra engines visibly pay off.
+	var totalService float64
+	for _, j := range jobs {
+		totalService += j.Service
+	}
+	span := jobs[len(jobs)-1].Arrival
+	scale := totalService / 1.6 / span
+	for i := range jobs {
+		jobs[i].Arrival *= scale
+	}
+
+	fmt.Printf("IPv4-radix on a %0.0f MHz engine: mean service %.2f us, offered load 1.6x one engine\n\n",
+		clockHz/1e6, totalService/float64(len(jobs))*1e6)
+	fmt.Printf("%8s %12s %12s %12s %12s %10s\n",
+		"engines", "mean delay", "p50", "p99", "max queue", "util")
+	for _, engines := range []int{1, 2, 3, 4, 8} {
+		res, err := packetbench.RunQueue(jobs, packetbench.QueueConfig{Engines: engines})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%8d %10.1f us %10.1f us %10.1f us %12d %9.0f%%\n",
+			engines,
+			res.MeanDelay()*1e6, res.Percentile(50)*1e6, res.Percentile(99)*1e6,
+			res.MaxQueue, res.Utilization*100)
+	}
+	fmt.Println("\nwith a bounded queue of 32 packets on 2 engines:")
+	res, err := packetbench.RunQueue(jobs, packetbench.QueueConfig{Engines: 2, QueueLimit: 32})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  %d completed, %d dropped (%.2f%%), p99 delay %.1f us\n",
+		res.Completed, res.Dropped,
+		100*float64(res.Dropped)/float64(res.Completed+res.Dropped),
+		res.Percentile(99)*1e6)
+}

@@ -1,0 +1,63 @@
+// Sysdesign: from per-packet workload profiles to system design — the
+// end-to-end use the paper's "Impact of Results" section describes.
+//
+// The pipeline: measure each application with PacketBench (instructions
+// and region-split memory accesses per packet), profile its
+// microarchitecture to estimate CPI, then feed both into the analytical
+// network-processor model to predict system throughput and compare the
+// parallel and pipelined multi-engine topologies.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	packetbench "repro"
+)
+
+func main() {
+	pkts := packetbench.GenerateTrace("MRA", 3000)
+	table := packetbench.RouteTableFromTrace(pkts, 16384)
+
+	hw := packetbench.DefaultHardware()
+	fmt.Printf("hardware: %d engines @ %.0f MHz, %d shared memory channels\n\n",
+		hw.Engines, hw.ClockHz/1e6, hw.MemChannels)
+
+	for _, app := range []*packetbench.App{
+		packetbench.NewIPv4Radix(table),
+		packetbench.NewIPv4Trie(table),
+		packetbench.NewFlowClassification(0),
+		packetbench.NewTSA(3),
+	} {
+		bench, err := packetbench.New(app, packetbench.Options{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		// Attach a microarchitectural profiler to estimate CPI with
+		// realistic first-level caches.
+		prof, err := packetbench.NewMicroarchProfiler(4096, 8192)
+		if err != nil {
+			log.Fatal(err)
+		}
+		bench.AddTracer(prof)
+
+		records, err := bench.RunPackets(pkts, nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		prof.Flush()
+		s := packetbench.Summarize(records)
+
+		w := packetbench.Workload{
+			InstrPerPacket:    s.MeanInstructions,
+			PacketAccesses:    s.MeanPacketAcc,
+			NonPacketAccesses: s.MeanNonPacketAcc,
+		}
+		hw.CPI = prof.CPI()
+		out, err := packetbench.CompareTopologies(app.Name, w, hw, 500)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(out)
+	}
+}

@@ -1,0 +1,116 @@
+package analysis
+
+import (
+	"fmt"
+	"sort"
+)
+
+// BlockCost is one basic block's dynamic execution weight.
+type BlockCost struct {
+	Block int
+	// Entries is how many times the block was entered.
+	Entries uint64
+	// Instructions is the dynamic instruction count attributed to the
+	// block (entries x block size).
+	Instructions uint64
+}
+
+// BlockCosts computes per-block dynamic costs from per-packet block
+// entry sequences (stats.Collector.BlockSeq accumulated per packet) or,
+// with coarser fidelity, from per-packet block sets. The result is
+// ordered by block id.
+func BlockCosts(m *BlockMap, blockSeqs [][]int) []BlockCost {
+	costs := make([]BlockCost, m.NumBlocks())
+	for b := range costs {
+		costs[b].Block = b
+	}
+	for _, seq := range blockSeqs {
+		for _, b := range seq {
+			if b >= 0 && b < len(costs) {
+				costs[b].Entries++
+				costs[b].Instructions += uint64(m.Size(b))
+			}
+		}
+	}
+	return costs
+}
+
+// HotBlocks returns the blocks ranked by dynamic instruction count,
+// descending — the "sets of instructions that are repeatedly executed"
+// the paper proposes identifying as co-processor candidates. Blocks that
+// never executed are omitted.
+func HotBlocks(costs []BlockCost) []BlockCost {
+	out := make([]BlockCost, 0, len(costs))
+	for _, c := range costs {
+		if c.Entries > 0 {
+			out = append(out, c)
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		return out[i].Instructions > out[j].Instructions
+	})
+	return out
+}
+
+// Stage is one contiguous block range assigned to a pipeline engine.
+type Stage struct {
+	// FirstBlock and LastBlock bound the stage (inclusive).
+	FirstBlock, LastBlock int
+	// Instructions is the stage's dynamic instruction weight.
+	Instructions uint64
+}
+
+// Partition splits the program's blocks (in address order, preserving
+// locality) into k contiguous pipeline stages with approximately equal
+// dynamic instruction weight — the application-partitioning problem the
+// paper defers to its "pipelining vs. multiprocessors" companion work.
+// It returns the stages and the skew (slowest stage / mean stage), the
+// imbalance figure npmodel.Pipeline consumes.
+func Partition(costs []BlockCost, k int) ([]Stage, float64, error) {
+	if k < 1 {
+		return nil, 0, fmt.Errorf("analysis: need at least one stage")
+	}
+	if len(costs) == 0 {
+		return nil, 0, fmt.Errorf("analysis: no blocks to partition")
+	}
+	if k > len(costs) {
+		k = len(costs)
+	}
+	var total uint64
+	for _, c := range costs {
+		total += c.Instructions
+	}
+	if total == 0 {
+		return nil, 0, fmt.Errorf("analysis: no dynamic instructions to partition")
+	}
+	// Greedy contiguous partition: close a stage once it reaches the
+	// ideal share, keeping enough blocks for the remaining stages.
+	ideal := float64(total) / float64(k)
+	stages := make([]Stage, 0, k)
+	cur := Stage{FirstBlock: costs[0].Block}
+	remainingStages := k
+	for i, c := range costs {
+		cur.Instructions += c.Instructions
+		cur.LastBlock = c.Block
+		blocksLeft := len(costs) - i - 1
+		if remainingStages > 1 &&
+			(float64(cur.Instructions) >= ideal || blocksLeft == remainingStages-1) {
+			stages = append(stages, cur)
+			remainingStages--
+			if i+1 < len(costs) {
+				cur = Stage{FirstBlock: costs[i+1].Block}
+			}
+		}
+	}
+	stages = append(stages, cur)
+	// Skew: slowest stage over mean.
+	var worst uint64
+	for _, s := range stages {
+		if s.Instructions > worst {
+			worst = s.Instructions
+		}
+	}
+	mean := float64(total) / float64(len(stages))
+	skew := float64(worst) / mean
+	return stages, skew, nil
+}

@@ -1,0 +1,141 @@
+package analysis
+
+import (
+	"testing"
+)
+
+func testCosts() []BlockCost {
+	// Block sizes 1 each for simple arithmetic: instructions == entries.
+	return []BlockCost{
+		{Block: 0, Entries: 100, Instructions: 100},
+		{Block: 1, Entries: 50, Instructions: 50},
+		{Block: 2, Entries: 0, Instructions: 0},
+		{Block: 3, Entries: 200, Instructions: 200},
+		{Block: 4, Entries: 50, Instructions: 50},
+	}
+}
+
+func TestBlockCosts(t *testing.T) {
+	m, _ := blockMapOf(t, `
+		addi t0, zero, 3      ; b0 (1 instr)
+	loop:
+		addi t0, t0, -1       ; b1 (2 instr)
+		bnez t0, loop
+		halt                  ; b2 (1 instr)
+	`)
+	seqs := [][]int{
+		{0, 1, 1, 1, 2}, // one packet: loop entered 3 times
+		{0, 1, 2},       // another: once
+	}
+	costs := BlockCosts(m, seqs)
+	if len(costs) != 3 {
+		t.Fatalf("%d costs", len(costs))
+	}
+	if costs[0].Entries != 2 || costs[0].Instructions != 2 {
+		t.Errorf("b0 = %+v", costs[0])
+	}
+	if costs[1].Entries != 4 || costs[1].Instructions != 8 {
+		t.Errorf("b1 = %+v (size 2, 4 entries)", costs[1])
+	}
+	if costs[2].Entries != 2 || costs[2].Instructions != 2 {
+		t.Errorf("b2 = %+v", costs[2])
+	}
+}
+
+func TestHotBlocks(t *testing.T) {
+	hot := HotBlocks(testCosts())
+	if len(hot) != 4 {
+		t.Fatalf("HotBlocks kept %d (never-executed block not dropped?)", len(hot))
+	}
+	if hot[0].Block != 3 || hot[1].Block != 0 {
+		t.Errorf("ranking wrong: %+v", hot)
+	}
+	// Ties keep block order (stable).
+	if hot[2].Block != 1 || hot[3].Block != 4 {
+		t.Errorf("tie order wrong: %+v", hot)
+	}
+}
+
+func TestPartitionBalance(t *testing.T) {
+	costs := testCosts() // total 400
+	stages, skew, err := Partition(costs, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stages) != 2 {
+		t.Fatalf("%d stages", len(stages))
+	}
+	// Stages are contiguous and cover all blocks.
+	if stages[0].FirstBlock != 0 || stages[len(stages)-1].LastBlock != 4 {
+		t.Errorf("coverage wrong: %+v", stages)
+	}
+	if stages[0].LastBlock+1 != stages[1].FirstBlock {
+		t.Errorf("stages not contiguous: %+v", stages)
+	}
+	var total uint64
+	for _, s := range stages {
+		total += s.Instructions
+	}
+	if total != 400 {
+		t.Errorf("stage weights sum to %d, want 400", total)
+	}
+	if skew < 1 {
+		t.Errorf("skew %v < 1", skew)
+	}
+	// Ideal split is 200/200: blocks {0,1,2} = 150 or {0,1,2,3} = 350.
+	// Greedy closes at >= 200, so stage 0 = {0,1,2,3} (350), skew 1.75.
+	if stages[0].Instructions != 350 || skew != 1.75 {
+		t.Errorf("greedy partition gave %+v skew %v", stages, skew)
+	}
+}
+
+func TestPartitionDegenerateCases(t *testing.T) {
+	costs := testCosts()
+	// One stage: everything in it, skew 1.
+	stages, skew, err := Partition(costs, 1)
+	if err != nil || len(stages) != 1 || skew != 1 {
+		t.Errorf("k=1: %+v %v %v", stages, skew, err)
+	}
+	// More stages than blocks: clamped, no empty stages.
+	stages, _, err = Partition(costs, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stages) != len(costs) {
+		t.Errorf("k>blocks gave %d stages", len(stages))
+	}
+	for i := 1; i < len(stages); i++ {
+		if stages[i].FirstBlock != stages[i-1].LastBlock+1 {
+			t.Errorf("stage %d not contiguous", i)
+		}
+	}
+	// Errors.
+	if _, _, err := Partition(costs, 0); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, _, err := Partition(nil, 2); err == nil {
+		t.Error("empty costs accepted")
+	}
+	zero := []BlockCost{{Block: 0}}
+	if _, _, err := Partition(zero, 1); err == nil {
+		t.Error("all-zero costs accepted")
+	}
+}
+
+func TestPartitionFeedsPipelineSkew(t *testing.T) {
+	// The returned skew matches the definition npmodel consumes:
+	// slowest/mean >= 1, == 1 only for perfect balance.
+	costs := []BlockCost{
+		{Block: 0, Instructions: 100, Entries: 1},
+		{Block: 1, Instructions: 100, Entries: 1},
+		{Block: 2, Instructions: 100, Entries: 1},
+		{Block: 3, Instructions: 100, Entries: 1},
+	}
+	_, skew, err := Partition(costs, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if skew != 1 {
+		t.Errorf("perfectly balanceable partition has skew %v", skew)
+	}
+}

@@ -1,0 +1,142 @@
+; Flow Classification: classify packets into flows by the 5-tuple
+; (source address, destination address, ports, protocol) using a hash
+; table with linked-list collision chains — the paper's third
+; application, "a common part of various applications such as
+; firewalling, NAT, and network monitoring".
+;
+; ABI: a0 = packet (layer-3 header), a1 = length.
+; Returns a0 = 1 for a packet of an existing flow, 2 for a new flow.
+;
+; Flow node layout (see package flow):
+;   +0 src  +4 dst  +8 ports  +12 proto  +16 packets  +20 bytes  +24 next
+
+        .equ IP_VER_IHL, 0
+        .equ IP_PROTO,   9
+        .equ IP_SRC,     12
+        .equ IP_DST,     16
+        .equ PROTO_TCP,  6
+        .equ PROTO_UDP,  17
+        .equ NODE_SIZE,  32
+
+        .data
+flow_buckets:                   ; bucket array base, set by the loader
+        .word 0
+flow_nbuckets:                  ; bucket count (power of two)
+        .word 0
+flow_heap:                      ; bump-allocation pointer for new nodes
+        .word 0
+
+        .text
+        .global process_packet
+
+process_packet:
+        ; ---- extract the 5-tuple -------------------------------------
+        lbu  t0, IP_VER_IHL(a0)
+        andi t0, t0, 0xF
+        slli s3, t0, 2             ; s3 = IP header length
+        lbu  s2, IP_PROTO(a0)      ; s2 = protocol
+
+        lbu  t0, IP_SRC(a0)
+        lbu  t1, IP_SRC+1(a0)
+        lbu  t2, IP_SRC+2(a0)
+        lbu  t3, IP_SRC+3(a0)
+        slli t0, t0, 24
+        slli t1, t1, 16
+        slli t2, t2, 8
+        or   t0, t0, t1
+        or   t2, t2, t3
+        or   s0, t0, t2            ; s0 = src
+
+        lbu  t0, IP_DST(a0)
+        lbu  t1, IP_DST+1(a0)
+        lbu  t2, IP_DST+2(a0)
+        lbu  t3, IP_DST+3(a0)
+        slli t0, t0, 24
+        slli t1, t1, 16
+        slli t2, t2, 8
+        or   t0, t0, t1
+        or   t2, t2, t3
+        or   s1, t0, t2            ; s1 = dst
+
+        ; ports for TCP/UDP, zero otherwise
+        mv   a2, zero
+        addi t0, zero, PROTO_TCP
+        beq  s2, t0, ports
+        addi t0, zero, PROTO_UDP
+        beq  s2, t0, ports
+        j    hash
+ports:
+        add  t1, a0, s3
+        lbu  t0, 0(t1)
+        lbu  t2, 1(t1)
+        slli t0, t0, 8
+        or   t0, t0, t2            ; source port
+        lbu  t2, 2(t1)
+        lbu  t3, 3(t1)
+        slli t2, t2, 8
+        or   t2, t2, t3            ; destination port
+        slli a2, t0, 16
+        or   a2, a2, t2            ; a2 = ports word
+
+        ; ---- hash the tuple into a bucket ----------------------------
+hash:
+        xor  t0, s0, s1
+        xor  t0, t0, a2
+        xor  t0, t0, s2
+        li   t1, 2654435761        ; Knuth multiplicative constant
+        mul  t0, t0, t1
+        srli t1, t0, 16
+        xor  t0, t0, t1
+        la   t1, flow_nbuckets
+        lw   t1, 0(t1)
+        addi t1, t1, -1
+        and  t0, t0, t1            ; bucket index
+        la   t1, flow_buckets
+        lw   t1, 0(t1)
+        slli t0, t0, 2
+        add  a3, t1, t0            ; a3 = address of the bucket head
+        lw   t0, 0(a3)             ; t0 = first node in the chain
+
+        ; ---- walk the collision chain --------------------------------
+walk:
+        beqz t0, insert
+        lw   t1, 0(t0)
+        bne  t1, s0, next
+        lw   t1, 4(t0)
+        bne  t1, s1, next
+        lw   t1, 8(t0)
+        bne  t1, a2, next
+        lw   t1, 12(t0)
+        bne  t1, s2, next
+        ; existing flow: update the accounting
+        lw   t1, 16(t0)
+        addi t1, t1, 1
+        sw   t1, 16(t0)            ; packets++
+        lw   t1, 20(t0)
+        add  t1, t1, a1
+        sw   t1, 20(t0)            ; bytes += length
+        addi a0, zero, 1
+        ret
+next:
+        lw   t0, 24(t0)
+        j    walk
+
+        ; ---- create a new flow node ----------------------------------
+insert:
+        la   t1, flow_heap
+        lw   t2, 0(t1)             ; t2 = new node address
+        addi t3, t2, NODE_SIZE
+        sw   t3, 0(t1)             ; bump the allocator
+        sw   s0, 0(t2)
+        sw   s1, 4(t2)
+        sw   a2, 8(t2)
+        sw   s2, 12(t2)
+        addi t3, zero, 1
+        sw   t3, 16(t2)            ; packets = 1
+        sw   a1, 20(t2)            ; bytes = length
+        lw   t3, 0(a3)
+        sw   t3, 24(t2)            ; next = old head
+        sw   zero, 28(t2)
+        sw   t2, 0(a3)             ; bucket head = new node
+        addi a0, zero, 2
+        ret

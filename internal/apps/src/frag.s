@@ -1,0 +1,181 @@
+; FRAG: IPv4 fragmentation to a configured MTU, after the FRAG kernel of
+; the authors' own CommBench suite (the benchmark predecessor the paper
+; builds on). Packets that fit pass through untouched; oversized packets
+; are split into RFC 791 fragments written back-to-back into an output
+; area in application memory, each with a correct header checksum.
+;
+; ABI: a0 = packet (layer-3 header), a1 = length.
+; Returns a0 = number of fragments written (0 = drop: DF set but the
+; packet needs fragmenting; 1 = passed through unfragmented, nothing is
+; written).
+;
+; Output area layout: fragments are contiguous; each is a full packet
+; (header + payload) whose length is in its own total-length field.
+
+        .equ IP_TOTLEN, 2
+        .equ IP_FRAG,   6
+        .equ IP_CSUM,   10
+        .equ DF_MASK,   0x40
+
+        .data
+frag_mtu:                       ; MTU, set by the loader
+        .word 0
+frag_out:                       ; output area base, set by the loader
+        .word 0
+
+        .text
+        .global process_packet
+
+process_packet:
+        ; ---- parse lengths -------------------------------------------
+        lbu  t0, 0(a0)
+        andi t0, t0, 0xF
+        slli s3, t0, 2             ; s3 = header length
+        lbu  t0, IP_TOTLEN(a0)
+        lbu  t1, IP_TOTLEN+1(a0)
+        slli t0, t0, 8
+        or   t1, t0, t1            ; t1 = total length
+        la   t0, frag_mtu
+        lw   t2, 0(t0)             ; t2 = MTU
+        bleu t1, t2, fits
+
+        ; ---- must fragment: DF check ----------------------------------
+        lbu  t0, IP_FRAG(a0)
+        andi t0, t0, DF_MASK
+        bnez t0, dfdrop
+
+        ; ---- setup ------------------------------------------------------
+        sub  s0, t2, s3
+        srli s0, s0, 3
+        slli s0, s0, 3             ; s0 = payload bytes per fragment (8-aligned)
+        beqz s0, dfdrop            ; MTU cannot carry payload
+        sub  s1, t1, s3            ; s1 = payload bytes remaining
+        add  a3, a0, s3            ; a3 = input payload cursor
+        la   t0, frag_out
+        lw   a2, 0(t0)             ; a2 = output cursor
+        li   s2, 0xFFFF            ; checksum mask
+
+        lbu  t0, IP_FRAG(a0)
+        lbu  t3, IP_FRAG+1(a0)
+        slli t0, t0, 8
+        or   t0, t0, t3            ; original flags/offset word
+        addi sp, sp, -12
+        srli t3, t0, 13
+        andi t3, t3, 1
+        sw   t3, 0(sp)             ; [sp+0] = original MF bit
+        li   t3, 0x1FFF
+        and  t4, t0, t3
+        sw   t4, 4(sp)             ; [sp+4] = running offset (8-byte units)
+        sw   zero, 8(sp)           ; [sp+8] = fragment count
+
+frag_loop:
+        beqz s1, frags_done
+        mv   t4, s0                ; t4 = this fragment's payload length
+        bleu t4, s1, len_ok
+        mv   t4, s1
+len_ok:
+        ; ---- copy the header (word aligned on both sides) -------------
+        mv   t0, zero
+hdr_copy:
+        add  t2, a0, t0
+        lw   t3, 0(t2)
+        add  t2, a2, t0
+        sw   t3, 0(t2)
+        addi t0, t0, 4
+        blt  t0, s3, hdr_copy
+
+        ; ---- patch total length = hlen + payload (big endian) ---------
+        add  t0, s3, t4
+        srli t3, t0, 8
+        sb   t3, IP_TOTLEN(a2)
+        sb   t0, IP_TOTLEN+1(a2)
+
+        ; ---- patch flags/offset ----------------------------------------
+        lw   t0, 4(sp)             ; running offset
+        sub  t3, s1, t4
+        bnez t3, set_mf            ; not the last piece
+        lw   t3, 0(sp)             ; last piece inherits the original MF
+        j    have_mf
+set_mf:
+        addi t3, zero, 1
+have_mf:
+        slli t3, t3, 13
+        or   t3, t3, t0
+        srli t0, t3, 8
+        sb   t0, IP_FRAG(a2)
+        sb   t3, IP_FRAG+1(a2)
+        sb   zero, IP_CSUM(a2)
+        sb   zero, IP_CSUM+1(a2)
+
+        ; ---- copy the payload: whole words, then a byte tail -----------
+        mv   t0, zero
+pay_words:
+        addi t2, t0, 4
+        bgt  t2, t4, pay_bytes
+        add  t2, a3, t0
+        lw   t3, 0(t2)
+        add  t2, a2, s3
+        add  t2, t2, t0
+        sw   t3, 0(t2)
+        addi t0, t0, 4
+        j    pay_words
+pay_bytes:
+        bgeu t0, t4, pay_done
+        add  t2, a3, t0
+        lbu  t3, 0(t2)
+        add  t2, a2, s3
+        add  t2, t2, t0
+        sb   t3, 0(t2)
+        addi t0, t0, 1
+        j    pay_bytes
+pay_done:
+
+        ; ---- checksum the output header --------------------------------
+        mv   t0, zero              ; sum
+        mv   t2, zero              ; offset
+ck_loop:
+        add  a1, a2, t2
+        lbu  t3, 0(a1)
+        slli t3, t3, 8
+        lbu  a1, 1(a1)
+        or   t3, t3, a1
+        add  t0, t0, t3
+        addi t2, t2, 2
+        blt  t2, s3, ck_loop
+ck_fold:
+        srli t2, t0, 16
+        beqz t2, ck_done
+        and  t0, t0, s2
+        add  t0, t0, t2
+        j    ck_fold
+ck_done:
+        xor  t0, t0, s2
+        srli t2, t0, 8
+        sb   t2, IP_CSUM(a2)
+        sb   t0, IP_CSUM+1(a2)
+
+        ; ---- advance to the next fragment ------------------------------
+        lw   t0, 4(sp)
+        srli t2, t4, 3
+        add  t0, t0, t2
+        sw   t0, 4(sp)
+        lw   t0, 8(sp)
+        addi t0, t0, 1
+        sw   t0, 8(sp)
+        add  a3, a3, t4
+        add  a2, a2, s3
+        add  a2, a2, t4
+        sub  s1, s1, t4
+        j    frag_loop
+
+frags_done:
+        lw   a0, 8(sp)
+        addi sp, sp, 12
+        ret
+
+fits:
+        addi a0, zero, 1
+        ret
+dfdrop:
+        mv   a0, zero
+        ret

@@ -1,0 +1,236 @@
+; IPv4-radix: RFC 1812 packet forwarding with a BSD-style binary radix
+; tree (one bit per level, key/mask verification on the backtracking
+; path). This is the paper's "straight-forward unoptimized implementation"
+; of IP forwarding.
+;
+; ABI: a0 = packet (layer-3 header), a1 = length.
+; Returns a0 = output port (>= 1) or 0 to drop.
+;
+; Node layout (see route.RadixTree.Serialize):
+;   +0 left  +4 right  +8 hop  +12 key  +16 mask
+
+        .equ IP_VER_IHL, 0
+        .equ IP_FRAG,    6
+        .equ IP_TTL,     8
+        .equ IP_PROTO,   9
+        .equ IP_CSUM,    10
+        .equ IP_SRC,     12
+        .equ IP_DST,     16
+
+        .data
+radix_root:                     ; root node address, set by the loader
+        .word 0
+keybuf:                         ; BSD-style lookup key copy
+        .space 4
+bmask:                          ; rn_bmask: bit masks within a key byte
+        .byte 0x80, 0x40, 0x20, 0x10, 0x08, 0x04, 0x02, 0x01
+
+frag_count:                     ; fragments seen (slow-path accounting)
+        .word 0
+icmp_buf:                       ; ICMP time-exceeded scratch area
+        .space 20
+
+        .text
+        .global process_packet
+
+process_packet:
+        ; ---- RFC 1812 section 5.2.2 sanity checks -------------------
+        addi t0, zero, 20
+        blt  a1, t0, drop          ; shorter than a minimal header
+        lbu  t1, IP_VER_IHL(a0)
+        srli t2, t1, 4
+        addi t3, zero, 4
+        bne  t2, t3, drop          ; not IPv4
+        andi s3, t1, 0xF
+        addi t3, zero, 5
+        blt  s3, t3, drop          ; IHL below 5 words
+        slli s3, s3, 2             ; s3 = header length in bytes
+        blt  a1, s3, drop          ; header truncated
+
+        ; ---- verify the header checksum (RFC 1071) ------------------
+        li   s2, 0xFFFF
+        mv   t0, zero              ; sum
+        mv   t1, zero              ; byte offset
+csum_loop:
+        add  t2, a0, t1
+        lbu  t3, 0(t2)
+        lbu  t4, 1(t2)
+        slli t3, t3, 8
+        or   t3, t3, t4
+        add  t0, t0, t3
+        addi t1, t1, 2
+        blt  t1, s3, csum_loop
+csum_fold:
+        srli t2, t0, 16
+        beqz t2, csum_done
+        and  t0, t0, s2
+        add  t0, t0, t2
+        j    csum_fold
+csum_done:
+        bne  t0, s2, drop          ; ones'-complement sum must be 0xFFFF
+
+
+        ; ---- IP options processing (rare path) ----------------------
+        addi t0, zero, 20
+        beq  s3, t0, no_opts
+        addi t1, a0, 20            ; option cursor
+        add  t2, a0, s3            ; header end
+opt_loop:
+        bgeu t1, t2, no_opts
+        lbu  t3, 0(t1)
+        beqz t3, no_opts           ; end of option list
+        addi t4, zero, 1
+        beq  t3, t4, opt_nop       ; NOP: single byte
+        lbu  t4, 1(t1)             ; other options carry a length
+        beqz t4, drop              ; malformed option
+        add  t1, t1, t4
+        j    opt_loop
+opt_nop:
+        addi t1, t1, 1
+        j    opt_loop
+no_opts:
+
+        ; ---- source address validation (RFC 1812 5.3.7) --------------
+        lbu  t0, IP_SRC(a0)
+        beqz t0, drop              ; 0.0.0.0/8 is never a valid source
+        addi t1, zero, 127
+        beq  t0, t1, drop          ; loopback
+        addi t1, zero, 224
+        bge  t0, t1, drop          ; multicast/reserved source
+
+        ; ---- TTL check; expired packets go to the slow path ----------
+        lbu  s1, IP_TTL(a0)
+        addi t0, zero, 1
+        bgt  s1, t0, ttl_ok
+        ; Build an ICMP time-exceeded stub (type 11) with the offending
+        ; header attached, for the control processor to complete.
+        la   t1, icmp_buf
+        addi t2, zero, 11
+        sb   t2, 0(t1)             ; type
+        sb   zero, 1(t1)           ; code
+        sh   zero, 2(t1)           ; checksum (slow path fills it)
+        lw   t2, 0(a0)
+        sw   t2, 8(t1)             ; copy of the original header
+        lw   t2, 4(a0)
+        sw   t2, 12(t1)
+        lw   t2, 8(a0)
+        sw   t2, 16(t1)
+        j    drop
+
+        ; ---- fragment accounting (rare path) --------------------------
+ttl_ok:
+        lbu  t0, IP_FRAG(a0)
+        lbu  t1, IP_FRAG+1(a0)
+        andi t0, t0, 0x3F          ; more-fragments flag + offset high bits
+        or   t0, t0, t1
+        beqz t0, not_frag
+        la   t1, frag_count
+        lw   t2, 0(t1)
+        addi t2, t2, 1
+        sw   t2, 0(t1)
+not_frag:
+
+        ; ---- destination address (network byte order) ----------------
+        lbu  t0, IP_DST(a0)
+        lbu  t1, IP_DST+1(a0)
+        lbu  t2, IP_DST+2(a0)
+        lbu  t3, IP_DST+3(a0)
+        slli t0, t0, 24
+        slli t1, t1, 16
+        slli t2, t2, 8
+        or   t0, t0, t1
+        or   t2, t2, t3
+        or   s0, t0, t2            ; s0 = dst
+
+        ; ---- copy the lookup key, BSD rn_match style -----------------
+        la   s3, keybuf
+        srli t0, s0, 24
+        sb   t0, 0(s3)
+        srli t0, s0, 16
+        sb   t0, 1(s3)
+        srli t0, s0, 8
+        sb   t0, 2(s3)
+        sb   s0, 3(s3)
+        la   a1, bmask             ; packet length no longer needed
+
+        ; ---- descend the radix tree, pushing the path ---------------
+        ; Per level, BSD rn_search style: load the node's stored bit
+        ; index (rn_off), verify the node's key under its mask, test the
+        ; key-buffer byte against the rn_bmask entry, and follow the
+        ; child pointer.
+        la   t0, radix_root
+        lw   t0, 0(t0)
+        beqz t0, drop
+        mv   t2, sp                ; t2 = path stack marker
+        addi t3, zero, 32
+descend:
+        addi sp, sp, -4
+        sw   t0, 0(sp)             ; push this node on the path
+        lw   t1, 20(t0)            ; rn_off: bit index to test here
+        beq  t1, t3, ascend        ; all 32 bits consumed
+        lw   a2, 16(t0)            ; node mask
+        lw   a3, 12(t0)            ; node key
+        and  a2, a2, s0
+        bne  a2, a3, ascend        ; key mismatch (defensive check)
+        srli a2, t1, 3
+        add  a2, a2, s3
+        lbu  a2, 0(a2)             ; key byte
+        andi a3, t1, 7
+        add  a3, a3, a1
+        lbu  a3, 0(a3)             ; rn_bmask bit
+        and  a2, a2, a3
+        snez a2, a2                ; tested bit as 0/1
+        slli a2, a2, 2
+        add  a2, t0, a2
+        lw   t4, 0(a2)             ; child pointer
+        beqz t4, ascend
+        mv   t0, t4
+        j    descend
+
+        ; ---- backtrack to the longest prefix on the path ------------
+ascend:
+        beq  sp, t2, no_route      ; path exhausted
+        lw   t0, 0(sp)
+        addi sp, sp, 4
+        lw   t4, 8(t0)             ; next hop stored at this node
+        beqz t4, ascend
+        lw   a2, 16(t0)            ; mask
+        lw   a3, 12(t0)            ; key
+        and  a2, a2, s0
+        bne  a2, a3, ascend        ; BSD key/mask verification
+        mv   sp, t2                ; unwind the rest of the path
+
+        ; ---- forward: decrement TTL, RFC 1624 incremental checksum --
+        lbu  t0, IP_CSUM(a0)
+        lbu  t1, IP_CSUM+1(a0)
+        slli t0, t0, 8
+        or   t0, t0, t1            ; t0 = HC (old checksum)
+        slli t1, s1, 8             ; m  = old TTL word (protocol cancels)
+        addi t2, s1, -1
+        andi t2, t2, 0xFF
+        sb   t2, IP_TTL(a0)        ; write decremented TTL
+        slli t2, t2, 8             ; m' = new TTL word
+        xor  t0, t0, s2            ; ~HC (16 bits)
+        xor  t1, t1, s2            ; ~m  (16 bits)
+        add  t0, t0, t1
+        add  t0, t0, t2
+fold2:
+        srli t1, t0, 16
+        beqz t1, fold2_done
+        and  t0, t0, s2
+        add  t0, t0, t1
+        j    fold2
+fold2_done:
+        xor  t0, t0, s2            ; HC' = ~sum
+        srli t1, t0, 8
+        sb   t1, IP_CSUM(a0)
+        sb   t0, IP_CSUM+1(a0)
+
+        mv   a0, t4                ; verdict: output port
+        ret
+
+no_route:
+        mv   sp, t2                ; restore the stack
+drop:
+        mv   a0, zero
+        ret

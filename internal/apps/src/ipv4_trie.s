@@ -1,0 +1,217 @@
+; IPv4-trie: RFC 1812 packet forwarding with a level/path-compressed
+; LC-trie (Nilsson-Karlsson), the paper's storage- and lookup-efficient
+; forwarding implementation.
+;
+; ABI: a0 = packet (layer-3 header), a1 = length.
+; Returns a0 = output port (>= 1) or 0 to drop.
+;
+; Node word (see route.LCTrie.Serialize):
+;   branch = node >> 27, skip = node >> 22 & 0x1F, adr = node & 0x3FFFFF
+; Entry layout: +0 prefix  +4 mask  +8 hop  +12 chain (absolute, 0 = end)
+
+        .equ IP_VER_IHL, 0
+        .equ IP_FRAG,    6
+        .equ IP_TTL,     8
+        .equ IP_CSUM,    10
+        .equ IP_SRC,     12
+        .equ IP_DST,     16
+
+        .data
+trie_nodes:                     ; node vector base, set by the loader
+        .word 0
+trie_entries:                   ; entry vector base, set by the loader
+        .word 0
+
+frag_count:                     ; fragments seen (slow-path accounting)
+        .word 0
+icmp_buf:                       ; ICMP time-exceeded scratch area
+        .space 20
+
+        .text
+        .global process_packet
+
+process_packet:
+        ; ---- RFC 1812 sanity checks (same steps as IPv4-radix) ------
+        addi t0, zero, 20
+        blt  a1, t0, drop
+        lbu  t1, IP_VER_IHL(a0)
+        srli t2, t1, 4
+        addi t3, zero, 4
+        bne  t2, t3, drop
+        andi s3, t1, 0xF
+        addi t3, zero, 5
+        blt  s3, t3, drop
+        slli s3, s3, 2
+        blt  a1, s3, drop
+
+        ; ---- verify header checksum ----------------------------------
+        li   s2, 0xFFFF
+        mv   t0, zero
+        mv   t1, zero
+csum_loop:
+        add  t2, a0, t1
+        lbu  t3, 0(t2)
+        lbu  t4, 1(t2)
+        slli t3, t3, 8
+        or   t3, t3, t4
+        add  t0, t0, t3
+        addi t1, t1, 2
+        blt  t1, s3, csum_loop
+csum_fold:
+        srli t2, t0, 16
+        beqz t2, csum_done
+        and  t0, t0, s2
+        add  t0, t0, t2
+        j    csum_fold
+csum_done:
+        bne  t0, s2, drop
+
+
+        ; ---- IP options processing (rare path) ----------------------
+        addi t0, zero, 20
+        beq  s3, t0, no_opts
+        addi t1, a0, 20            ; option cursor
+        add  t2, a0, s3            ; header end
+opt_loop:
+        bgeu t1, t2, no_opts
+        lbu  t3, 0(t1)
+        beqz t3, no_opts           ; end of option list
+        addi t4, zero, 1
+        beq  t3, t4, opt_nop       ; NOP: single byte
+        lbu  t4, 1(t1)             ; other options carry a length
+        beqz t4, drop              ; malformed option
+        add  t1, t1, t4
+        j    opt_loop
+opt_nop:
+        addi t1, t1, 1
+        j    opt_loop
+no_opts:
+
+        ; ---- source address validation (RFC 1812 5.3.7) --------------
+        lbu  t0, IP_SRC(a0)
+        beqz t0, drop              ; 0.0.0.0/8 is never a valid source
+        addi t1, zero, 127
+        beq  t0, t1, drop          ; loopback
+        addi t1, zero, 224
+        bge  t0, t1, drop          ; multicast/reserved source
+
+        ; ---- TTL check; expired packets go to the slow path ----------
+        lbu  s1, IP_TTL(a0)
+        addi t0, zero, 1
+        bgt  s1, t0, ttl_ok
+        ; Build an ICMP time-exceeded stub (type 11) with the offending
+        ; header attached, for the control processor to complete.
+        la   t1, icmp_buf
+        addi t2, zero, 11
+        sb   t2, 0(t1)             ; type
+        sb   zero, 1(t1)           ; code
+        sh   zero, 2(t1)           ; checksum (slow path fills it)
+        lw   t2, 0(a0)
+        sw   t2, 8(t1)             ; copy of the original header
+        lw   t2, 4(a0)
+        sw   t2, 12(t1)
+        lw   t2, 8(a0)
+        sw   t2, 16(t1)
+        j    drop
+
+        ; ---- fragment accounting (rare path) --------------------------
+ttl_ok:
+        lbu  t0, IP_FRAG(a0)
+        lbu  t1, IP_FRAG+1(a0)
+        andi t0, t0, 0x3F          ; more-fragments flag + offset high bits
+        or   t0, t0, t1
+        beqz t0, not_frag
+        la   t1, frag_count
+        lw   t2, 0(t1)
+        addi t2, t2, 1
+        sw   t2, 0(t1)
+not_frag:
+
+        ; ---- destination address --------------------------------------
+        lbu  t0, IP_DST(a0)
+        lbu  t1, IP_DST+1(a0)
+        lbu  t2, IP_DST+2(a0)
+        lbu  t3, IP_DST+3(a0)
+        slli t0, t0, 24
+        slli t1, t1, 16
+        slli t2, t2, 8
+        or   t0, t0, t1
+        or   t2, t2, t3
+        or   s0, t0, t2            ; s0 = dst
+
+        ; ---- LC-trie walk ---------------------------------------------
+        la   t0, trie_nodes
+        lw   a2, 0(t0)             ; a2 = node vector base
+        la   t0, trie_entries
+        lw   a3, 0(t0)             ; a3 = entry vector base
+        beqz a2, drop              ; empty table
+        li   s3, 0x3FFFFF          ; adr field mask (hdrlen no longer needed)
+        lw   t0, 0(a2)             ; root node word
+        mv   t1, zero              ; t1 = bit position
+walk:
+        srli t2, t0, 27            ; branch
+        beqz t2, leaf
+        srli t3, t0, 22
+        andi t3, t3, 0x1F          ; skip
+        add  t1, t1, t3
+        sll  t3, s0, t1            ; align remaining bits to the top
+        addi t4, zero, 32
+        sub  t4, t4, t2
+        srl  t3, t3, t4            ; k = next `branch` bits of dst
+        add  t1, t1, t2
+        and  t0, t0, s3            ; adr = first-child index
+        add  t0, t0, t3
+        slli t0, t0, 2
+        add  t0, t0, a2
+        lw   t0, 0(t0)             ; child node word
+        j    walk
+
+leaf:
+        and  t0, t0, s3            ; entry index
+        slli t0, t0, 4             ; * 16 bytes per entry
+        add  t0, t0, a3            ; entry address
+chain:
+        lw   t2, 0(t0)             ; prefix
+        lw   t3, 4(t0)             ; mask
+        xor  t2, t2, s0
+        and  t2, t2, t3
+        beqz t2, found             ; prefix matches dst
+        lw   t0, 12(t0)            ; follow chain of shorter prefixes
+        bnez t0, chain
+        j    drop
+
+found:
+        lw   t4, 8(t0)             ; next hop
+
+        ; ---- forward: decrement TTL, RFC 1624 incremental checksum --
+        lbu  t0, IP_CSUM(a0)
+        lbu  t1, IP_CSUM+1(a0)
+        slli t0, t0, 8
+        or   t0, t0, t1
+        slli t1, s1, 8
+        addi t2, s1, -1
+        andi t2, t2, 0xFF
+        sb   t2, IP_TTL(a0)
+        slli t2, t2, 8
+        xor  t0, t0, s2
+        xor  t1, t1, s2
+        add  t0, t0, t1
+        add  t0, t0, t2
+fold2:
+        srli t1, t0, 16
+        beqz t1, fold2_done
+        and  t0, t0, s2
+        add  t0, t0, t1
+        j    fold2
+fold2_done:
+        xor  t0, t0, s2
+        srli t1, t0, 8
+        sb   t1, IP_CSUM(a0)
+        sb   t0, IP_CSUM+1(a0)
+
+        mv   a0, t4
+        ret
+
+drop:
+        mv   a0, zero
+        ret

@@ -1,0 +1,63 @@
+; Payload Scan: a payload-processing application (PPA in the paper's
+; CommBench taxonomy). The paper's evaluation focuses on header
+; processing but notes "PacketBench can be used to analyze both types of
+; applications"; this app is the payload-side counterpart: scan the
+; entire packet payload for a 4-byte signature, the inner loop of
+; content filtering and intrusion detection.
+;
+; Unlike the header applications, its cost scales with packet size and
+; its memory accesses are overwhelmingly to packet memory.
+;
+; ABI: a0 = packet (layer-3 header), a1 = length.
+; Returns a0 = number of signature matches in the payload.
+
+        .equ IP_VER_IHL, 0
+
+        .data
+scan_sig:                       ; the 4 signature bytes, set by the loader
+        .byte 0, 0, 0, 0
+scan_hits:                      ; cumulative matches across all packets
+        .word 0
+
+        .text
+        .global process_packet
+
+process_packet:
+        ; payload starts after the IP header
+        lbu  t0, IP_VER_IHL(a0)
+        andi t0, t0, 0xF
+        slli t0, t0, 2
+        add  t1, a0, t0            ; t1 = scan cursor
+        add  t2, a0, a1
+        addi t2, t2, -3            ; t2 = last possible match start
+
+        ; load the signature into registers
+        la   t0, scan_sig
+        lbu  s0, 0(t0)
+        lbu  s1, 1(t0)
+        lbu  s2, 2(t0)
+        lbu  s3, 3(t0)
+
+        mv   t4, zero              ; t4 = match count
+scan:
+        bgeu t1, t2, done
+        lbu  a2, 0(t1)
+        bne  a2, s0, next
+        lbu  a2, 1(t1)
+        bne  a2, s1, next
+        lbu  a2, 2(t1)
+        bne  a2, s2, next
+        lbu  a2, 3(t1)
+        bne  a2, s3, next
+        addi t4, t4, 1             ; full signature match
+next:
+        addi t1, t1, 1
+        j    scan
+
+done:
+        la   t0, scan_hits
+        lw   t1, 0(t0)
+        add  t1, t1, t4
+        sw   t1, 0(t0)
+        mv   a0, t4
+        ret

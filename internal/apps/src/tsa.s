@@ -1,0 +1,122 @@
+; TSA: top-hashed subtree-replicated prefix-preserving IP address
+; anonymization, the paper's fourth application. Both the source and
+; destination addresses are anonymized in place, and the layer 3/4
+; headers are collected into application memory, matching the paper's
+; description ("in addition to anonymizing the IP addresses, layer 3 and
+; layer 4 headers are collected for each packet").
+;
+; ABI: a0 = packet (layer-3 header), a1 = length.
+; Returns a0 = 1.
+;
+; Tables (see anon.TSA.SerializeTables):
+;   top table: 2^16 little-endian uint16 entries, index = addr >> 16
+;   subtree table: 16 rows of 256 flip bytes; row i, column = low 8 bits
+;   of the original prefix of the suffix processed so far
+
+        .equ IP_SRC, 12
+        .equ IP_DST, 16
+
+        .data
+tsa_top:                        ; top table base, set by the loader
+        .word 0
+tsa_sub:                        ; replicated subtree base, set by the loader
+        .word 0
+collect:                        ; header collection area (L3 + L4 headers)
+        .space 40
+
+        .text
+        .global process_packet
+
+process_packet:
+        addi sp, sp, -4
+        sw   ra, 0(sp)             ; save the framework return address
+        la   s2, tsa_top
+        lw   s2, 0(s2)             ; s2 = top table
+        la   s3, tsa_sub
+        lw   s3, 0(s3)             ; s3 = subtree table
+        li   s1, 16*256            ; loop bound for the row counter
+
+        addi a2, a0, IP_SRC        ; anonymize the source address
+        call anon_addr
+        addi a2, a0, IP_DST        ; anonymize the destination address
+        call anon_addr
+
+        ; ---- collect the layer 3 and layer 4 headers ------------------
+        la   t0, collect
+        lw   t1, 0(a0)
+        sw   t1, 0(t0)
+        lw   t1, 4(a0)
+        sw   t1, 4(t0)
+        lw   t1, 8(a0)
+        sw   t1, 8(t0)
+        lw   t1, 12(a0)
+        sw   t1, 12(t0)
+        lw   t1, 16(a0)
+        sw   t1, 16(t0)
+        lw   t1, 20(a0)            ; first 16 bytes past the base header
+        sw   t1, 20(t0)
+        lw   t1, 24(a0)
+        sw   t1, 24(t0)
+        lw   t1, 28(a0)
+        sw   t1, 28(t0)
+        lw   t1, 32(a0)
+        sw   t1, 32(t0)
+
+        lw   ra, 0(sp)
+        addi sp, sp, 4
+        addi a0, zero, 1
+        ret
+
+; anon_addr(a2 = pointer to a 4-byte address in network byte order)
+; anonymizes the address in place. Uses s1 (row bound), s2 (top table),
+; s3 (subtree table); clobbers t0-t4.
+anon_addr:
+        addi sp, sp, -4
+        sw   a2, 0(sp)
+        lbu  t0, 0(a2)
+        lbu  t1, 1(a2)
+        lbu  t2, 2(a2)
+        lbu  t3, 3(a2)
+        slli t0, t0, 24
+        slli t1, t1, 16
+        slli t2, t2, 8
+        or   t0, t0, t1
+        or   t2, t2, t3
+        or   t0, t0, t2            ; t0 = address
+
+        ; top half: one prefix-preserving table lookup
+        srli t1, t0, 16
+        slli t1, t1, 1
+        add  t1, t1, s2
+        lhu  t3, 0(t1)             ; t3 = anonymized top; suffix shifts in below
+
+        ; bottom half: replicated-subtree walk, one flip bit per level
+        slli t2, t0, 16            ; t2 = suffix aligned to the top bit
+        mv   a2, zero              ; a2 = original-prefix accumulator
+        mv   t4, zero              ; t4 = row offset (i << 8)
+sub_loop:
+        srli t0, t2, 31            ; next original bit
+        slli t2, t2, 1
+        andi t1, a2, 0xFF          ; truncated original prefix
+        or   t1, t1, t4
+        add  t1, t1, s3
+        lbu  t1, 0(t1)             ; flip bit for this tree level
+        slli a2, a2, 1
+        or   a2, a2, t0            ; extend the original prefix
+        xor  t0, t0, t1            ; anonymized bit
+        slli t3, t3, 1
+        or   t3, t3, t0            ; append to the output
+        addi t4, t4, 256
+        blt  t4, s1, sub_loop
+
+        ; write the anonymized address back in network byte order
+        lw   a2, 0(sp)
+        addi sp, sp, 4
+        srli t0, t3, 24
+        sb   t0, 0(a2)
+        srli t0, t3, 16
+        sb   t0, 1(a2)
+        srli t0, t3, 8
+        sb   t0, 2(a2)
+        sb   t3, 3(a2)
+        ret

@@ -1,0 +1,870 @@
+// Package asm implements a two-pass assembler for the PB32 instruction set.
+//
+// PacketBench applications are written in PB32 assembly (see internal/apps)
+// and assembled into a Program: an encoded text segment, an initialized data
+// segment, and a symbol table. The assembler supports the usual conveniences
+// of a small embedded toolchain: labels, constant expressions, data
+// directives, and a set of pseudo-instructions with fixed expansions so that
+// instruction addresses are known after the first pass.
+//
+// # Source syntax
+//
+// One statement per line. Comments start with ';', '#' or "//" and run to
+// the end of the line. A statement is an optional "label:" prefix followed
+// by a directive or an instruction:
+//
+//	; compute a 5-tuple hash
+//	.equ  BUCKETS, 1024
+//	.text
+//	.global process_packet
+//	process_packet:
+//	        lw    t0, 12(a0)        ; source address
+//	        li    t1, BUCKETS-1
+//	        and   t0, t0, t1
+//	        beqz  t0, miss
+//	        ret
+//	miss:   halt
+//
+//	.data
+//	table:  .word 0, 1, 2, 3
+//	buf:    .space 64
+//
+// # Directives
+//
+//	.text            switch to the text segment
+//	.data            switch to the data segment
+//	.global NAME     mark NAME as an entry point (exported symbol)
+//	.equ NAME, expr  define an assembly-time constant
+//	.word e, ...     emit 32-bit little-endian values (data segment)
+//	.half e, ...     emit 16-bit values
+//	.byte e, ...     emit 8-bit values
+//	.space n         emit n zero bytes
+//	.align n         pad with zeros to an n-byte boundary
+//	.ascii "s"       emit the bytes of s
+//	.asciz "s"       emit the bytes of s plus a NUL
+//
+// # Pseudo-instructions
+//
+// Every pseudo-instruction has a fixed expansion size, so label addresses
+// are exact after pass one:
+//
+//	nop                  addi zero, zero, 0
+//	mv   rd, rs          addi rd, rs, 0
+//	neg  rd, rs          sub  rd, zero, rs
+//	li   rd, expr        lui+ori (always 2 instructions)
+//	la   rd, label       lui+ori (always 2 instructions)
+//	j    label           jal  zero, label
+//	jr   rs              jalr zero, 0(rs)
+//	call label           jal  ra, label
+//	ret                  jalr zero, 0(ra)
+//	beqz/bnez rs, label  beq/bne rs, zero, label
+//	bltz/bgez rs, label  blt/bge rs, zero, label
+//	bgtz/blez rs, label  blt/bge zero, rs, label
+//	bgt/ble/bgtu/bleu rs, rt, label   swapped blt/bge/bltu/bgeu
+//	seqz rd, rs          sltiu rd, rs, 1
+//	snez rd, rs          sltu rd, zero, rs
+//
+// # Expressions
+//
+// Operands that accept constants take full expressions over integer
+// literals (decimal, 0x hex, 0b binary, 'c' character), .equ constants and
+// labels, with C-like operator precedence: * / %  then  + -  then  << >>
+// then  &  then  ^  then  |, plus unary - and ~ and parentheses.
+package asm
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"repro/internal/isa"
+)
+
+// DefaultTextBase is the address at which the text segment is placed unless
+// overridden in Options. The value leaves page zero unmapped so that nil
+// pointer dereferences in application code fault.
+const DefaultTextBase = 0x00010000
+
+// DefaultDataBase is the default placement of the data segment.
+const DefaultDataBase = 0x10000000
+
+// Options configures an assembly run.
+type Options struct {
+	// TextBase and DataBase set the load addresses of the two segments.
+	// Zero values select DefaultTextBase and DefaultDataBase.
+	TextBase uint32
+	DataBase uint32
+}
+
+// Program is the output of the assembler: a loadable PB32 image.
+type Program struct {
+	TextBase uint32            // load address of the text segment
+	Text     []isa.Instruction // decoded instructions, Text[i] at TextBase+4i
+	Words    []uint32          // encoded machine words, parallel to Text
+
+	DataBase uint32 // load address of the data segment
+	Data     []byte // initialized data
+
+	// Symbols maps every label to its absolute address. Constants defined
+	// with .equ are not included.
+	Symbols map[string]uint32
+	// Globals lists the symbols declared with .global, in order.
+	Globals []string
+	// SourceLines[i] is the 1-based source line that produced Text[i];
+	// pseudo-instruction expansions share their source line.
+	SourceLines []int
+}
+
+// TextEnd returns the first address past the text segment.
+func (p *Program) TextEnd() uint32 {
+	return p.TextBase + uint32(len(p.Text))*isa.WordSize
+}
+
+// DataEnd returns the first address past the initialized data segment.
+func (p *Program) DataEnd() uint32 {
+	return p.DataBase + uint32(len(p.Data))
+}
+
+// Symbol returns the address of a label, reporting whether it exists.
+func (p *Program) Symbol(name string) (uint32, bool) {
+	addr, ok := p.Symbols[name]
+	return addr, ok
+}
+
+// InstrAt returns the instruction at the given text address.
+func (p *Program) InstrAt(addr uint32) (isa.Instruction, bool) {
+	if addr < p.TextBase || addr >= p.TextEnd() || addr%isa.WordSize != 0 {
+		return isa.Instruction{}, false
+	}
+	return p.Text[(addr-p.TextBase)/isa.WordSize], true
+}
+
+// Listing renders a human-readable disassembly of the text segment with
+// addresses, encoded words and label annotations.
+func (p *Program) Listing() string {
+	// Invert the symbol table for annotation.
+	labels := make(map[uint32][]string)
+	for name, addr := range p.Symbols {
+		labels[addr] = append(labels[addr], name)
+	}
+	var b strings.Builder
+	for i, in := range p.Text {
+		addr := p.TextBase + uint32(i)*isa.WordSize
+		for _, l := range labels[addr] {
+			fmt.Fprintf(&b, "%s:\n", l)
+		}
+		fmt.Fprintf(&b, "  %08x:  %08x  %s\n", addr, p.Words[i], isa.Disassemble(addr, in))
+	}
+	return b.String()
+}
+
+// Error describes an assembly failure at a source line.
+type Error struct {
+	Line int    // 1-based source line
+	Msg  string // description
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("asm: line %d: %s", e.Line, e.Msg) }
+
+// Assemble assembles PB32 source into a loadable Program. All errors found
+// are reported, joined with errors.Join.
+func Assemble(src string, opts Options) (*Program, error) {
+	if opts.TextBase == 0 {
+		opts.TextBase = DefaultTextBase
+	}
+	if opts.DataBase == 0 {
+		opts.DataBase = DefaultDataBase
+	}
+	if opts.TextBase%isa.WordSize != 0 {
+		return nil, fmt.Errorf("asm: text base %#x is not word aligned", opts.TextBase)
+	}
+	a := &assembler{
+		opts: opts,
+		prog: &Program{
+			TextBase: opts.TextBase,
+			DataBase: opts.DataBase,
+			Symbols:  make(map[string]uint32),
+		},
+		consts: make(map[string]int64),
+	}
+	a.run(src)
+	if len(a.errs) > 0 {
+		return nil, errors.Join(a.errs...)
+	}
+	return a.prog, nil
+}
+
+// statement is one parsed source statement retained between passes.
+type statement struct {
+	line     int      // 1-based source line
+	label    string   // label defined on this line, if any
+	mnemonic string   // directive (leading '.') or instruction mnemonic
+	operands []string // raw operand strings, comma split
+}
+
+type segKind int
+
+const (
+	segText segKind = iota
+	segData
+)
+
+type assembler struct {
+	opts   Options
+	prog   *Program
+	consts map[string]int64 // .equ constants
+	errs   []error
+}
+
+func (a *assembler) errorf(line int, format string, args ...any) {
+	a.errs = append(a.errs, &Error{Line: line, Msg: fmt.Sprintf(format, args...)})
+}
+
+func (a *assembler) run(src string) {
+	stmts := a.parseLines(src)
+	if len(a.errs) > 0 {
+		return
+	}
+	a.passOne(stmts)
+	if len(a.errs) > 0 {
+		return
+	}
+	a.passTwo(stmts)
+}
+
+// parseLines splits the source into statements, handling comments and
+// labels. Operand text is kept raw for the later passes.
+func (a *assembler) parseLines(src string) []statement {
+	var stmts []statement
+	for lineNo, raw := range strings.Split(src, "\n") {
+		line := stripComment(raw)
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		st := statement{line: lineNo + 1}
+		// Labels: "name:" possibly followed by a statement. A colon inside
+		// a string literal (.ascii) must not be mistaken for a label, so
+		// only accept label characters before the colon.
+		if i := strings.IndexByte(line, ':'); i >= 0 && isIdent(line[:i]) {
+			st.label = line[:i]
+			line = strings.TrimSpace(line[i+1:])
+		}
+		if line != "" {
+			fields := strings.SplitN(strings.ReplaceAll(line, "\t", " "), " ", 2)
+			st.mnemonic = strings.ToLower(strings.TrimSpace(fields[0]))
+			if len(fields) > 1 {
+				st.operands = splitOperands(fields[1])
+			}
+		}
+		if st.label == "" && st.mnemonic == "" {
+			continue
+		}
+		stmts = append(stmts, st)
+	}
+	return stmts
+}
+
+// stripComment removes ';', '#' and "//" comments, respecting string
+// literals in .ascii directives and character literals in expressions
+// (so `addi a0, zero, '#'` keeps its operand).
+func stripComment(s string) string {
+	inStr := false
+	inChar := false
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case inChar:
+			if c == '\\' {
+				i++
+			} else if c == '\'' {
+				inChar = false
+			}
+		case c == '"':
+			inStr = !inStr
+		case inStr && c == '\\':
+			i++ // skip escaped char
+		case !inStr && c == '\'':
+			inChar = true
+		case !inStr && (c == ';' || c == '#'):
+			return s[:i]
+		case !inStr && c == '/' && i+1 < len(s) && s[i+1] == '/':
+			return s[:i]
+		}
+	}
+	return s
+}
+
+// splitOperands splits on commas at paren/quote depth zero and trims each
+// piece.
+func splitOperands(s string) []string {
+	var out []string
+	depth := 0
+	inStr := false
+	start := 0
+	for i := 0; i < len(s); i++ {
+		switch c := s[i]; {
+		case c == '"':
+			inStr = !inStr
+		case inStr && c == '\\':
+			i++
+		case inStr:
+		case c == '(':
+			depth++
+		case c == ')':
+			depth--
+		case c == ',' && depth == 0:
+			out = append(out, strings.TrimSpace(s[start:i]))
+			start = i + 1
+		}
+	}
+	if tail := strings.TrimSpace(s[start:]); tail != "" || len(out) > 0 {
+		out = append(out, tail)
+	}
+	return out
+}
+
+func isIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == '.':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// instrSize returns the number of machine instructions a mnemonic expands
+// to, or -1 if the mnemonic is unknown.
+func instrSize(mnemonic string) int {
+	if _, ok := isa.ParseOpcode(mnemonic); ok {
+		return 1
+	}
+	switch mnemonic {
+	case "nop", "mv", "neg", "j", "jr", "call", "ret",
+		"beqz", "bnez", "bltz", "bgez", "bgtz", "blez",
+		"bgt", "ble", "bgtu", "bleu", "seqz", "snez":
+		return 1
+	case "li", "la":
+		return 2
+	}
+	return -1
+}
+
+// passOne sizes every statement and assigns addresses to labels and .equ
+// constants that do not depend on forward label references.
+func (a *assembler) passOne(stmts []statement) {
+	seg := segText
+	textOff := uint32(0) // byte offset within text
+	dataOff := uint32(0)
+	defineLabel := func(st statement) {
+		if st.label == "" {
+			return
+		}
+		if _, dup := a.prog.Symbols[st.label]; dup {
+			a.errorf(st.line, "duplicate label %q", st.label)
+			return
+		}
+		if _, dup := a.consts[st.label]; dup {
+			a.errorf(st.line, "label %q collides with .equ constant", st.label)
+			return
+		}
+		if seg == segText {
+			a.prog.Symbols[st.label] = a.opts.TextBase + textOff
+		} else {
+			a.prog.Symbols[st.label] = a.opts.DataBase + dataOff
+		}
+	}
+	for _, st := range stmts {
+		if strings.HasPrefix(st.mnemonic, ".") {
+			switch st.mnemonic {
+			case ".text":
+				seg = segText
+				defineLabel(st)
+			case ".data":
+				seg = segData
+				defineLabel(st)
+			case ".global", ".globl":
+				defineLabel(st)
+				if len(st.operands) != 1 || !isIdent(st.operands[0]) {
+					a.errorf(st.line, ".global requires one symbol name")
+					continue
+				}
+				a.prog.Globals = append(a.prog.Globals, st.operands[0])
+			case ".equ", ".set":
+				defineLabel(st)
+				if len(st.operands) != 2 || !isIdent(st.operands[0]) {
+					a.errorf(st.line, ".equ requires a name and a value")
+					continue
+				}
+				name := st.operands[0]
+				if _, dup := a.consts[name]; dup {
+					a.errorf(st.line, "duplicate constant %q", name)
+					continue
+				}
+				if _, dup := a.prog.Symbols[name]; dup {
+					a.errorf(st.line, "constant %q collides with a label", name)
+					continue
+				}
+				// .equ values may reference earlier constants only; labels
+				// are not yet final so they are rejected here.
+				v, err := a.eval(st.operands[1], nil)
+				if err != nil {
+					a.errorf(st.line, ".equ %s: %v", name, err)
+					continue
+				}
+				a.consts[name] = v
+			case ".word", ".half", ".byte", ".space", ".align", ".ascii", ".asciz":
+				if seg != segData {
+					a.errorf(st.line, "%s only allowed in the data segment", st.mnemonic)
+					continue
+				}
+				defineLabel(st)
+				n, err := a.dataSize(st, dataOff)
+				if err != nil {
+					a.errorf(st.line, "%v", err)
+					continue
+				}
+				dataOff += n
+			default:
+				a.errorf(st.line, "unknown directive %q", st.mnemonic)
+			}
+			continue
+		}
+		defineLabel(st)
+		if st.mnemonic == "" {
+			continue
+		}
+		if seg != segText {
+			a.errorf(st.line, "instruction %q in data segment", st.mnemonic)
+			continue
+		}
+		n := instrSize(st.mnemonic)
+		if n < 0 {
+			a.errorf(st.line, "unknown instruction %q", st.mnemonic)
+			continue
+		}
+		textOff += uint32(n) * isa.WordSize
+	}
+}
+
+// dataSize computes the size in bytes of a data directive. Expression
+// values are not needed for sizing except for .space and .align.
+func (a *assembler) dataSize(st statement, off uint32) (uint32, error) {
+	switch st.mnemonic {
+	case ".word":
+		return 4 * uint32(len(st.operands)), nil
+	case ".half":
+		return 2 * uint32(len(st.operands)), nil
+	case ".byte":
+		return uint32(len(st.operands)), nil
+	case ".space":
+		if len(st.operands) != 1 {
+			return 0, fmt.Errorf(".space requires one operand")
+		}
+		v, err := a.eval(st.operands[0], nil)
+		if err != nil {
+			return 0, err
+		}
+		if v < 0 || v > 1<<28 {
+			return 0, fmt.Errorf(".space size %d out of range", v)
+		}
+		return uint32(v), nil
+	case ".align":
+		if len(st.operands) != 1 {
+			return 0, fmt.Errorf(".align requires one operand")
+		}
+		v, err := a.eval(st.operands[0], nil)
+		if err != nil {
+			return 0, err
+		}
+		if v <= 0 || v&(v-1) != 0 {
+			return 0, fmt.Errorf(".align argument %d must be a positive power of two", v)
+		}
+		aligned := (off + uint32(v) - 1) &^ (uint32(v) - 1)
+		return aligned - off, nil
+	case ".ascii", ".asciz":
+		if len(st.operands) != 1 {
+			return 0, fmt.Errorf("%s requires one string operand", st.mnemonic)
+		}
+		s, err := parseString(st.operands[0])
+		if err != nil {
+			return 0, err
+		}
+		n := uint32(len(s))
+		if st.mnemonic == ".asciz" {
+			n++
+		}
+		return n, nil
+	}
+	return 0, fmt.Errorf("internal: not a data directive: %s", st.mnemonic)
+}
+
+// passTwo emits code and data with the complete symbol table available.
+func (a *assembler) passTwo(stmts []statement) {
+	seg := segText
+	for _, st := range stmts {
+		if strings.HasPrefix(st.mnemonic, ".") {
+			switch st.mnemonic {
+			case ".text":
+				seg = segText
+			case ".data":
+				seg = segData
+			case ".global", ".globl", ".equ", ".set":
+				// handled in pass one
+			default:
+				a.emitData(st)
+			}
+			continue
+		}
+		if st.mnemonic == "" || seg != segText {
+			continue
+		}
+		a.emitInstr(st)
+	}
+	// Verify globals resolve.
+	for _, g := range a.prog.Globals {
+		if _, ok := a.prog.Symbols[g]; !ok {
+			a.errs = append(a.errs, fmt.Errorf("asm: .global %s: undefined symbol", g))
+		}
+	}
+}
+
+func (a *assembler) emitData(st statement) {
+	emitN := func(v int64, n int, line int) {
+		// Range check against both signed and unsigned interpretations.
+		min := -(int64(1) << (uint(n)*8 - 1))
+		max := int64(1)<<(uint(n)*8) - 1
+		if v < min || v > max {
+			a.errorf(line, "value %d does not fit in %d bytes", v, n)
+			return
+		}
+		for i := 0; i < n; i++ {
+			a.prog.Data = append(a.prog.Data, byte(uint64(v)>>(8*uint(i))))
+		}
+	}
+	switch st.mnemonic {
+	case ".word", ".half", ".byte":
+		n := map[string]int{".word": 4, ".half": 2, ".byte": 1}[st.mnemonic]
+		for _, opnd := range st.operands {
+			v, err := a.eval(opnd, a.prog.Symbols)
+			if err != nil {
+				a.errorf(st.line, "%v", err)
+				return
+			}
+			emitN(v, n, st.line)
+		}
+	case ".space":
+		v, _ := a.eval(st.operands[0], a.prog.Symbols)
+		a.prog.Data = append(a.prog.Data, make([]byte, v)...)
+	case ".align":
+		v, _ := a.eval(st.operands[0], a.prog.Symbols)
+		off := uint32(len(a.prog.Data))
+		aligned := (off + uint32(v) - 1) &^ (uint32(v) - 1)
+		a.prog.Data = append(a.prog.Data, make([]byte, aligned-off)...)
+	case ".ascii", ".asciz":
+		s, err := parseString(st.operands[0])
+		if err != nil {
+			a.errorf(st.line, "%v", err)
+			return
+		}
+		a.prog.Data = append(a.prog.Data, s...)
+		if st.mnemonic == ".asciz" {
+			a.prog.Data = append(a.prog.Data, 0)
+		}
+	}
+}
+
+// emit appends one machine instruction.
+func (a *assembler) emit(st statement, in isa.Instruction) {
+	w, err := isa.Encode(in)
+	if err != nil {
+		a.errorf(st.line, "%v", err)
+		w = 0
+	}
+	a.prog.Text = append(a.prog.Text, in)
+	a.prog.Words = append(a.prog.Words, w)
+	a.prog.SourceLines = append(a.prog.SourceLines, st.line)
+}
+
+// pc returns the address of the next instruction to be emitted.
+func (a *assembler) pc() uint32 {
+	return a.prog.TextBase + uint32(len(a.prog.Text))*isa.WordSize
+}
+
+// operand parsing helpers ---------------------------------------------------
+
+func (a *assembler) reg(st statement, s string) isa.Reg {
+	r, ok := isa.ParseReg(s)
+	if !ok {
+		a.errorf(st.line, "invalid register %q", s)
+	}
+	return r
+}
+
+// memOperand parses "offset(reg)" where offset is an optional expression.
+func (a *assembler) memOperand(st statement, s string) (int32, isa.Reg) {
+	open := strings.IndexByte(s, '(')
+	if open < 0 || !strings.HasSuffix(s, ")") {
+		a.errorf(st.line, "invalid memory operand %q, want offset(reg)", s)
+		return 0, 0
+	}
+	offStr := strings.TrimSpace(s[:open])
+	regStr := strings.TrimSpace(s[open+1 : len(s)-1])
+	off := int64(0)
+	if offStr != "" {
+		v, err := a.eval(offStr, a.prog.Symbols)
+		if err != nil {
+			a.errorf(st.line, "%v", err)
+			return 0, 0
+		}
+		off = v
+	}
+	if off < isa.MinImm12 || off > isa.MaxImm12 {
+		a.errorf(st.line, "memory offset %d out of 12-bit range", off)
+		return 0, 0
+	}
+	return int32(off), a.reg(st, regStr)
+}
+
+// immediate evaluates an expression operand and range checks it.
+func (a *assembler) immediate(st statement, s string, min, max int64) int32 {
+	v, err := a.eval(s, a.prog.Symbols)
+	if err != nil {
+		a.errorf(st.line, "%v", err)
+		return 0
+	}
+	if v < min || v > max {
+		a.errorf(st.line, "immediate %d out of range [%d, %d]", v, min, max)
+		return 0
+	}
+	return int32(v)
+}
+
+// branchTarget resolves a label (or expression) to a pc-relative word
+// offset for branch instructions.
+func (a *assembler) branchTarget(st statement, s string) int32 {
+	v, err := a.eval(s, a.prog.Symbols)
+	if err != nil {
+		a.errorf(st.line, "%v", err)
+		return 0
+	}
+	target := uint32(v)
+	if target%isa.WordSize != 0 {
+		a.errorf(st.line, "branch target %#x is not word aligned", target)
+		return 0
+	}
+	diff := (int64(target) - int64(a.pc()) - isa.WordSize) / isa.WordSize
+	return int32(diff)
+}
+
+func (a *assembler) wantOperands(st statement, n int) bool {
+	if len(st.operands) != n {
+		a.errorf(st.line, "%s requires %d operands, got %d", st.mnemonic, n, len(st.operands))
+		return false
+	}
+	return true
+}
+
+func (a *assembler) emitInstr(st statement) {
+	if op, ok := isa.ParseOpcode(st.mnemonic); ok {
+		a.emitNative(st, op)
+		return
+	}
+	a.emitPseudo(st)
+}
+
+func (a *assembler) emitNative(st statement, op isa.Opcode) {
+	switch op.Format() {
+	case isa.FormatR:
+		if !a.wantOperands(st, 3) {
+			return
+		}
+		a.emit(st, isa.Instruction{Op: op,
+			Rd: a.reg(st, st.operands[0]), Rs1: a.reg(st, st.operands[1]), Rs2: a.reg(st, st.operands[2])})
+	case isa.FormatI:
+		if op.IsLoad() || op == isa.JALR {
+			if !a.wantOperands(st, 2) {
+				return
+			}
+			off, base := a.memOperand(st, st.operands[1])
+			a.emit(st, isa.Instruction{Op: op, Rd: a.reg(st, st.operands[0]), Rs1: base, Imm: off})
+			return
+		}
+		if !a.wantOperands(st, 3) {
+			return
+		}
+		min, max := int64(isa.MinImm12), int64(isa.MaxImm12)
+		if op == isa.ANDI || op == isa.ORI || op == isa.XORI {
+			min, max = 0, isa.MaxUimm12
+		}
+		if op == isa.SLLI || op == isa.SRLI || op == isa.SRAI {
+			min, max = 0, 31
+		}
+		a.emit(st, isa.Instruction{Op: op,
+			Rd: a.reg(st, st.operands[0]), Rs1: a.reg(st, st.operands[1]),
+			Imm: a.immediate(st, st.operands[2], min, max)})
+	case isa.FormatS:
+		if !a.wantOperands(st, 2) {
+			return
+		}
+		off, base := a.memOperand(st, st.operands[1])
+		a.emit(st, isa.Instruction{Op: op, Rd: a.reg(st, st.operands[0]), Rs1: base, Imm: off})
+	case isa.FormatB:
+		if !a.wantOperands(st, 3) {
+			return
+		}
+		a.emit(st, isa.Instruction{Op: op,
+			Rs1: a.reg(st, st.operands[0]), Rs2: a.reg(st, st.operands[1]),
+			Imm: a.branchTarget(st, st.operands[2])})
+	case isa.FormatU:
+		if !a.wantOperands(st, 2) {
+			return
+		}
+		a.emit(st, isa.Instruction{Op: op, Rd: a.reg(st, st.operands[0]),
+			Imm: a.immediate(st, st.operands[1], 0, isa.MaxUimm20)})
+	case isa.FormatJ:
+		if !a.wantOperands(st, 2) {
+			return
+		}
+		a.emit(st, isa.Instruction{Op: op, Rd: a.reg(st, st.operands[0]),
+			Imm: a.branchTarget(st, st.operands[1])})
+	case isa.FormatN:
+		if !a.wantOperands(st, 0) {
+			return
+		}
+		a.emit(st, isa.Instruction{Op: op})
+	}
+}
+
+func (a *assembler) emitPseudo(st statement) {
+	switch st.mnemonic {
+	case "nop":
+		if a.wantOperands(st, 0) {
+			a.emit(st, isa.Instruction{Op: isa.ADDI})
+		}
+	case "mv":
+		if a.wantOperands(st, 2) {
+			a.emit(st, isa.Instruction{Op: isa.ADDI,
+				Rd: a.reg(st, st.operands[0]), Rs1: a.reg(st, st.operands[1])})
+		}
+	case "neg":
+		if a.wantOperands(st, 2) {
+			a.emit(st, isa.Instruction{Op: isa.SUB,
+				Rd: a.reg(st, st.operands[0]), Rs2: a.reg(st, st.operands[1])})
+		}
+	case "li", "la":
+		if !a.wantOperands(st, 2) {
+			return
+		}
+		rd := a.reg(st, st.operands[0])
+		v, err := a.eval(st.operands[1], a.prog.Symbols)
+		if err != nil {
+			a.errorf(st.line, "%v", err)
+			return
+		}
+		if v < -(1<<31) || v > (1<<32)-1 {
+			a.errorf(st.line, "constant %d does not fit in 32 bits", v)
+			return
+		}
+		u := uint32(v)
+		a.emit(st, isa.Instruction{Op: isa.LUI, Rd: rd, Imm: int32(u >> 12)})
+		a.emit(st, isa.Instruction{Op: isa.ORI, Rd: rd, Rs1: rd, Imm: int32(u & 0xFFF)})
+	case "j":
+		if a.wantOperands(st, 1) {
+			a.emit(st, isa.Instruction{Op: isa.JAL, Rd: isa.Zero, Imm: a.branchTarget(st, st.operands[0])})
+		}
+	case "jr":
+		if a.wantOperands(st, 1) {
+			a.emit(st, isa.Instruction{Op: isa.JALR, Rd: isa.Zero, Rs1: a.reg(st, st.operands[0])})
+		}
+	case "call":
+		if a.wantOperands(st, 1) {
+			a.emit(st, isa.Instruction{Op: isa.JAL, Rd: isa.RA, Imm: a.branchTarget(st, st.operands[0])})
+		}
+	case "ret":
+		if a.wantOperands(st, 0) {
+			a.emit(st, isa.Instruction{Op: isa.JALR, Rd: isa.Zero, Rs1: isa.RA})
+		}
+	case "beqz", "bnez", "bltz", "bgez":
+		if !a.wantOperands(st, 2) {
+			return
+		}
+		op := map[string]isa.Opcode{"beqz": isa.BEQ, "bnez": isa.BNE, "bltz": isa.BLT, "bgez": isa.BGE}[st.mnemonic]
+		a.emit(st, isa.Instruction{Op: op,
+			Rs1: a.reg(st, st.operands[0]), Rs2: isa.Zero,
+			Imm: a.branchTarget(st, st.operands[1])})
+	case "bgtz", "blez":
+		if !a.wantOperands(st, 2) {
+			return
+		}
+		op := isa.BLT
+		if st.mnemonic == "blez" {
+			op = isa.BGE
+		}
+		a.emit(st, isa.Instruction{Op: op,
+			Rs1: isa.Zero, Rs2: a.reg(st, st.operands[0]),
+			Imm: a.branchTarget(st, st.operands[1])})
+	case "bgt", "ble", "bgtu", "bleu":
+		if !a.wantOperands(st, 3) {
+			return
+		}
+		op := map[string]isa.Opcode{"bgt": isa.BLT, "ble": isa.BGE, "bgtu": isa.BLTU, "bleu": isa.BGEU}[st.mnemonic]
+		// Swap the comparands: bgt rs, rt == blt rt, rs.
+		a.emit(st, isa.Instruction{Op: op,
+			Rs1: a.reg(st, st.operands[1]), Rs2: a.reg(st, st.operands[0]),
+			Imm: a.branchTarget(st, st.operands[2])})
+	case "seqz":
+		if a.wantOperands(st, 2) {
+			a.emit(st, isa.Instruction{Op: isa.SLTIU,
+				Rd: a.reg(st, st.operands[0]), Rs1: a.reg(st, st.operands[1]), Imm: 1})
+		}
+	case "snez":
+		if a.wantOperands(st, 2) {
+			a.emit(st, isa.Instruction{Op: isa.SLTU,
+				Rd: a.reg(st, st.operands[0]), Rs1: isa.Zero, Rs2: a.reg(st, st.operands[1])})
+		}
+	default:
+		a.errorf(st.line, "unknown instruction %q", st.mnemonic)
+	}
+}
+
+func parseString(s string) (string, error) {
+	if len(s) < 2 || s[0] != '"' || s[len(s)-1] != '"' {
+		return "", fmt.Errorf("invalid string literal %q", s)
+	}
+	body := s[1 : len(s)-1]
+	var b strings.Builder
+	for i := 0; i < len(body); i++ {
+		c := body[i]
+		if c != '\\' {
+			b.WriteByte(c)
+			continue
+		}
+		i++
+		if i >= len(body) {
+			return "", fmt.Errorf("trailing backslash in string literal")
+		}
+		switch body[i] {
+		case 'n':
+			b.WriteByte('\n')
+		case 't':
+			b.WriteByte('\t')
+		case '0':
+			b.WriteByte(0)
+		case '\\', '"':
+			b.WriteByte(body[i])
+		default:
+			return "", fmt.Errorf("unknown escape \\%c", body[i])
+		}
+	}
+	return b.String(), nil
+}

@@ -1,0 +1,448 @@
+package asm
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/isa"
+)
+
+func mustAssemble(t *testing.T, src string) *Program {
+	t.Helper()
+	p, err := Assemble(src, Options{})
+	if err != nil {
+		t.Fatalf("Assemble failed: %v", err)
+	}
+	return p
+}
+
+func TestAssembleBasic(t *testing.T) {
+	p := mustAssemble(t, `
+		.text
+		.global start
+	start:
+		addi  a0, zero, 5
+		add   a1, a0, a0
+		halt
+	`)
+	if len(p.Text) != 3 {
+		t.Fatalf("got %d instructions, want 3", len(p.Text))
+	}
+	want := []isa.Instruction{
+		{Op: isa.ADDI, Rd: isa.A0, Rs1: isa.Zero, Imm: 5},
+		{Op: isa.ADD, Rd: isa.A1, Rs1: isa.A0, Rs2: isa.A0},
+		{Op: isa.HALT},
+	}
+	for i, w := range want {
+		if p.Text[i] != w {
+			t.Errorf("instr %d = %+v, want %+v", i, p.Text[i], w)
+		}
+	}
+	if addr, ok := p.Symbol("start"); !ok || addr != DefaultTextBase {
+		t.Errorf("start = %#x, %v; want %#x, true", addr, ok, uint32(DefaultTextBase))
+	}
+	if len(p.Globals) != 1 || p.Globals[0] != "start" {
+		t.Errorf("Globals = %v, want [start]", p.Globals)
+	}
+}
+
+func TestAssembleComments(t *testing.T) {
+	p := mustAssemble(t, `
+		; a semicolon comment
+		# a hash comment
+		// a slash comment
+		addi a0, zero, 1   ; trailing
+		addi a0, zero, 2   # trailing
+		addi a0, zero, 3   // trailing
+	`)
+	if len(p.Text) != 3 {
+		t.Fatalf("got %d instructions, want 3", len(p.Text))
+	}
+	for i, in := range p.Text {
+		if in.Imm != int32(i+1) {
+			t.Errorf("instr %d imm = %d, want %d", i, in.Imm, i+1)
+		}
+	}
+}
+
+func TestAssembleBranchOffsets(t *testing.T) {
+	p := mustAssemble(t, `
+	loop:
+		addi  t0, t0, 1
+		bne   t0, t1, loop
+		beq   t0, t1, done
+		nop
+	done:
+		halt
+	`)
+	// bne at index 1 targets index 0: offset = 0 - (1+1) = -2.
+	if got := p.Text[1]; got.Op != isa.BNE || got.Imm != -2 {
+		t.Errorf("bne = %+v, want offset -2", got)
+	}
+	// beq at index 2 targets index 4: offset = 4 - (2+1) = 1.
+	if got := p.Text[2]; got.Op != isa.BEQ || got.Imm != 1 {
+		t.Errorf("beq = %+v, want offset 1", got)
+	}
+}
+
+func TestAssembleForwardAndBackwardCalls(t *testing.T) {
+	p := mustAssemble(t, `
+	main:
+		call  helper
+		halt
+	helper:
+		ret
+	`)
+	if got := p.Text[0]; got.Op != isa.JAL || got.Rd != isa.RA || got.Imm != 1 {
+		t.Errorf("call = %+v, want jal ra, +1", got)
+	}
+	if got := p.Text[2]; got.Op != isa.JALR || got.Rd != isa.Zero || got.Rs1 != isa.RA {
+		t.Errorf("ret = %+v, want jalr zero, 0(ra)", got)
+	}
+}
+
+func TestAssemblePseudoLi(t *testing.T) {
+	p := mustAssemble(t, `
+		li a0, 0x12345678
+		li a1, 7
+		li a2, -1
+	`)
+	if len(p.Text) != 6 {
+		t.Fatalf("li must expand to exactly 2 instructions each, got %d total", len(p.Text))
+	}
+	// 0x12345678 = lui 0x12345; ori 0x678.
+	if p.Text[0] != (isa.Instruction{Op: isa.LUI, Rd: isa.A0, Imm: 0x12345}) {
+		t.Errorf("li hi = %+v", p.Text[0])
+	}
+	if p.Text[1] != (isa.Instruction{Op: isa.ORI, Rd: isa.A0, Rs1: isa.A0, Imm: 0x678}) {
+		t.Errorf("li lo = %+v", p.Text[1])
+	}
+	// -1 = 0xFFFFFFFF = lui 0xFFFFF; ori 0xFFF.
+	if p.Text[4] != (isa.Instruction{Op: isa.LUI, Rd: isa.A2, Imm: 0xFFFFF}) {
+		t.Errorf("li -1 hi = %+v", p.Text[4])
+	}
+	if p.Text[5] != (isa.Instruction{Op: isa.ORI, Rd: isa.A2, Rs1: isa.A2, Imm: 0xFFF}) {
+		t.Errorf("li -1 lo = %+v", p.Text[5])
+	}
+}
+
+func TestAssembleLaResolvesDataLabel(t *testing.T) {
+	p := mustAssemble(t, `
+		.data
+	table:
+		.word 1, 2, 3
+		.text
+	entry:
+		la  s0, table
+		halt
+	`)
+	addr, ok := p.Symbol("table")
+	if !ok || addr != DefaultDataBase {
+		t.Fatalf("table = %#x, %v", addr, ok)
+	}
+	if p.Text[0].Op != isa.LUI || uint32(p.Text[0].Imm) != addr>>12 {
+		t.Errorf("la hi = %+v, want lui of %#x", p.Text[0], addr>>12)
+	}
+	if p.Text[1].Op != isa.ORI || uint32(p.Text[1].Imm) != addr&0xFFF {
+		t.Errorf("la lo = %+v", p.Text[1])
+	}
+}
+
+func TestAssembleDataDirectives(t *testing.T) {
+	p := mustAssemble(t, `
+		.data
+	words:  .word 0x11223344, -1
+	halves: .half 0xBEEF
+	bytes:  .byte 1, 2, 3
+	        .align 4
+	gap:    .space 8
+	s:      .asciz "hi\n"
+	`)
+	want := []byte{
+		0x44, 0x33, 0x22, 0x11, // 0x11223344 little endian
+		0xFF, 0xFF, 0xFF, 0xFF, // -1
+		0xEF, 0xBE, // 0xBEEF
+		1, 2, 3, // bytes
+		0, 0, 0, // align padding from offset 13 to 16
+		0, 0, 0, 0, 0, 0, 0, 0, // space
+		'h', 'i', '\n', 0, // asciz
+	}
+	if len(p.Data) != len(want) {
+		t.Fatalf("data length = %d, want %d (%v)", len(p.Data), len(want), p.Data)
+	}
+	for i := range want {
+		if p.Data[i] != want[i] {
+			t.Errorf("data[%d] = %#x, want %#x", i, p.Data[i], want[i])
+		}
+	}
+	checkSym := func(name string, off uint32) {
+		t.Helper()
+		if a, ok := p.Symbol(name); !ok || a != DefaultDataBase+off {
+			t.Errorf("%s = %#x, %v; want %#x", name, a, ok, DefaultDataBase+off)
+		}
+	}
+	checkSym("words", 0)
+	checkSym("halves", 8)
+	checkSym("bytes", 10)
+	checkSym("gap", 16)
+	checkSym("s", 24)
+}
+
+func TestAssembleEqu(t *testing.T) {
+	p := mustAssemble(t, `
+		.equ  SIZE, 16
+		.equ  MASK, SIZE - 1
+		.equ  BIG,  1 << 20
+		andi  t0, t0, MASK
+		li    t1, BIG | 3
+	`)
+	if p.Text[0].Imm != 15 {
+		t.Errorf("MASK = %d, want 15", p.Text[0].Imm)
+	}
+	// BIG|3 = 0x100003: lui 0x100, ori 0x003.
+	if p.Text[1].Imm != 0x100 || p.Text[2].Imm != 0x003 {
+		t.Errorf("BIG|3 expanded to lui %#x / ori %#x", p.Text[1].Imm, p.Text[2].Imm)
+	}
+}
+
+func TestAssembleExpressions(t *testing.T) {
+	cases := []struct {
+		expr string
+		want int32
+	}{
+		{"1+2*3", 7},
+		{"(1+2)*3", 9},
+		{"0x10|0x01", 17},
+		{"0b1010", 10},
+		{"'A'", 65},
+		{"'\\n'", 10},
+		{"8/2-1", 3},
+		{"7%4", 3},
+		{"1<<4", 16},
+		{"256>>4", 16},
+		{"-(4)+10", 6},
+		{"~0 & 0xFF", 255},
+		{"6 ^ 3", 5},
+		{"1_000", 1000},
+	}
+	for _, c := range cases {
+		p := mustAssemble(t, "addi t0, zero, "+c.expr)
+		if p.Text[0].Imm != c.want {
+			t.Errorf("expr %q = %d, want %d", c.expr, p.Text[0].Imm, c.want)
+		}
+	}
+}
+
+func TestAssembleMemOperands(t *testing.T) {
+	p := mustAssemble(t, `
+		.equ OFF, 12
+		lw  a0, 4(a1)
+		lw  a0, (a1)
+		lw  a0, OFF(a1)
+		lw  a0, -8(sp)
+		sw  a0, OFF+4(a1)
+	`)
+	wantImms := []int32{4, 0, 12, -8, 16}
+	for i, want := range wantImms {
+		if p.Text[i].Imm != want {
+			t.Errorf("instr %d imm = %d, want %d", i, p.Text[i].Imm, want)
+		}
+	}
+	if p.Text[4].Op != isa.SW || p.Text[4].Rd != isa.A0 || p.Text[4].Rs1 != isa.A1 {
+		t.Errorf("store = %+v", p.Text[4])
+	}
+}
+
+func TestAssemblePseudoBranches(t *testing.T) {
+	p := mustAssemble(t, `
+	top:
+		beqz  a0, top
+		bnez  a0, top
+		bltz  a0, top
+		bgez  a0, top
+		bgtz  a0, top
+		blez  a0, top
+		bgt   a0, a1, top
+		ble   a0, a1, top
+		bgtu  a0, a1, top
+		bleu  a0, a1, top
+		seqz  a2, a0
+		snez  a2, a0
+	`)
+	wantOps := []isa.Opcode{isa.BEQ, isa.BNE, isa.BLT, isa.BGE, isa.BLT, isa.BGE,
+		isa.BLT, isa.BGE, isa.BLTU, isa.BGEU, isa.SLTIU, isa.SLTU}
+	for i, op := range wantOps {
+		if p.Text[i].Op != op {
+			t.Errorf("instr %d op = %v, want %v", i, p.Text[i].Op, op)
+		}
+	}
+	// bgtz swaps: blt zero, a0.
+	if p.Text[4].Rs1 != isa.Zero || p.Text[4].Rs2 != isa.A0 {
+		t.Errorf("bgtz = %+v, want swapped operands", p.Text[4])
+	}
+	// bgt a0, a1 => blt a1, a0.
+	if p.Text[6].Rs1 != isa.A1 || p.Text[6].Rs2 != isa.A0 {
+		t.Errorf("bgt = %+v, want swapped operands", p.Text[6])
+	}
+}
+
+func TestAssembleWordsEncodeText(t *testing.T) {
+	p := mustAssemble(t, `
+		addi a0, zero, 42
+		halt
+	`)
+	if len(p.Words) != len(p.Text) {
+		t.Fatalf("Words/Text length mismatch: %d vs %d", len(p.Words), len(p.Text))
+	}
+	for i, w := range p.Words {
+		in, err := isa.Decode(w)
+		if err != nil || in != p.Text[i] {
+			t.Errorf("word %d: decode(%#08x) = %+v, %v; want %+v", i, w, in, err, p.Text[i])
+		}
+	}
+}
+
+func TestAssembleErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		frag string // expected substring of the error
+	}{
+		{"unknown instruction", "frobnicate a0, a1", "unknown instruction"},
+		{"unknown directive", ".frob 1", "unknown directive"},
+		{"bad register", "add a0, a1, q9", "invalid register"},
+		{"undefined label", "j nowhere", "undefined symbol"},
+		{"duplicate label", "x:\nnop\nx:\nnop", "duplicate label"},
+		{"imm overflow", "addi a0, zero, 5000", "out of range"},
+		{"wrong operand count", "add a0, a1", "requires 3 operands"},
+		{"instr in data", ".data\nadd a0, a1, a2", "data segment"},
+		{"word in text", ".word 5", "data segment"},
+		{"bad mem operand", "lw a0, a1", "memory operand"},
+		{"division by zero", "addi a0, zero, 1/0", "division by zero"},
+		{"equ with forward label", ".equ X, later\nnop\nlater: nop", "labels not allowed"},
+		{"duplicate equ", ".equ A, 1\n.equ A, 2", "duplicate constant"},
+		{"unterminated expr", "addi a0, zero, (1+2", "missing ')'"},
+		{"global undefined", ".global nope\nnop", "undefined symbol"},
+		{"shift too far", "addi a0, zero, 1<<99", "shift amount"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := Assemble(c.src, Options{})
+			if err == nil {
+				t.Fatalf("Assemble(%q) succeeded, want error containing %q", c.src, c.frag)
+			}
+			if !strings.Contains(err.Error(), c.frag) {
+				t.Errorf("error %q does not contain %q", err.Error(), c.frag)
+			}
+		})
+	}
+}
+
+func TestAssembleCustomBases(t *testing.T) {
+	p, err := Assemble("entry: nop\n.data\nd: .word 1", Options{TextBase: 0x4000, DataBase: 0x8000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a, _ := p.Symbol("entry"); a != 0x4000 {
+		t.Errorf("entry = %#x, want 0x4000", a)
+	}
+	if a, _ := p.Symbol("d"); a != 0x8000 {
+		t.Errorf("d = %#x, want 0x8000", a)
+	}
+	if p.TextEnd() != 0x4004 || p.DataEnd() != 0x8004 {
+		t.Errorf("TextEnd=%#x DataEnd=%#x", p.TextEnd(), p.DataEnd())
+	}
+}
+
+func TestAssembleUnalignedTextBase(t *testing.T) {
+	if _, err := Assemble("nop", Options{TextBase: 0x1002}); err == nil {
+		t.Error("unaligned text base accepted, want error")
+	}
+}
+
+func TestInstrAt(t *testing.T) {
+	p := mustAssemble(t, "addi a0, zero, 1\nhalt")
+	if in, ok := p.InstrAt(DefaultTextBase); !ok || in.Op != isa.ADDI {
+		t.Errorf("InstrAt(base) = %+v, %v", in, ok)
+	}
+	if in, ok := p.InstrAt(DefaultTextBase + 4); !ok || in.Op != isa.HALT {
+		t.Errorf("InstrAt(base+4) = %+v, %v", in, ok)
+	}
+	if _, ok := p.InstrAt(DefaultTextBase + 8); ok {
+		t.Error("InstrAt past end succeeded")
+	}
+	if _, ok := p.InstrAt(DefaultTextBase + 2); ok {
+		t.Error("InstrAt unaligned succeeded")
+	}
+	if _, ok := p.InstrAt(DefaultTextBase - 4); ok {
+		t.Error("InstrAt before base succeeded")
+	}
+}
+
+func TestListing(t *testing.T) {
+	p := mustAssemble(t, `
+	start:
+		addi a0, zero, 1
+		halt
+	`)
+	l := p.Listing()
+	if !strings.Contains(l, "start:") {
+		t.Errorf("listing missing label:\n%s", l)
+	}
+	if !strings.Contains(l, "addi") || !strings.Contains(l, "halt") {
+		t.Errorf("listing missing instructions:\n%s", l)
+	}
+}
+
+func TestSourceLines(t *testing.T) {
+	p := mustAssemble(t, "nop\nli a0, 0x123456\nhalt")
+	if len(p.SourceLines) != 4 {
+		t.Fatalf("SourceLines = %v", p.SourceLines)
+	}
+	want := []int{1, 2, 2, 3} // li spans two instructions, same line
+	for i, w := range want {
+		if p.SourceLines[i] != w {
+			t.Errorf("SourceLines[%d] = %d, want %d", i, p.SourceLines[i], w)
+		}
+	}
+}
+
+// TestAssembleRoundTripThroughListing assembles, then checks each listed
+// disassembly parses back to the same opcode (a smoke check that the
+// listing is syntactically coherent).
+func TestAssembleDisasmMnemonics(t *testing.T) {
+	p := mustAssemble(t, `
+		add  a0, a1, a2
+		lw   t0, 4(sp)
+		sw   t0, 8(sp)
+		beq  a0, zero, end
+		lui  s0, 0x10
+	end:
+		halt
+	`)
+	for i, in := range p.Text {
+		text := isa.Disassemble(p.TextBase+uint32(i)*4, in)
+		mnemonic := strings.Fields(text)[0]
+		if _, ok := isa.ParseOpcode(mnemonic); !ok {
+			t.Errorf("disassembly %q has unparseable mnemonic", text)
+		}
+	}
+}
+
+func TestCommentCharactersInLiterals(t *testing.T) {
+	p := mustAssemble(t, `
+		addi a0, zero, '#'   ; hash as a character
+		addi a1, zero, ';'   # semicolon as a character
+		.data
+	s:	.ascii "a;b#c"
+	`)
+	if p.Text[0].Imm != '#' {
+		t.Errorf("'#' literal = %d", p.Text[0].Imm)
+	}
+	if p.Text[1].Imm != ';' {
+		t.Errorf("';' literal = %d", p.Text[1].Imm)
+	}
+	if string(p.Data) != "a;b#c" {
+		t.Errorf("string with comment chars = %q", p.Data)
+	}
+}

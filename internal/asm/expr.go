@@ -1,0 +1,278 @@
+package asm
+
+import (
+	"fmt"
+	"strings"
+)
+
+// eval evaluates a constant expression. Symbols are resolved first against
+// the .equ constant table and then against the provided label table; pass a
+// nil label table to restrict the expression to constants (used while
+// label addresses are not yet final).
+//
+// Grammar, lowest precedence first:
+//
+//	expr   := bitor
+//	bitor  := bitxor ('|' bitxor)*
+//	bitxor := bitand ('^' bitand)*
+//	bitand := shift ('&' shift)*
+//	shift  := addsub (('<<'|'>>') addsub)*
+//	addsub := muldiv (('+'|'-') muldiv)*
+//	muldiv := unary (('*'|'/'|'%') unary)*
+//	unary  := ('-'|'~')* primary
+//	primary:= integer | 'c' | symbol | '(' expr ')'
+func (a *assembler) eval(s string, labels map[string]uint32) (int64, error) {
+	p := &exprParser{src: s, consts: a.consts, labels: labels}
+	v, err := p.parseExpr()
+	if err != nil {
+		return 0, err
+	}
+	p.skipSpace()
+	if p.pos != len(p.src) {
+		return 0, fmt.Errorf("unexpected %q in expression %q", p.src[p.pos:], s)
+	}
+	return v, nil
+}
+
+type exprParser struct {
+	src    string
+	pos    int
+	consts map[string]int64
+	labels map[string]uint32
+}
+
+func (p *exprParser) skipSpace() {
+	for p.pos < len(p.src) && (p.src[p.pos] == ' ' || p.src[p.pos] == '\t') {
+		p.pos++
+	}
+}
+
+// peek returns the next non-space byte without consuming it, or 0 at end.
+func (p *exprParser) peek() byte {
+	p.skipSpace()
+	if p.pos < len(p.src) {
+		return p.src[p.pos]
+	}
+	return 0
+}
+
+// accept consumes the literal token if it is next.
+func (p *exprParser) accept(tok string) bool {
+	p.skipSpace()
+	if strings.HasPrefix(p.src[p.pos:], tok) {
+		p.pos += len(tok)
+		return true
+	}
+	return false
+}
+
+func (p *exprParser) parseExpr() (int64, error) { return p.parseBinary(0) }
+
+// binary operator precedence levels, lowest first. Shift appears before
+// add/sub groups at a *lower* index because this table is ordered from
+// loosest to tightest binding.
+var precLevels = [][]string{
+	{"|"},
+	{"^"},
+	{"&"},
+	{"<<", ">>"},
+	{"+", "-"},
+	{"*", "/", "%"},
+}
+
+func (p *exprParser) parseBinary(level int) (int64, error) {
+	if level == len(precLevels) {
+		return p.parseUnary()
+	}
+	left, err := p.parseBinary(level + 1)
+	if err != nil {
+		return 0, err
+	}
+	for {
+		matched := ""
+		p.skipSpace()
+		for _, op := range precLevels[level] {
+			// Careful: "<<" must not be confused with "<", and "&" with
+			// "&&" (we have no logical operators, so this is simple).
+			if strings.HasPrefix(p.src[p.pos:], op) {
+				matched = op
+				break
+			}
+		}
+		if matched == "" {
+			return left, nil
+		}
+		p.pos += len(matched)
+		right, err := p.parseBinary(level + 1)
+		if err != nil {
+			return 0, err
+		}
+		switch matched {
+		case "|":
+			left |= right
+		case "^":
+			left ^= right
+		case "&":
+			left &= right
+		case "<<":
+			if right < 0 || right > 63 {
+				return 0, fmt.Errorf("shift amount %d out of range", right)
+			}
+			left <<= uint(right)
+		case ">>":
+			if right < 0 || right > 63 {
+				return 0, fmt.Errorf("shift amount %d out of range", right)
+			}
+			left >>= uint(right)
+		case "+":
+			left += right
+		case "-":
+			left -= right
+		case "*":
+			left *= right
+		case "/":
+			if right == 0 {
+				return 0, fmt.Errorf("division by zero")
+			}
+			left /= right
+		case "%":
+			if right == 0 {
+				return 0, fmt.Errorf("modulo by zero")
+			}
+			left %= right
+		}
+	}
+}
+
+func (p *exprParser) parseUnary() (int64, error) {
+	if p.accept("-") {
+		v, err := p.parseUnary()
+		return -v, err
+	}
+	if p.accept("~") {
+		v, err := p.parseUnary()
+		return ^v, err
+	}
+	return p.parsePrimary()
+}
+
+func (p *exprParser) parsePrimary() (int64, error) {
+	p.skipSpace()
+	if p.pos >= len(p.src) {
+		return 0, fmt.Errorf("unexpected end of expression %q", p.src)
+	}
+	c := p.src[p.pos]
+	switch {
+	case c == '(':
+		p.pos++
+		v, err := p.parseExpr()
+		if err != nil {
+			return 0, err
+		}
+		if !p.accept(")") {
+			return 0, fmt.Errorf("missing ')' in expression %q", p.src)
+		}
+		return v, nil
+	case c == '\'':
+		return p.parseChar()
+	case c >= '0' && c <= '9':
+		return p.parseInt()
+	case isIdentStart(c):
+		return p.parseSymbol()
+	}
+	return 0, fmt.Errorf("unexpected %q in expression %q", string(c), p.src)
+}
+
+func isIdentStart(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_' || c == '.'
+}
+
+func (p *exprParser) parseChar() (int64, error) {
+	// p.src[p.pos] == '\''
+	rest := p.src[p.pos+1:]
+	if len(rest) >= 2 && rest[0] != '\\' && rest[1] == '\'' {
+		p.pos += 3
+		return int64(rest[0]), nil
+	}
+	if len(rest) >= 3 && rest[0] == '\\' && rest[2] == '\'' {
+		p.pos += 4
+		switch rest[1] {
+		case 'n':
+			return '\n', nil
+		case 't':
+			return '\t', nil
+		case '0':
+			return 0, nil
+		case '\\', '\'':
+			return int64(rest[1]), nil
+		}
+		return 0, fmt.Errorf("unknown character escape in %q", p.src)
+	}
+	return 0, fmt.Errorf("invalid character literal in %q", p.src)
+}
+
+func (p *exprParser) parseInt() (int64, error) {
+	start := p.pos
+	base := int64(10)
+	if strings.HasPrefix(p.src[p.pos:], "0x") || strings.HasPrefix(p.src[p.pos:], "0X") {
+		base = 16
+		p.pos += 2
+	} else if strings.HasPrefix(p.src[p.pos:], "0b") || strings.HasPrefix(p.src[p.pos:], "0B") {
+		base = 2
+		p.pos += 2
+	}
+	digStart := p.pos
+	var v int64
+	for p.pos < len(p.src) {
+		c := p.src[p.pos]
+		var d int64
+		switch {
+		case c >= '0' && c <= '9':
+			d = int64(c - '0')
+		case c >= 'a' && c <= 'f':
+			d = int64(c-'a') + 10
+		case c >= 'A' && c <= 'F':
+			d = int64(c-'A') + 10
+		case c == '_':
+			p.pos++
+			continue
+		default:
+			d = -1
+		}
+		if d < 0 || d >= base {
+			break
+		}
+		if v > (1<<62)/base {
+			return 0, fmt.Errorf("integer literal too large in %q", p.src)
+		}
+		v = v*base + d
+		p.pos++
+	}
+	if p.pos == digStart {
+		return 0, fmt.Errorf("invalid integer literal at %q", p.src[start:])
+	}
+	return v, nil
+}
+
+func (p *exprParser) parseSymbol() (int64, error) {
+	start := p.pos
+	for p.pos < len(p.src) {
+		c := p.src[p.pos]
+		if isIdentStart(c) || c >= '0' && c <= '9' {
+			p.pos++
+			continue
+		}
+		break
+	}
+	name := p.src[start:p.pos]
+	if v, ok := p.consts[name]; ok {
+		return v, nil
+	}
+	if p.labels != nil {
+		if v, ok := p.labels[name]; ok {
+			return int64(v), nil
+		}
+		return 0, fmt.Errorf("undefined symbol %q", name)
+	}
+	return 0, fmt.Errorf("undefined constant %q (labels not allowed here)", name)
+}

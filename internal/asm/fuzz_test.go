@@ -1,0 +1,59 @@
+package asm
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzAssemble checks the assembler never panics and that accepted
+// programs satisfy basic well-formedness invariants.
+func FuzzAssemble(f *testing.F) {
+	seeds := []string{
+		"",
+		"nop",
+		"addi a0, zero, 1\nhalt",
+		"x: j x",
+		".data\nv: .word 1\n.text\nla t0, v\nlw a0, 0(t0)\nret",
+		".equ K, 1<<4\nandi t0, t0, K-1",
+		"li a0, 0xFFFFFFFF",
+		".data\ns: .asciz \"hi\\n\"",
+		"beq a0, a1, nowhere",
+		"lw a0, 4(",
+		".align 3",
+		"add a0, a1",
+		"call f\nf: ret",
+		"; comment only",
+		".word 1",
+		"label:",
+		"\t.text\n\tsw a0, -4(sp)",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		prog, err := Assemble(src, Options{})
+		if err != nil {
+			return
+		}
+		if len(prog.Words) != len(prog.Text) || len(prog.SourceLines) != len(prog.Text) {
+			t.Fatalf("inconsistent program arrays: %d/%d/%d",
+				len(prog.Words), len(prog.Text), len(prog.SourceLines))
+		}
+		for _, in := range prog.Text {
+			if err := in.Validate(); err != nil {
+				t.Fatalf("assembled invalid instruction %+v: %v", in, err)
+			}
+		}
+		for name, addr := range prog.Symbols {
+			inText := addr >= prog.TextBase && addr <= prog.TextEnd()
+			inData := addr >= prog.DataBase && addr <= prog.DataEnd()
+			if !inText && !inData {
+				t.Fatalf("symbol %q at %#x outside both segments", name, addr)
+			}
+		}
+		// Listings of accepted programs never contain the error marker.
+		if strings.Contains(prog.Listing(), "op?") {
+			t.Fatal("listing contains undecodable instruction")
+		}
+	})
+}

@@ -1,0 +1,95 @@
+package asm
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/isa"
+)
+
+// TestDisassemblyReassembles is the toolchain round-trip property: the
+// disassembly of an assembled program is itself valid assembly that
+// reassembles to the identical machine words. Branch and jump targets
+// disassemble to absolute addresses, which the assembler's expression
+// evaluator converts back to the same relative offsets as long as the
+// instructions keep their addresses — which a straight re-listing
+// guarantees.
+func TestDisassemblyReassembles(t *testing.T) {
+	sources, err := filepath.Glob("../apps/src/*.s")
+	if err != nil || len(sources) == 0 {
+		t.Fatalf("no application sources found: %v", err)
+	}
+	for _, path := range sources {
+		t.Run(filepath.Base(path), func(t *testing.T) {
+			src, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			orig, err := Assemble(string(src), Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Render a re-assemblable listing: one disassembled
+			// instruction per line, at the same text base.
+			var b strings.Builder
+			for i, in := range orig.Text {
+				pc := orig.TextBase + uint32(i)*isa.WordSize
+				b.WriteString(isa.Disassemble(pc, in))
+				b.WriteByte('\n')
+			}
+			re, err := Assemble(b.String(), Options{TextBase: orig.TextBase})
+			if err != nil {
+				t.Fatalf("reassembly failed: %v\nlisting:\n%s", err, b.String())
+			}
+			if len(re.Words) != len(orig.Words) {
+				t.Fatalf("reassembled %d words, original %d", len(re.Words), len(orig.Words))
+			}
+			for i := range orig.Words {
+				if re.Words[i] != orig.Words[i] {
+					t.Fatalf("word %d: reassembled %#08x, original %#08x (%s)",
+						i, re.Words[i], orig.Words[i],
+						isa.Disassemble(orig.TextBase+uint32(i)*4, orig.Text[i]))
+				}
+			}
+		})
+	}
+}
+
+// TestApplicationSourcesHaveNoDeadSymbols assembles every shipped
+// application and checks basic hygiene: a process_packet global exists
+// and the data segment is nonempty (every app keeps state or tables).
+func TestApplicationSourcesHygiene(t *testing.T) {
+	sources, _ := filepath.Glob("../apps/src/*.s")
+	for _, path := range sources {
+		t.Run(filepath.Base(path), func(t *testing.T) {
+			src, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			prog, err := Assemble(string(src), Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, ok := prog.Symbol("process_packet"); !ok {
+				t.Error("no process_packet symbol")
+			}
+			found := false
+			for _, g := range prog.Globals {
+				if g == "process_packet" {
+					found = true
+				}
+			}
+			if !found {
+				t.Error("process_packet not declared .global")
+			}
+			if len(prog.Data) == 0 {
+				t.Error("empty data segment")
+			}
+			if len(prog.Text) < 10 {
+				t.Errorf("implausibly small program: %d instructions", len(prog.Text))
+			}
+		})
+	}
+}

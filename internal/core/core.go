@@ -1,0 +1,367 @@
+// Package core is PacketBench itself: the framework that loads a network
+// processing application onto the simulated PB32 core, feeds it packets
+// from a trace, and collects selectively-accounted workload statistics.
+//
+// The paper's architecture (its Figure 2) maps onto this package as
+// follows:
+//
+//   - PacketBench framework: the Bench type. Trace reading/writing,
+//     packet placement and memory management run natively on the host and
+//     are invisible to the statistics, because "on a network processor,
+//     many of these functions are implemented by specialized hardware
+//     components and therefore should not be considered part of the
+//     application".
+//   - PacketBench API: the application ABI documented below, the analogue
+//     of the paper's init() / process_packet() / write_packet_to_file()
+//     interface.
+//   - Network processing application: a PB32 assembly program plus a
+//     host-side Init hook that builds its data structures in simulated
+//     memory (the work the paper's uncounted init() performs).
+//   - Processor simulator & selective accounting: internal/vm driving an
+//     internal/stats collector.
+//
+// # Application ABI
+//
+// The application's entry point is its exported (".global") symbol named
+// by App.Entry. For each packet the framework:
+//
+//	a0 <- address of the packet's layer-3 header in packet memory
+//	a1 <- length in bytes of the packet data
+//	sp <- top of the stack region
+//	ra <- vm.ReturnAddress
+//	pc <- entry
+//
+// The application processes the packet and returns ("ret") or executes
+// "halt". Its a0 at that point is the verdict (application defined; the
+// forwarding applications return the output port, 0 meaning drop). The
+// packet buffer may be modified in place (for example TSA rewrites
+// addresses); the framework reads it back when writing output traces.
+package core
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/analysis"
+	"repro/internal/asm"
+	"repro/internal/isa"
+	"repro/internal/stats"
+	"repro/internal/trace"
+	"repro/internal/vm"
+)
+
+// Default address-space layout of a PacketBench core. The text and data
+// bases follow the assembler defaults.
+const (
+	// PacketBase is where the framework places each packet.
+	PacketBase uint32 = 0x20000000
+	// MaxPacketLen bounds a single packet buffer.
+	MaxPacketLen = 64 * 1024
+	// StackSize is the size of the application stack region.
+	StackSize uint32 = 64 * 1024
+	// StackTop is the initial stack pointer (stack grows down).
+	StackTop uint32 = 0x80000000
+	// DefaultHeapSize is the simulated-memory budget for application data
+	// structures beyond the assembled data segment.
+	DefaultHeapSize uint32 = 64 * 1024 * 1024
+	// DefaultStepLimit bounds instructions per packet; network processing
+	// tasks are short, so hitting this means a broken application.
+	DefaultStepLimit uint64 = 10_000_000
+)
+
+// App is one PacketBench application: PB32 source plus the host-side
+// initialization that the paper's init() performs (building routing
+// tables, hash buckets, anonymization tables in simulated memory).
+type App struct {
+	// Name identifies the application in reports.
+	Name string
+	// Source is the PB32 assembly implementing packet processing.
+	Source string
+	// Entry is the exported symbol the framework calls per packet.
+	Entry string
+	// Init builds the application's data structures in simulated memory
+	// before any packet is processed. May be nil. Init processing is not
+	// counted toward packet statistics, matching the paper's API.
+	Init func(ld *Loader) error
+}
+
+// Options configures a Bench.
+type Options struct {
+	// HeapSize overrides DefaultHeapSize when nonzero.
+	HeapSize uint32
+	// StepLimit overrides DefaultStepLimit when nonzero.
+	StepLimit uint64
+	// Detail enables per-packet instruction/memory traces on the
+	// collector.
+	Detail bool
+	// Coverage enables whole-run memory coverage tracking.
+	Coverage bool
+	// KeepRecords retains every packet record on the collector.
+	KeepRecords bool
+}
+
+// Loader is the interface Init hooks use to place application state into
+// simulated memory. Allocation is a bump pointer over the heap that
+// follows the assembled data segment; there is no free.
+type Loader struct {
+	mem     *vm.Memory
+	prog    *asm.Program
+	next    uint32
+	limit   uint32
+	symbols map[string]uint32
+}
+
+// Alloc reserves size bytes aligned to align (a power of two; zero
+// selects word alignment) and returns the base address.
+func (l *Loader) Alloc(size, align uint32) (uint32, error) {
+	if align == 0 {
+		align = 4
+	}
+	if align < 4 || align&(align-1) != 0 {
+		return 0, fmt.Errorf("core: alignment %d is not a power of two", align)
+	}
+	base := (l.next + align - 1) &^ (align - 1)
+	if base < l.next || base > l.limit || size > l.limit-base {
+		return 0, fmt.Errorf("core: heap exhausted: need %d bytes at %#x, limit %#x", size, base, l.limit)
+	}
+	l.next = base + size
+	return base, nil
+}
+
+// Write copies bytes into simulated memory (host-side, uncounted).
+func (l *Loader) Write(addr uint32, b []byte) { l.mem.WriteBytes(addr, b) }
+
+// Write32 stores a little-endian word (host-side, uncounted).
+func (l *Loader) Write32(addr, v uint32) { l.mem.Write32(addr, v) }
+
+// Symbol resolves a label defined by the application's assembly.
+func (l *Loader) Symbol(name string) (uint32, error) {
+	if a, ok := l.symbols[name]; ok {
+		return a, nil
+	}
+	return 0, fmt.Errorf("core: undefined symbol %q", name)
+}
+
+// SetWord stores v at the address of the named label — the idiom Init
+// hooks use to publish table addresses to the application ("globals").
+func (l *Loader) SetWord(symbol string, v uint32) error {
+	addr, err := l.Symbol(symbol)
+	if err != nil {
+		return err
+	}
+	l.mem.Write32(addr, v)
+	return nil
+}
+
+// HeapNext returns the next free heap address (after Init it marks the
+// end of initialized application state).
+func (l *Loader) HeapNext() uint32 { return l.next }
+
+// Result is the outcome of processing one packet.
+type Result struct {
+	// Verdict is the application's a0 at return (port number, 0 = drop,
+	// application defined).
+	Verdict uint32
+	// Record is the packet's workload profile.
+	Record stats.PacketRecord
+}
+
+// Bench is a loaded PacketBench instance: one application on one
+// simulated core.
+type Bench struct {
+	app    *App
+	prog   *asm.Program
+	mem    *vm.Memory
+	cpu    *vm.CPU
+	col    *stats.Collector
+	blocks *analysis.BlockMap
+	loader *Loader
+
+	entry        uint32
+	stepLimit    uint64
+	processed    int
+	extraTracers []vm.Tracer
+}
+
+// New assembles the application, loads its segments, runs Init, and
+// returns a ready Bench.
+func New(app *App, opts Options) (*Bench, error) {
+	if app.Entry == "" {
+		return nil, fmt.Errorf("core: application %q has no entry symbol", app.Name)
+	}
+	prog, err := asm.Assemble(app.Source, asm.Options{})
+	if err != nil {
+		return nil, fmt.Errorf("core: assembling %s: %w", app.Name, err)
+	}
+	entry, ok := prog.Symbol(app.Entry)
+	if !ok {
+		return nil, fmt.Errorf("core: application %q: entry symbol %q not defined", app.Name, app.Entry)
+	}
+
+	heap := opts.HeapSize
+	if heap == 0 {
+		heap = DefaultHeapSize
+	}
+	stepLimit := opts.StepLimit
+	if stepLimit == 0 {
+		stepLimit = DefaultStepLimit
+	}
+
+	mem := vm.NewMemory()
+	mem.WriteBytes(prog.DataBase, prog.Data)
+
+	loader := &Loader{
+		mem:     mem,
+		prog:    prog,
+		next:    (prog.DataEnd() + 7) &^ 7,
+		limit:   prog.DataBase + heap,
+		symbols: prog.Symbols,
+	}
+	if app.Init != nil {
+		if err := app.Init(loader); err != nil {
+			return nil, fmt.Errorf("core: init of %s: %w", app.Name, err)
+		}
+	}
+
+	cpu := vm.New(prog.Text, prog.TextBase, mem)
+	cpu.Layout.PacketBase = PacketBase
+	cpu.Layout.PacketEnd = PacketBase + MaxPacketLen
+	cpu.Layout.DataBase = prog.DataBase
+	cpu.Layout.DataEnd = prog.DataBase + heap
+	cpu.Layout.StackBase = StackTop - StackSize
+	cpu.Layout.StackEnd = StackTop
+
+	blocks := analysis.NewBlockMap(prog.Text, prog.TextBase)
+	col := stats.NewCollector(prog.Text, prog.TextBase, blocks)
+	col.Detail = opts.Detail
+	col.Coverage = opts.Coverage
+	col.KeepRecords = opts.KeepRecords
+	cpu.Tracer = col
+
+	return &Bench{
+		app: app, prog: prog, mem: mem, cpu: cpu,
+		col: col, blocks: blocks, loader: loader,
+		entry: entry, stepLimit: stepLimit,
+	}, nil
+}
+
+// Program returns the assembled application image.
+func (b *Bench) Program() *asm.Program { return b.prog }
+
+// Collector exposes the statistics collector.
+func (b *Bench) Collector() *stats.Collector { return b.col }
+
+// BlockMap exposes the application's basic-block decomposition.
+func (b *Bench) BlockMap() *analysis.BlockMap { return b.blocks }
+
+// Memory exposes simulated memory for host-side inspection (differential
+// tests walk application tables through this).
+func (b *Bench) Memory() *vm.Memory { return b.mem }
+
+// Loader returns the loader, whose HeapNext reports the extent of
+// initialized application state.
+func (b *Bench) Loader() *Loader { return b.loader }
+
+// ProcessPacket runs the application on one packet and returns its
+// verdict and workload record.
+func (b *Bench) ProcessPacket(p *trace.Packet) (Result, error) {
+	n := len(p.Data)
+	if n > MaxPacketLen {
+		return Result{}, fmt.Errorf("core: packet of %d bytes exceeds buffer", n)
+	}
+	// Place the packet. The previous packet is at most MaxPacketLen, and
+	// zeroing only up to the new length suffices because longer stale
+	// bytes are unreachable through a correctly sized a1; clear a bit
+	// beyond to be safe for header-only captures whose apps read fixed
+	// offsets.
+	b.mem.Zero(PacketBase, MaxPacketLen)
+	b.mem.WriteBytes(PacketBase, p.Data)
+
+	for r := range b.cpu.Regs {
+		b.cpu.Regs[r] = 0
+	}
+	b.cpu.SetReg(isa.A0, PacketBase)
+	b.cpu.SetReg(isa.A1, uint32(n))
+	b.cpu.SetReg(isa.SP, StackTop)
+	b.cpu.SetReg(isa.RA, vm.ReturnAddress)
+	b.cpu.PC = b.entry
+
+	b.col.BeginPacket()
+	_, _, err := b.cpu.Run(b.stepLimit)
+	if err != nil {
+		return Result{}, fmt.Errorf("core: %s: packet %d: %w", b.app.Name, b.processed, err)
+	}
+	rec := b.col.EndPacket()
+	b.processed++
+	return Result{Verdict: b.cpu.Reg(isa.A0), Record: rec}, nil
+}
+
+// SetTracing attaches or detaches the statistics collector (and any
+// extra tracers) from the simulated core. Detached runs execute at full
+// simulator speed but produce empty packet records; the tracer-overhead
+// ablation uses this.
+func (b *Bench) SetTracing(enabled bool) {
+	if !enabled {
+		b.cpu.Tracer = nil
+		return
+	}
+	if len(b.extraTracers) == 0 {
+		b.cpu.Tracer = b.col
+		return
+	}
+	b.cpu.Tracer = vm.MultiTracer(append([]vm.Tracer{b.col}, b.extraTracers...))
+}
+
+// AddTracer attaches an additional tracer (for example a
+// microarch.Profiler) alongside the workload collector.
+func (b *Bench) AddTracer(t vm.Tracer) {
+	b.extraTracers = append(b.extraTracers, t)
+	b.SetTracing(true)
+}
+
+// PacketBytes reads back n bytes of the packet buffer (after processing,
+// to observe in-place modifications).
+func (b *Bench) PacketBytes(n int) []byte {
+	return b.mem.ReadBytes(PacketBase, n)
+}
+
+// RunTrace processes every packet from the reader (up to limit packets;
+// limit <= 0 means all) and returns the per-packet records. Verdicts are
+// passed to onResult when non-nil.
+func (b *Bench) RunTrace(r trace.Reader, limit int, onResult func(int, Result)) ([]stats.PacketRecord, error) {
+	var records []stats.PacketRecord
+	for i := 0; limit <= 0 || i < limit; i++ {
+		p, err := r.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return records, err
+		}
+		res, err := b.ProcessPacket(p)
+		if err != nil {
+			return records, err
+		}
+		records = append(records, res.Record)
+		if onResult != nil {
+			onResult(i, res)
+		}
+	}
+	return records, nil
+}
+
+// RunPackets processes a pre-loaded packet slice and returns the records.
+func (b *Bench) RunPackets(pkts []*trace.Packet, onResult func(int, Result)) ([]stats.PacketRecord, error) {
+	records := make([]stats.PacketRecord, 0, len(pkts))
+	for i, p := range pkts {
+		res, err := b.ProcessPacket(p)
+		if err != nil {
+			return records, err
+		}
+		records = append(records, res.Record)
+		if onResult != nil {
+			onResult(i, res)
+		}
+	}
+	return records, nil
+}

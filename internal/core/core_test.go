@@ -1,0 +1,364 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/stats"
+	"repro/internal/trace"
+	"repro/internal/vm"
+)
+
+// echoApp reads the first packet word, adds the value published by Init
+// at the "bias" symbol, writes the sum back into the packet, and returns
+// the packet length as its verdict.
+const echoSrc = `
+	.data
+bias:	.word 0
+	.text
+	.global process_packet
+process_packet:
+	la   t0, bias
+	lw   t0, 0(t0)
+	lw   t1, 0(a0)
+	add  t1, t1, t0
+	sw   t1, 4(a0)
+	mv   a0, a1
+	ret
+`
+
+func echoApp(bias uint32) *App {
+	return &App{
+		Name:   "echo",
+		Source: echoSrc,
+		Entry:  "process_packet",
+		Init: func(ld *Loader) error {
+			return ld.SetWord("bias", bias)
+		},
+	}
+}
+
+func ipPacket(n int) *trace.Packet {
+	data := make([]byte, n)
+	data[0] = 0x45
+	return &trace.Packet{Data: data}
+}
+
+func TestBenchProcessPacket(t *testing.T) {
+	b, err := New(echoApp(100), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := ipPacket(64)
+	p.Data[0] = 42 // first word = 42 little-endian... first byte
+	res, err := b.ProcessPacket(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Verdict != 64 {
+		t.Errorf("verdict = %d, want 64", res.Verdict)
+	}
+	if res.Record.Instructions == 0 {
+		t.Error("no instructions recorded")
+	}
+	out := b.PacketBytes(8)
+	got := uint32(out[4]) | uint32(out[5])<<8 | uint32(out[6])<<16 | uint32(out[7])<<24
+	if got != 42+100 {
+		t.Errorf("packet word = %d, want 142", got)
+	}
+}
+
+func TestBenchPacketIsolation(t *testing.T) {
+	// Stale bytes from a longer previous packet must not leak into the
+	// buffer of a shorter one.
+	b, err := New(echoApp(0), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	long := ipPacket(128)
+	for i := range long.Data {
+		long.Data[i] = 0xAA
+	}
+	if _, err := b.ProcessPacket(long); err != nil {
+		t.Fatal(err)
+	}
+	short := ipPacket(32)
+	if _, err := b.ProcessPacket(short); err != nil {
+		t.Fatal(err)
+	}
+	buf := b.PacketBytes(128)
+	for i := 32; i < 128; i++ {
+		if buf[i] != 0 && i != 4 { // offset 4 is written by the app
+			t.Fatalf("stale byte %#x at offset %d", buf[i], i)
+		}
+	}
+}
+
+func TestBenchErrors(t *testing.T) {
+	if _, err := New(&App{Name: "x", Source: "nop", Entry: ""}, Options{}); err == nil {
+		t.Error("missing entry symbol accepted")
+	}
+	if _, err := New(&App{Name: "x", Source: "frob", Entry: "e"}, Options{}); err == nil {
+		t.Error("assembly error not propagated")
+	}
+	if _, err := New(&App{Name: "x", Source: "nop\nret", Entry: "missing"}, Options{}); err == nil {
+		t.Error("undefined entry accepted")
+	}
+	initErr := &App{Name: "x", Source: "e:\nret", Entry: "e",
+		Init: func(ld *Loader) error { return ld.SetWord("nosuch", 1) }}
+	if _, err := New(initErr, Options{}); err == nil || !strings.Contains(err.Error(), "nosuch") {
+		t.Errorf("init error not propagated: %v", err)
+	}
+}
+
+func TestBenchOversizedPacket(t *testing.T) {
+	b, err := New(echoApp(0), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.ProcessPacket(ipPacket(MaxPacketLen + 1)); err == nil {
+		t.Error("oversized packet accepted")
+	}
+}
+
+func TestBenchStepLimit(t *testing.T) {
+	app := &App{Name: "spin", Source: "e:\nj e", Entry: "e"}
+	b, err := New(app, Options{StepLimit: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = b.ProcessPacket(ipPacket(20))
+	if err == nil || !strings.Contains(err.Error(), "step limit") {
+		t.Errorf("err = %v, want step limit fault", err)
+	}
+}
+
+func TestBenchFaultMentionsAppAndPacket(t *testing.T) {
+	app := &App{Name: "crash", Source: "e:\nlw a0, 0(zero)\nret", Entry: "e"}
+	b, err := New(app, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = b.ProcessPacket(ipPacket(20))
+	if err == nil || !strings.Contains(err.Error(), "crash") || !strings.Contains(err.Error(), "packet 0") {
+		t.Errorf("fault message lacks context: %v", err)
+	}
+}
+
+func TestLoaderAlloc(t *testing.T) {
+	b, err := New(echoApp(0), Options{HeapSize: 1 << 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ld := b.Loader()
+	a1, err := ld.Alloc(100, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a1%8 != 0 {
+		t.Errorf("allocation %#x not aligned", a1)
+	}
+	a2, err := ld.Alloc(4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a2 < a1+100 {
+		t.Errorf("allocations overlap: %#x after %#x+100", a2, a1)
+	}
+	if _, err := ld.Alloc(1<<20, 4); err == nil {
+		t.Error("over-budget allocation accepted")
+	}
+	if _, err := ld.Alloc(4, 3); err == nil {
+		t.Error("non-power-of-two alignment accepted")
+	}
+	if ld.HeapNext() < a2+4 {
+		t.Errorf("HeapNext = %#x", ld.HeapNext())
+	}
+}
+
+func TestRunPackets(t *testing.T) {
+	b, err := New(echoApp(0), Options{KeepRecords: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkts := []*trace.Packet{ipPacket(20), ipPacket(40), ipPacket(60)}
+	var verdicts []uint32
+	recs, err := b.RunPackets(pkts, func(i int, r Result) {
+		verdicts = append(verdicts, r.Verdict)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 3 || len(verdicts) != 3 {
+		t.Fatalf("records %d, verdicts %d", len(recs), len(verdicts))
+	}
+	for i, want := range []uint32{20, 40, 60} {
+		if verdicts[i] != want {
+			t.Errorf("verdict %d = %d, want %d", i, verdicts[i], want)
+		}
+	}
+	if len(b.Collector().Records) != 3 {
+		t.Errorf("collector kept %d records", len(b.Collector().Records))
+	}
+	s := stats.Summarize(recs)
+	if s.Packets != 3 {
+		t.Errorf("summary packets = %d", s.Packets)
+	}
+}
+
+func TestRunTraceFromReader(t *testing.T) {
+	prof, _ := gen.ProfileByName("LAN")
+	pkts := gen.Generate(prof, 10)
+	var buf bytes.Buffer
+	w, _ := trace.NewPcapWriter(&buf)
+	for _, p := range pkts {
+		if err := w.WritePacket(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r, err := trace.NewPcapReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New(echoApp(0), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, err := b.RunTrace(r, 7, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 7 {
+		t.Errorf("RunTrace(limit 7) processed %d", len(recs))
+	}
+}
+
+func TestLayoutRegionsDisjoint(t *testing.T) {
+	b, err := New(echoApp(0), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := b.cpu.Layout
+	regions := []struct {
+		name      string
+		base, end uint32
+	}{
+		{"text", l.TextBase, l.TextEnd},
+		{"packet", l.PacketBase, l.PacketEnd},
+		{"data", l.DataBase, l.DataEnd},
+		{"stack", l.StackBase, l.StackEnd},
+	}
+	for i, a := range regions {
+		if a.base >= a.end {
+			t.Errorf("region %s empty or inverted: [%#x, %#x)", a.name, a.base, a.end)
+		}
+		for _, bb := range regions[i+1:] {
+			if a.base < bb.end && bb.base < a.end {
+				t.Errorf("regions %s and %s overlap", a.name, bb.name)
+			}
+		}
+	}
+	if l.Classify(vm.ReturnAddress) != vm.RegionNone {
+		t.Error("magic return address is mapped")
+	}
+}
+
+func TestBenchAccessors(t *testing.T) {
+	b, err := New(echoApp(0), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Program() == nil || b.Collector() == nil || b.BlockMap() == nil || b.Memory() == nil {
+		t.Error("accessor returned nil")
+	}
+	if b.BlockMap().NumBlocks() == 0 {
+		t.Error("no blocks in echo app")
+	}
+}
+
+func TestPoolMatchesSingleCore(t *testing.T) {
+	// For a per-packet-stateless application, the pool's records must be
+	// byte-identical to a single-core run in packet order.
+	app := echoApp(7)
+	pkts := make([]*trace.Packet, 40)
+	for i := range pkts {
+		pkts[i] = ipPacket(20 + i)
+	}
+	single, err := New(app, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := single.RunPackets(pkts, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool, err := NewPool(app, 4, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pool.Cores() != 4 {
+		t.Fatalf("Cores = %d", pool.Cores())
+	}
+	got, err := pool.RunPackets(pkts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("pool returned %d records", len(got))
+	}
+	for i := range want {
+		if got[i].Index != i {
+			t.Errorf("record %d has index %d", i, got[i].Index)
+		}
+		if got[i].Instructions != want[i].Instructions ||
+			got[i].Unique != want[i].Unique ||
+			got[i].PacketAccesses() != want[i].PacketAccesses() ||
+			got[i].NonPacketAccesses() != want[i].NonPacketAccesses() {
+			t.Errorf("record %d differs: pool %+v, single %+v", i, got[i], want[i])
+		}
+	}
+	// Each core can be inspected afterwards.
+	if pool.Bench(0) == nil || pool.Bench(3) == nil {
+		t.Error("Bench accessor returned nil")
+	}
+}
+
+func TestPoolErrorPropagation(t *testing.T) {
+	crash := &App{Name: "crash", Source: "e:\nlw a0, 0(zero)\nret", Entry: "e"}
+	pool, err := NewPool(crash, 2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pool.RunPackets([]*trace.Packet{ipPacket(20), ipPacket(20)}); err == nil {
+		t.Error("pool swallowed a core fault")
+	}
+	if _, err := NewPool(crash, 0, Options{}); err == nil {
+		t.Error("zero-core pool accepted")
+	}
+	bad := &App{Name: "bad", Source: "frob", Entry: "e"}
+	if _, err := NewPool(bad, 2, Options{}); err == nil {
+		t.Error("pool accepted unassemblable app")
+	}
+}
+
+func TestLoaderAllocAtLimit(t *testing.T) {
+	b, err := New(echoApp(0), Options{HeapSize: 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ld := b.Loader()
+	// Consume almost everything, leaving less than one alignment unit.
+	remaining := b.cpu.Layout.DataEnd - ld.HeapNext()
+	if _, err := ld.Alloc(remaining-2, 4); err != nil {
+		t.Fatal(err)
+	}
+	// The alignment bump would land past the limit; must error, not wrap.
+	if _, err := ld.Alloc(1, 64); err == nil {
+		t.Error("allocation past the heap limit accepted")
+	}
+	if _, err := ld.Alloc(4, 4); err == nil {
+		t.Error("allocation beyond remaining space accepted")
+	}
+}

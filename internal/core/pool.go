@@ -1,0 +1,81 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// Pool runs one application on several independent simulated cores,
+// exploiting "the inherent packet-level parallelism in the networking
+// domain" the paper identifies as the basis of NP architectures. Each
+// core is a full Bench with its own simulated memory and its own copy of
+// the application's tables — the replicated-state regime of real
+// network-processor microengines.
+//
+// Packets are distributed round-robin. For per-packet-stateless
+// applications (forwarding, anonymization, payload scanning) the
+// records are identical to a single-core run; stateful applications
+// (flow classification) accumulate per-core state, exactly as they
+// would on hardware without shared memory.
+type Pool struct {
+	benches []*Bench
+}
+
+// NewPool builds a pool of n cores running app. Each core runs the
+// application's Init independently.
+func NewPool(app *App, n int, opts Options) (*Pool, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("core: pool needs at least one core")
+	}
+	p := &Pool{}
+	for i := 0; i < n; i++ {
+		b, err := New(app, opts)
+		if err != nil {
+			return nil, fmt.Errorf("core: pool core %d: %w", i, err)
+		}
+		p.benches = append(p.benches, b)
+	}
+	return p, nil
+}
+
+// Cores returns the number of simulated cores.
+func (p *Pool) Cores() int { return len(p.benches) }
+
+// Bench returns core i's bench (for table walks or coverage queries
+// after a run).
+func (p *Pool) Bench(i int) *Bench { return p.benches[i] }
+
+// RunPackets processes the packets across the pool's cores
+// concurrently and returns one record per packet, in packet order, with
+// Index rewritten to the packet's position in pkts. The first core
+// error aborts the run.
+func (p *Pool) RunPackets(pkts []*trace.Packet) ([]stats.PacketRecord, error) {
+	records := make([]stats.PacketRecord, len(pkts))
+	errs := make([]error, len(p.benches))
+	var wg sync.WaitGroup
+	for c, b := range p.benches {
+		wg.Add(1)
+		go func(c int, b *Bench) {
+			defer wg.Done()
+			for i := c; i < len(pkts); i += len(p.benches) {
+				res, err := b.ProcessPacket(pkts[i])
+				if err != nil {
+					errs[c] = fmt.Errorf("core %d: %w", c, err)
+					return
+				}
+				res.Record.Index = i
+				records[i] = res.Record
+			}
+		}(c, b)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return records, nil
+}

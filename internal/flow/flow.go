@@ -1,0 +1,155 @@
+// Package flow implements the 5-tuple flow classifier substrate: a hash
+// table with chained collision resolution, exactly as the paper's Flow
+// Classification application maintains it ("the 5-tuple is used to compute
+// a hash index into a hash data structure that uses link lists to resolve
+// collisions").
+//
+// The native Table here serves two purposes: it is the reference
+// implementation the simulated PB32 application is differentially tested
+// against (same hash function, same bucket count, same insertion policy,
+// so after any packet sequence the two tables must hold identical flows),
+// and it is the baseline used by benchmarks.
+//
+// The serialized memory layout shared with internal/apps is:
+//
+//	bucket array:  NumBuckets little-endian words, each the absolute
+//	               address of the first flow node in the chain (0 = empty)
+//	flow node:     NodeSize bytes:
+//	               +0  source address
+//	               +4  destination address
+//	               +8  ports (srcPort<<16 | dstPort)
+//	               +12 protocol
+//	               +16 packet count
+//	               +20 byte count
+//	               +24 next node address (0 = end of chain)
+//	               +28 reserved
+//
+// New nodes are bump-allocated from a heap whose next-free pointer lives
+// in a single word the framework initializes (see internal/apps).
+package flow
+
+import (
+	"repro/internal/packet"
+)
+
+// NodeSize is the serialized size of one flow node.
+const NodeSize = 32
+
+// DefaultBuckets is the bucket count used by the paper-shaped experiments.
+// It must be a power of two.
+const DefaultBuckets = 1024
+
+// Hash computes the flow hash shared between the native and simulated
+// classifiers: a xor-fold of the 5-tuple mixed by a Knuth multiplicative
+// constant. The simulated application implements exactly these operations
+// (xor, shifts, one multiply), so both sides must agree bit for bit.
+func Hash(ft packet.FiveTuple) uint32 {
+	h := ft.Src ^ ft.Dst ^ (uint32(ft.SrcPort)<<16 | uint32(ft.DstPort)) ^ uint32(ft.Protocol)
+	h *= 2654435761
+	h ^= h >> 16
+	return h
+}
+
+// BucketIndex maps a hash to a bucket for a table of n buckets (n must be
+// a power of two).
+func BucketIndex(h uint32, n int) uint32 {
+	return h & uint32(n-1)
+}
+
+// Stat is the per-flow accounting state.
+type Stat struct {
+	Packets uint32
+	Bytes   uint32
+}
+
+// Table is the native flow classifier.
+type Table struct {
+	buckets []int // index of first node, -1 when empty
+	nodes   []nodeRec
+}
+
+type nodeRec struct {
+	tuple packet.FiveTuple
+	stat  Stat
+	next  int // -1 at end of chain
+}
+
+// NewTable creates a table with n buckets (rounded up to a power of two,
+// minimum 1).
+func NewTable(n int) *Table {
+	size := 1
+	for size < n {
+		size <<= 1
+	}
+	b := make([]int, size)
+	for i := range b {
+		b[i] = -1
+	}
+	return &Table{buckets: b}
+}
+
+// NumBuckets returns the bucket count.
+func (t *Table) NumBuckets() int { return len(t.buckets) }
+
+// NumFlows returns the number of distinct flows seen.
+func (t *Table) NumFlows() int { return len(t.nodes) }
+
+// Classify accounts one packet of the given wire length to its flow,
+// creating the flow if needed. It reports whether the flow was new. New
+// nodes are inserted at the head of their chain, matching the simulated
+// application.
+func (t *Table) Classify(ft packet.FiveTuple, bytes int) (isNew bool) {
+	idx := BucketIndex(Hash(ft), len(t.buckets))
+	for i := t.buckets[idx]; i >= 0; i = t.nodes[i].next {
+		if t.nodes[i].tuple == ft {
+			t.nodes[i].stat.Packets++
+			t.nodes[i].stat.Bytes += uint32(bytes)
+			return false
+		}
+	}
+	t.nodes = append(t.nodes, nodeRec{
+		tuple: ft,
+		stat:  Stat{Packets: 1, Bytes: uint32(bytes)},
+		next:  t.buckets[idx],
+	})
+	t.buckets[idx] = len(t.nodes) - 1
+	return true
+}
+
+// Lookup returns the accounting state of a flow.
+func (t *Table) Lookup(ft packet.FiveTuple) (Stat, bool) {
+	idx := BucketIndex(Hash(ft), len(t.buckets))
+	for i := t.buckets[idx]; i >= 0; i = t.nodes[i].next {
+		if t.nodes[i].tuple == ft {
+			return t.nodes[i].stat, true
+		}
+	}
+	return Stat{}, false
+}
+
+// Flows calls f for every flow in the table. Iteration order is bucket
+// order, then chain order (most recently inserted first), which matches a
+// walk of the serialized table.
+func (t *Table) Flows(f func(packet.FiveTuple, Stat)) {
+	for _, head := range t.buckets {
+		for i := head; i >= 0; i = t.nodes[i].next {
+			f(t.nodes[i].tuple, t.nodes[i].stat)
+		}
+	}
+}
+
+// MaxChainLen returns the longest collision chain, a load-factor
+// diagnostic used by tests and benchmarks.
+func (t *Table) MaxChainLen() int {
+	max := 0
+	for _, head := range t.buckets {
+		n := 0
+		for i := head; i >= 0; i = t.nodes[i].next {
+			n++
+		}
+		if n > max {
+			max = n
+		}
+	}
+	return max
+}

@@ -1,0 +1,173 @@
+package flow
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/packet"
+)
+
+func tuple(src, dst uint32, sp, dp uint16, proto uint8) packet.FiveTuple {
+	return packet.FiveTuple{Src: src, Dst: dst, SrcPort: sp, DstPort: dp, Protocol: proto}
+}
+
+func TestNewTableRounding(t *testing.T) {
+	cases := map[int]int{0: 1, 1: 1, 2: 2, 3: 4, 1000: 1024, 1024: 1024}
+	for in, want := range cases {
+		if got := NewTable(in).NumBuckets(); got != want {
+			t.Errorf("NewTable(%d).NumBuckets() = %d, want %d", in, got, want)
+		}
+	}
+}
+
+func TestClassifyNewAndExisting(t *testing.T) {
+	tb := NewTable(DefaultBuckets)
+	ft := tuple(1, 2, 3, 4, packet.ProtoTCP)
+	if !tb.Classify(ft, 100) {
+		t.Error("first packet of a flow not reported new")
+	}
+	if tb.Classify(ft, 50) {
+		t.Error("second packet of a flow reported new")
+	}
+	st, ok := tb.Lookup(ft)
+	if !ok || st.Packets != 2 || st.Bytes != 150 {
+		t.Errorf("stat = %+v, %v; want 2 packets, 150 bytes", st, ok)
+	}
+	if tb.NumFlows() != 1 {
+		t.Errorf("NumFlows = %d", tb.NumFlows())
+	}
+}
+
+func TestLookupMissing(t *testing.T) {
+	tb := NewTable(16)
+	if _, ok := tb.Lookup(tuple(9, 9, 9, 9, 6)); ok {
+		t.Error("lookup of absent flow succeeded")
+	}
+}
+
+func TestDistinctFlowsDistinctStats(t *testing.T) {
+	tb := NewTable(4) // tiny table to force collisions
+	flows := []packet.FiveTuple{
+		tuple(1, 2, 10, 20, 6),
+		tuple(1, 2, 10, 20, 17), // differs only in protocol
+		tuple(1, 2, 20, 10, 6),  // swapped ports
+		tuple(2, 1, 10, 20, 6),  // swapped addresses
+		tuple(1, 3, 10, 20, 6),
+	}
+	for i, ft := range flows {
+		for j := 0; j <= i; j++ {
+			tb.Classify(ft, 10)
+		}
+	}
+	if tb.NumFlows() != len(flows) {
+		t.Fatalf("NumFlows = %d, want %d", tb.NumFlows(), len(flows))
+	}
+	for i, ft := range flows {
+		st, ok := tb.Lookup(ft)
+		if !ok || int(st.Packets) != i+1 {
+			t.Errorf("flow %d: %+v, %v; want %d packets", i, st, ok, i+1)
+		}
+	}
+}
+
+func TestFlowsIterationCoversAll(t *testing.T) {
+	tb := NewTable(8)
+	rng := rand.New(rand.NewSource(3))
+	want := make(map[packet.FiveTuple]uint32)
+	for i := 0; i < 500; i++ {
+		ft := tuple(rng.Uint32()%16, rng.Uint32()%16, uint16(rng.Intn(4)), uint16(rng.Intn(4)), 6)
+		tb.Classify(ft, 1)
+		want[ft]++
+	}
+	got := make(map[packet.FiveTuple]uint32)
+	tb.Flows(func(ft packet.FiveTuple, st Stat) {
+		got[ft] = st.Packets
+	})
+	if len(got) != len(want) {
+		t.Fatalf("iterated %d flows, want %d", len(got), len(want))
+	}
+	for ft, n := range want {
+		if got[ft] != n {
+			t.Errorf("flow %v: %d packets, want %d", ft, got[ft], n)
+		}
+	}
+}
+
+func TestHashDeterministicAndSpread(t *testing.T) {
+	ft := tuple(0x0A000001, 0x0A000002, 80, 443, 6)
+	if Hash(ft) != Hash(ft) {
+		t.Error("hash not deterministic")
+	}
+	// Hash must spread realistic traffic across buckets: generate
+	// profile-shaped flows and check bucket utilization.
+	prof, _ := gen.ProfileByName("MRA")
+	pkts := gen.Generate(prof, 3000)
+	used := make(map[uint32]bool)
+	for _, p := range pkts {
+		ft, err := packet.ExtractFiveTuple(p.Data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		used[BucketIndex(Hash(ft), DefaultBuckets)] = true
+	}
+	if len(used) < DefaultBuckets/4 {
+		t.Errorf("hash uses only %d/%d buckets on realistic traffic", len(used), DefaultBuckets)
+	}
+}
+
+func TestBucketIndexInRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 1000; i++ {
+		h := rng.Uint32()
+		if idx := BucketIndex(h, 256); idx >= 256 {
+			t.Fatalf("BucketIndex(%#x, 256) = %d", h, idx)
+		}
+	}
+}
+
+func TestMaxChainLen(t *testing.T) {
+	tb := NewTable(1) // everything chains in one bucket
+	for i := 0; i < 5; i++ {
+		tb.Classify(tuple(uint32(i), 0, 0, 0, 6), 1)
+	}
+	if got := tb.MaxChainLen(); got != 5 {
+		t.Errorf("MaxChainLen = %d, want 5", got)
+	}
+	empty := NewTable(16)
+	if empty.MaxChainLen() != 0 {
+		t.Error("empty table has a chain")
+	}
+}
+
+func TestClassifierOnGeneratedTraffic(t *testing.T) {
+	// End-to-end shape check: on an MRA-like trace the classifier must
+	// see mostly existing flows (the paper's dominant case) with a
+	// meaningful minority of new flows.
+	prof, _ := gen.ProfileByName("MRA")
+	pkts := gen.Generate(prof, 5000)
+	tb := NewTable(DefaultBuckets)
+	newFlows := 0
+	for _, p := range pkts {
+		ft, err := packet.ExtractFiveTuple(p.Data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tb.Classify(ft, p.WireLen) {
+			newFlows++
+		}
+	}
+	frac := float64(newFlows) / float64(len(pkts))
+	if frac < 0.02 || frac > 0.6 {
+		t.Errorf("new-flow fraction = %.2f; expected a hit-dominated mix", frac)
+	}
+	if tb.NumFlows() != newFlows {
+		t.Errorf("NumFlows = %d but %d new classifications", tb.NumFlows(), newFlows)
+	}
+	// Total packet count must be conserved.
+	var total uint32
+	tb.Flows(func(_ packet.FiveTuple, st Stat) { total += st.Packets })
+	if int(total) != len(pkts) {
+		t.Errorf("accounted %d packets, want %d", total, len(pkts))
+	}
+}

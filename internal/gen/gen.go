@@ -1,0 +1,424 @@
+// Package gen generates synthetic packet traces that stand in for the
+// NLANR PMA traces (MRA, COS, ODU) and the local LAN trace used in the
+// paper's evaluation.
+//
+// The original traces are no longer distributed, so each trace is replaced
+// by a deterministic generator profile that reproduces the *statistical
+// properties the workload metrics depend on*:
+//
+//   - the number of concurrent flows and the arrival rate of new flows,
+//     which set the hit/miss mix a flow classifier sees;
+//   - the spread of destination addresses over the routing prefix space,
+//     which drives the variation in route-lookup path length (the dominant
+//     source of per-packet instruction-count variation for IPv4-radix);
+//   - the protocol and packet-size mixes, which set the header shapes the
+//     applications parse;
+//   - the paper's trace preprocessing: NLANR traces number addresses
+//     sequentially from 10.0.0.1 ("to provide privacy"), and the paper
+//     scrambles them afterwards to restore uniform coverage of the
+//     routing table. Both transformations are implemented.
+//
+// Generation is fully deterministic for a given profile, so every
+// experiment in this repository is reproducible bit for bit.
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/packet"
+	"repro/internal/trace"
+)
+
+// SizePoint is one mode of a packet-size distribution.
+type SizePoint struct {
+	Bytes  int     // IP total length
+	Weight float64 // relative probability mass
+}
+
+// Profile parameterizes a synthetic trace.
+type Profile struct {
+	Name string
+	// Link describes the capture link for Table I (for example
+	// "OC-12c (PoS)").
+	Link string
+	// Packets is the nominal trace length from Table I of the paper;
+	// generators can produce any number of packets, this records the
+	// original trace size for reporting.
+	Packets int
+	// Flows is the steady-state number of concurrent flows.
+	Flows int
+	// NewFlowProb is the per-packet probability of starting a previously
+	// unseen flow (the flow-table miss rate seen by classification).
+	NewFlowProb float64
+	// TCP, UDP and ICMP weights of the protocol mix; they need not sum to
+	// one, only their ratio matters.
+	TCP, UDP, ICMP float64
+	// Sizes is the packet-size distribution.
+	Sizes []SizePoint
+	// AddrBits bounds the diversity of generated addresses: hosts are
+	// drawn from 2^AddrBits distinct values spread over the unicast
+	// space. Backbone traces use larger values than the LAN trace.
+	AddrBits int
+	// OptionProb is the probability a packet carries IP options (IHL 6
+	// or 7). Note the TSH trace format cannot represent options; keep
+	// this zero for traces destined for .tsh files.
+	OptionProb float64
+	// FragProb is the probability a packet is a fragment (more-fragments
+	// set or a nonzero fragment offset).
+	FragProb float64
+	// TTLExpireProb is the probability a packet arrives with TTL 1, the
+	// case a forwarding application must hand to the slow path.
+	TTLExpireProb float64
+	// Seed makes the trace deterministic.
+	Seed int64
+}
+
+// The four trace profiles from Table I of the paper.
+var profiles = []Profile{
+	{
+		Name: "MRA", Link: "OC-12c (PoS)", Packets: 4643333,
+		Flows: 2500, NewFlowProb: 0.06,
+		TCP: 0.88, UDP: 0.10, ICMP: 0.02,
+		Sizes:    []SizePoint{{40, 0.45}, {576, 0.25}, {1500, 0.20}, {80, 0.10}},
+		AddrBits: 24, OptionProb: 0.004, FragProb: 0.008, TTLExpireProb: 0.002,
+		Seed: 0x4D5241, // "MRA"
+	},
+	{
+		Name: "COS", Link: "OC-3c (ATM)", Packets: 2183310,
+		Flows: 1500, NewFlowProb: 0.07,
+		TCP: 0.85, UDP: 0.12, ICMP: 0.03,
+		Sizes:    []SizePoint{{40, 0.50}, {576, 0.22}, {1500, 0.18}, {120, 0.10}},
+		AddrBits: 22, OptionProb: 0.003, FragProb: 0.010, TTLExpireProb: 0.002,
+		Seed: 0x434F53, // "COS"
+	},
+	{
+		Name: "ODU", Link: "OC-3c (ATM)", Packets: 784278,
+		Flows: 800, NewFlowProb: 0.08,
+		TCP: 0.82, UDP: 0.14, ICMP: 0.04,
+		Sizes:    []SizePoint{{40, 0.48}, {576, 0.26}, {1500, 0.16}, {200, 0.10}},
+		AddrBits: 20, OptionProb: 0.005, FragProb: 0.012, TTLExpireProb: 0.003,
+		Seed: 0x4F4455, // "ODU"
+	},
+	{
+		Name: "LAN", Link: "100Mbps (Ethernet)", Packets: 100000,
+		Flows: 120, NewFlowProb: 0.03,
+		TCP: 0.70, UDP: 0.25, ICMP: 0.05,
+		Sizes:    []SizePoint{{40, 0.30}, {576, 0.20}, {1500, 0.35}, {100, 0.15}},
+		AddrBits: 12, FragProb: 0.004, TTLExpireProb: 0.001,
+		Seed: 0x4C414E, // "LAN"
+	},
+}
+
+// Profiles returns the built-in trace profiles in paper order
+// (MRA, COS, ODU, LAN).
+func Profiles() []Profile {
+	out := make([]Profile, len(profiles))
+	copy(out, profiles)
+	return out
+}
+
+// ProfileByName looks up a built-in profile, case sensitively.
+func ProfileByName(name string) (Profile, error) {
+	for _, p := range profiles {
+		if p.Name == name {
+			return p, nil
+		}
+	}
+	return Profile{}, fmt.Errorf("gen: unknown trace profile %q", name)
+}
+
+// flowState is one active synthetic flow.
+type flowState struct {
+	tuple packet.FiveTuple
+	size  int // preferred packet size for the flow
+}
+
+// Generator produces an endless synthetic packet stream for a profile.
+type Generator struct {
+	prof  Profile
+	rng   *rand.Rand
+	flows []flowState
+	sec   uint32
+	usec  uint32
+	// cumulative size weights for sampling
+	sizeCum []float64
+	sizeTot float64
+}
+
+// NewGenerator creates a generator in its deterministic start state.
+func NewGenerator(p Profile) *Generator {
+	if p.Flows <= 0 {
+		p.Flows = 1
+	}
+	if p.AddrBits <= 0 || p.AddrBits > 32 {
+		p.AddrBits = 24
+	}
+	if len(p.Sizes) == 0 {
+		p.Sizes = []SizePoint{{40, 1}}
+	}
+	g := &Generator{
+		prof: p,
+		rng:  rand.New(rand.NewSource(p.Seed)),
+		sec:  1_000_000_000,
+	}
+	for _, s := range p.Sizes {
+		g.sizeTot += s.Weight
+		g.sizeCum = append(g.sizeCum, g.sizeTot)
+	}
+	g.flows = make([]flowState, 0, p.Flows)
+	for i := 0; i < p.Flows; i++ {
+		g.flows = append(g.flows, g.newFlow())
+	}
+	return g
+}
+
+// hostAddr draws a host address from the profile's address population,
+// spread over the unicast space (avoiding 0.x and 127.x style edge
+// prefixes so generated packets look like transit traffic).
+func (g *Generator) hostAddr() uint32 {
+	bits := uint(g.prof.AddrBits)
+	v := uint32(g.rng.Int63()) & (1<<bits - 1)
+	// Spread the population over the address space with an affine map
+	// into [16.0.0.0, 224.0.0.0) and a bijective mix within the low bits.
+	v = v*2654435761 + 0x9E3779B9 // Knuth multiplicative mix (odd, bijective)
+	v &= 1<<bits - 1
+	base := uint32(16) << 24
+	span := uint32(208) << 24 // up to 224.0.0.0
+	// Place the population deterministically: index*stride keeps distinct
+	// values distinct when stride is odd relative to the span.
+	a := base + uint32(uint64(v)*uint64(span)/uint64(uint32(1)<<bits))
+	if a>>24 == 127 {
+		a += 1 << 24 // skip loopback; routers drop 127/8 sources
+	}
+	return a
+}
+
+func (g *Generator) pickProtocol() uint8 {
+	t := g.prof.TCP + g.prof.UDP + g.prof.ICMP
+	r := g.rng.Float64() * t
+	switch {
+	case r < g.prof.TCP:
+		return packet.ProtoTCP
+	case r < g.prof.TCP+g.prof.UDP:
+		return packet.ProtoUDP
+	}
+	return packet.ProtoICMP
+}
+
+func (g *Generator) pickSize() int {
+	r := g.rng.Float64() * g.sizeTot
+	for i, c := range g.sizeCum {
+		if r < c {
+			return g.prof.Sizes[i].Bytes
+		}
+	}
+	return g.prof.Sizes[len(g.prof.Sizes)-1].Bytes
+}
+
+func (g *Generator) newFlow() flowState {
+	proto := g.pickProtocol()
+	ft := packet.FiveTuple{
+		Src:      g.hostAddr(),
+		Dst:      g.hostAddr(),
+		Protocol: proto,
+	}
+	if proto == packet.ProtoTCP || proto == packet.ProtoUDP {
+		ft.SrcPort = uint16(1024 + g.rng.Intn(64512))
+		ft.DstPort = wellKnownPorts[g.rng.Intn(len(wellKnownPorts))]
+	}
+	return flowState{tuple: ft, size: g.pickSize()}
+}
+
+var wellKnownPorts = []uint16{80, 443, 25, 53, 110, 143, 22, 21, 123, 8080}
+
+// Next generates the next packet.
+func (g *Generator) Next() *trace.Packet {
+	var fl flowState
+	if g.rng.Float64() < g.prof.NewFlowProb {
+		fl = g.newFlow()
+		// Replace a random existing flow so the active set stays bounded,
+		// mimicking flow expiry.
+		g.flows[g.rng.Intn(len(g.flows))] = fl
+	} else {
+		// Zipf-like skew: cube the uniform variate so low-index flows
+		// (the heavy hitters) receive most packets and the bulk of the
+		// trace revisits a modest working set, as real backbone traffic
+		// does.
+		u := g.rng.Float64()
+		idx := int(u * u * u * float64(len(g.flows)))
+		if idx >= len(g.flows) {
+			idx = len(g.flows) - 1
+		}
+		fl = g.flows[idx]
+	}
+
+	size := fl.size
+	// Interleave small control packets (pure acks) into TCP flows.
+	if fl.tuple.Protocol == packet.ProtoTCP && g.rng.Float64() < 0.3 {
+		size = 40
+	}
+	if size < minPacketLen(fl.tuple.Protocol) {
+		size = minPacketLen(fl.tuple.Protocol)
+	}
+
+	data := g.buildPacket(fl.tuple, size)
+
+	// Advance the clock by an exponential-ish inter-arrival time.
+	g.usec += uint32(1 + g.rng.Intn(200))
+	if g.usec >= 1_000_000 {
+		g.usec -= 1_000_000
+		g.sec++
+	}
+	return &trace.Packet{Sec: g.sec, Usec: g.usec, Data: data, WireLen: len(data)}
+}
+
+func minPacketLen(proto uint8) int {
+	switch proto {
+	case packet.ProtoTCP:
+		return packet.IPv4HeaderLen + packet.TCPHeaderLen
+	case packet.ProtoUDP:
+		return packet.IPv4HeaderLen + packet.UDPHeaderLen
+	}
+	return packet.IPv4HeaderLen + 8 // ICMP echo header
+}
+
+// buildPacket serializes one packet for the flow with valid checksums and
+// plausible header fields, injecting the profile's rare cases (options,
+// fragments, expiring TTL) that exercise the applications' slow paths.
+func (g *Generator) buildPacket(ft packet.FiveTuple, size int) []byte {
+	h := packet.IPv4Header{
+		Version: 4, IHL: 5,
+		TOS:      0,
+		TotalLen: uint16(size),
+		ID:       uint16(g.rng.Intn(65536)),
+		TTL:      uint8(32 + g.rng.Intn(224)),
+		Protocol: ft.Protocol,
+		Src:      ft.Src,
+		Dst:      ft.Dst,
+	}
+	if g.rng.Float64() < g.prof.TTLExpireProb {
+		h.TTL = 1
+	}
+	if g.rng.Float64() < g.prof.FragProb {
+		if g.rng.Intn(2) == 0 {
+			h.Flags |= 1 // more fragments
+		} else {
+			h.FragOff = uint16(1 + g.rng.Intn(512))
+		}
+	}
+	if g.rng.Float64() < g.prof.OptionProb {
+		// One or two words of NOP options terminated by end-of-list.
+		words := 1 + g.rng.Intn(2)
+		h.IHL = uint8(5 + words)
+		h.Options = make([]byte, words*4)
+		for i := range h.Options {
+			h.Options[i] = 1 // NOP
+		}
+		h.Options[len(h.Options)-1] = 0 // EOL
+		size += words * 4
+		h.TotalLen = uint16(size)
+	}
+	b := make([]byte, size)
+	// Fill the payload with deterministic pseudo-random bytes so payload
+	// processing applications have real content to chew on; the header
+	// fields are overwritten below.
+	for i := range b {
+		b[i] = byte(g.rng.Intn(256))
+	}
+	h.MarshalInto(b)
+	l4 := b[h.HeaderLen():]
+	switch ft.Protocol {
+	case packet.ProtoTCP:
+		th := packet.TCPHeader{
+			SrcPort: ft.SrcPort, DstPort: ft.DstPort,
+			Seq: g.rng.Uint32(), Ack: g.rng.Uint32(),
+			DataOff: 5, Flags: 0x10, Window: 65535,
+		}
+		th.MarshalInto(l4)
+	case packet.ProtoUDP:
+		uh := packet.UDPHeader{
+			SrcPort: ft.SrcPort, DstPort: ft.DstPort,
+			Length: uint16(size - packet.IPv4HeaderLen),
+		}
+		uh.MarshalInto(l4)
+	case packet.ProtoICMP:
+		l4[0] = 8 // echo request
+		l4[1] = 0 // code
+	}
+	return b
+}
+
+// Generate produces n packets from the profile.
+func Generate(p Profile, n int) []*trace.Packet {
+	g := NewGenerator(p)
+	out := make([]*trace.Packet, n)
+	for i := range out {
+		out[i] = g.Next()
+	}
+	return out
+}
+
+// RenumberNLANR applies the NLANR privacy renumbering the paper describes:
+// every distinct address is replaced by sequential addresses starting at
+// 10.0.0.1 in order of first occurrence. The result is the biased address
+// distribution the paper observed ("lookups ... lead almost always to the
+// same prefix"), which ScrambleAddrs then corrects. Checksums are
+// recomputed. The packets are modified in place.
+func RenumberNLANR(pkts []*trace.Packet) {
+	next := uint32(0x0A000001) // 10.0.0.1
+	seen := make(map[uint32]uint32)
+	mapAddr := func(a uint32) uint32 {
+		if m, ok := seen[a]; ok {
+			return m
+		}
+		m := next
+		next++
+		seen[a] = m
+		return m
+	}
+	for _, p := range pkts {
+		rewriteAddrs(p, mapAddr)
+	}
+}
+
+// ScrambleAddrs applies the paper's preprocessing fix: a deterministic
+// bijective scramble of every IP address so that destination coverage of
+// the routing table becomes approximately uniform. Checksums are
+// recomputed. The packets are modified in place.
+func ScrambleAddrs(pkts []*trace.Packet) {
+	for _, p := range pkts {
+		rewriteAddrs(p, ScrambleAddr)
+	}
+}
+
+// ScrambleAddr is the deterministic scramble used by ScrambleAddrs: a
+// bijective xorshift-multiply mix constrained to the unicast range
+// [16.0.0.0, 224.0.0.0) by cycle walking, so scrambled traffic still
+// looks like routable transit traffic (forwarding applications would
+// otherwise discard out-of-range sources as martians). Restricted to
+// unicast inputs the map is a permutation of the unicast space.
+func ScrambleAddr(a uint32) uint32 {
+	for {
+		a ^= a >> 16
+		a *= 0x7FEB352D
+		a ^= a >> 15
+		a *= 0x846CA68B
+		a ^= a >> 16
+		if top := uint8(a >> 24); top >= 16 && top < 224 && top != 127 {
+			return a
+		}
+	}
+}
+
+// rewriteAddrs maps the src and dst of a packet through f, fixing the
+// header checksum. Packets that do not parse are left untouched.
+func rewriteAddrs(p *trace.Packet, f func(uint32) uint32) {
+	h, err := packet.ParseIPv4(p.Data)
+	if err != nil {
+		return
+	}
+	h.Src = f(h.Src)
+	h.Dst = f(h.Dst)
+	h.MarshalInto(p.Data)
+}

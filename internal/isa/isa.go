@@ -1,0 +1,513 @@
+// Package isa defines PB32, the 32-bit RISC instruction set executed by the
+// PacketBench processor simulator.
+//
+// PB32 is a small load/store architecture in the spirit of the embedded RISC
+// cores (ARM7-class) found on network processors such as the Intel IXP2400.
+// It has sixteen 32-bit general-purpose registers, a flat 32-bit byte
+// addressed memory, and fixed-width 32-bit instruction words. The instruction
+// set is deliberately minimal: integer ALU operations, loads and stores of
+// bytes, halfwords and words, conditional branches, and jump-and-link calls.
+// There is no floating point, no interrupt model and no privileged state;
+// network processing data paths need none of those, and omitting them keeps
+// the simulator's per-instruction accounting exact and fast.
+//
+// Instruction formats (bit 31 is the most significant):
+//
+//	R-type:  [31:24] opcode  [23:20] rd   [19:16] rs1  [15:12] rs2  [11:0] zero
+//	I-type:  [31:24] opcode  [23:20] rd   [19:16] rs1  [11:0] imm12
+//	B-type:  [31:24] opcode  [23:20] zero [19:16] rs1  [15:12] rs2  [11:0] imm12
+//	U-type:  [31:24] opcode  [23:20] rd   [19:0] imm20
+//	J-type:  [31:24] opcode  [23:20] rd   [19:0] imm20
+//
+// Branch and jump immediates are signed word offsets relative to the address
+// of the *next* instruction (pc+4), as on most RISC machines. Arithmetic
+// immediates (ADDI, SLTI, loads, stores, JALR) are sign extended; logical
+// immediates (ANDI, ORI, XORI) are zero extended so that LUI+ORI composes a
+// full 32-bit constant without corrections.
+package isa
+
+import "fmt"
+
+// WordSize is the size in bytes of one instruction word and of the natural
+// integer width of the machine.
+const WordSize = 4
+
+// NumRegs is the number of general-purpose registers.
+const NumRegs = 16
+
+// Reg identifies one of the sixteen general purpose registers.
+type Reg uint8
+
+// Conventional register assignments used by the PacketBench ABI. The
+// hardware treats all registers except Zero identically; the names encode
+// the software calling convention:
+//
+//	r0      zero   always reads as 0, writes are discarded
+//	r1-r4   a0-a3  arguments / return values
+//	r5-r9   t0-t4  caller-saved temporaries
+//	r10-r13 s0-s3  callee-saved
+//	r14     sp     stack pointer
+//	r15     ra     return address (link register)
+const (
+	Zero Reg = 0
+	A0   Reg = 1
+	A1   Reg = 2
+	A2   Reg = 3
+	A3   Reg = 4
+	T0   Reg = 5
+	T1   Reg = 6
+	T2   Reg = 7
+	T3   Reg = 8
+	T4   Reg = 9
+	S0   Reg = 10
+	S1   Reg = 11
+	S2   Reg = 12
+	S3   Reg = 13
+	SP   Reg = 14
+	RA   Reg = 15
+)
+
+var regNames = [NumRegs]string{
+	"zero", "a0", "a1", "a2", "a3",
+	"t0", "t1", "t2", "t3", "t4",
+	"s0", "s1", "s2", "s3", "sp", "ra",
+}
+
+// String returns the ABI name of the register (for example "a0" or "sp").
+func (r Reg) String() string {
+	if int(r) < len(regNames) {
+		return regNames[r]
+	}
+	return fmt.Sprintf("r?%d", uint8(r))
+}
+
+// Valid reports whether r names an architectural register.
+func (r Reg) Valid() bool { return r < NumRegs }
+
+// ParseReg resolves a register name. Both ABI names ("a0", "sp") and raw
+// names ("r0" through "r15") are accepted.
+func ParseReg(name string) (Reg, bool) {
+	for i, n := range regNames {
+		if n == name {
+			return Reg(i), true
+		}
+	}
+	if len(name) >= 2 && name[0] == 'r' {
+		v := 0
+		for _, c := range name[1:] {
+			if c < '0' || c > '9' {
+				return 0, false
+			}
+			v = v*10 + int(c-'0')
+			if v >= NumRegs {
+				return 0, false
+			}
+		}
+		return Reg(v), true
+	}
+	return 0, false
+}
+
+// Format classifies how an instruction's operands are packed into the
+// 32-bit instruction word.
+type Format uint8
+
+// The instruction formats of PB32. See the package comment for the exact
+// bit layouts.
+const (
+	FormatR Format = iota // rd, rs1, rs2
+	FormatI               // rd, rs1, imm12  (ALU immediate, loads, JALR)
+	FormatS               // rd(=src), rs1(=base), imm12  (stores)
+	FormatB               // rs1, rs2, imm12 word offset  (branches)
+	FormatU               // rd, imm20  (LUI)
+	FormatJ               // rd, imm20 word offset  (JAL)
+	FormatN               // no operands  (HALT)
+)
+
+// Opcode enumerates the PB32 operations.
+type Opcode uint8
+
+// The complete PB32 opcode set.
+const (
+	// R-type ALU.
+	ADD Opcode = iota
+	SUB
+	AND
+	OR
+	XOR
+	SLL
+	SRL
+	SRA
+	SLT
+	SLTU
+	MUL
+
+	// I-type ALU.
+	ADDI
+	ANDI
+	ORI
+	XORI
+	SLLI
+	SRLI
+	SRAI
+	SLTI
+	SLTIU
+
+	// U-type.
+	LUI
+
+	// Loads (I-type).
+	LB
+	LBU
+	LH
+	LHU
+	LW
+
+	// Stores (S-type).
+	SB
+	SH
+	SW
+
+	// Branches (B-type).
+	BEQ
+	BNE
+	BLT
+	BGE
+	BLTU
+	BGEU
+
+	// Jumps.
+	JAL  // J-type: rd <- pc+4; pc <- pc+4 + imm20*4
+	JALR // I-type: rd <- pc+4; pc <- (rs1 + imm12) &^ 3
+
+	// Control.
+	HALT // N-type: stop execution and return control to the framework
+
+	numOpcodes // sentinel; must be last
+)
+
+// NumOpcodes is the number of defined opcodes.
+const NumOpcodes = int(numOpcodes)
+
+// opInfo carries the static properties of one opcode.
+type opInfo struct {
+	name   string
+	format Format
+	// signedImm reports whether the 12-bit immediate is sign extended when
+	// decoded (true for arithmetic/memory/branch offsets, false for the
+	// logical immediates).
+	signedImm bool
+}
+
+var opTable = [numOpcodes]opInfo{
+	ADD:   {"add", FormatR, false},
+	SUB:   {"sub", FormatR, false},
+	AND:   {"and", FormatR, false},
+	OR:    {"or", FormatR, false},
+	XOR:   {"xor", FormatR, false},
+	SLL:   {"sll", FormatR, false},
+	SRL:   {"srl", FormatR, false},
+	SRA:   {"sra", FormatR, false},
+	SLT:   {"slt", FormatR, false},
+	SLTU:  {"sltu", FormatR, false},
+	MUL:   {"mul", FormatR, false},
+	ADDI:  {"addi", FormatI, true},
+	ANDI:  {"andi", FormatI, false},
+	ORI:   {"ori", FormatI, false},
+	XORI:  {"xori", FormatI, false},
+	SLLI:  {"slli", FormatI, false},
+	SRLI:  {"srli", FormatI, false},
+	SRAI:  {"srai", FormatI, false},
+	SLTI:  {"slti", FormatI, true},
+	SLTIU: {"sltiu", FormatI, true},
+	LUI:   {"lui", FormatU, false},
+	LB:    {"lb", FormatI, true},
+	LBU:   {"lbu", FormatI, true},
+	LH:    {"lh", FormatI, true},
+	LHU:   {"lhu", FormatI, true},
+	LW:    {"lw", FormatI, true},
+	SB:    {"sb", FormatS, true},
+	SH:    {"sh", FormatS, true},
+	SW:    {"sw", FormatS, true},
+	BEQ:   {"beq", FormatB, true},
+	BNE:   {"bne", FormatB, true},
+	BLT:   {"blt", FormatB, true},
+	BGE:   {"bge", FormatB, true},
+	BLTU:  {"bltu", FormatB, true},
+	BGEU:  {"bgeu", FormatB, true},
+	JAL:   {"jal", FormatJ, true},
+	JALR:  {"jalr", FormatI, true},
+	HALT:  {"halt", FormatN, false},
+}
+
+// String returns the assembler mnemonic of the opcode.
+func (op Opcode) String() string {
+	if op < numOpcodes {
+		return opTable[op].name
+	}
+	return fmt.Sprintf("op?%d", uint8(op))
+}
+
+// Valid reports whether op is a defined opcode.
+func (op Opcode) Valid() bool { return op < numOpcodes }
+
+// Format returns the instruction format of op.
+func (op Opcode) Format() Format {
+	if op.Valid() {
+		return opTable[op].format
+	}
+	return FormatN
+}
+
+// IsLoad reports whether op reads data memory.
+func (op Opcode) IsLoad() bool { return op >= LB && op <= LW }
+
+// IsStore reports whether op writes data memory.
+func (op Opcode) IsStore() bool { return op >= SB && op <= SW }
+
+// IsBranch reports whether op is a conditional branch.
+func (op Opcode) IsBranch() bool { return op >= BEQ && op <= BGEU }
+
+// IsControl reports whether op may change the program counter to anything
+// other than pc+4 (branches, jumps and HALT). Such instructions terminate
+// basic blocks.
+func (op Opcode) IsControl() bool {
+	return op.IsBranch() || op == JAL || op == JALR || op == HALT
+}
+
+// MemSize returns the access width in bytes of a load or store opcode and
+// zero for every other opcode.
+func (op Opcode) MemSize() int {
+	switch op {
+	case LB, LBU, SB:
+		return 1
+	case LH, LHU, SH:
+		return 2
+	case LW, SW:
+		return 4
+	}
+	return 0
+}
+
+// ParseOpcode resolves an assembler mnemonic to its opcode.
+func ParseOpcode(name string) (Opcode, bool) {
+	for op := Opcode(0); op < numOpcodes; op++ {
+		if opTable[op].name == name {
+			return op, true
+		}
+	}
+	return 0, false
+}
+
+// Instruction is one decoded PB32 instruction. The interpretation of the
+// fields depends on the opcode's format; unused fields must be zero so that
+// Encode/Decode round-trip exactly.
+type Instruction struct {
+	Op  Opcode
+	Rd  Reg
+	Rs1 Reg
+	Rs2 Reg
+	// Imm holds the immediate operand. For branches and JAL it is a signed
+	// *word* offset relative to pc+4. For LUI it is the upper-20 value
+	// before shifting.
+	Imm int32
+}
+
+// immediate range limits per format.
+const (
+	MinImm12  = -(1 << 11)
+	MaxImm12  = 1<<11 - 1
+	MaxUimm12 = 1<<12 - 1
+	MinImm20  = -(1 << 19)
+	MaxImm20  = 1<<19 - 1
+	MaxUimm20 = 1<<20 - 1
+)
+
+// Validate checks that the instruction's operands are representable in its
+// opcode's encoding.
+func (in Instruction) Validate() error {
+	if !in.Op.Valid() {
+		return fmt.Errorf("isa: invalid opcode %d", uint8(in.Op))
+	}
+	checkReg := func(r Reg, what string) error {
+		if !r.Valid() {
+			return fmt.Errorf("isa: %s: invalid register %d in %q", what, uint8(r), in.Op)
+		}
+		return nil
+	}
+	info := opTable[in.Op]
+	switch info.format {
+	case FormatR:
+		for _, c := range []struct {
+			r    Reg
+			what string
+		}{{in.Rd, "rd"}, {in.Rs1, "rs1"}, {in.Rs2, "rs2"}} {
+			if err := checkReg(c.r, c.what); err != nil {
+				return err
+			}
+		}
+		if in.Imm != 0 {
+			return fmt.Errorf("isa: %q takes no immediate", in.Op)
+		}
+	case FormatI, FormatS:
+		if err := checkReg(in.Rd, "rd"); err != nil {
+			return err
+		}
+		if err := checkReg(in.Rs1, "rs1"); err != nil {
+			return err
+		}
+		if info.signedImm {
+			if in.Imm < MinImm12 || in.Imm > MaxImm12 {
+				return fmt.Errorf("isa: immediate %d out of signed 12-bit range for %q", in.Imm, in.Op)
+			}
+		} else {
+			if in.Imm < 0 || in.Imm > MaxUimm12 {
+				return fmt.Errorf("isa: immediate %d out of unsigned 12-bit range for %q", in.Imm, in.Op)
+			}
+		}
+	case FormatB:
+		if err := checkReg(in.Rs1, "rs1"); err != nil {
+			return err
+		}
+		if err := checkReg(in.Rs2, "rs2"); err != nil {
+			return err
+		}
+		if in.Imm < MinImm12 || in.Imm > MaxImm12 {
+			return fmt.Errorf("isa: branch offset %d out of range for %q", in.Imm, in.Op)
+		}
+	case FormatU:
+		if err := checkReg(in.Rd, "rd"); err != nil {
+			return err
+		}
+		if in.Imm < 0 || in.Imm > MaxUimm20 {
+			return fmt.Errorf("isa: immediate %d out of unsigned 20-bit range for %q", in.Imm, in.Op)
+		}
+	case FormatJ:
+		if err := checkReg(in.Rd, "rd"); err != nil {
+			return err
+		}
+		if in.Imm < MinImm20 || in.Imm > MaxImm20 {
+			return fmt.Errorf("isa: jump offset %d out of range for %q", in.Imm, in.Op)
+		}
+	case FormatN:
+		if in.Rd != 0 || in.Rs1 != 0 || in.Rs2 != 0 || in.Imm != 0 {
+			return fmt.Errorf("isa: %q takes no operands", in.Op)
+		}
+	}
+	return nil
+}
+
+// Encode packs the instruction into its 32-bit machine word.
+func Encode(in Instruction) (uint32, error) {
+	if err := in.Validate(); err != nil {
+		return 0, err
+	}
+	w := uint32(in.Op) << 24
+	switch in.Op.Format() {
+	case FormatR:
+		w |= uint32(in.Rd)<<20 | uint32(in.Rs1)<<16 | uint32(in.Rs2)<<12
+	case FormatI, FormatS:
+		w |= uint32(in.Rd)<<20 | uint32(in.Rs1)<<16 | uint32(in.Imm)&0xFFF
+	case FormatB:
+		w |= uint32(in.Rs1)<<16 | uint32(in.Rs2)<<12 | uint32(in.Imm)&0xFFF
+	case FormatU, FormatJ:
+		w |= uint32(in.Rd)<<20 | uint32(in.Imm)&0xFFFFF
+	case FormatN:
+		// opcode only
+	}
+	return w, nil
+}
+
+// Decode unpacks a 32-bit machine word into an Instruction. It is the exact
+// inverse of Encode for every word Encode can produce; words with undefined
+// opcodes yield an error.
+func Decode(w uint32) (Instruction, error) {
+	op := Opcode(w >> 24)
+	if !op.Valid() {
+		return Instruction{}, fmt.Errorf("isa: undefined opcode byte %#02x in word %#08x", uint8(op), w)
+	}
+	in := Instruction{Op: op}
+	info := opTable[op]
+	signExtend12 := func(v uint32) int32 {
+		if v&0x800 != 0 {
+			return int32(v | 0xFFFFF000)
+		}
+		return int32(v)
+	}
+	signExtend20 := func(v uint32) int32 {
+		if v&0x80000 != 0 {
+			return int32(v | 0xFFF00000)
+		}
+		return int32(v)
+	}
+	switch info.format {
+	case FormatR:
+		in.Rd = Reg(w >> 20 & 0xF)
+		in.Rs1 = Reg(w >> 16 & 0xF)
+		in.Rs2 = Reg(w >> 12 & 0xF)
+	case FormatI, FormatS:
+		in.Rd = Reg(w >> 20 & 0xF)
+		in.Rs1 = Reg(w >> 16 & 0xF)
+		if info.signedImm {
+			in.Imm = signExtend12(w & 0xFFF)
+		} else {
+			in.Imm = int32(w & 0xFFF)
+		}
+	case FormatB:
+		in.Rs1 = Reg(w >> 16 & 0xF)
+		in.Rs2 = Reg(w >> 12 & 0xF)
+		in.Imm = signExtend12(w & 0xFFF)
+	case FormatU:
+		in.Rd = Reg(w >> 20 & 0xF)
+		in.Imm = int32(w & 0xFFFFF)
+	case FormatJ:
+		in.Rd = Reg(w >> 20 & 0xF)
+		in.Imm = signExtend20(w & 0xFFFFF)
+	case FormatN:
+		if w != uint32(op)<<24 {
+			return Instruction{}, fmt.Errorf("isa: nonzero operand bits %#08x for %q", w, op)
+		}
+	}
+	return in, nil
+}
+
+// String disassembles the instruction without address context; branch and
+// jump targets are shown as relative word offsets. Use Disassemble for
+// pc-resolved output.
+func (in Instruction) String() string { return in.disasm(0, false) }
+
+// Disassemble renders the instruction as assembler text, resolving branch
+// and jump targets to absolute addresses using pc, the address of the
+// instruction itself.
+func Disassemble(pc uint32, in Instruction) string { return in.disasm(pc, true) }
+
+func (in Instruction) disasm(pc uint32, abs bool) string {
+	target := func() string {
+		if abs {
+			return fmt.Sprintf("%#x", pc+4+uint32(in.Imm)*WordSize)
+		}
+		return fmt.Sprintf(".%+d", in.Imm)
+	}
+	switch in.Op.Format() {
+	case FormatR:
+		return fmt.Sprintf("%-5s %s, %s, %s", in.Op, in.Rd, in.Rs1, in.Rs2)
+	case FormatI:
+		if in.Op.IsLoad() {
+			return fmt.Sprintf("%-5s %s, %d(%s)", in.Op, in.Rd, in.Imm, in.Rs1)
+		}
+		if in.Op == JALR {
+			return fmt.Sprintf("%-5s %s, %d(%s)", in.Op, in.Rd, in.Imm, in.Rs1)
+		}
+		return fmt.Sprintf("%-5s %s, %s, %d", in.Op, in.Rd, in.Rs1, in.Imm)
+	case FormatS:
+		return fmt.Sprintf("%-5s %s, %d(%s)", in.Op, in.Rd, in.Imm, in.Rs1)
+	case FormatB:
+		return fmt.Sprintf("%-5s %s, %s, %s", in.Op, in.Rs1, in.Rs2, target())
+	case FormatU:
+		return fmt.Sprintf("%-5s %s, %#x", in.Op, in.Rd, in.Imm)
+	case FormatJ:
+		return fmt.Sprintf("%-5s %s, %s", in.Op, in.Rd, target())
+	default:
+		return in.Op.String()
+	}
+}

@@ -1,0 +1,264 @@
+package isa
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestRegString(t *testing.T) {
+	cases := []struct {
+		r    Reg
+		want string
+	}{
+		{Zero, "zero"}, {A0, "a0"}, {A3, "a3"}, {T0, "t0"}, {T4, "t4"},
+		{S0, "s0"}, {S3, "s3"}, {SP, "sp"}, {RA, "ra"},
+	}
+	for _, c := range cases {
+		if got := c.r.String(); got != c.want {
+			t.Errorf("Reg(%d).String() = %q, want %q", c.r, got, c.want)
+		}
+	}
+	if got := Reg(200).String(); !strings.Contains(got, "?") {
+		t.Errorf("invalid register stringified as %q, want a marker", got)
+	}
+}
+
+func TestParseReg(t *testing.T) {
+	for i := 0; i < NumRegs; i++ {
+		r := Reg(i)
+		got, ok := ParseReg(r.String())
+		if !ok || got != r {
+			t.Errorf("ParseReg(%q) = %v, %v; want %v, true", r.String(), got, ok, r)
+		}
+	}
+	rawCases := map[string]Reg{"r0": Zero, "r1": A0, "r14": SP, "r15": RA}
+	for name, want := range rawCases {
+		got, ok := ParseReg(name)
+		if !ok || got != want {
+			t.Errorf("ParseReg(%q) = %v, %v; want %v, true", name, got, ok, want)
+		}
+	}
+	for _, bad := range []string{"", "r16", "r99", "x1", "a9", "r-1", "ra0", "r1x"} {
+		if _, ok := ParseReg(bad); ok {
+			t.Errorf("ParseReg(%q) succeeded, want failure", bad)
+		}
+	}
+}
+
+func TestParseOpcode(t *testing.T) {
+	for op := Opcode(0); op < numOpcodes; op++ {
+		got, ok := ParseOpcode(op.String())
+		if !ok || got != op {
+			t.Errorf("ParseOpcode(%q) = %v, %v; want %v, true", op.String(), got, ok, op)
+		}
+	}
+	for _, bad := range []string{"", "addx", "div", "mov"} {
+		if _, ok := ParseOpcode(bad); ok {
+			t.Errorf("ParseOpcode(%q) succeeded, want failure", bad)
+		}
+	}
+}
+
+func TestOpcodePredicates(t *testing.T) {
+	loads := []Opcode{LB, LBU, LH, LHU, LW}
+	stores := []Opcode{SB, SH, SW}
+	branches := []Opcode{BEQ, BNE, BLT, BGE, BLTU, BGEU}
+	isIn := func(op Opcode, set []Opcode) bool {
+		for _, o := range set {
+			if o == op {
+				return true
+			}
+		}
+		return false
+	}
+	for op := Opcode(0); op < numOpcodes; op++ {
+		if got, want := op.IsLoad(), isIn(op, loads); got != want {
+			t.Errorf("%v.IsLoad() = %v, want %v", op, got, want)
+		}
+		if got, want := op.IsStore(), isIn(op, stores); got != want {
+			t.Errorf("%v.IsStore() = %v, want %v", op, got, want)
+		}
+		if got, want := op.IsBranch(), isIn(op, branches); got != want {
+			t.Errorf("%v.IsBranch() = %v, want %v", op, got, want)
+		}
+		wantCtl := isIn(op, branches) || op == JAL || op == JALR || op == HALT
+		if got := op.IsControl(); got != wantCtl {
+			t.Errorf("%v.IsControl() = %v, want %v", op, got, wantCtl)
+		}
+	}
+}
+
+func TestMemSize(t *testing.T) {
+	cases := map[Opcode]int{
+		LB: 1, LBU: 1, SB: 1,
+		LH: 2, LHU: 2, SH: 2,
+		LW: 4, SW: 4,
+		ADD: 0, BEQ: 0, JAL: 0, HALT: 0,
+	}
+	for op, want := range cases {
+		if got := op.MemSize(); got != want {
+			t.Errorf("%v.MemSize() = %d, want %d", op, got, want)
+		}
+	}
+}
+
+// randInstr generates a random *valid* instruction for the given opcode.
+func randInstr(rng *rand.Rand, op Opcode) Instruction {
+	reg := func() Reg { return Reg(rng.Intn(NumRegs)) }
+	in := Instruction{Op: op}
+	switch op.Format() {
+	case FormatR:
+		in.Rd, in.Rs1, in.Rs2 = reg(), reg(), reg()
+	case FormatI, FormatS:
+		in.Rd, in.Rs1 = reg(), reg()
+		if opTable[op].signedImm {
+			in.Imm = int32(rng.Intn(MaxImm12-MinImm12+1)) + MinImm12
+		} else {
+			in.Imm = int32(rng.Intn(MaxUimm12 + 1))
+		}
+	case FormatB:
+		in.Rs1, in.Rs2 = reg(), reg()
+		in.Imm = int32(rng.Intn(MaxImm12-MinImm12+1)) + MinImm12
+	case FormatU:
+		in.Rd = reg()
+		in.Imm = int32(rng.Intn(MaxUimm20 + 1))
+	case FormatJ:
+		in.Rd = reg()
+		in.Imm = int32(rng.Intn(MaxImm20-MinImm20+1)) + MinImm20
+	}
+	return in
+}
+
+// TestEncodeDecodeRoundTrip is the core property: Decode(Encode(x)) == x for
+// every valid instruction.
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for op := Opcode(0); op < numOpcodes; op++ {
+		for i := 0; i < 200; i++ {
+			in := randInstr(rng, op)
+			w, err := Encode(in)
+			if err != nil {
+				t.Fatalf("Encode(%+v): %v", in, err)
+			}
+			got, err := Decode(w)
+			if err != nil {
+				t.Fatalf("Decode(%#08x) of %+v: %v", w, in, err)
+			}
+			if got != in {
+				t.Fatalf("round trip: encoded %+v as %#08x, decoded %+v", in, w, got)
+			}
+		}
+	}
+}
+
+// TestDecodeEncodeRoundTrip: any word that decodes must re-encode to itself.
+func TestDecodeEncodeRoundTrip(t *testing.T) {
+	f := func(w uint32) bool {
+		in, err := Decode(w)
+		if err != nil {
+			return true // undecodable words are out of scope
+		}
+		// Decoded instructions may not validate (e.g. R-type with junk in
+		// the low 12 bits); only check the ones that do.
+		w2, err := Encode(in)
+		if err != nil {
+			return true
+		}
+		in2, err := Decode(w2)
+		return err == nil && in2 == in
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDecodeUndefinedOpcode(t *testing.T) {
+	if _, err := Decode(uint32(NumOpcodes) << 24); err == nil {
+		t.Error("Decode of undefined opcode succeeded, want error")
+	}
+	if _, err := Decode(0xFF000000); err == nil {
+		t.Error("Decode of opcode 0xFF succeeded, want error")
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	bad := []Instruction{
+		{Op: numOpcodes},                         // undefined opcode
+		{Op: ADD, Imm: 1},                        // R-type with immediate
+		{Op: ADDI, Imm: MaxImm12 + 1},            // imm12 overflow
+		{Op: ADDI, Imm: MinImm12 - 1},            // imm12 underflow
+		{Op: ORI, Imm: -1},                       // logical imm must be unsigned
+		{Op: ORI, Imm: MaxUimm12 + 1},            // logical imm overflow
+		{Op: LUI, Imm: MaxUimm20 + 1},            // imm20 overflow
+		{Op: LUI, Imm: -1},                       // LUI imm must be unsigned
+		{Op: JAL, Imm: MaxImm20 + 1},             // jump offset overflow
+		{Op: BEQ, Imm: MinImm12 - 1},             // branch offset underflow
+		{Op: HALT, Rd: A0},                       // HALT takes no operands
+		{Op: ADD, Rd: Reg(16)},                   // invalid register
+		{Op: ADD, Rs1: Reg(255)},                 // invalid register
+		{Op: SW, Rd: A0, Rs1: Reg(16), Imm: 0},   // invalid base register
+		{Op: BEQ, Rs1: A0, Rs2: Reg(17), Imm: 0}, // invalid rs2
+	}
+	for _, in := range bad {
+		if err := in.Validate(); err == nil {
+			t.Errorf("Validate(%+v) = nil, want error", in)
+		}
+		if _, err := Encode(in); err == nil {
+			t.Errorf("Encode(%+v) succeeded, want error", in)
+		}
+	}
+}
+
+func TestValidateAccepts(t *testing.T) {
+	good := []Instruction{
+		{Op: ADD, Rd: A0, Rs1: A1, Rs2: A2},
+		{Op: ADDI, Rd: T0, Rs1: Zero, Imm: -2048},
+		{Op: ADDI, Rd: T0, Rs1: Zero, Imm: 2047},
+		{Op: ORI, Rd: T0, Rs1: T0, Imm: 0xFFF},
+		{Op: LUI, Rd: S0, Imm: 0xFFFFF},
+		{Op: LW, Rd: A0, Rs1: SP, Imm: 4},
+		{Op: SW, Rd: A0, Rs1: SP, Imm: -4},
+		{Op: BEQ, Rs1: A0, Rs2: Zero, Imm: -100},
+		{Op: JAL, Rd: RA, Imm: 1000},
+		{Op: JALR, Rd: Zero, Rs1: RA, Imm: 0},
+		{Op: HALT},
+	}
+	for _, in := range good {
+		if err := in.Validate(); err != nil {
+			t.Errorf("Validate(%+v) = %v, want nil", in, err)
+		}
+	}
+}
+
+func TestDisassemble(t *testing.T) {
+	cases := []struct {
+		pc   uint32
+		in   Instruction
+		want string
+	}{
+		{0, Instruction{Op: ADD, Rd: A0, Rs1: A1, Rs2: A2}, "add   a0, a1, a2"},
+		{0, Instruction{Op: ADDI, Rd: T0, Rs1: Zero, Imm: 42}, "addi  t0, zero, 42"},
+		{0, Instruction{Op: LW, Rd: A0, Rs1: SP, Imm: 8}, "lw    a0, 8(sp)"},
+		{0, Instruction{Op: SW, Rd: A1, Rs1: S0, Imm: -4}, "sw    a1, -4(s0)"},
+		{0x100, Instruction{Op: BEQ, Rs1: A0, Rs2: Zero, Imm: 3}, "beq   a0, zero, 0x110"},
+		{0x100, Instruction{Op: JAL, Rd: RA, Imm: -1}, "jal   ra, 0x100"},
+		{0, Instruction{Op: LUI, Rd: S1, Imm: 0x12345}, "lui   s1, 0x12345"},
+		{0, Instruction{Op: JALR, Rd: Zero, Rs1: RA, Imm: 0}, "jalr  zero, 0(ra)"},
+		{0, Instruction{Op: HALT}, "halt"},
+	}
+	for _, c := range cases {
+		if got := Disassemble(c.pc, c.in); got != c.want {
+			t.Errorf("Disassemble(%#x, %+v) = %q, want %q", c.pc, c.in, got, c.want)
+		}
+	}
+}
+
+func TestInstructionString(t *testing.T) {
+	in := Instruction{Op: BNE, Rs1: A0, Rs2: A1, Imm: -2}
+	got := in.String()
+	if !strings.Contains(got, "bne") || !strings.Contains(got, "-2") {
+		t.Errorf("String() = %q, want mnemonic and relative offset", got)
+	}
+}

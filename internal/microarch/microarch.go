@@ -1,0 +1,302 @@
+// Package microarch provides the "traditional microarchitectural
+// statistics" tier of PacketBench results. The paper's evaluation
+// deliberately skips these ("gathering similar workload characteristics
+// is a straightforward exercise ... although they can be obtained from
+// PacketBench"); this package makes good on that claim: instruction mix,
+// branch behaviour under static and dynamic predictors, instruction and
+// data cache behaviour, and a cycle estimate under an ARM7-like cost
+// model — the inputs the paper's follow-on performance models (Franklin
+// & Wolf) consume.
+//
+// The Profiler implements vm.Tracer and can be attached to a bench
+// alongside the workload collector (see core.Bench.AddTracer).
+package microarch
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/isa"
+	"repro/internal/vm"
+)
+
+// Class buckets opcodes for the instruction mix.
+type Class uint8
+
+// Instruction classes.
+const (
+	ClassALU    Class = iota // integer ALU, register or immediate
+	ClassMul                 // multiply
+	ClassLoad                // memory read
+	ClassStore               // memory write
+	ClassBranch              // conditional branch
+	ClassJump                // jal/jalr
+	ClassOther               // halt and anything unclassified
+	NumClasses
+)
+
+var classNames = [NumClasses]string{"alu", "mul", "load", "store", "branch", "jump", "other"}
+
+// String returns the class name.
+func (c Class) String() string {
+	if int(c) < len(classNames) {
+		return classNames[c]
+	}
+	return fmt.Sprintf("class?%d", uint8(c))
+}
+
+// Classify maps an opcode to its class.
+func Classify(op isa.Opcode) Class {
+	switch {
+	case op == isa.MUL:
+		return ClassMul
+	case op.IsLoad():
+		return ClassLoad
+	case op.IsStore():
+		return ClassStore
+	case op.IsBranch():
+		return ClassBranch
+	case op == isa.JAL || op == isa.JALR:
+		return ClassJump
+	case op == isa.HALT:
+		return ClassOther
+	default:
+		return ClassALU
+	}
+}
+
+// Mix is an instruction mix histogram.
+type Mix struct {
+	Counts [NumClasses]uint64
+}
+
+// Total returns the number of classified instructions.
+func (m *Mix) Total() uint64 {
+	var t uint64
+	for _, c := range m.Counts {
+		t += c
+	}
+	return t
+}
+
+// Frac returns class c's share of the mix.
+func (m *Mix) Frac(c Class) float64 {
+	t := m.Total()
+	if t == 0 {
+		return 0
+	}
+	return float64(m.Counts[c]) / float64(t)
+}
+
+// String formats the mix as percentages.
+func (m *Mix) String() string {
+	var b strings.Builder
+	for c := Class(0); c < NumClasses; c++ {
+		if m.Counts[c] == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "%s %.1f%%  ", c, 100*m.Frac(c))
+	}
+	return strings.TrimSpace(b.String())
+}
+
+// BranchStats tracks conditional-branch behaviour and the accuracy of
+// two predictors: static BTFN (backward taken, forward not taken — the
+// compile-time heuristic embedded-core toolchains use) and a bimodal
+// table of 2-bit saturating counters.
+type BranchStats struct {
+	Branches       uint64 // conditional branches executed
+	Taken          uint64
+	BTFNCorrect    uint64
+	BimodalCorrect uint64
+
+	counters []uint8 // 2-bit saturating counters
+}
+
+// bimodalEntries sizes the predictor table; PB32 programs are tiny, so
+// 1024 entries behaves like an untagged infinite table.
+const bimodalEntries = 1024
+
+// TakenRate returns the fraction of branches taken.
+func (b *BranchStats) TakenRate() float64 { return rate(b.Taken, b.Branches) }
+
+// BTFNAccuracy returns the static predictor's accuracy.
+func (b *BranchStats) BTFNAccuracy() float64 { return rate(b.BTFNCorrect, b.Branches) }
+
+// BimodalAccuracy returns the 2-bit predictor's accuracy.
+func (b *BranchStats) BimodalAccuracy() float64 { return rate(b.BimodalCorrect, b.Branches) }
+
+func rate(n, d uint64) float64 {
+	if d == 0 {
+		return 0
+	}
+	return float64(n) / float64(d)
+}
+
+// record updates the statistics for one executed branch.
+func (b *BranchStats) record(pc uint32, backward, taken bool) {
+	if b.counters == nil {
+		b.counters = make([]uint8, bimodalEntries)
+	}
+	b.Branches++
+	if taken {
+		b.Taken++
+	}
+	if backward == taken {
+		b.BTFNCorrect++
+	}
+	idx := pc >> 2 & (bimodalEntries - 1)
+	ctr := b.counters[idx]
+	if (ctr >= 2) == taken {
+		b.BimodalCorrect++
+	}
+	if taken && ctr < 3 {
+		b.counters[idx] = ctr + 1
+	} else if !taken && ctr > 0 {
+		b.counters[idx] = ctr - 1
+	}
+}
+
+// CostModel assigns cycle costs in the spirit of an ARM7TDMI-class
+// embedded core: single-cycle ALU, multi-cycle loads/stores, a pipeline
+// refill penalty for taken control transfers, and a stall for cache
+// misses when caches are attached.
+type CostModel struct {
+	ALU, Mul, Load, Store uint64
+	Branch, Jump          uint64
+	// TakenPenalty is added for taken branches and all jumps (pipeline
+	// refill).
+	TakenPenalty uint64
+	// MissPenalty is added per cache miss (instruction or data).
+	MissPenalty uint64
+}
+
+// DefaultCostModel is the ARM7-like model used unless overridden.
+var DefaultCostModel = CostModel{
+	ALU: 1, Mul: 2, Load: 3, Store: 2,
+	Branch: 1, Jump: 1,
+	TakenPenalty: 2, MissPenalty: 20,
+}
+
+func (cm CostModel) base(c Class) uint64 {
+	switch c {
+	case ClassMul:
+		return cm.Mul
+	case ClassLoad:
+		return cm.Load
+	case ClassStore:
+		return cm.Store
+	case ClassBranch:
+		return cm.Branch
+	case ClassJump:
+		return cm.Jump
+	default:
+		return cm.ALU
+	}
+}
+
+// Profiler is a vm.Tracer computing microarchitectural statistics. The
+// zero value profiles with the default cost model and no caches; attach
+// caches with NewProfiler or by assigning ICache/DCache before the run.
+type Profiler struct {
+	Mix      Mix
+	Branches BranchStats
+	// ICache and DCache, when non-nil, model first-level caches.
+	ICache, DCache *Cache
+	Cost           CostModel
+	// Cycles is the accumulated cycle estimate.
+	Cycles uint64
+
+	// pending branch resolution: a conditional branch's direction is
+	// known when the *next* instruction's pc arrives.
+	havePending   bool
+	pendingPC     uint32
+	pendingTarget uint32
+}
+
+// NewProfiler builds a profiler with the default cost model and the
+// given caches (either may be nil).
+func NewProfiler(icache, dcache *Cache) *Profiler {
+	return &Profiler{ICache: icache, DCache: dcache, Cost: DefaultCostModel}
+}
+
+func (p *Profiler) cost() CostModel {
+	if p.Cost == (CostModel{}) {
+		return DefaultCostModel
+	}
+	return p.Cost
+}
+
+// Instr implements vm.Tracer.
+func (p *Profiler) Instr(pc uint32, in isa.Instruction) {
+	cm := p.cost()
+	// Resolve the previous branch now that the successor pc is known.
+	if p.havePending {
+		p.havePending = false
+		taken := pc != p.pendingPC+isa.WordSize
+		backward := p.pendingTarget <= p.pendingPC
+		p.Branches.record(p.pendingPC, backward, taken)
+		if taken {
+			p.Cycles += cm.TakenPenalty
+		}
+	}
+	c := Classify(in.Op)
+	p.Mix.Counts[c]++
+	p.Cycles += cm.base(c)
+	if c == ClassJump {
+		p.Cycles += cm.TakenPenalty
+	}
+	if c == ClassBranch {
+		p.havePending = true
+		p.pendingPC = pc
+		p.pendingTarget = pc + isa.WordSize + uint32(in.Imm)*isa.WordSize
+	}
+	if p.ICache != nil && !p.ICache.Access(pc) {
+		p.Cycles += cm.MissPenalty
+	}
+}
+
+// Mem implements vm.Tracer.
+func (p *Profiler) Mem(pc, addr uint32, size uint8, write bool, region vm.Region) {
+	if p.DCache != nil && !p.DCache.Access(addr) {
+		p.Cycles += p.cost().MissPenalty
+	}
+}
+
+// Flush resolves a pending branch at the end of a run (the successor
+// never executed, so the branch is counted as not taken). Call between
+// packets if per-packet precision matters; aggregate users can skip it.
+func (p *Profiler) Flush() {
+	if p.havePending {
+		p.havePending = false
+		backward := p.pendingTarget <= p.pendingPC
+		p.Branches.record(p.pendingPC, backward, false)
+	}
+}
+
+// CPI returns cycles per instruction over everything profiled.
+func (p *Profiler) CPI() float64 {
+	t := p.Mix.Total()
+	if t == 0 {
+		return 0
+	}
+	return float64(p.Cycles) / float64(t)
+}
+
+// Report formats the profile for human consumption.
+func (p *Profiler) Report() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "instruction mix:     %s\n", p.Mix.String())
+	fmt.Fprintf(&b, "branches:            %d executed, %.1f%% taken\n",
+		p.Branches.Branches, 100*p.Branches.TakenRate())
+	fmt.Fprintf(&b, "  BTFN accuracy:     %.1f%%\n", 100*p.Branches.BTFNAccuracy())
+	fmt.Fprintf(&b, "  bimodal accuracy:  %.1f%%\n", 100*p.Branches.BimodalAccuracy())
+	if p.ICache != nil {
+		fmt.Fprintf(&b, "icache:              %s\n", p.ICache)
+	}
+	if p.DCache != nil {
+		fmt.Fprintf(&b, "dcache:              %s\n", p.DCache)
+	}
+	fmt.Fprintf(&b, "cycle estimate:      %d (CPI %.2f)\n", p.Cycles, p.CPI())
+	return b.String()
+}

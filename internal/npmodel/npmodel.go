@@ -1,0 +1,241 @@
+// Package npmodel implements the analytical network-processor system
+// model the paper positions its workload statistics as input for ("these
+// workload characteristics can also be used in other performance models
+// of network processor systems", citing the Franklin-Wolf model, and
+// "pipelining vs. multiprocessors", citing Weng-Wolf).
+//
+// The model estimates the packet throughput of a pool of processing
+// engines from exactly the quantities PacketBench measures — per-packet
+// instruction counts and memory access counts — plus hardware parameters
+// (clock, memory latencies, number of engines, memory channels). It then
+// compares the two canonical topologies for scaling an application
+// across engines:
+//
+//   - parallel: every engine runs the whole application on its own
+//     packets; aggregate throughput scales with engines until the shared
+//     memory channels saturate;
+//   - pipeline: the application is partitioned into stages, one engine
+//     per stage; throughput is set by the slowest stage plus the
+//     inter-stage handoff cost.
+//
+// The model is deliberately first-order, like its published
+// counterparts: it captures who wins and where crossovers fall, not
+// cycle-exact numbers.
+package npmodel
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Workload is the per-packet processing profile of one application, as
+// measured by PacketBench (stats.Summary supplies these directly).
+type Workload struct {
+	// InstrPerPacket is the mean instruction count per packet.
+	InstrPerPacket float64
+	// PacketAccesses and NonPacketAccesses are the mean data-memory
+	// access counts per packet, split the PacketBench way: packet
+	// buffers live in fast per-engine memory, application state in
+	// shared off-chip memory.
+	PacketAccesses    float64
+	NonPacketAccesses float64
+}
+
+// Hardware parameterizes the simulated system.
+type Hardware struct {
+	// ClockHz is the engine clock.
+	ClockHz float64
+	// CPI is the base cycles per instruction of an engine (from a
+	// microarch profile, or ~1.5-3 for embedded RISC cores).
+	CPI float64
+	// PacketMemCycles is the cost of one packet-buffer access (on-chip).
+	PacketMemCycles float64
+	// SharedMemCycles is the cost of one shared-memory access (off-chip
+	// tables).
+	SharedMemCycles float64
+	// Engines is the number of processing engines.
+	Engines int
+	// MemChannels is the number of independent shared-memory channels;
+	// aggregate shared-memory bandwidth saturates when the engines'
+	// combined demand exceeds what the channels serve.
+	MemChannels int
+	// StageHandoffCycles is the per-stage packet handoff cost in a
+	// pipeline topology.
+	StageHandoffCycles float64
+}
+
+// DefaultHardware is an IXP2400-flavored operating point: 600 MHz
+// engines, 8 of them, modest memory costs.
+var DefaultHardware = Hardware{
+	ClockHz:            600e6,
+	CPI:                1.5,
+	PacketMemCycles:    1,
+	SharedMemCycles:    12,
+	Engines:            8,
+	MemChannels:        2,
+	StageHandoffCycles: 40,
+}
+
+// Validate checks the hardware description.
+func (h Hardware) Validate() error {
+	switch {
+	case h.ClockHz <= 0:
+		return fmt.Errorf("npmodel: clock must be positive")
+	case h.CPI <= 0:
+		return fmt.Errorf("npmodel: CPI must be positive")
+	case h.Engines < 1:
+		return fmt.Errorf("npmodel: need at least one engine")
+	case h.MemChannels < 1:
+		return fmt.Errorf("npmodel: need at least one memory channel")
+	case h.PacketMemCycles < 0 || h.SharedMemCycles < 0 || h.StageHandoffCycles < 0:
+		return fmt.Errorf("npmodel: cycle costs cannot be negative")
+	}
+	return nil
+}
+
+// PacketCycles returns the single-engine cycles to process one packet.
+func PacketCycles(w Workload, h Hardware) float64 {
+	return w.InstrPerPacket*h.CPI +
+		w.PacketAccesses*h.PacketMemCycles +
+		w.NonPacketAccesses*h.SharedMemCycles
+}
+
+// ServiceTime returns the single-engine per-packet processing delay in
+// seconds — the quantity the paper's delay-model use case estimates.
+func ServiceTime(w Workload, h Hardware) float64 {
+	return PacketCycles(w, h) / h.ClockHz
+}
+
+// Estimate is a topology throughput prediction.
+type Estimate struct {
+	// PacketsPerSecond is the aggregate throughput.
+	PacketsPerSecond float64
+	// Bottleneck names what limits it: "compute", "memory" or "stage".
+	Bottleneck string
+	// Utilization is the fraction of engine capacity in use at the
+	// bottleneck point.
+	Utilization float64
+}
+
+// Parallel predicts throughput when every engine runs the full
+// application ("run-to-completion" pools).
+func Parallel(w Workload, h Hardware) (Estimate, error) {
+	if err := h.Validate(); err != nil {
+		return Estimate{}, err
+	}
+	perEngine := h.ClockHz / PacketCycles(w, h)
+	compute := perEngine * float64(h.Engines)
+	// Shared-memory ceiling: each channel serves one access per
+	// SharedMemCycles cycles.
+	est := Estimate{PacketsPerSecond: compute, Bottleneck: "compute", Utilization: 1}
+	if w.NonPacketAccesses > 0 && h.SharedMemCycles > 0 {
+		memory := float64(h.MemChannels) * h.ClockHz / (w.NonPacketAccesses * h.SharedMemCycles)
+		if memory < compute {
+			est.PacketsPerSecond = memory
+			est.Bottleneck = "memory"
+			est.Utilization = memory / compute
+		}
+	}
+	return est, nil
+}
+
+// Pipeline predicts throughput when the application is split into
+// `stages` equal-work stages, one engine per stage (stages beyond the
+// engine count are rejected). The pipeline rate is set by one stage's
+// work plus the handoff cost; stage imbalance is modeled with a simple
+// skew factor (1.0 = perfectly balanced).
+func Pipeline(w Workload, h Hardware, stages int, skew float64) (Estimate, error) {
+	if err := h.Validate(); err != nil {
+		return Estimate{}, err
+	}
+	if stages < 1 || stages > h.Engines {
+		return Estimate{}, fmt.Errorf("npmodel: %d stages on %d engines", stages, h.Engines)
+	}
+	if skew < 1 {
+		return Estimate{}, fmt.Errorf("npmodel: skew must be >= 1 (slowest/mean stage work)")
+	}
+	stageCycles := PacketCycles(w, h)/float64(stages)*skew + h.StageHandoffCycles
+	rate := h.ClockHz / stageCycles
+	est := Estimate{PacketsPerSecond: rate, Bottleneck: "stage", Utilization: 1}
+	// The pipeline serializes each packet's shared-memory accesses too.
+	if w.NonPacketAccesses > 0 && h.SharedMemCycles > 0 {
+		memory := float64(h.MemChannels) * h.ClockHz / (w.NonPacketAccesses * h.SharedMemCycles)
+		if memory < rate {
+			est.PacketsPerSecond = memory
+			est.Bottleneck = "memory"
+			est.Utilization = memory / rate
+		}
+	}
+	return est, nil
+}
+
+// Gbps converts a packet rate to line throughput for a mean packet size.
+func Gbps(pps float64, meanPacketBytes float64) float64 {
+	return pps * meanPacketBytes * 8 / 1e9
+}
+
+// Crossover sweeps engine counts and reports the smallest pool size at
+// which the parallel topology's throughput stops improving by more than
+// epsilon (memory saturation) — the design knee the Weng-Wolf comparison
+// looks for. Returns the engine count and the saturated throughput.
+func Crossover(w Workload, h Hardware, maxEngines int, epsilon float64) (int, float64, error) {
+	if maxEngines < 1 {
+		return 0, 0, fmt.Errorf("npmodel: maxEngines must be positive")
+	}
+	prev := 0.0
+	for n := 1; n <= maxEngines; n++ {
+		hh := h
+		hh.Engines = n
+		est, err := Parallel(w, hh)
+		if err != nil {
+			return 0, 0, err
+		}
+		if n > 1 && est.PacketsPerSecond-prev <= epsilon*prev {
+			return n, est.PacketsPerSecond, nil
+		}
+		prev = est.PacketsPerSecond
+	}
+	return maxEngines, prev, nil
+}
+
+// CompareTopologies renders a side-by-side parallel-vs-pipeline summary
+// for a workload over a range of engine counts.
+func CompareTopologies(name string, w Workload, h Hardware, meanPacketBytes float64) (string, error) {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: %.0f instr/pkt, %.0f shared accesses/pkt, service time %.2f us\n",
+		name, w.InstrPerPacket, w.NonPacketAccesses, ServiceTime(w, h)*1e6)
+	fmt.Fprintf(&b, "%8s %26s %26s\n", "engines", "parallel", "pipeline (balanced)")
+	for _, n := range []int{1, 2, 4, 8, 16} {
+		if n > h.Engines {
+			break
+		}
+		hh := h
+		hh.Engines = n
+		par, err := Parallel(w, hh)
+		if err != nil {
+			return "", err
+		}
+		pipe, err := Pipeline(w, hh, n, 1.0)
+		if err != nil {
+			return "", err
+		}
+		fmt.Fprintf(&b, "%8d %14.2f Mpps (%s) %14.2f Mpps (%s)\n",
+			n, par.PacketsPerSecond/1e6, shortBottleneck(par),
+			pipe.PacketsPerSecond/1e6, shortBottleneck(pipe))
+	}
+	knee, sat, err := Crossover(w, h, 64, 0.01)
+	if err != nil {
+		return "", err
+	}
+	fmt.Fprintf(&b, "parallel scaling saturates at ~%d engines (%.2f Mpps, %.2f Gbps at %gB packets)\n",
+		knee, sat/1e6, Gbps(sat, meanPacketBytes), meanPacketBytes)
+	return b.String(), nil
+}
+
+func shortBottleneck(e Estimate) string {
+	if math.IsNaN(e.PacketsPerSecond) {
+		return "?"
+	}
+	return e.Bottleneck[:3]
+}

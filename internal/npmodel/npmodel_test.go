@@ -1,0 +1,222 @@
+package npmodel
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// radixLike is an IPv4-radix-shaped workload (heavy shared-memory use).
+var radixLike = Workload{InstrPerPacket: 700, PacketAccesses: 34, NonPacketAccesses: 180}
+
+// flowLike is a Flow-Classification-shaped workload (light).
+var flowLike = Workload{InstrPerPacket: 80, PacketAccesses: 14, NonPacketAccesses: 13}
+
+func TestPacketCyclesAndServiceTime(t *testing.T) {
+	h := Hardware{ClockHz: 1e9, CPI: 2, PacketMemCycles: 1, SharedMemCycles: 10,
+		Engines: 1, MemChannels: 1}
+	w := Workload{InstrPerPacket: 100, PacketAccesses: 10, NonPacketAccesses: 5}
+	want := 100*2.0 + 10*1.0 + 5*10.0 // 260 cycles
+	if got := PacketCycles(w, h); got != want {
+		t.Errorf("PacketCycles = %v, want %v", got, want)
+	}
+	if got := ServiceTime(w, h); math.Abs(got-260e-9) > 1e-15 {
+		t.Errorf("ServiceTime = %v, want 260ns", got)
+	}
+}
+
+func TestParallelComputeBound(t *testing.T) {
+	h := DefaultHardware
+	h.MemChannels = 64 // memory never the bottleneck
+	one := h
+	one.Engines = 1
+	e1, err := Parallel(flowLike, one)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e8, err := Parallel(flowLike, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e1.Bottleneck != "compute" || e8.Bottleneck != "compute" {
+		t.Errorf("bottlenecks: %s, %s", e1.Bottleneck, e8.Bottleneck)
+	}
+	// Compute-bound throughput scales linearly with engines.
+	if ratio := e8.PacketsPerSecond / e1.PacketsPerSecond; math.Abs(ratio-8) > 1e-9 {
+		t.Errorf("8-engine speedup = %v, want 8", ratio)
+	}
+}
+
+func TestParallelMemoryBound(t *testing.T) {
+	h := DefaultHardware
+	h.Engines = 32
+	h.MemChannels = 1
+	est, err := Parallel(radixLike, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Bottleneck != "memory" {
+		t.Fatalf("32 radix engines on one channel should be memory bound, got %s", est.Bottleneck)
+	}
+	// The saturated rate equals the channel capacity.
+	want := float64(h.MemChannels) * h.ClockHz / (radixLike.NonPacketAccesses * h.SharedMemCycles)
+	if math.Abs(est.PacketsPerSecond-want) > 1e-6 {
+		t.Errorf("saturated rate = %v, want %v", est.PacketsPerSecond, want)
+	}
+	if est.Utilization >= 1 {
+		t.Errorf("utilization = %v at memory saturation", est.Utilization)
+	}
+	// Doubling the channels doubles the saturated throughput.
+	h2 := h
+	h2.MemChannels = 2
+	est2, _ := Parallel(radixLike, h2)
+	if math.Abs(est2.PacketsPerSecond/est.PacketsPerSecond-2) > 1e-9 {
+		t.Errorf("channel scaling wrong: %v", est2.PacketsPerSecond/est.PacketsPerSecond)
+	}
+}
+
+func TestPipelineBasics(t *testing.T) {
+	h := DefaultHardware
+	h.MemChannels = 64
+	// One stage with zero handoff equals a single parallel engine.
+	h1 := h
+	h1.Engines = 1
+	h1.StageHandoffCycles = 0
+	pipe, err := Pipeline(flowLike, h1, 1, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, _ := Parallel(flowLike, h1)
+	if math.Abs(pipe.PacketsPerSecond-par.PacketsPerSecond) > 1e-6 {
+		t.Errorf("1-stage pipeline %v != 1 engine %v", pipe.PacketsPerSecond, par.PacketsPerSecond)
+	}
+	// More stages raise throughput, but handoff costs bound the gain.
+	h.Engines = 8
+	p2, _ := Pipeline(radixLike, h, 2, 1.0)
+	p8, _ := Pipeline(radixLike, h, 8, 1.0)
+	if p8.PacketsPerSecond <= p2.PacketsPerSecond {
+		t.Errorf("deeper pipeline slower: %v vs %v", p8.PacketsPerSecond, p2.PacketsPerSecond)
+	}
+	speedup := p8.PacketsPerSecond / p2.PacketsPerSecond
+	if speedup >= 4 {
+		t.Errorf("pipeline speedup %v ignores handoff overhead", speedup)
+	}
+	// Skew hurts.
+	skewed, _ := Pipeline(radixLike, h, 8, 1.5)
+	if skewed.PacketsPerSecond >= p8.PacketsPerSecond {
+		t.Error("stage skew did not reduce throughput")
+	}
+}
+
+func TestPipelineValidation(t *testing.T) {
+	h := DefaultHardware
+	if _, err := Pipeline(flowLike, h, 0, 1); err == nil {
+		t.Error("0 stages accepted")
+	}
+	if _, err := Pipeline(flowLike, h, h.Engines+1, 1); err == nil {
+		t.Error("more stages than engines accepted")
+	}
+	if _, err := Pipeline(flowLike, h, 2, 0.5); err == nil {
+		t.Error("skew < 1 accepted")
+	}
+}
+
+func TestHardwareValidation(t *testing.T) {
+	bads := []Hardware{
+		{},
+		{ClockHz: 1e9},
+		{ClockHz: 1e9, CPI: 1},
+		{ClockHz: 1e9, CPI: 1, Engines: 1},
+		{ClockHz: 1e9, CPI: 1, Engines: 1, MemChannels: 1, SharedMemCycles: -1},
+	}
+	for i, h := range bads {
+		if err := h.Validate(); err == nil {
+			t.Errorf("hardware %d accepted: %+v", i, h)
+		}
+	}
+	if err := DefaultHardware.Validate(); err != nil {
+		t.Errorf("default hardware invalid: %v", err)
+	}
+	if _, err := Parallel(flowLike, Hardware{}); err == nil {
+		t.Error("Parallel accepted invalid hardware")
+	}
+}
+
+func TestCrossoverFindsMemoryKnee(t *testing.T) {
+	h := DefaultHardware
+	h.MemChannels = 1
+	knee, sat, err := Crossover(radixLike, h, 64, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if knee <= 1 || knee >= 64 {
+		t.Errorf("knee = %d; expected an interior saturation point", knee)
+	}
+	// The knee must coincide with where parallel throughput goes flat.
+	hBefore, hAfter := h, h
+	hBefore.Engines = knee
+	hAfter.Engines = knee * 2
+	before, _ := Parallel(radixLike, hBefore)
+	after, _ := Parallel(radixLike, hAfter)
+	if after.PacketsPerSecond > before.PacketsPerSecond*1.05 {
+		t.Errorf("throughput still rising past the knee: %v -> %v",
+			before.PacketsPerSecond, after.PacketsPerSecond)
+	}
+	if sat <= 0 {
+		t.Error("saturated throughput not positive")
+	}
+	// A light workload with ample channels never saturates within range.
+	h2 := DefaultHardware
+	h2.MemChannels = 16
+	knee2, _, err := Crossover(flowLike, h2, 16, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if knee2 != 16 {
+		t.Errorf("light workload saturated at %d engines", knee2)
+	}
+	if _, _, err := Crossover(flowLike, h2, 0, 0.01); err == nil {
+		t.Error("maxEngines 0 accepted")
+	}
+}
+
+func TestGbps(t *testing.T) {
+	// 1 Mpps of 500-byte packets = 4 Gbps.
+	if got := Gbps(1e6, 500); math.Abs(got-4) > 1e-9 {
+		t.Errorf("Gbps = %v, want 4", got)
+	}
+}
+
+func TestCompareTopologiesOutput(t *testing.T) {
+	out, err := CompareTopologies("IPv4-radix", radixLike, DefaultHardware, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, frag := range []string{"IPv4-radix", "engines", "parallel", "pipeline", "saturates", "Mpps"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("output missing %q:\n%s", frag, out)
+		}
+	}
+}
+
+// TestWorkloadShapeDrivesDesign ties the model to the paper's point:
+// the workload profile sets the achievable system throughput. The light
+// flow-classification workload sustains an order of magnitude more
+// packets per second than radix forwarding on the same hardware, and
+// radix's memory saturation ceiling sits far below flow's.
+func TestWorkloadShapeDrivesDesign(t *testing.T) {
+	h := DefaultHardware
+	h.MemChannels = 1
+	_, radixSat, err := Crossover(radixLike, h, 64, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, flowSat, err := Crossover(flowLike, h, 64, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if flowSat < 5*radixSat {
+		t.Errorf("flow saturates at %.2f Mpps, radix at %.2f; expected flow >> radix",
+			flowSat/1e6, radixSat/1e6)
+	}
+}

@@ -1,0 +1,134 @@
+package packet
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// FragmentIPv4 splits an IPv4 packet into fragments that fit mtu, per
+// RFC 791: every fragment except the last carries a payload that is a
+// multiple of 8 bytes, fragment offsets accumulate on top of the
+// original offset, and the more-fragments flag is set on all fragments
+// but the last (which inherits the original packet's MF bit, so
+// fragmenting an already-fragmented packet composes correctly).
+//
+// It is the native reference for the FRAG application. The returned
+// slices are complete packets (header + payload) with valid checksums.
+// Packets that already fit are returned unchanged as a single "fragment".
+// Packets with the don't-fragment flag set that need fragmenting yield
+// an error (a router would drop them and emit ICMP "fragmentation
+// needed").
+func FragmentIPv4(pkt []byte, mtu int) ([][]byte, error) {
+	h, err := ParseIPv4(pkt)
+	if err != nil {
+		return nil, err
+	}
+	if int(h.TotalLen) > len(pkt) {
+		return nil, fmt.Errorf("packet: truncated packet: total length %d, have %d", h.TotalLen, len(pkt))
+	}
+	hlen := h.HeaderLen()
+	if mtu < hlen+8 {
+		return nil, fmt.Errorf("packet: MTU %d cannot carry any payload", mtu)
+	}
+	if int(h.TotalLen) <= mtu {
+		return [][]byte{pkt[:h.TotalLen]}, nil
+	}
+	const dfFlag = 0x2
+	if h.Flags&dfFlag != 0 {
+		return nil, fmt.Errorf("packet: don't-fragment set on %d-byte packet over MTU %d", h.TotalLen, mtu)
+	}
+	chunk := (mtu - hlen) &^ 7
+	payload := pkt[hlen:h.TotalLen]
+	origMF := h.Flags & 0x1
+
+	var frags [][]byte
+	for off := 0; off < len(payload); off += chunk {
+		n := chunk
+		last := false
+		if off+n >= len(payload) {
+			n = len(payload) - off
+			last = true
+		}
+		fh := *h
+		fh.Options = h.Options // header copied verbatim, options included
+		fh.TotalLen = uint16(hlen + n)
+		fh.FragOff = h.FragOff + uint16(off/8)
+		fh.Flags = h.Flags | 0x1 // more fragments
+		if last {
+			fh.Flags = h.Flags&^0x1 | origMF
+		}
+		buf := make([]byte, hlen+n)
+		fh.MarshalInto(buf)
+		copy(buf[hlen:], payload[off:off+n])
+		frags = append(frags, buf)
+	}
+	return frags, nil
+}
+
+// ReassembleIPv4 merges fragments produced by FragmentIPv4 back into the
+// original packet (fragments must belong to one packet and cover it
+// completely; they may arrive in any order). It exists to round-trip
+// test fragmentation.
+func ReassembleIPv4(frags [][]byte) ([]byte, error) {
+	if len(frags) == 0 {
+		return nil, fmt.Errorf("packet: no fragments")
+	}
+	var first *IPv4Header
+	var total int
+	parts := make(map[uint16][]byte) // offset (8-byte units) -> payload
+	var lastSeen bool
+	var origMF uint8
+	var baseOff uint16 = 0xFFFF
+	for _, f := range frags {
+		h, err := ParseIPv4(f)
+		if err != nil {
+			return nil, err
+		}
+		if int(h.TotalLen) > len(f) {
+			return nil, fmt.Errorf("packet: fragment truncated")
+		}
+		if first == nil {
+			first = h
+		} else if h.ID != first.ID || h.Src != first.Src || h.Dst != first.Dst || h.Protocol != first.Protocol {
+			return nil, fmt.Errorf("packet: fragments from different packets")
+		}
+		if h.FragOff < baseOff {
+			baseOff = h.FragOff
+		}
+		payload := f[h.HeaderLen():h.TotalLen]
+		parts[h.FragOff] = payload
+		total += len(payload)
+		if h.Flags&0x1 == 0 {
+			lastSeen = true
+			origMF = 0
+		}
+	}
+	if !lastSeen {
+		return nil, fmt.Errorf("packet: final fragment missing")
+	}
+	hlen := first.HeaderLen()
+	out := make([]byte, hlen+total)
+	// Stitch payloads by offset.
+	covered := 0
+	for off, p := range parts {
+		start := int(off-baseOff) * 8
+		if start+len(p) > total {
+			return nil, fmt.Errorf("packet: fragment overruns reassembly")
+		}
+		copy(out[hlen+start:], p)
+		covered += len(p)
+	}
+	if covered != total {
+		return nil, fmt.Errorf("packet: fragments overlap")
+	}
+	rh := *first
+	rh.TotalLen = uint16(hlen + total)
+	rh.FragOff = baseOff
+	rh.Flags = rh.Flags&^0x1 | origMF
+	rh.MarshalInto(out)
+	return out, nil
+}
+
+// dfBit reports whether the serialized header has don't-fragment set
+// (helper for tests).
+func dfBit(b []byte) bool { return binary.BigEndian.Uint16(b[6:])&0x4000 != 0 }

@@ -1,0 +1,149 @@
+package packet
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+func bigPacket(t *testing.T, payload int, flags uint8, fragOff uint16) []byte {
+	t.Helper()
+	h := IPv4Header{Version: 4, IHL: 5, TTL: 64, Protocol: ProtoUDP,
+		ID: 0x1234, Src: 1, Dst: 2, Flags: flags, FragOff: fragOff,
+		TotalLen: uint16(IPv4HeaderLen + payload)}
+	b := make([]byte, h.TotalLen)
+	rng := rand.New(rand.NewSource(int64(payload)))
+	for i := IPv4HeaderLen; i < len(b); i++ {
+		b[i] = byte(rng.Intn(256))
+	}
+	h.MarshalInto(b)
+	return b
+}
+
+func TestFragmentFits(t *testing.T) {
+	p := bigPacket(t, 100, 0, 0)
+	frags, err := FragmentIPv4(p, 576)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(frags) != 1 || !bytes.Equal(frags[0], p) {
+		t.Errorf("fitting packet was modified")
+	}
+}
+
+func TestFragmentBasicProperties(t *testing.T) {
+	p := bigPacket(t, 1400, 0, 0)
+	const mtu = 576
+	frags, err := FragmentIPv4(p, mtu)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(frags) < 3 {
+		t.Fatalf("1420B over MTU 576 gave %d fragments", len(frags))
+	}
+	chunk := (mtu - 20) &^ 7
+	total := 0
+	for i, f := range frags {
+		h, err := ParseIPv4(f)
+		if err != nil {
+			t.Fatalf("fragment %d: %v", i, err)
+		}
+		if len(f) > mtu {
+			t.Errorf("fragment %d is %d bytes, over MTU", i, len(f))
+		}
+		if !VerifyChecksum(f[:20]) {
+			t.Errorf("fragment %d checksum invalid", i)
+		}
+		last := i == len(frags)-1
+		if (h.Flags&0x1 == 0) != last {
+			t.Errorf("fragment %d MF flag wrong", i)
+		}
+		if int(h.FragOff) != i*chunk/8 {
+			t.Errorf("fragment %d offset %d, want %d", i, h.FragOff, i*chunk/8)
+		}
+		payload := len(f) - 20
+		if !last && payload != chunk {
+			t.Errorf("fragment %d payload %d, want %d", i, payload, chunk)
+		}
+		if !last && payload%8 != 0 {
+			t.Errorf("fragment %d payload not a multiple of 8", i)
+		}
+		total += payload
+		if dfBit(f) {
+			t.Errorf("fragment %d has DF set", i)
+		}
+	}
+	if total != 1400 {
+		t.Errorf("fragments carry %d payload bytes, want 1400", total)
+	}
+}
+
+func TestFragmentReassembleRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 50; trial++ {
+		payload := 9 + rng.Intn(3000)
+		mtu := 68 + rng.Intn(1400)
+		p := bigPacket(t, payload, 0, 0)
+		frags, err := FragmentIPv4(p, mtu)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Shuffle fragment order before reassembly.
+		rng.Shuffle(len(frags), func(i, j int) { frags[i], frags[j] = frags[j], frags[i] })
+		got, err := ReassembleIPv4(frags)
+		if err != nil {
+			t.Fatalf("trial %d (payload %d, mtu %d): %v", trial, payload, mtu, err)
+		}
+		if !bytes.Equal(got, p) {
+			t.Fatalf("trial %d: reassembly differs from original", trial)
+		}
+	}
+}
+
+func TestFragmentAlreadyFragmented(t *testing.T) {
+	// Fragmenting a middle fragment (MF set, offset 100) keeps MF on the
+	// last piece and offsets accumulate.
+	p := bigPacket(t, 800, 0x1, 100)
+	frags, err := FragmentIPv4(p, 576)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lastH, _ := ParseIPv4(frags[len(frags)-1])
+	if lastH.Flags&0x1 != 1 {
+		t.Error("original MF lost on last fragment")
+	}
+	firstH, _ := ParseIPv4(frags[0])
+	if firstH.FragOff != 100 {
+		t.Errorf("first fragment offset %d, want 100", firstH.FragOff)
+	}
+}
+
+func TestFragmentDF(t *testing.T) {
+	p := bigPacket(t, 1400, 0x2, 0)
+	if _, err := FragmentIPv4(p, 576); err == nil {
+		t.Error("DF packet fragmented")
+	}
+	// DF packet that fits is fine.
+	small := bigPacket(t, 100, 0x2, 0)
+	if _, err := FragmentIPv4(small, 576); err != nil {
+		t.Errorf("fitting DF packet rejected: %v", err)
+	}
+}
+
+func TestFragmentErrors(t *testing.T) {
+	if _, err := FragmentIPv4([]byte{1, 2}, 576); err == nil {
+		t.Error("garbage accepted")
+	}
+	p := bigPacket(t, 100, 0, 0)
+	if _, err := FragmentIPv4(p, 20); err == nil {
+		t.Error("MTU below header+8 accepted")
+	}
+	if _, err := ReassembleIPv4(nil); err == nil {
+		t.Error("empty reassembly accepted")
+	}
+	// Missing last fragment.
+	frags, _ := FragmentIPv4(bigPacket(t, 1400, 0, 0), 576)
+	if _, err := ReassembleIPv4(frags[:len(frags)-1]); err == nil {
+		t.Error("incomplete reassembly accepted")
+	}
+}

@@ -1,0 +1,211 @@
+// Package qsim is a discrete-event queueing simulator for a
+// network-processor port: packets arrive on trace timestamps, wait in a
+// bounded queue, and are serviced by a pool of engines whose per-packet
+// service times come from PacketBench measurements.
+//
+// This realizes the paper's processing-delay use case ("it is possible
+// to derive an analytic model to estimate the processing delay of a
+// packet given an application ... useful in the context of network
+// simulations, where processing delay is currently not or only
+// superficially considered"): instead of an averaged delay, the
+// simulation propagates the full measured per-packet service-time
+// distribution through a queueing system and reports waiting-time
+// percentiles, utilization, and loss.
+package qsim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Job is one packet's arrival and demand.
+type Job struct {
+	// Arrival is the packet's arrival time in seconds (from trace
+	// timestamps).
+	Arrival float64
+	// Service is the packet's processing time in seconds (cycles from a
+	// PacketBench record divided by the engine clock).
+	Service float64
+}
+
+// Config parameterizes the simulated port.
+type Config struct {
+	// Engines is the number of parallel processing engines.
+	Engines int
+	// QueueLimit bounds the number of packets waiting (not in service);
+	// arrivals beyond it are dropped. Zero means unbounded.
+	QueueLimit int
+}
+
+// Result summarizes a simulation run.
+type Result struct {
+	Completed int
+	Dropped   int
+	// Delays holds each completed packet's total delay (wait + service)
+	// in seconds, in completion order.
+	Delays []float64
+	// MaxQueue is the largest waiting-queue depth observed.
+	MaxQueue int
+	// Utilization is busy engine-time over total engine-time.
+	Utilization float64
+	// Makespan is the time from the first arrival to the last departure.
+	Makespan float64
+}
+
+// MeanDelay returns the average total delay.
+func (r *Result) MeanDelay() float64 {
+	if len(r.Delays) == 0 {
+		return 0
+	}
+	var s float64
+	for _, d := range r.Delays {
+		s += d
+	}
+	return s / float64(len(r.Delays))
+}
+
+// Percentile returns the p-th percentile delay (0 < p <= 100).
+func (r *Result) Percentile(p float64) float64 {
+	if len(r.Delays) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), r.Delays...)
+	sort.Float64s(sorted)
+	idx := int(math.Ceil(p/100*float64(len(sorted)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+// engineHeap orders engines by the time they become free.
+type engineHeap []float64
+
+func (h engineHeap) Len() int           { return len(h) }
+func (h engineHeap) Less(i, j int) bool { return h[i] < h[j] }
+func (h engineHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *engineHeap) Push(x any)        { *h = append(*h, x.(float64)) }
+func (h *engineHeap) Pop() any          { old := *h; n := len(old); v := old[n-1]; *h = old[:n-1]; return v }
+
+// Run simulates FCFS service of the jobs (which must be sorted by
+// arrival time) on the configured port.
+func Run(jobs []Job, cfg Config) (*Result, error) {
+	if cfg.Engines < 1 {
+		return nil, fmt.Errorf("qsim: need at least one engine")
+	}
+	if cfg.QueueLimit < 0 {
+		return nil, fmt.Errorf("qsim: negative queue limit")
+	}
+	for i := 1; i < len(jobs); i++ {
+		if jobs[i].Arrival < jobs[i-1].Arrival {
+			return nil, fmt.Errorf("qsim: jobs not sorted by arrival (job %d)", i)
+		}
+	}
+	res := &Result{}
+	if len(jobs) == 0 {
+		return res, nil
+	}
+
+	// Engine free-times; all free at the first arrival.
+	free := make(engineHeap, cfg.Engines)
+	start := jobs[0].Arrival
+	for i := range free {
+		free[i] = start
+	}
+	heap.Init(&free)
+
+	var busy float64
+	var lastDeparture float64
+	// FCFS with a bounded waiting room: a packet waits if all engines
+	// are busy at its arrival; it is dropped if, at its arrival, the
+	// number of packets that arrived earlier and are still waiting
+	// reaches the limit. With FCFS the waiting set at time t is exactly
+	// the earlier jobs whose service hasn't started, which we track by
+	// their start times.
+	startTimes := make([]float64, 0, len(jobs))
+	admitted := make([]Job, 0, len(jobs))
+	for _, j := range jobs {
+		if cfg.QueueLimit > 0 {
+			// Count admitted jobs still waiting at j.Arrival.
+			waiting := 0
+			for k := len(startTimes) - 1; k >= 0; k-- {
+				if startTimes[k] > j.Arrival {
+					waiting++
+				} else {
+					break // start times are nondecreasing under FCFS
+				}
+			}
+			if waiting >= cfg.QueueLimit {
+				res.Dropped++
+				continue
+			}
+		}
+		freeAt := heap.Pop(&free).(float64)
+		begin := math.Max(freeAt, j.Arrival)
+		end := begin + j.Service
+		heap.Push(&free, end)
+		startTimes = append(startTimes, begin)
+		admitted = append(admitted, j)
+		busy += j.Service
+		if end > lastDeparture {
+			lastDeparture = end
+		}
+		res.Delays = append(res.Delays, end-j.Arrival)
+		res.Completed++
+	}
+	// Max waiting-queue depth: at each admitted job's arrival, count the
+	// earlier admitted jobs still waiting plus the job itself if it has
+	// to wait. (FCFS start times are nondecreasing, so the backward scan
+	// can stop at the first started job.)
+	for i := range admitted {
+		depth := 0
+		if startTimes[i] > admitted[i].Arrival {
+			depth = 1
+		}
+		for k := i - 1; k >= 0; k-- {
+			if startTimes[k] > admitted[i].Arrival {
+				depth++
+			} else {
+				break
+			}
+		}
+		if depth > res.MaxQueue {
+			res.MaxQueue = depth
+		}
+	}
+	res.Makespan = lastDeparture - start
+	if res.Makespan > 0 {
+		res.Utilization = busy / (res.Makespan * float64(cfg.Engines))
+	}
+	return res, nil
+}
+
+// JobsFromMeasurements builds the job list from trace timestamps and
+// per-packet cycle counts: arrivals from (sec, usec) pairs, service
+// times as cycles/clockHz. Inputs must be index-aligned.
+func JobsFromMeasurements(secs, usecs []uint32, cycles []uint64, clockHz float64) ([]Job, error) {
+	if len(secs) != len(usecs) || len(secs) != len(cycles) {
+		return nil, fmt.Errorf("qsim: mismatched input lengths %d/%d/%d", len(secs), len(usecs), len(cycles))
+	}
+	if clockHz <= 0 {
+		return nil, fmt.Errorf("qsim: clock must be positive")
+	}
+	jobs := make([]Job, len(secs))
+	var base float64
+	for i := range secs {
+		t := float64(secs[i]) + float64(usecs[i])/1e6
+		if i == 0 {
+			base = t
+		}
+		if t-base < 0 && i > 0 {
+			return nil, fmt.Errorf("qsim: timestamps go backwards at packet %d", i)
+		}
+		jobs[i] = Job{Arrival: t - base, Service: float64(cycles[i]) / clockHz}
+	}
+	return jobs, nil
+}

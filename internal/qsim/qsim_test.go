@@ -1,0 +1,274 @@
+package qsim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestLightLoadNoWaiting(t *testing.T) {
+	// Arrivals far apart: every packet is serviced immediately; delay ==
+	// service time.
+	jobs := []Job{
+		{Arrival: 0, Service: 0.001},
+		{Arrival: 1, Service: 0.002},
+		{Arrival: 2, Service: 0.003},
+	}
+	res, err := Run(jobs, Config{Engines: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed != 3 || res.Dropped != 0 {
+		t.Fatalf("completed %d, dropped %d", res.Completed, res.Dropped)
+	}
+	for i, want := range []float64{0.001, 0.002, 0.003} {
+		if !almost(res.Delays[i], want) {
+			t.Errorf("delay %d = %v, want %v", i, res.Delays[i], want)
+		}
+	}
+	if res.MaxQueue != 0 {
+		t.Errorf("MaxQueue = %d", res.MaxQueue)
+	}
+	if !almost(res.Makespan, 2.003) {
+		t.Errorf("Makespan = %v", res.Makespan)
+	}
+}
+
+func TestBackToBackQueueing(t *testing.T) {
+	// Three simultaneous arrivals on one engine: delays 1, 2, 3 x
+	// service.
+	jobs := []Job{
+		{Arrival: 0, Service: 1},
+		{Arrival: 0, Service: 1},
+		{Arrival: 0, Service: 1},
+	}
+	res, err := Run(jobs, Config{Engines: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range []float64{1, 2, 3} {
+		if !almost(res.Delays[i], want) {
+			t.Errorf("delay %d = %v, want %v", i, res.Delays[i], want)
+		}
+	}
+	if res.MaxQueue != 2 {
+		t.Errorf("MaxQueue = %d, want 2", res.MaxQueue)
+	}
+	if !almost(res.Utilization, 1) {
+		t.Errorf("Utilization = %v, want 1", res.Utilization)
+	}
+	// Two engines halve the backlog.
+	res2, _ := Run(jobs, Config{Engines: 2})
+	if !almost(res2.Delays[2], 2) {
+		t.Errorf("2-engine third delay = %v, want 2", res2.Delays[2])
+	}
+}
+
+func TestQueueLimitDrops(t *testing.T) {
+	// One engine, service 1s, four simultaneous arrivals, waiting room 1:
+	// first enters service, second waits, the rest drop.
+	jobs := []Job{
+		{Arrival: 0, Service: 1},
+		{Arrival: 0, Service: 1},
+		{Arrival: 0, Service: 1},
+		{Arrival: 0, Service: 1},
+	}
+	res, err := Run(jobs, Config{Engines: 1, QueueLimit: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed != 2 || res.Dropped != 2 {
+		t.Fatalf("completed %d, dropped %d; want 2/2", res.Completed, res.Dropped)
+	}
+	// After the first departs, a later arrival is admitted again.
+	jobs = append(jobs, Job{Arrival: 5, Service: 1})
+	res, _ = Run(jobs, Config{Engines: 1, QueueLimit: 1})
+	if res.Completed != 3 {
+		t.Errorf("late arrival not admitted: completed %d", res.Completed)
+	}
+}
+
+func TestUtilizationPartial(t *testing.T) {
+	// One 1s job on 2 engines over a 1s makespan: utilization 0.5.
+	res, err := Run([]Job{{Arrival: 0, Service: 1}}, Config{Engines: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(res.Utilization, 0.5) {
+		t.Errorf("Utilization = %v", res.Utilization)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := Run(nil, Config{Engines: 0}); err == nil {
+		t.Error("0 engines accepted")
+	}
+	if _, err := Run(nil, Config{Engines: 1, QueueLimit: -1}); err == nil {
+		t.Error("negative queue limit accepted")
+	}
+	unsorted := []Job{{Arrival: 1}, {Arrival: 0}}
+	if _, err := Run(unsorted, Config{Engines: 1}); err == nil {
+		t.Error("unsorted arrivals accepted")
+	}
+	res, err := Run(nil, Config{Engines: 1})
+	if err != nil || res.Completed != 0 {
+		t.Errorf("empty run: %+v, %v", res, err)
+	}
+	if res.MeanDelay() != 0 || res.Percentile(99) != 0 {
+		t.Error("empty result statistics nonzero")
+	}
+}
+
+func TestPercentiles(t *testing.T) {
+	res := &Result{Delays: []float64{4, 1, 3, 2, 5}}
+	if got := res.Percentile(50); got != 3 {
+		t.Errorf("p50 = %v", got)
+	}
+	if got := res.Percentile(100); got != 5 {
+		t.Errorf("p100 = %v", got)
+	}
+	if got := res.Percentile(1); got != 1 {
+		t.Errorf("p1 = %v", got)
+	}
+	if got := res.MeanDelay(); got != 3 {
+		t.Errorf("mean = %v", got)
+	}
+}
+
+func TestMoreEnginesNeverWorse(t *testing.T) {
+	// Property: mean delay is nonincreasing in the engine count.
+	rng := rand.New(rand.NewSource(5))
+	jobs := make([]Job, 500)
+	tm := 0.0
+	for i := range jobs {
+		tm += rng.Float64() * 0.001
+		jobs[i] = Job{Arrival: tm, Service: rng.Float64() * 0.004}
+	}
+	prev := math.Inf(1)
+	for _, engines := range []int{1, 2, 4, 8} {
+		res, err := Run(jobs, Config{Engines: engines})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m := res.MeanDelay(); m > prev+1e-12 {
+			t.Errorf("%d engines mean delay %v exceeds %v with fewer", engines, m, prev)
+		} else {
+			prev = m
+		}
+	}
+}
+
+func TestDelayLowerBoundIsService(t *testing.T) {
+	// Property: every delay >= its own service time; under FCFS with one
+	// engine, delays also include all earlier residual work.
+	rng := rand.New(rand.NewSource(7))
+	jobs := make([]Job, 200)
+	tm := 0.0
+	for i := range jobs {
+		tm += rng.Float64() * 0.002
+		jobs[i] = Job{Arrival: tm, Service: 0.001 + rng.Float64()*0.002}
+	}
+	res, err := Run(jobs, Config{Engines: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, d := range res.Delays {
+		if d < jobs[i].Service-1e-12 {
+			t.Fatalf("delay %d (%v) below its service time (%v)", i, d, jobs[i].Service)
+		}
+	}
+	if res.Utilization <= 0 || res.Utilization > 1 {
+		t.Errorf("utilization %v out of range", res.Utilization)
+	}
+}
+
+func TestJobsFromMeasurements(t *testing.T) {
+	secs := []uint32{100, 100, 101}
+	usecs := []uint32{0, 500000, 250000}
+	cycles := []uint64{1000, 2000, 3000}
+	jobs, err := JobsFromMeasurements(secs, usecs, cycles, 1e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(jobs[0].Arrival, 0) || !almost(jobs[1].Arrival, 0.5) || !almost(jobs[2].Arrival, 1.25) {
+		t.Errorf("arrivals = %+v", jobs)
+	}
+	if !almost(jobs[0].Service, 1e-6) || !almost(jobs[2].Service, 3e-6) {
+		t.Errorf("services = %+v", jobs)
+	}
+	if _, err := JobsFromMeasurements(secs, usecs[:2], cycles, 1e9); err == nil {
+		t.Error("mismatched lengths accepted")
+	}
+	if _, err := JobsFromMeasurements(secs, usecs, cycles, 0); err == nil {
+		t.Error("zero clock accepted")
+	}
+}
+
+// TestMM1AgainstTheory validates the simulator against the closed-form
+// M/M/1 queue: with Poisson arrivals (rate lambda) and exponential
+// service (rate mu), the mean sojourn time is 1/(mu-lambda). At rho=0.5
+// that is exactly twice the mean service time.
+func TestMM1AgainstTheory(t *testing.T) {
+	const (
+		n      = 60000
+		mu     = 1000.0 // services per second
+		lambda = 500.0  // arrivals per second (rho = 0.5)
+	)
+	rng := rand.New(rand.NewSource(42))
+	jobs := make([]Job, n)
+	tm := 0.0
+	for i := range jobs {
+		tm += rng.ExpFloat64() / lambda
+		jobs[i] = Job{Arrival: tm, Service: rng.ExpFloat64() / mu}
+	}
+	res, err := Run(jobs, Config{Engines: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 1.0 / (mu - lambda) // 2ms mean sojourn
+	got := res.MeanDelay()
+	if math.Abs(got-want)/want > 0.10 {
+		t.Errorf("M/M/1 mean sojourn = %.4fms, theory %.4fms (>10%% off)", got*1e3, want*1e3)
+	}
+	// Utilization approaches rho.
+	if math.Abs(res.Utilization-0.5) > 0.05 {
+		t.Errorf("utilization = %.3f, theory 0.5", res.Utilization)
+	}
+}
+
+// TestMMcAgainstTheory validates the multi-engine path against M/M/c
+// (Erlang C): for c=2, mu=1000, lambda=1000 (rho=0.5 per engine), the
+// mean wait is C(2, 1)/(2*mu - lambda) with C the Erlang-C probability.
+func TestMMcAgainstTheory(t *testing.T) {
+	const (
+		n      = 60000
+		c      = 2
+		mu     = 1000.0
+		lambda = 1000.0
+	)
+	rng := rand.New(rand.NewSource(43))
+	jobs := make([]Job, n)
+	tm := 0.0
+	for i := range jobs {
+		tm += rng.ExpFloat64() / lambda
+		jobs[i] = Job{Arrival: tm, Service: rng.ExpFloat64() / mu}
+	}
+	res, err := Run(jobs, Config{Engines: c})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Erlang C for c=2, a = lambda/mu = 1: C = a^c / (c! (1-rho)) /
+	// (sum_{k<c} a^k/k! + a^c/(c!(1-rho))) = (1/ (2*0.5)) / (1 + 1 + 1) ... compute directly:
+	a := lambda / mu // offered load = 1
+	rho := a / c     // 0.5
+	sum := 1.0 + a   // k=0,1 terms of a^k/k!
+	last := a * a / 2 / (1 - rho)
+	erlangC := last / (sum + last)
+	want := erlangC/(float64(c)*mu-lambda) + 1/mu // wait + service
+	got := res.MeanDelay()
+	if math.Abs(got-want)/want > 0.10 {
+		t.Errorf("M/M/2 mean sojourn = %.4fms, theory %.4fms", got*1e3, want*1e3)
+	}
+}

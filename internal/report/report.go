@@ -1,0 +1,691 @@
+// Package report regenerates every table and figure of the paper's
+// evaluation section (Tables I-VI, Figures 3-9) from the reproduction's
+// own substrates: synthetic traces standing in for the NLANR/LAN
+// captures, a traffic-derived routing table standing in for MAE-WEST, and
+// the four PB32 applications running on the simulated core.
+//
+// Every experiment is deterministic. Counts are configurable so the same
+// harness serves the full paper-scale runs (cmd/pbreport, bench_test.go)
+// and fast regression tests.
+package report
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/apps"
+	"repro/internal/core"
+	"repro/internal/flow"
+	"repro/internal/gen"
+	"repro/internal/microarch"
+	"repro/internal/packet"
+	"repro/internal/route"
+	"repro/internal/stats"
+	"repro/internal/textplot"
+	"repro/internal/trace"
+	"repro/internal/vm"
+)
+
+// AppNames lists the four applications in the paper's column order.
+var AppNames = []string{"IPv4-radix", "IPv4-trie", "Flow Classification", "TSA"}
+
+// TraceNames lists the four traces in the paper's row order.
+var TraceNames = []string{"MRA", "COS", "ODU", "LAN"}
+
+// Config scales the experiments. The zero value selects the paper's
+// parameters (10,000 packets for Tables II/III, 1,000 for Table IV,
+// 100,000 for Tables V/VI, 500 for the per-packet figures).
+type Config struct {
+	// TablePackets is the per-trace packet count for Tables II and III.
+	TablePackets int
+	// CoveragePackets is the packet count for Table IV.
+	CoveragePackets int
+	// VariationPackets is the packet count for Tables V and VI.
+	VariationPackets int
+	// FigurePackets is the packet count for Figures 3-5, 7 and 8.
+	FigurePackets int
+	// RoutePrefixes bounds the traffic-derived routing table size.
+	RoutePrefixes int
+	// SmallRoutePrefixes is the size of the separate small table the
+	// paper notes it used for IPv4-trie in Table IV.
+	SmallRoutePrefixes int
+	// FlowBuckets is the classifier's hash size.
+	FlowBuckets int
+	// TSAKey keys the anonymization tables.
+	TSAKey uint64
+}
+
+func (c Config) withDefaults() Config {
+	def := func(v *int, d int) {
+		if *v == 0 {
+			*v = d
+		}
+	}
+	def(&c.TablePackets, 10_000)
+	def(&c.CoveragePackets, 1_000)
+	def(&c.VariationPackets, 100_000)
+	def(&c.FigurePackets, 500)
+	def(&c.RoutePrefixes, 32_768)
+	def(&c.SmallRoutePrefixes, 1_024)
+	// A low-load-factor flow table reproduces the paper's Table V
+	// concentration (the three most common instruction counts covering
+	// ~94% of packets requires short collision chains).
+	def(&c.FlowBuckets, 8*flow.DefaultBuckets)
+	if c.TSAKey == 0 {
+		c.TSAKey = 0x5453412D31363A31 // arbitrary fixed key
+	}
+	return c
+}
+
+// Env is the shared experimental environment: generated traces and the
+// routing tables derived from them.
+type Env struct {
+	cfg    Config
+	traces map[string][]*trace.Packet
+	// Table is the MAE-WEST stand-in shared by the forwarding apps.
+	Table *route.Table
+	// SmallTable is the small table the paper used for IPv4-trie's
+	// Table IV measurement.
+	SmallTable *route.Table
+}
+
+// NewEnv generates every trace at the maximum length any experiment
+// needs and derives the routing tables. The paper's preprocessing is
+// applied to the backbone traces (MRA, COS, ODU): NLANR-style sequential
+// renumbering followed by the scrambling that restores uniform routing
+// table coverage. The LAN trace is used raw, as in the paper.
+func NewEnv(cfg Config) *Env {
+	cfg = cfg.withDefaults()
+	maxLen := cfg.TablePackets
+	for _, n := range []int{cfg.CoveragePackets, cfg.VariationPackets, cfg.FigurePackets} {
+		if n > maxLen {
+			maxLen = n
+		}
+	}
+	e := &Env{cfg: cfg, traces: make(map[string][]*trace.Packet)}
+	var dsts []uint32
+	for _, prof := range gen.Profiles() {
+		pkts := gen.Generate(prof, maxLen)
+		if prof.Name != "LAN" {
+			gen.RenumberNLANR(pkts)
+			gen.ScrambleAddrs(pkts)
+		}
+		e.traces[prof.Name] = pkts
+		// Sample destinations from every trace for the shared table (the
+		// paper's table covers the traffic it routes).
+		for i := 0; i < len(pkts); i += 4 {
+			h, err := packet.ParseIPv4(pkts[i].Data)
+			if err == nil {
+				dsts = append(dsts, h.Dst)
+			}
+		}
+	}
+	e.Table = route.TableFromTraffic(dsts, cfg.RoutePrefixes, 16, 0x4D414557) // "MAEW"
+	e.SmallTable = route.TableFromTraffic(dsts, cfg.SmallRoutePrefixes, 16, 0x534D4C)
+	return e
+}
+
+// Config returns the resolved configuration.
+func (e *Env) Config() Config { return e.cfg }
+
+// Trace returns the first n packets of a named trace.
+func (e *Env) Trace(name string, n int) []*trace.Packet {
+	pkts := e.traces[name]
+	if n > len(pkts) {
+		n = len(pkts)
+	}
+	return pkts[:n]
+}
+
+// app instantiates one of the four applications by name.
+func (e *Env) app(name string) *core.App {
+	switch name {
+	case "IPv4-radix":
+		return apps.IPv4Radix(e.Table)
+	case "IPv4-trie":
+		return apps.IPv4Trie(e.Table)
+	case "Flow Classification":
+		return apps.FlowClassification(e.cfg.FlowBuckets)
+	case "TSA":
+		return apps.TSAApp(e.cfg.TSAKey)
+	}
+	panic("report: unknown application " + name)
+}
+
+// Run executes app on the first n packets of the named trace and returns
+// the bench (for coverage queries) and records.
+func (e *Env) Run(appName, traceName string, n int, opts core.Options) (*core.Bench, []stats.PacketRecord, error) {
+	opts.KeepRecords = false // records returned explicitly
+	b, err := core.New(e.app(appName), opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	recs, err := b.RunPackets(e.Trace(traceName, n), nil)
+	return b, recs, err
+}
+
+// ----------------------------------------------------------------------
+// Table I
+
+// Table1Row is one trace inventory row.
+type Table1Row struct {
+	Name    string
+	Type    string
+	Packets int
+}
+
+// Table1 reproduces the trace inventory. Packet counts are the nominal
+// full-trace sizes from the paper; the generators produce any prefix of
+// each trace on demand.
+func Table1() []Table1Row {
+	var rows []Table1Row
+	for _, p := range gen.Profiles() {
+		rows = append(rows, Table1Row{Name: p.Name, Type: p.Link, Packets: p.Packets})
+	}
+	return rows
+}
+
+// FormatTable1 renders Table I.
+func FormatTable1(rows []Table1Row) string {
+	var b strings.Builder
+	b.WriteString("Table I: Packet traces used to evaluate applications\n")
+	fmt.Fprintf(&b, "%-8s %-20s %12s\n", "Trace", "Type", "Packets")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-8s %-20s %12d\n", r.Name, r.Type, r.Packets)
+	}
+	return b.String()
+}
+
+// ----------------------------------------------------------------------
+// Tables II and III (produced by one run matrix)
+
+// MatrixCell holds the per-(trace, app) averages used by Tables II/III.
+type MatrixCell struct {
+	MeanInstructions float64
+	MeanPacketAcc    float64
+	MeanNonPacketAcc float64
+}
+
+// Matrix is the Tables II/III result: cell[trace][app].
+type Matrix struct {
+	Packets int
+	Cells   map[string]map[string]MatrixCell
+}
+
+// RunMatrix executes all four applications over all four traces.
+func (e *Env) RunMatrix(packets int) (*Matrix, error) {
+	if packets == 0 {
+		packets = e.cfg.TablePackets
+	}
+	m := &Matrix{Packets: packets, Cells: make(map[string]map[string]MatrixCell)}
+	for _, tr := range TraceNames {
+		m.Cells[tr] = make(map[string]MatrixCell)
+		for _, app := range AppNames {
+			_, recs, err := e.Run(app, tr, packets, core.Options{})
+			if err != nil {
+				return nil, fmt.Errorf("%s on %s: %w", app, tr, err)
+			}
+			s := stats.Summarize(recs)
+			m.Cells[tr][app] = MatrixCell{
+				MeanInstructions: s.MeanInstructions,
+				MeanPacketAcc:    s.MeanPacketAcc,
+				MeanNonPacketAcc: s.MeanNonPacketAcc,
+			}
+		}
+	}
+	return m, nil
+}
+
+// FormatTable2 renders the instructions-per-packet matrix.
+func FormatTable2(m *Matrix) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table II: Average instructions per packet (%d packets per trace)\n", m.Packets)
+	fmt.Fprintf(&b, "%-8s", "Trace")
+	for _, app := range AppNames {
+		fmt.Fprintf(&b, " %20s", app)
+	}
+	b.WriteByte('\n')
+	sums := make(map[string]float64)
+	for _, tr := range TraceNames {
+		fmt.Fprintf(&b, "%-8s", tr)
+		for _, app := range AppNames {
+			v := m.Cells[tr][app].MeanInstructions
+			sums[app] += v
+			fmt.Fprintf(&b, " %20.0f", v)
+		}
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "%-8s", "Average")
+	for _, app := range AppNames {
+		fmt.Fprintf(&b, " %20.0f", sums[app]/float64(len(TraceNames)))
+	}
+	b.WriteByte('\n')
+	return b.String()
+}
+
+// FormatTable3 renders the packet/non-packet memory access matrix.
+func FormatTable3(m *Matrix) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table III: Average accesses to packet / non-packet memory (%d packets per trace)\n", m.Packets)
+	fmt.Fprintf(&b, "%-8s", "Trace")
+	for _, app := range AppNames {
+		fmt.Fprintf(&b, " %20s", app)
+	}
+	b.WriteByte('\n')
+	pktSum := make(map[string]float64)
+	nonSum := make(map[string]float64)
+	for _, tr := range TraceNames {
+		fmt.Fprintf(&b, "%-8s", tr)
+		for _, app := range AppNames {
+			c := m.Cells[tr][app]
+			pktSum[app] += c.MeanPacketAcc
+			nonSum[app] += c.MeanNonPacketAcc
+			fmt.Fprintf(&b, " %9.0f /%9.0f", c.MeanPacketAcc, c.MeanNonPacketAcc)
+		}
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "%-8s", "Average")
+	for _, app := range AppNames {
+		n := float64(len(TraceNames))
+		fmt.Fprintf(&b, " %9.0f /%9.0f", pktSum[app]/n, nonSum[app]/n)
+	}
+	b.WriteByte('\n')
+	return b.String()
+}
+
+// ----------------------------------------------------------------------
+// Table IV
+
+// Table4Row reports the touched memory footprint of one application.
+type Table4Row struct {
+	App          string
+	InstrMemSize int
+	DataMemSize  int
+}
+
+// Table4 measures instruction and data memory sizes over the first
+// CoveragePackets packets of MRA. Matching the paper's methodology note,
+// IPv4-trie runs over the small routing table.
+func (e *Env) Table4() ([]Table4Row, error) {
+	var rows []Table4Row
+	for _, name := range AppNames {
+		app := e.app(name)
+		if name == "IPv4-trie" {
+			app = apps.IPv4Trie(e.SmallTable)
+		}
+		b, err := core.New(app, core.Options{Coverage: true})
+		if err != nil {
+			return nil, err
+		}
+		if _, err := b.RunPackets(e.Trace("MRA", e.cfg.CoveragePackets), nil); err != nil {
+			return nil, err
+		}
+		rows = append(rows, Table4Row{
+			App:          name,
+			InstrMemSize: b.Collector().InstrMemSize(),
+			DataMemSize:  b.Collector().DataMemSize(),
+		})
+	}
+	return rows, nil
+}
+
+// FormatTable4 renders Table IV.
+func FormatTable4(rows []Table4Row, packets int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table IV: Instruction and data memory sizes in bytes (first %d MRA packets)\n", packets)
+	fmt.Fprintf(&b, "%-22s %18s %16s\n", "Application", "Instr. mem size", "Data mem size")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-22s %18d %16d\n", r.App, r.InstrMemSize, r.DataMemSize)
+	}
+	return b.String()
+}
+
+// ----------------------------------------------------------------------
+// Tables V and VI
+
+// VariationRow is one application's occurrence table.
+type VariationRow struct {
+	App   string
+	Table analysis.OccurrenceTable
+}
+
+// Variation computes the Table V (total instructions) or Table VI
+// (unique instructions) distributions over the first VariationPackets
+// packets of COS.
+func (e *Env) Variation(unique bool) ([]VariationRow, error) {
+	var rows []VariationRow
+	for _, name := range AppNames {
+		_, recs, err := e.Run(name, "COS", e.cfg.VariationPackets, core.Options{})
+		if err != nil {
+			return nil, err
+		}
+		values := stats.InstructionCounts(recs)
+		if unique {
+			values = stats.UniqueCounts(recs)
+		}
+		rows = append(rows, VariationRow{App: name, Table: analysis.Occurrences(values, 3)})
+	}
+	return rows, nil
+}
+
+// FormatVariation renders Table V or Table VI.
+func FormatVariation(rows []VariationRow, unique bool, packets int) string {
+	var b strings.Builder
+	kind, num := "executed", "V"
+	if unique {
+		kind, num = "unique executed", "VI"
+	}
+	fmt.Fprintf(&b, "Table %s: Variation of %s instructions (%d COS packets)\n", num, kind, packets)
+	fmt.Fprintf(&b, "%-22s %-14s %-14s %-14s %-14s %-14s %8s\n",
+		"Application", "1st", "2nd", "3rd", "Min", "Max", "Avg")
+	for _, r := range rows {
+		occ := func(o analysis.Occurrence) string {
+			return fmt.Sprintf("%d (%.2f%%)", o.Value, o.Pct(r.Table.Total))
+		}
+		cols := make([]string, 3)
+		for i := range cols {
+			if i < len(r.Table.Top) {
+				cols[i] = occ(r.Table.Top[i])
+			} else {
+				cols[i] = "-"
+			}
+		}
+		fmt.Fprintf(&b, "%-22s %-14s %-14s %-14s %-14s %-14s %8.0f\n",
+			r.App, cols[0], cols[1], cols[2], occ(r.Table.Min), occ(r.Table.Max), r.Table.Mean)
+	}
+	return b.String()
+}
+
+// ----------------------------------------------------------------------
+// Figures 3-5: per-packet series for IPv4-radix and Flow Classification
+
+// Series is a per-packet metric series for one application.
+type Series struct {
+	App    string
+	Values []float64
+}
+
+// FigureSeries produces the per-packet series of Figures 3 (instruction
+// counts), 4 (packet memory accesses) and 5 (non-packet memory accesses)
+// for the two applications the paper plots, over the first FigurePackets
+// packets of MRA.
+func (e *Env) FigureSeries(metric func(*stats.PacketRecord) float64) ([]Series, error) {
+	var out []Series
+	for _, name := range []string{"IPv4-radix", "Flow Classification"} {
+		_, recs, err := e.Run(name, "MRA", e.cfg.FigurePackets, core.Options{})
+		if err != nil {
+			return nil, err
+		}
+		s := Series{App: name, Values: make([]float64, len(recs))}
+		for i := range recs {
+			s.Values[i] = metric(&recs[i])
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+// MetricInstructions extracts Figure 3's metric.
+func MetricInstructions(r *stats.PacketRecord) float64 { return float64(r.Instructions) }
+
+// MetricPacketAccesses extracts Figure 4's metric.
+func MetricPacketAccesses(r *stats.PacketRecord) float64 { return float64(r.PacketAccesses()) }
+
+// MetricNonPacketAccesses extracts Figure 5's metric.
+func MetricNonPacketAccesses(r *stats.PacketRecord) float64 { return float64(r.NonPacketAccesses()) }
+
+// FormatSeries renders one figure's scatter plots.
+func FormatSeries(title, ylabel string, series []Series) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	for _, s := range series {
+		xs := make([]float64, len(s.Values))
+		for i := range xs {
+			xs[i] = float64(i)
+		}
+		b.WriteString(textplot.Scatter(xs, s.Values, 72, 14,
+			fmt.Sprintf("(%s) %s vs packet", s.App, ylabel)))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// ----------------------------------------------------------------------
+// Figure 6: instruction pattern of a single packet
+
+// Pattern is the instruction access pattern of one packet.
+type Pattern struct {
+	App     string
+	Indices []int // unique-instruction index per executed instruction
+	Unique  int
+}
+
+// Figure6 extracts the instruction pattern of a representative packet
+// (the pktIndex-th MRA packet).
+func (e *Env) Figure6(pktIndex int) ([]Pattern, error) {
+	var out []Pattern
+	for _, name := range []string{"IPv4-radix", "Flow Classification"} {
+		b, err := core.New(e.app(name), core.Options{Detail: true})
+		if err != nil {
+			return nil, err
+		}
+		pkts := e.Trace("MRA", pktIndex+1)
+		if _, err := b.RunPackets(pkts, nil); err != nil {
+			return nil, err
+		}
+		pattern := analysis.InstructionPattern(b.Collector().InstrTrace)
+		out = append(out, Pattern{
+			App:     name,
+			Indices: pattern,
+			Unique:  analysis.UniqueCount(b.Collector().InstrTrace),
+		})
+	}
+	return out, nil
+}
+
+// FormatFigure6 renders the instruction pattern plots.
+func FormatFigure6(patterns []Pattern) string {
+	var b strings.Builder
+	b.WriteString("Figure 6: Detailed packet processing (unique instruction index vs executed instruction)\n")
+	for _, p := range patterns {
+		xs := make([]float64, len(p.Indices))
+		ys := make([]float64, len(p.Indices))
+		for i, idx := range p.Indices {
+			xs[i] = float64(i)
+			ys[i] = float64(idx)
+		}
+		b.WriteString(textplot.Scatter(xs, ys, 72, 16,
+			fmt.Sprintf("(%s) %d instructions, %d unique", p.App, len(p.Indices), p.Unique)))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// ----------------------------------------------------------------------
+// Figures 7 and 8: basic block statistics
+
+// BlockStats carries one application's block-level statistics.
+type BlockStats struct {
+	App           string
+	Probabilities []float64
+	Curve         []analysis.CoveragePoint
+	// Blocks90 is the paper's "sweet spot": blocks needed for 90% packet
+	// coverage.
+	Blocks90 int
+}
+
+// BlockStatistics computes Figures 7 and 8 over the first FigurePackets
+// packets of MRA.
+func (e *Env) BlockStatistics() ([]BlockStats, error) {
+	var out []BlockStats
+	for _, name := range []string{"IPv4-radix", "Flow Classification"} {
+		b, recs, err := e.Run(name, "MRA", e.cfg.FigurePackets, core.Options{})
+		if err != nil {
+			return nil, err
+		}
+		n := b.BlockMap().NumBlocks()
+		sets := stats.BlockSets(recs)
+		curve := analysis.CoverageCurve(sets, n)
+		out = append(out, BlockStats{
+			App:           name,
+			Probabilities: analysis.BlockProbabilities(sets, n),
+			Curve:         curve,
+			Blocks90:      analysis.MinBlocksForCoverage(curve, 0.9),
+		})
+	}
+	return out, nil
+}
+
+// FormatFigure7 renders block execution probabilities.
+func FormatFigure7(bs []BlockStats) string {
+	var b strings.Builder
+	b.WriteString("Figure 7: Basic block execution probability\n")
+	for _, s := range bs {
+		xs := make([]float64, len(s.Probabilities))
+		for i := range xs {
+			xs[i] = float64(i)
+		}
+		b.WriteString(textplot.Scatter(xs, s.Probabilities, 72, 12,
+			fmt.Sprintf("(%s) execution probability vs basic block", s.App)))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// FormatFigure8 renders the coverage curves.
+func FormatFigure8(bs []BlockStats) string {
+	var b strings.Builder
+	b.WriteString("Figure 8: Packet coverage vs number of basic blocks\n")
+	for _, s := range bs {
+		xs := make([]float64, len(s.Curve))
+		ys := make([]float64, len(s.Curve))
+		for i, p := range s.Curve {
+			xs[i] = float64(p.Blocks)
+			ys[i] = p.Coverage
+		}
+		b.WriteString(textplot.Steps(xs, ys, 72, 12,
+			fmt.Sprintf("(%s) coverage vs blocks; 90%% at %d blocks of %d",
+				s.App, s.Blocks90, len(s.Curve))))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// ----------------------------------------------------------------------
+// Figure 9: memory access sequence of a single packet
+
+// MemSeq is the data memory access sequence of one packet.
+type MemSeq struct {
+	App    string
+	Instr  []int  // instruction ordinal of each access
+	Packet []bool // true = packet memory, false = non-packet
+}
+
+// Figure9 extracts the memory access sequence of the pktIndex-th MRA
+// packet.
+func (e *Env) Figure9(pktIndex int) ([]MemSeq, error) {
+	var out []MemSeq
+	for _, name := range []string{"IPv4-radix", "Flow Classification"} {
+		b, err := core.New(e.app(name), core.Options{Detail: true})
+		if err != nil {
+			return nil, err
+		}
+		if _, err := b.RunPackets(e.Trace("MRA", pktIndex+1), nil); err != nil {
+			return nil, err
+		}
+		seq := MemSeq{App: name}
+		for _, ev := range b.Collector().MemTrace {
+			seq.Instr = append(seq.Instr, int(ev.InstrNum))
+			seq.Packet = append(seq.Packet, ev.Region == vm.RegionPacket)
+		}
+		out = append(out, seq)
+	}
+	return out, nil
+}
+
+// FormatFigure9 renders the access sequences.
+func FormatFigure9(seqs []MemSeq) string {
+	var b strings.Builder
+	b.WriteString("Figure 9: Data memory access pattern over one packet\n")
+	for _, s := range seqs {
+		b.WriteString(textplot.Sequence(s.Instr, s.Packet, 72,
+			"packet", "non-packet", fmt.Sprintf("(%s)", s.App)))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// ----------------------------------------------------------------------
+// Beyond the paper: per-application microarchitectural profile
+
+// MicroarchRow is one application's microarchitectural summary.
+type MicroarchRow struct {
+	App            string
+	ALUFrac        float64
+	LoadFrac       float64
+	StoreFrac      float64
+	BranchFrac     float64
+	TakenRate      float64
+	BimodalAcc     float64
+	ICacheMissRate float64
+	DCacheMissRate float64
+	CPI            float64
+}
+
+// Microarch profiles every application over MRA with 4 KiB / 8 KiB
+// two-way caches — the "traditional microarchitectural statistics" the
+// paper says PacketBench can also produce.
+func (e *Env) Microarch(packets int) ([]MicroarchRow, error) {
+	if packets == 0 {
+		packets = e.cfg.TablePackets
+	}
+	var rows []MicroarchRow
+	for _, name := range AppNames {
+		b, err := core.New(e.app(name), core.Options{})
+		if err != nil {
+			return nil, err
+		}
+		ic, err := microarch.NewCache(4096, 16, 2)
+		if err != nil {
+			return nil, err
+		}
+		dc, err := microarch.NewCache(8192, 16, 2)
+		if err != nil {
+			return nil, err
+		}
+		prof := microarch.NewProfiler(ic, dc)
+		b.AddTracer(prof)
+		if _, err := b.RunPackets(e.Trace("MRA", packets), nil); err != nil {
+			return nil, err
+		}
+		prof.Flush()
+		rows = append(rows, MicroarchRow{
+			App:            name,
+			ALUFrac:        prof.Mix.Frac(microarch.ClassALU),
+			LoadFrac:       prof.Mix.Frac(microarch.ClassLoad),
+			StoreFrac:      prof.Mix.Frac(microarch.ClassStore),
+			BranchFrac:     prof.Mix.Frac(microarch.ClassBranch),
+			TakenRate:      prof.Branches.TakenRate(),
+			BimodalAcc:     prof.Branches.BimodalAccuracy(),
+			ICacheMissRate: ic.MissRate(),
+			DCacheMissRate: dc.MissRate(),
+			CPI:            prof.CPI(),
+		})
+	}
+	return rows, nil
+}
+
+// FormatMicroarch renders the microarchitectural profile table.
+func FormatMicroarch(rows []MicroarchRow, packets int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Microarchitectural profile (beyond the paper; %d MRA packets, 4K/8K 2-way caches)\n", packets)
+	fmt.Fprintf(&b, "%-22s %6s %6s %6s %7s %7s %8s %7s %7s %6s\n",
+		"Application", "alu%", "load%", "store%", "branch%", "taken%", "bimodal%", "icmiss%", "dcmiss%", "CPI")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-22s %6.1f %6.1f %6.1f %7.1f %7.1f %8.1f %7.2f %7.2f %6.2f\n",
+			r.App, 100*r.ALUFrac, 100*r.LoadFrac, 100*r.StoreFrac, 100*r.BranchFrac,
+			100*r.TakenRate, 100*r.BimodalAcc, 100*r.ICacheMissRate, 100*r.DCacheMissRate, r.CPI)
+	}
+	return b.String()
+}

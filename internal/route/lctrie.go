@@ -1,0 +1,326 @@
+package route
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+)
+
+// LCTrie is a level- and path-compressed trie after Nilsson and Karlsson
+// ("IP-address lookup using LC-tries", IEEE JSAC 1999), the structure the
+// paper's IPv4-trie application uses. Internal nodes consume `branch` bits
+// at once (level compression) and skip runs of common bits (path
+// compression); leaves reference a base vector of disjoint prefixes, each
+// chained to its longest proper prefix for correct longest-prefix match.
+//
+// Compared to the bit-at-a-time radix tree, lookups touch only a handful
+// of nodes, which is exactly the storage/complexity advantage the paper
+// reports for IPv4-trie over IPv4-radix.
+type LCTrie struct {
+	// nodes is the packed node vector. nodes[0] is the root (when
+	// non-empty). Each word packs branch (5 bits), skip (5 bits) and adr
+	// (22 bits): for internal nodes adr is the index of the first of the
+	// 2^branch contiguous children; for leaves (branch == 0) adr indexes
+	// the entries vector.
+	nodes []uint32
+	// entries holds all table entries sorted by (prefix, len): both trie
+	// leaves (disjoint prefixes) and internal prefixes reachable only via
+	// chain links.
+	entries []lcEntry
+}
+
+type lcEntry struct {
+	prefix uint32
+	len    int32
+	hop    uint32
+	chain  int32 // index of the longest proper prefix entry, or -1
+}
+
+const (
+	lcBranchShift = 27
+	lcSkipShift   = 22
+	lcAdrMask     = 1<<22 - 1
+	lcMaxBranch   = 16
+)
+
+func packNode(branch, skip, adr uint32) uint32 {
+	return branch<<lcBranchShift | skip<<lcSkipShift | adr&lcAdrMask
+}
+
+func unpackNode(w uint32) (branch, skip, adr uint32) {
+	return w >> lcBranchShift, w >> lcSkipShift & 0x1F, w & lcAdrMask
+}
+
+// extractBits returns `count` bits of addr starting at bit position pos
+// (0 = most significant).
+func extractBits(addr uint32, pos, count uint32) uint32 {
+	if count == 0 {
+		return 0
+	}
+	return addr << pos >> (32 - count)
+}
+
+// NewLCTrie builds an LC-trie from a table.
+func NewLCTrie(t *Table) (*LCTrie, error) {
+	// Sort and dedup into the entries vector.
+	src := append([]Entry(nil), t.Entries...)
+	for i := range src {
+		src[i].Prefix &= Mask(src[i].Len)
+	}
+	sort.Slice(src, func(i, j int) bool {
+		if src[i].Prefix != src[j].Prefix {
+			return src[i].Prefix < src[j].Prefix
+		}
+		return src[i].Len < src[j].Len
+	})
+	dedup := src[:0]
+	for _, e := range src {
+		if n := len(dedup); n > 0 && dedup[n-1].Prefix == e.Prefix && dedup[n-1].Len == e.Len {
+			dedup[n-1] = e
+			continue
+		}
+		dedup = append(dedup, e)
+	}
+	src = dedup
+
+	lc := &LCTrie{}
+	lc.entries = make([]lcEntry, len(src))
+	internal := make([]bool, len(src))
+	for i, e := range src {
+		lc.entries[i] = lcEntry{prefix: e.Prefix, len: int32(e.Len), hop: e.NextHop, chain: -1}
+		// In (prefix, len) order every extension of entry i follows it
+		// immediately, so the internal test needs only the successor.
+		if i+1 < len(src) {
+			next := src[i+1]
+			if next.Len > e.Len && next.Prefix&Mask(e.Len) == e.Prefix {
+				internal[i] = true
+			}
+		}
+	}
+	// Chain every entry to its longest proper prefix using an ancestor
+	// stack over the sorted order.
+	var stack []int
+	for i := range src {
+		for len(stack) > 0 {
+			top := src[stack[len(stack)-1]]
+			if top.Len < src[i].Len && src[i].Prefix&Mask(top.Len) == top.Prefix {
+				break
+			}
+			stack = stack[:len(stack)-1]
+		}
+		if len(stack) > 0 {
+			lc.entries[i].chain = int32(stack[len(stack)-1])
+		}
+		if internal[i] {
+			stack = append(stack, i)
+		}
+	}
+	// Collect the leaves (disjoint, prefix-free, strictly increasing).
+	var leaves []int
+	for i := range src {
+		if !internal[i] {
+			leaves = append(leaves, i)
+		}
+	}
+	if len(leaves) == 0 {
+		return lc, nil // empty table
+	}
+	b := &lcBuilder{lc: lc, src: src, leaves: leaves}
+	b.nodes = append(b.nodes, 0) // reserve the root slot
+	if err := b.fill(0, 0, len(leaves), 0); err != nil {
+		return nil, err
+	}
+	lc.nodes = b.nodes
+	return lc, nil
+}
+
+type lcBuilder struct {
+	lc     *LCTrie
+	src    []Entry
+	leaves []int // indices into lc.entries, sorted
+	nodes  []uint32
+}
+
+func (b *lcBuilder) leafEntry(i int) lcEntry { return b.lc.entries[b.leaves[i]] }
+
+// fill computes the node at nodeIdx covering leaves [lo, hi), all of which
+// share their first `pre` bits.
+func (b *lcBuilder) fill(nodeIdx, lo, hi int, pre uint32) error {
+	if hi-lo == 1 {
+		b.nodes[nodeIdx] = packNode(0, 0, uint32(b.leaves[lo]))
+		return nil
+	}
+	first, last := b.leafEntry(lo), b.leafEntry(hi-1)
+	minLen := uint32(first.len)
+	for i := lo; i < hi; i++ {
+		if l := uint32(b.leafEntry(i).len); l < minLen {
+			minLen = l
+		}
+	}
+	// Path compression: common prefix of the whole (sorted) interval is
+	// the common prefix of its first and last elements.
+	common := commonPrefixLen(first.prefix, last.prefix)
+	if common > minLen {
+		common = minLen
+	}
+	if common <= pre {
+		common = pre
+	}
+	skip := common - pre
+	if skip > 31 {
+		return fmt.Errorf("route: lc-trie skip %d exceeds field width", skip)
+	}
+	// Level compression: the widest branch such that no child bucket is
+	// empty and no leaf is shorter than the consumed bits.
+	branch := uint32(1)
+	for branch+1 <= lcMaxBranch && common+branch+1 <= minLen && b.allBucketsNonEmpty(lo, hi, common, branch+1) {
+		branch++
+	}
+	childBase := len(b.nodes)
+	if uint32(childBase)+1<<branch > lcAdrMask {
+		return fmt.Errorf("route: lc-trie node vector overflows 22-bit addressing")
+	}
+	for i := 0; i < 1<<branch; i++ {
+		b.nodes = append(b.nodes, 0)
+	}
+	b.nodes[nodeIdx] = packNode(branch, skip, uint32(childBase))
+	// Partition the interval among the buckets and recurse.
+	start := lo
+	for k := uint32(0); k < 1<<branch; k++ {
+		end := start
+		for end < hi && extractBits(b.leafEntry(end).prefix, common, branch) == k {
+			end++
+		}
+		if end == start {
+			return fmt.Errorf("route: internal error: empty lc-trie bucket %d", k)
+		}
+		if err := b.fill(childBase+int(k), start, end, common+branch); err != nil {
+			return err
+		}
+		start = end
+	}
+	if start != hi {
+		return fmt.Errorf("route: internal error: lc-trie partition mismatch")
+	}
+	return nil
+}
+
+// allBucketsNonEmpty reports whether splitting leaves [lo,hi) on `branch`
+// bits at position pos fills every one of the 2^branch buckets.
+func (b *lcBuilder) allBucketsNonEmpty(lo, hi int, pos, branch uint32) bool {
+	if hi-lo < 1<<branch {
+		return false
+	}
+	want := uint32(0)
+	for i := lo; i < hi; i++ {
+		k := extractBits(b.leafEntry(i).prefix, pos, branch)
+		if k == want {
+			want++
+		} else if k > want {
+			return false // bucket want is empty
+		}
+	}
+	return want == 1<<branch
+}
+
+func commonPrefixLen(a, b uint32) uint32 {
+	x := a ^ b
+	var n uint32
+	for n = 0; n < 32; n++ {
+		if x&(1<<(31-n)) != 0 {
+			break
+		}
+	}
+	return n
+}
+
+// Nodes returns the size of the node vector.
+func (lc *LCTrie) Nodes() int { return len(lc.nodes) }
+
+// Entries returns the size of the base/prefix vector.
+func (lc *LCTrie) Entries() int { return len(lc.entries) }
+
+// Depth returns the maximum node-path length from root to leaf, a measure
+// of lookup cost.
+func (lc *LCTrie) Depth() int {
+	if len(lc.nodes) == 0 {
+		return 0
+	}
+	var walk func(idx uint32) int
+	walk = func(idx uint32) int {
+		branch, _, adr := unpackNode(lc.nodes[idx])
+		if branch == 0 {
+			return 1
+		}
+		max := 0
+		for k := uint32(0); k < 1<<branch; k++ {
+			if d := walk(adr + k); d > max {
+				max = d
+			}
+		}
+		return max + 1
+	}
+	return walk(0)
+}
+
+// Lookup performs longest-prefix match.
+func (lc *LCTrie) Lookup(addr uint32) (uint32, bool) {
+	if len(lc.nodes) == 0 {
+		return 0, false
+	}
+	node := lc.nodes[0]
+	pos := uint32(0)
+	for {
+		branch, skip, adr := unpackNode(node)
+		if branch == 0 {
+			// Leaf: check the entry, then its chain of shorter prefixes.
+			for i := int32(adr); i >= 0; i = lc.entries[i].chain {
+				e := lc.entries[i]
+				if (addr^e.prefix)&Mask(int(e.len)) == 0 {
+					return e.hop, true
+				}
+			}
+			return 0, false
+		}
+		pos += skip
+		k := extractBits(addr, pos, branch)
+		pos += branch
+		node = lc.nodes[adr+k]
+	}
+}
+
+// LCEntrySize is the serialized size of one base-vector entry.
+const LCEntrySize = 16
+
+// Serialize lays the LC-trie out in simulated memory for the PB32
+// IPv4-trie application. Two images are produced:
+//
+// The node vector at nodesBase: one little-endian uint32 per node, packed
+// exactly as in memory here (branch<<27 | skip<<22 | adr). For internal
+// nodes adr is a node *index* (address nodesBase + 4*adr); for leaves it
+// is an entry *index* (address entriesBase + 16*adr).
+//
+// The entry vector at entriesBase: LCEntrySize bytes per entry:
+//
+//	+0  prefix (left aligned)
+//	+4  netmask (precomputed from the length, so the application need not
+//	    materialize it)
+//	+8  next hop
+//	+12 chain: absolute address of the longest-proper-prefix entry, or 0
+func (lc *LCTrie) Serialize(nodesBase, entriesBase uint32) (nodesImage, entriesImage []byte) {
+	nodesImage = make([]byte, len(lc.nodes)*4)
+	for i, w := range lc.nodes {
+		binary.LittleEndian.PutUint32(nodesImage[i*4:], w)
+	}
+	entriesImage = make([]byte, len(lc.entries)*LCEntrySize)
+	for i, e := range lc.entries {
+		off := i * LCEntrySize
+		binary.LittleEndian.PutUint32(entriesImage[off:], e.prefix)
+		binary.LittleEndian.PutUint32(entriesImage[off+4:], Mask(int(e.len)))
+		binary.LittleEndian.PutUint32(entriesImage[off+8:], e.hop)
+		if e.chain >= 0 {
+			binary.LittleEndian.PutUint32(entriesImage[off+12:], entriesBase+uint32(e.chain)*LCEntrySize)
+		}
+	}
+	return nodesImage, entriesImage
+}

@@ -1,0 +1,301 @@
+// Package stats implements PacketBench's selective-accounting statistics
+// engine: a vm.Tracer that turns the simulator's per-instruction event
+// stream into the per-packet workload records the paper's evaluation is
+// built from.
+//
+// Because the tracer is attached only while application code runs (the
+// framework itself executes natively, outside the simulator), every
+// number collected here reflects application processing alone — the
+// paper's "statistics as if the application had run by itself on the
+// processor".
+//
+// The collector has two cost tiers:
+//
+//   - summary counting (always on): per-packet instruction counts, unique
+//     instruction counts, region-split memory access counts, and executed
+//     basic-block sets, using epoch-stamped arrays so per-packet reset is
+//     O(1);
+//   - optional detail traces (Detail) and whole-run memory coverage maps
+//     (Coverage), which the individual-packet figures (6, 9) and Table IV
+//     need but are too expensive to keep for bulk runs.
+package stats
+
+import (
+	"repro/internal/analysis"
+	"repro/internal/isa"
+	"repro/internal/vm"
+)
+
+// PacketRecord is the workload profile of one packet.
+type PacketRecord struct {
+	// Index is the packet's ordinal within the run.
+	Index int
+	// Instructions is the number of instructions executed.
+	Instructions uint64
+	// Unique is the number of distinct instruction addresses executed.
+	Unique int
+	// Region-split data memory access counts. Stack accesses count as
+	// non-packet accesses: they are application state, like table data.
+	PacketReads, PacketWrites       uint64
+	NonPacketReads, NonPacketWrites uint64
+	// Blocks is the sorted set of basic blocks executed.
+	Blocks []int
+}
+
+// PacketAccesses returns total packet-memory accesses.
+func (r *PacketRecord) PacketAccesses() uint64 { return r.PacketReads + r.PacketWrites }
+
+// NonPacketAccesses returns total non-packet data memory accesses.
+func (r *PacketRecord) NonPacketAccesses() uint64 { return r.NonPacketReads + r.NonPacketWrites }
+
+// MemEvent is one data memory access in a detail trace.
+type MemEvent struct {
+	// InstrNum is the 0-based index of the access's instruction within
+	// the packet's execution.
+	InstrNum uint64
+	Addr     uint32
+	Size     uint8
+	Write    bool
+	Region   vm.Region
+}
+
+// Collector accumulates workload statistics. It implements vm.Tracer.
+type Collector struct {
+	// Detail enables per-packet instruction and memory event traces
+	// (InstrTrace, MemTrace, BlockSeq), reset at BeginPacket.
+	Detail bool
+	// Coverage enables whole-run unique-address tracking (Table IV).
+	Coverage bool
+	// KeepRecords retains every packet's record in Records.
+	KeepRecords bool
+	// CountPCs enables per-instruction execution counters (PCCounts),
+	// the input for gprof-style annotated listings.
+	CountPCs bool
+
+	blocks   *analysis.BlockMap
+	textBase uint32
+	numText  int
+
+	// Epoch-stamped uniqueness tracking: seenInstr[i] == epoch means
+	// instruction i already executed for the current packet.
+	epoch     uint32
+	seenInstr []uint32
+	seenBlock []uint32
+
+	cur     PacketRecord
+	packets int
+
+	// Detail traces for the current packet.
+	InstrTrace []uint32
+	MemTrace   []MemEvent
+	// BlockSeq is the dynamic block entry sequence of the current packet.
+	BlockSeq []int
+
+	// Records holds one record per packet when KeepRecords is set.
+	Records []PacketRecord
+
+	// PCCounts[i] is how many times instruction i executed across the
+	// whole run (enabled by CountPCs).
+	PCCounts []uint64
+
+	// Whole-run coverage sets (enabled by Coverage).
+	instrTouched []bool // per text instruction
+	dataTouched  map[uint32]struct{}
+	pktTouched   map[uint32]struct{}
+}
+
+// NewCollector creates a collector for a program's text segment.
+func NewCollector(text []isa.Instruction, textBase uint32, blocks *analysis.BlockMap) *Collector {
+	return &Collector{
+		blocks:       blocks,
+		textBase:     textBase,
+		numText:      len(text),
+		seenInstr:    make([]uint32, len(text)),
+		seenBlock:    make([]uint32, blocks.NumBlocks()),
+		instrTouched: make([]bool, len(text)),
+		dataTouched:  make(map[uint32]struct{}),
+		pktTouched:   make(map[uint32]struct{}),
+	}
+}
+
+// Blocks returns the block map the collector was built with.
+func (c *Collector) Blocks() *analysis.BlockMap { return c.blocks }
+
+// Packets returns the number of completed packets.
+func (c *Collector) Packets() int { return c.packets }
+
+// BeginPacket starts accounting for the next packet.
+func (c *Collector) BeginPacket() {
+	c.epoch++
+	c.cur = PacketRecord{Index: c.packets}
+	if c.Detail {
+		c.InstrTrace = c.InstrTrace[:0]
+		c.MemTrace = c.MemTrace[:0]
+		c.BlockSeq = c.BlockSeq[:0]
+	}
+}
+
+// EndPacket finalizes the current packet and returns its record.
+func (c *Collector) EndPacket() PacketRecord {
+	// Gather the executed block set from the epoch stamps (ascending ids,
+	// hence sorted).
+	for b, e := range c.seenBlock {
+		if e == c.epoch {
+			c.cur.Blocks = append(c.cur.Blocks, b)
+		}
+	}
+	rec := c.cur
+	c.packets++
+	if c.KeepRecords {
+		c.Records = append(c.Records, rec)
+	}
+	return rec
+}
+
+// Instr implements vm.Tracer.
+func (c *Collector) Instr(pc uint32, in isa.Instruction) {
+	c.cur.Instructions++
+	idx := int(pc-c.textBase) / isa.WordSize
+	if idx >= 0 && idx < c.numText {
+		if c.seenInstr[idx] != c.epoch {
+			c.seenInstr[idx] = c.epoch
+			c.cur.Unique++
+		}
+		b := c.blocks.BlockOfIndex(idx)
+		if c.seenBlock[b] != c.epoch {
+			c.seenBlock[b] = c.epoch
+		}
+		if c.Coverage {
+			c.instrTouched[idx] = true
+		}
+		if c.CountPCs {
+			if c.PCCounts == nil {
+				c.PCCounts = make([]uint64, c.numText)
+			}
+			c.PCCounts[idx]++
+		}
+		if c.Detail {
+			c.InstrTrace = append(c.InstrTrace, pc)
+			// A block is entered whenever its leader executes (all
+			// control-transfer targets are leaders), so self-loops count
+			// as re-entries.
+			if c.blocks.LeaderIndex(b) == idx {
+				c.BlockSeq = append(c.BlockSeq, b)
+			}
+		}
+	}
+}
+
+// Mem implements vm.Tracer.
+func (c *Collector) Mem(pc, addr uint32, size uint8, write bool, region vm.Region) {
+	if region == vm.RegionPacket {
+		if write {
+			c.cur.PacketWrites++
+		} else {
+			c.cur.PacketReads++
+		}
+	} else {
+		if write {
+			c.cur.NonPacketWrites++
+		} else {
+			c.cur.NonPacketReads++
+		}
+	}
+	if c.Coverage {
+		set := c.dataTouched
+		if region == vm.RegionPacket {
+			set = c.pktTouched
+		}
+		for i := uint32(0); i < uint32(size); i++ {
+			set[addr+i] = struct{}{}
+		}
+	}
+	if c.Detail {
+		c.MemTrace = append(c.MemTrace, MemEvent{
+			InstrNum: c.cur.Instructions - 1,
+			Addr:     addr, Size: size, Write: write, Region: region,
+		})
+	}
+}
+
+// InstrMemSize returns the touched instruction-memory footprint in bytes
+// (Table IV). Requires Coverage.
+func (c *Collector) InstrMemSize() int {
+	n := 0
+	for _, t := range c.instrTouched {
+		if t {
+			n++
+		}
+	}
+	return n * isa.WordSize
+}
+
+// DataMemSize returns the touched data-memory footprint in bytes,
+// counting non-packet data only (routing tables, flow state, stack),
+// which is the application-owned memory Table IV reports. Requires
+// Coverage.
+func (c *Collector) DataMemSize() int { return len(c.dataTouched) }
+
+// PacketMemSize returns the touched packet-buffer footprint in bytes.
+// Requires Coverage.
+func (c *Collector) PacketMemSize() int { return len(c.pktTouched) }
+
+// Summary aggregates a run's records.
+type Summary struct {
+	Packets           int
+	MeanInstructions  float64
+	MeanUnique        float64
+	MeanPacketAcc     float64
+	MeanNonPacketAcc  float64
+	TotalInstructions uint64
+}
+
+// Summarize computes run-level averages from a record slice.
+func Summarize(records []PacketRecord) Summary {
+	s := Summary{Packets: len(records)}
+	if len(records) == 0 {
+		return s
+	}
+	var unique, pkt, nonpkt uint64
+	for i := range records {
+		r := &records[i]
+		s.TotalInstructions += r.Instructions
+		unique += uint64(r.Unique)
+		pkt += r.PacketAccesses()
+		nonpkt += r.NonPacketAccesses()
+	}
+	n := float64(len(records))
+	s.MeanInstructions = float64(s.TotalInstructions) / n
+	s.MeanUnique = float64(unique) / n
+	s.MeanPacketAcc = float64(pkt) / n
+	s.MeanNonPacketAcc = float64(nonpkt) / n
+	return s
+}
+
+// InstructionCounts extracts the per-packet instruction counts from
+// records (input to analysis.Occurrences for Table V).
+func InstructionCounts(records []PacketRecord) []uint64 {
+	out := make([]uint64, len(records))
+	for i := range records {
+		out[i] = records[i].Instructions
+	}
+	return out
+}
+
+// UniqueCounts extracts per-packet unique-instruction counts (Table VI).
+func UniqueCounts(records []PacketRecord) []uint64 {
+	out := make([]uint64, len(records))
+	for i := range records {
+		out[i] = uint64(records[i].Unique)
+	}
+	return out
+}
+
+// BlockSets extracts per-packet executed block sets (Figures 7 and 8).
+func BlockSets(records []PacketRecord) [][]int {
+	out := make([][]int, len(records))
+	for i := range records {
+		out[i] = records[i].Blocks
+	}
+	return out
+}

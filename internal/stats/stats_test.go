@@ -1,0 +1,294 @@
+package stats
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/asm"
+	"repro/internal/isa"
+	"repro/internal/vm"
+)
+
+// harness assembles src and wires a CPU to a collector with the given
+// options pre-set by the caller.
+type harness struct {
+	prog *asm.Program
+	cpu  *vm.CPU
+	col  *Collector
+}
+
+func newHarness(t *testing.T, src string) *harness {
+	t.Helper()
+	p, err := asm.Assemble(src, asm.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem := vm.NewMemory()
+	mem.WriteBytes(p.DataBase, p.Data)
+	cpu := vm.New(p.Text, p.TextBase, mem)
+	cpu.Layout.PacketBase = 0x20000000
+	cpu.Layout.PacketEnd = 0x20001000
+	cpu.Layout.DataBase = p.DataBase
+	cpu.Layout.DataEnd = p.DataBase + 1<<20
+	cpu.Layout.StackBase = 0x7FFF0000
+	cpu.Layout.StackEnd = 0x80000000
+	blocks := analysis.NewBlockMap(p.Text, p.TextBase)
+	col := NewCollector(p.Text, p.TextBase, blocks)
+	cpu.Tracer = col
+	return &harness{prog: p, cpu: cpu, col: col}
+}
+
+// runPacket simulates one framework dispatch.
+func (h *harness) runPacket(t *testing.T) PacketRecord {
+	t.Helper()
+	for r := range h.cpu.Regs {
+		h.cpu.Regs[r] = 0
+	}
+	h.cpu.SetReg(isa.A0, h.cpu.Layout.PacketBase)
+	h.cpu.SetReg(isa.SP, h.cpu.Layout.StackEnd)
+	h.cpu.SetReg(isa.RA, vm.ReturnAddress)
+	h.cpu.PC = h.prog.TextBase
+	h.col.BeginPacket()
+	if _, _, err := h.cpu.Run(1 << 20); err != nil {
+		t.Fatal(err)
+	}
+	return h.col.EndPacket()
+}
+
+const countingSrc = `
+	.data
+state:	.word 0
+	.text
+entry:
+	lw   t0, 0(a0)        ; packet read
+	sw   t0, 4(a0)        ; packet write
+	la   t1, state
+	lw   t2, 0(t1)        ; data read
+	add  t2, t2, t0
+	sw   t2, 0(t1)        ; data write
+	addi sp, sp, -4
+	sw   t2, 0(sp)        ; stack write (counts as non-packet)
+	lw   t2, 0(sp)        ; stack read
+	addi sp, sp, 4
+	ret
+`
+
+func TestCollectorCounts(t *testing.T) {
+	h := newHarness(t, countingSrc)
+	rec := h.runPacket(t)
+	if rec.Instructions != 12 {
+		t.Errorf("Instructions = %d, want 12", rec.Instructions)
+	}
+	if rec.Unique != 12 {
+		t.Errorf("Unique = %d, want 12 (straight-line code)", rec.Unique)
+	}
+	if rec.PacketReads != 1 || rec.PacketWrites != 1 {
+		t.Errorf("packet accesses = %d/%d, want 1/1", rec.PacketReads, rec.PacketWrites)
+	}
+	if rec.NonPacketReads != 2 || rec.NonPacketWrites != 2 {
+		t.Errorf("non-packet accesses = %d/%d, want 2/2", rec.NonPacketReads, rec.NonPacketWrites)
+	}
+	if rec.PacketAccesses() != 2 || rec.NonPacketAccesses() != 4 {
+		t.Errorf("access sums wrong: %d/%d", rec.PacketAccesses(), rec.NonPacketAccesses())
+	}
+	if len(rec.Blocks) != 1 || rec.Blocks[0] != 0 {
+		t.Errorf("Blocks = %v", rec.Blocks)
+	}
+	if rec.Index != 0 {
+		t.Errorf("Index = %d", rec.Index)
+	}
+}
+
+func TestCollectorPerPacketReset(t *testing.T) {
+	h := newHarness(t, countingSrc)
+	first := h.runPacket(t)
+	second := h.runPacket(t)
+	if second.Index != 1 {
+		t.Errorf("second Index = %d", second.Index)
+	}
+	if first.Instructions != second.Instructions || first.Unique != second.Unique {
+		t.Errorf("records differ across identical packets: %+v vs %+v", first, second)
+	}
+	if h.col.Packets() != 2 {
+		t.Errorf("Packets() = %d", h.col.Packets())
+	}
+}
+
+const loopSrc = `
+	lw   t1, 0(a0)        ; loop count from the packet
+	mv   t2, zero
+loop:
+	addi t2, t2, 1
+	blt  t2, t1, loop
+	ret
+`
+
+func TestCollectorUniqueVsTotal(t *testing.T) {
+	h := newHarness(t, loopSrc)
+	h.cpu.Mem.Write32(h.cpu.Layout.PacketBase, 10)
+	rec := h.runPacket(t)
+	// Total: 2 prologue + 10 iterations * 2 + ret = 23. Unique: 5.
+	if rec.Instructions != 23 {
+		t.Errorf("Instructions = %d, want 23", rec.Instructions)
+	}
+	if rec.Unique != 5 {
+		t.Errorf("Unique = %d, want 5", rec.Unique)
+	}
+	// Unique never exceeds total; repetition factor 4.6 here.
+	if analysis.RepetitionFactor(rec.Instructions, rec.Unique) != 4.6 {
+		t.Errorf("repetition factor = %v", analysis.RepetitionFactor(rec.Instructions, rec.Unique))
+	}
+}
+
+func TestCollectorDetailTraces(t *testing.T) {
+	h := newHarness(t, countingSrc)
+	h.col.Detail = true
+	rec := h.runPacket(t)
+	if uint64(len(h.col.InstrTrace)) != rec.Instructions {
+		t.Errorf("InstrTrace has %d entries, want %d", len(h.col.InstrTrace), rec.Instructions)
+	}
+	if len(h.col.MemTrace) != 6 {
+		t.Fatalf("MemTrace has %d events, want 6", len(h.col.MemTrace))
+	}
+	// Event regions in program order.
+	wantRegions := []vm.Region{vm.RegionPacket, vm.RegionPacket,
+		vm.RegionData, vm.RegionData, vm.RegionStack, vm.RegionStack}
+	wantWrites := []bool{false, true, false, true, true, false}
+	for i, ev := range h.col.MemTrace {
+		if ev.Region != wantRegions[i] || ev.Write != wantWrites[i] {
+			t.Errorf("event %d = %+v, want region %v write %v", i, ev, wantRegions[i], wantWrites[i])
+		}
+		if ev.InstrNum >= rec.Instructions {
+			t.Errorf("event %d InstrNum %d out of range", i, ev.InstrNum)
+		}
+	}
+	// BlockSeq for straight-line code is a single block.
+	if len(h.col.BlockSeq) != 1 {
+		t.Errorf("BlockSeq = %v", h.col.BlockSeq)
+	}
+	// Detail buffers reset per packet.
+	h.runPacket(t)
+	if uint64(len(h.col.InstrTrace)) != rec.Instructions {
+		t.Errorf("detail trace grew across packets: %d", len(h.col.InstrTrace))
+	}
+}
+
+func TestCollectorBlockSeqLoops(t *testing.T) {
+	h := newHarness(t, loopSrc)
+	h.col.Detail = true
+	h.cpu.Mem.Write32(h.cpu.Layout.PacketBase, 3)
+	h.runPacket(t)
+	// Blocks: b0 = prologue, b1 = loop body, b2 = ret. Sequence should
+	// enter b1 three times: b0 b1 b1 b1 b2.
+	want := []int{0, 1, 1, 1, 2}
+	if len(h.col.BlockSeq) != len(want) {
+		t.Fatalf("BlockSeq = %v, want %v", h.col.BlockSeq, want)
+	}
+	for i := range want {
+		if h.col.BlockSeq[i] != want[i] {
+			t.Fatalf("BlockSeq = %v, want %v", h.col.BlockSeq, want)
+		}
+	}
+}
+
+func TestCollectorCoverage(t *testing.T) {
+	h := newHarness(t, countingSrc)
+	h.col.Coverage = true
+	h.runPacket(t)
+	h.runPacket(t)
+	// 12 instructions * 4 bytes.
+	if got := h.col.InstrMemSize(); got != 12*4 {
+		t.Errorf("InstrMemSize = %d, want 48", got)
+	}
+	// Non-packet data: state word (4) + stack slot (4).
+	if got := h.col.DataMemSize(); got != 8 {
+		t.Errorf("DataMemSize = %d, want 8", got)
+	}
+	// Packet: two words.
+	if got := h.col.PacketMemSize(); got != 8 {
+		t.Errorf("PacketMemSize = %d, want 8", got)
+	}
+}
+
+func TestCollectorKeepRecords(t *testing.T) {
+	h := newHarness(t, countingSrc)
+	h.col.KeepRecords = true
+	h.runPacket(t)
+	h.runPacket(t)
+	h.runPacket(t)
+	if len(h.col.Records) != 3 {
+		t.Fatalf("Records = %d", len(h.col.Records))
+	}
+	for i, r := range h.col.Records {
+		if r.Index != i {
+			t.Errorf("record %d has index %d", i, r.Index)
+		}
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	recs := []PacketRecord{
+		{Instructions: 100, Unique: 50, PacketReads: 10, NonPacketWrites: 20},
+		{Instructions: 200, Unique: 70, PacketWrites: 6, NonPacketReads: 4},
+	}
+	s := Summarize(recs)
+	if s.Packets != 2 || s.TotalInstructions != 300 {
+		t.Errorf("summary = %+v", s)
+	}
+	if s.MeanInstructions != 150 || s.MeanUnique != 60 {
+		t.Errorf("means = %v/%v", s.MeanInstructions, s.MeanUnique)
+	}
+	if s.MeanPacketAcc != 8 || s.MeanNonPacketAcc != 12 {
+		t.Errorf("mem means = %v/%v", s.MeanPacketAcc, s.MeanNonPacketAcc)
+	}
+	empty := Summarize(nil)
+	if empty.Packets != 0 || empty.MeanInstructions != 0 {
+		t.Errorf("empty summary = %+v", empty)
+	}
+}
+
+func TestExtractors(t *testing.T) {
+	recs := []PacketRecord{
+		{Instructions: 10, Unique: 5, Blocks: []int{0, 1}},
+		{Instructions: 20, Unique: 7, Blocks: []int{0}},
+	}
+	ic := InstructionCounts(recs)
+	if len(ic) != 2 || ic[0] != 10 || ic[1] != 20 {
+		t.Errorf("InstructionCounts = %v", ic)
+	}
+	uc := UniqueCounts(recs)
+	if uc[0] != 5 || uc[1] != 7 {
+		t.Errorf("UniqueCounts = %v", uc)
+	}
+	bs := BlockSets(recs)
+	if len(bs) != 2 || len(bs[0]) != 2 || len(bs[1]) != 1 {
+		t.Errorf("BlockSets = %v", bs)
+	}
+}
+
+func TestPCCounts(t *testing.T) {
+	h := newHarness(t, loopSrc)
+	h.col.CountPCs = true
+	h.cpu.Mem.Write32(h.cpu.Layout.PacketBase, 5)
+	h.runPacket(t)
+	h.runPacket(t)
+	if h.col.PCCounts == nil {
+		t.Fatal("PCCounts not allocated")
+	}
+	// Instruction 0 (lw) executes once per packet; the loop body (index
+	// 2, 3) executes 5 times per packet.
+	if h.col.PCCounts[0] != 2 {
+		t.Errorf("PCCounts[0] = %d, want 2", h.col.PCCounts[0])
+	}
+	if h.col.PCCounts[2] != 10 {
+		t.Errorf("PCCounts[2] = %d, want 10", h.col.PCCounts[2])
+	}
+	var total uint64
+	for _, c := range h.col.PCCounts {
+		total += c
+	}
+	// Per packet: 2 prologue + 5 iterations * 2 + ret = 13.
+	if total != 2*13 {
+		t.Errorf("PCCounts sum to %d, want 26", total)
+	}
+}

@@ -1,0 +1,159 @@
+// Package textplot renders the paper's figures as ASCII plots so the
+// reproduction harness can display them in a terminal and record them in
+// EXPERIMENTS.md. Plots are deliberately simple: a character grid with
+// axis annotations, enough to compare shapes against the paper's figures.
+package textplot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Scatter renders y-values against x-values on a w×h character grid.
+// Points map to '*'; the y-axis is annotated with min/max values.
+func Scatter(xs, ys []float64, w, h int, title string) string {
+	if w < 8 {
+		w = 8
+	}
+	if h < 4 {
+		h = 4
+	}
+	var b strings.Builder
+	if title != "" {
+		fmt.Fprintf(&b, "%s\n", title)
+	}
+	if len(xs) == 0 || len(xs) != len(ys) {
+		b.WriteString("(no data)\n")
+		return b.String()
+	}
+	minX, maxX := minMax(xs)
+	minY, maxY := minMax(ys)
+	grid := make([][]byte, h)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", w))
+	}
+	for i := range xs {
+		col := scale(xs[i], minX, maxX, w)
+		row := h - 1 - scale(ys[i], minY, maxY, h)
+		grid[row][col] = '*'
+	}
+	yLabelW := len(fmt.Sprintf("%.6g", maxY))
+	if l := len(fmt.Sprintf("%.6g", minY)); l > yLabelW {
+		yLabelW = l
+	}
+	for i, row := range grid {
+		label := strings.Repeat(" ", yLabelW)
+		switch i {
+		case 0:
+			label = fmt.Sprintf("%*.6g", yLabelW, maxY)
+		case h - 1:
+			label = fmt.Sprintf("%*.6g", yLabelW, minY)
+		}
+		fmt.Fprintf(&b, "%s |%s|\n", label, row)
+	}
+	fmt.Fprintf(&b, "%s  %-*.6g%*.6g\n", strings.Repeat(" ", yLabelW), w/2, minX, w-w/2, maxX)
+	return b.String()
+}
+
+// Steps renders a monotone step curve (e.g. a coverage curve) with the
+// same conventions as Scatter but connecting gaps horizontally.
+func Steps(xs, ys []float64, w, h int, title string) string {
+	if len(xs) == 0 || len(xs) != len(ys) {
+		return Scatter(xs, ys, w, h, title)
+	}
+	// Densify: one sample per column using the latest value at or before
+	// the column's x.
+	minX, maxX := minMax(xs)
+	dx := (maxX - minX) / float64(max(w-1, 1))
+	densX := make([]float64, 0, w)
+	densY := make([]float64, 0, w)
+	j := 0
+	last := ys[0]
+	for c := 0; c < w; c++ {
+		x := minX + dx*float64(c)
+		for j < len(xs) && xs[j] <= x+1e-12 {
+			last = ys[j]
+			j++
+		}
+		densX = append(densX, x)
+		densY = append(densY, last)
+	}
+	return Scatter(densX, densY, w, h, title)
+}
+
+// Sequence renders a two-valued event sequence (the paper's Figure 9:
+// packet vs non-packet accesses over the instruction stream). Events with
+// positive class are drawn on the upper band, negative on the lower.
+func Sequence(instr []int, isUpper []bool, w int, upperLabel, lowerLabel, title string) string {
+	var b strings.Builder
+	if title != "" {
+		fmt.Fprintf(&b, "%s\n", title)
+	}
+	if len(instr) == 0 || len(instr) != len(isUpper) {
+		b.WriteString("(no data)\n")
+		return b.String()
+	}
+	if w < 8 {
+		w = 8
+	}
+	maxI := instr[0]
+	for _, v := range instr {
+		if v > maxI {
+			maxI = v
+		}
+	}
+	upper := []byte(strings.Repeat(" ", w))
+	lower := []byte(strings.Repeat(" ", w))
+	for i, n := range instr {
+		col := scale(float64(n), 0, float64(maxI), w)
+		if isUpper[i] {
+			upper[col] = '*'
+		} else {
+			lower[col] = '*'
+		}
+	}
+	labelW := len(upperLabel)
+	if len(lowerLabel) > labelW {
+		labelW = len(lowerLabel)
+	}
+	fmt.Fprintf(&b, "%*s |%s|\n", labelW, upperLabel, upper)
+	fmt.Fprintf(&b, "%*s |%s|\n", labelW, lowerLabel, lower)
+	fmt.Fprintf(&b, "%*s  0%*d\n", labelW, "", w-1, maxI)
+	return b.String()
+}
+
+func minMax(v []float64) (lo, hi float64) {
+	lo, hi = math.Inf(1), math.Inf(-1)
+	for _, x := range v {
+		if x < lo {
+			lo = x
+		}
+		if x > hi {
+			hi = x
+		}
+	}
+	return lo, hi
+}
+
+// scale maps v in [lo, hi] to a cell index in [0, n).
+func scale(v, lo, hi float64, n int) int {
+	if hi <= lo {
+		return 0
+	}
+	i := int((v - lo) / (hi - lo) * float64(n-1))
+	if i < 0 {
+		i = 0
+	}
+	if i >= n {
+		i = n - 1
+	}
+	return i
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

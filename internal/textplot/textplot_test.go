@@ -1,0 +1,124 @@
+package textplot
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestScatterBasic(t *testing.T) {
+	xs := []float64{0, 1, 2, 3}
+	ys := []float64{0, 10, 20, 30}
+	out := Scatter(xs, ys, 20, 6, "title")
+	if !strings.HasPrefix(out, "title\n") {
+		t.Errorf("missing title:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// title + h rows + x axis.
+	if len(lines) != 1+6+1 {
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	if !strings.Contains(out, "*") {
+		t.Error("no points plotted")
+	}
+	// Max y label on the top row, min on the bottom.
+	if !strings.Contains(lines[1], "30") {
+		t.Errorf("top row missing max label: %q", lines[1])
+	}
+	if !strings.Contains(lines[6], "0") {
+		t.Errorf("bottom row missing min label: %q", lines[6])
+	}
+	// Monotone data: the '*' in the top row must be right of the one in
+	// the bottom row.
+	top := strings.IndexByte(lines[1], '*')
+	bottom := strings.IndexByte(lines[6], '*')
+	if top <= bottom {
+		t.Errorf("monotone data not rendered monotone: top * at %d, bottom at %d", top, bottom)
+	}
+}
+
+func TestScatterEmptyAndMismatched(t *testing.T) {
+	if out := Scatter(nil, nil, 10, 5, ""); !strings.Contains(out, "no data") {
+		t.Errorf("empty input: %q", out)
+	}
+	if out := Scatter([]float64{1}, []float64{1, 2}, 10, 5, ""); !strings.Contains(out, "no data") {
+		t.Errorf("mismatched input: %q", out)
+	}
+}
+
+func TestScatterConstantSeries(t *testing.T) {
+	// Constant y must not divide by zero; all points land on one row.
+	xs := []float64{0, 1, 2}
+	ys := []float64{5, 5, 5}
+	out := Scatter(xs, ys, 16, 4, "")
+	rows := 0
+	for _, line := range strings.Split(out, "\n") {
+		if strings.Contains(line, "*") {
+			rows++
+		}
+	}
+	if rows != 1 {
+		t.Errorf("constant series occupies %d rows, want 1\n%s", rows, out)
+	}
+}
+
+func TestScatterMinimumDimensions(t *testing.T) {
+	out := Scatter([]float64{0, 1}, []float64{0, 1}, 1, 1, "")
+	if out == "" {
+		t.Error("tiny dimensions produced nothing")
+	}
+}
+
+func TestSteps(t *testing.T) {
+	xs := []float64{1, 2, 3, 10}
+	ys := []float64{0.1, 0.5, 0.9, 1.0}
+	out := Steps(xs, ys, 40, 8, "coverage")
+	if !strings.Contains(out, "coverage") || !strings.Contains(out, "*") {
+		t.Errorf("steps output malformed:\n%s", out)
+	}
+	// Step plots fill horizontally: many columns carry a point.
+	stars := strings.Count(out, "*")
+	if stars < 20 {
+		t.Errorf("step plot too sparse: %d points", stars)
+	}
+}
+
+func TestSequence(t *testing.T) {
+	instr := []int{0, 10, 20, 30, 40}
+	isUpper := []bool{true, true, false, false, true}
+	out := Sequence(instr, isUpper, 40, "packet", "non-packet", "fig9")
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 { // title + 2 bands + axis
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[1], "packet") || !strings.Contains(lines[2], "non-packet") {
+		t.Errorf("band labels missing:\n%s", out)
+	}
+	if strings.Count(lines[1], "*") == 0 || strings.Count(lines[2], "*") == 0 {
+		t.Errorf("bands not populated:\n%s", out)
+	}
+	// Empty input.
+	if out := Sequence(nil, nil, 20, "a", "b", ""); !strings.Contains(out, "no data") {
+		t.Errorf("empty sequence: %q", out)
+	}
+}
+
+func TestScaleBounds(t *testing.T) {
+	if scale(5, 0, 10, 10) < 0 || scale(5, 0, 10, 10) > 9 {
+		t.Error("scale out of range")
+	}
+	if scale(0, 0, 10, 10) != 0 {
+		t.Error("scale(min) != 0")
+	}
+	if scale(10, 0, 10, 10) != 9 {
+		t.Error("scale(max) != n-1")
+	}
+	if scale(99, 0, 10, 10) != 9 {
+		t.Error("scale clamps above")
+	}
+	if scale(-5, 0, 10, 10) != 0 {
+		t.Error("scale clamps below")
+	}
+	if scale(1, 5, 5, 10) != 0 {
+		t.Error("degenerate range not handled")
+	}
+}

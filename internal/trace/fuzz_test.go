@@ -1,0 +1,59 @@
+package trace
+
+import (
+	"bytes"
+	"io"
+	"testing"
+)
+
+// FuzzPcapReader checks the pcap reader is panic-free and terminates on
+// arbitrary input.
+func FuzzPcapReader(f *testing.F) {
+	var buf bytes.Buffer
+	w, _ := NewPcapWriter(&buf)
+	data := make([]byte, 40)
+	data[0] = 0x45
+	_ = w.WritePacket(&Packet{Sec: 1, Usec: 2, Data: data})
+	f.Add(buf.Bytes())
+	f.Add([]byte{})
+	f.Add(buf.Bytes()[:20])
+	f.Add(bytes.Repeat([]byte{0xA1}, 64))
+
+	f.Fuzz(func(t *testing.T, b []byte) {
+		r, err := NewPcapReader(bytes.NewReader(b))
+		if err != nil {
+			return
+		}
+		for n := 0; n < 1000; n++ {
+			p, err := r.Next()
+			if err == io.EOF {
+				return
+			}
+			if err != nil {
+				return
+			}
+			if len(p.Data) == 0 {
+				t.Fatal("reader returned empty packet without error")
+			}
+		}
+	})
+}
+
+// FuzzTSHReader does the same for the TSH reader.
+func FuzzTSHReader(f *testing.F) {
+	f.Add(make([]byte, TSHRecordLen))
+	f.Add(make([]byte, TSHRecordLen*2+10))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, b []byte) {
+		r := NewTSHReader(bytes.NewReader(b))
+		for {
+			p, err := r.Next()
+			if err != nil {
+				return
+			}
+			if len(p.Data) != 36 {
+				t.Fatalf("TSH packet with %d bytes", len(p.Data))
+			}
+		}
+	})
+}

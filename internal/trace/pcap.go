@@ -1,0 +1,155 @@
+package trace
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// pcap file-format constants.
+const (
+	pcapMagic        = 0xA1B2C3D4 // microsecond timestamps, writer-native order
+	pcapMagicSwapped = 0xD4C3B2A1
+	pcapVersionMajor = 2
+	pcapVersionMinor = 4
+	pcapHeaderLen    = 24
+	pcapRecordLen    = 16
+
+	// LinkTypeRaw means packets begin directly with the IP header
+	// (DLT_RAW). This is what the writer emits.
+	LinkTypeRaw = 101
+	// LinkTypeEthernet packets carry a 14-byte Ethernet header that the
+	// reader strips (DLT_EN10MB).
+	LinkTypeEthernet = 1
+
+	ethernetHeaderLen = 14
+	etherTypeIPv4     = 0x0800
+)
+
+// PcapReader reads libpcap capture files. Both byte orders are accepted;
+// Ethernet and raw-IP link types are supported, with non-IPv4 frames
+// skipped silently (matching how header-processing tools consume mixed
+// captures).
+type PcapReader struct {
+	r        io.Reader
+	order    binary.ByteOrder
+	linkType uint32
+	snapLen  uint32
+}
+
+// NewPcapReader parses the global header and returns a reader positioned
+// at the first record.
+func NewPcapReader(r io.Reader) (*PcapReader, error) {
+	var hdr [pcapHeaderLen]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, fmt.Errorf("trace: reading pcap header: %w", err)
+	}
+	var order binary.ByteOrder
+	switch binary.LittleEndian.Uint32(hdr[:4]) {
+	case pcapMagic:
+		order = binary.LittleEndian
+	case pcapMagicSwapped:
+		order = binary.BigEndian
+	default:
+		return nil, ErrNotPcap
+	}
+	p := &PcapReader{
+		r:        r,
+		order:    order,
+		snapLen:  0,
+		linkType: 0,
+	}
+	p.snapLen = order.Uint32(hdr[16:])
+	p.linkType = order.Uint32(hdr[20:])
+	switch p.linkType {
+	case LinkTypeRaw, LinkTypeEthernet:
+	default:
+		return nil, fmt.Errorf("trace: unsupported pcap link type %d", p.linkType)
+	}
+	return p, nil
+}
+
+// LinkType returns the capture's link type.
+func (p *PcapReader) LinkType() uint32 { return p.linkType }
+
+// Next returns the next IPv4 packet, skipping non-IP frames. It returns
+// io.EOF at the end of the file.
+func (p *PcapReader) Next() (*Packet, error) {
+	for {
+		var rec [pcapRecordLen]byte
+		if _, err := io.ReadFull(p.r, rec[:]); err != nil {
+			if err == io.EOF {
+				return nil, io.EOF
+			}
+			return nil, fmt.Errorf("trace: reading pcap record header: %w", err)
+		}
+		sec := p.order.Uint32(rec[0:])
+		usec := p.order.Uint32(rec[4:])
+		inclLen := p.order.Uint32(rec[8:])
+		origLen := p.order.Uint32(rec[12:])
+		if p.snapLen > 0 && inclLen > p.snapLen || inclLen > 1<<24 {
+			return nil, fmt.Errorf("trace: pcap record length %d exceeds snap length %d", inclLen, p.snapLen)
+		}
+		data := make([]byte, inclLen)
+		if _, err := io.ReadFull(p.r, data); err != nil {
+			return nil, fmt.Errorf("trace: reading pcap record body: %w", err)
+		}
+		wire := int(origLen)
+		if p.linkType == LinkTypeEthernet {
+			if len(data) < ethernetHeaderLen {
+				continue // runt frame
+			}
+			etherType := binary.BigEndian.Uint16(data[12:])
+			if etherType != etherTypeIPv4 {
+				continue // not IPv4; skip
+			}
+			data = data[ethernetHeaderLen:]
+			wire -= ethernetHeaderLen
+		}
+		if len(data) == 0 {
+			continue
+		}
+		return &Packet{Sec: sec, Usec: usec, Data: data, WireLen: wire}, nil
+	}
+}
+
+// PcapWriter writes libpcap capture files with raw-IP framing, so records
+// begin at the layer-3 header exactly as PacketBench applications see them.
+type PcapWriter struct {
+	w io.Writer
+}
+
+// NewPcapWriter writes the global header and returns the writer.
+func NewPcapWriter(w io.Writer) (*PcapWriter, error) {
+	var hdr [pcapHeaderLen]byte
+	binary.LittleEndian.PutUint32(hdr[0:], pcapMagic)
+	binary.LittleEndian.PutUint16(hdr[4:], pcapVersionMajor)
+	binary.LittleEndian.PutUint16(hdr[6:], pcapVersionMinor)
+	// thiszone (8:12) and sigfigs (12:16) stay zero.
+	binary.LittleEndian.PutUint32(hdr[16:], 1<<16) // snaplen
+	binary.LittleEndian.PutUint32(hdr[20:], LinkTypeRaw)
+	if _, err := w.Write(hdr[:]); err != nil {
+		return nil, fmt.Errorf("trace: writing pcap header: %w", err)
+	}
+	return &PcapWriter{w: w}, nil
+}
+
+// WritePacket appends one record.
+func (p *PcapWriter) WritePacket(pkt *Packet) error {
+	var rec [pcapRecordLen]byte
+	binary.LittleEndian.PutUint32(rec[0:], pkt.Sec)
+	binary.LittleEndian.PutUint32(rec[4:], pkt.Usec)
+	binary.LittleEndian.PutUint32(rec[8:], uint32(len(pkt.Data)))
+	wire := pkt.WireLen
+	if wire < len(pkt.Data) {
+		wire = len(pkt.Data)
+	}
+	binary.LittleEndian.PutUint32(rec[12:], uint32(wire))
+	if _, err := p.w.Write(rec[:]); err != nil {
+		return fmt.Errorf("trace: writing pcap record: %w", err)
+	}
+	if _, err := p.w.Write(pkt.Data); err != nil {
+		return fmt.Errorf("trace: writing pcap record body: %w", err)
+	}
+	return nil
+}

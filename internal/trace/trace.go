@@ -1,0 +1,102 @@
+// Package trace reads and writes the packet trace formats PacketBench
+// supports: the tcpdump/libpcap capture format and the NLANR PMA "Time
+// Sequenced Headers" (TSH) format, the same two formats the paper's tool
+// consumes.
+//
+// Packets are exposed to the rest of the system from the layer-3 (IPv4)
+// header onward, which is the view the PacketBench application API
+// provides. Link-layer framing in pcap files (Ethernet) is stripped by the
+// reader; TSH records are header-only by construction.
+package trace
+
+import (
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Packet is one captured packet as handed to applications: layer-3 bytes
+// plus capture metadata.
+type Packet struct {
+	// Sec and Usec are the capture timestamp.
+	Sec  uint32
+	Usec uint32
+	// Data holds the packet from the first byte of the IPv4 header. It may
+	// be shorter than the original packet for header-only captures.
+	Data []byte
+	// WireLen is the length of the packet on the wire (>= len(Data)).
+	WireLen int
+}
+
+// Reader yields packets from a trace. Next returns io.EOF after the final
+// packet.
+type Reader interface {
+	Next() (*Packet, error)
+}
+
+// Writer appends packets to a trace.
+type Writer interface {
+	WritePacket(*Packet) error
+}
+
+// Format identifies a trace file format.
+type Format int
+
+// The supported trace formats.
+const (
+	FormatPcap Format = iota // tcpdump/libpcap
+	FormatTSH                // NLANR Time Sequenced Headers
+)
+
+// String returns the conventional name of the format.
+func (f Format) String() string {
+	switch f {
+	case FormatPcap:
+		return "pcap"
+	case FormatTSH:
+		return "tsh"
+	}
+	return fmt.Sprintf("format?%d", int(f))
+}
+
+// ErrNotPcap is returned when a pcap global header's magic is unknown.
+var ErrNotPcap = errors.New("trace: not a pcap file (bad magic)")
+
+// NewReader constructs a reader for the given format.
+func NewReader(r io.Reader, f Format) (Reader, error) {
+	switch f {
+	case FormatPcap:
+		return NewPcapReader(r)
+	case FormatTSH:
+		return NewTSHReader(r), nil
+	}
+	return nil, fmt.Errorf("trace: unknown format %v", f)
+}
+
+// NewWriter constructs a writer for the given format.
+func NewWriter(w io.Writer, f Format) (Writer, error) {
+	switch f {
+	case FormatPcap:
+		return NewPcapWriter(w)
+	case FormatTSH:
+		return NewTSHWriter(w), nil
+	}
+	return nil, fmt.Errorf("trace: unknown format %v", f)
+}
+
+// ReadAll drains a reader, returning at most limit packets (limit <= 0
+// means no limit).
+func ReadAll(r Reader, limit int) ([]*Packet, error) {
+	var pkts []*Packet
+	for limit <= 0 || len(pkts) < limit {
+		p, err := r.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return pkts, err
+		}
+		pkts = append(pkts, p)
+	}
+	return pkts, nil
+}

@@ -1,0 +1,329 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/binary"
+	"io"
+	"strings"
+	"testing"
+
+	"repro/internal/packet"
+)
+
+// ipv4Packet builds a valid serialized IPv4+UDP packet.
+func ipv4Packet(src, dst uint32, payload int) []byte {
+	h := packet.IPv4Header{
+		Version: 4, IHL: 5, TTL: 64, Protocol: packet.ProtoUDP,
+		Src: src, Dst: dst,
+		TotalLen: uint16(packet.IPv4HeaderLen + packet.UDPHeaderLen + payload),
+	}
+	b := make([]byte, h.TotalLen)
+	h.MarshalInto(b)
+	u := packet.UDPHeader{SrcPort: 1000, DstPort: 2000, Length: uint16(packet.UDPHeaderLen + payload)}
+	u.MarshalInto(b[packet.IPv4HeaderLen:])
+	return b
+}
+
+func TestPcapRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewPcapWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []*Packet{
+		{Sec: 100, Usec: 5, Data: ipv4Packet(1, 2, 10), WireLen: 38},
+		{Sec: 101, Usec: 999999, Data: ipv4Packet(3, 4, 100), WireLen: 128},
+		{Sec: 102, Usec: 0, Data: ipv4Packet(5, 6, 0), WireLen: 28},
+	}
+	for _, p := range want {
+		if err := w.WritePacket(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r, err := NewPcapReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.LinkType() != LinkTypeRaw {
+		t.Errorf("link type = %d, want raw", r.LinkType())
+	}
+	got, err := ReadAll(r, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("read %d packets, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].Sec != want[i].Sec || got[i].Usec != want[i].Usec {
+			t.Errorf("packet %d timestamp = %d.%06d, want %d.%06d",
+				i, got[i].Sec, got[i].Usec, want[i].Sec, want[i].Usec)
+		}
+		if !bytes.Equal(got[i].Data, want[i].Data) {
+			t.Errorf("packet %d data mismatch", i)
+		}
+		if got[i].WireLen != want[i].WireLen {
+			t.Errorf("packet %d wire length = %d, want %d", i, got[i].WireLen, want[i].WireLen)
+		}
+	}
+}
+
+func TestPcapBigEndianRead(t *testing.T) {
+	// Hand-build a big-endian pcap with one raw-IP packet.
+	var buf bytes.Buffer
+	data := ipv4Packet(7, 8, 4)
+	hdr := make([]byte, pcapHeaderLen)
+	binary.BigEndian.PutUint32(hdr[0:], pcapMagic)
+	binary.BigEndian.PutUint16(hdr[4:], 2)
+	binary.BigEndian.PutUint16(hdr[6:], 4)
+	binary.BigEndian.PutUint32(hdr[16:], 65536)
+	binary.BigEndian.PutUint32(hdr[20:], LinkTypeRaw)
+	buf.Write(hdr)
+	rec := make([]byte, pcapRecordLen)
+	binary.BigEndian.PutUint32(rec[0:], 42)
+	binary.BigEndian.PutUint32(rec[4:], 7)
+	binary.BigEndian.PutUint32(rec[8:], uint32(len(data)))
+	binary.BigEndian.PutUint32(rec[12:], uint32(len(data)))
+	buf.Write(rec)
+	buf.Write(data)
+
+	r, err := NewPcapReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := r.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Sec != 42 || p.Usec != 7 || !bytes.Equal(p.Data, data) {
+		t.Errorf("big-endian read mismatch: %+v", p)
+	}
+	if _, err := r.Next(); err != io.EOF {
+		t.Errorf("expected EOF, got %v", err)
+	}
+}
+
+func TestPcapEthernetStripping(t *testing.T) {
+	var buf bytes.Buffer
+	hdr := make([]byte, pcapHeaderLen)
+	binary.LittleEndian.PutUint32(hdr[0:], pcapMagic)
+	binary.LittleEndian.PutUint32(hdr[16:], 65536)
+	binary.LittleEndian.PutUint32(hdr[20:], LinkTypeEthernet)
+	buf.Write(hdr)
+
+	writeFrame := func(etherType uint16, ip []byte) {
+		frame := make([]byte, ethernetHeaderLen+len(ip))
+		binary.BigEndian.PutUint16(frame[12:], etherType)
+		copy(frame[ethernetHeaderLen:], ip)
+		rec := make([]byte, pcapRecordLen)
+		binary.LittleEndian.PutUint32(rec[8:], uint32(len(frame)))
+		binary.LittleEndian.PutUint32(rec[12:], uint32(len(frame)))
+		buf.Write(rec)
+		buf.Write(frame)
+	}
+	ip := ipv4Packet(9, 10, 0)
+	writeFrame(0x0806, make([]byte, 28)) // ARP: must be skipped
+	writeFrame(etherTypeIPv4, ip)
+
+	r, err := NewPcapReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := r.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(p.Data, ip) {
+		t.Error("Ethernet header not stripped or wrong frame returned")
+	}
+	if p.WireLen != len(ip) {
+		t.Errorf("wire length = %d, want %d", p.WireLen, len(ip))
+	}
+	if _, err := r.Next(); err != io.EOF {
+		t.Errorf("want EOF, got %v", err)
+	}
+}
+
+func TestPcapBadMagic(t *testing.T) {
+	_, err := NewPcapReader(bytes.NewReader(make([]byte, 24)))
+	if err != ErrNotPcap {
+		t.Errorf("err = %v, want ErrNotPcap", err)
+	}
+}
+
+func TestPcapTruncatedFile(t *testing.T) {
+	_, err := NewPcapReader(bytes.NewReader([]byte{1, 2, 3}))
+	if err == nil {
+		t.Error("truncated header accepted")
+	}
+
+	var buf bytes.Buffer
+	w, _ := NewPcapWriter(&buf)
+	_ = w.WritePacket(&Packet{Data: ipv4Packet(1, 2, 0)})
+	full := buf.Bytes()
+	// Chop mid-record.
+	r, err := NewPcapReader(bytes.NewReader(full[:len(full)-5]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Next(); err == nil {
+		t.Error("truncated record read succeeded")
+	}
+}
+
+func TestPcapUnsupportedLinkType(t *testing.T) {
+	hdr := make([]byte, pcapHeaderLen)
+	binary.LittleEndian.PutUint32(hdr[0:], pcapMagic)
+	binary.LittleEndian.PutUint32(hdr[20:], 999)
+	_, err := NewPcapReader(bytes.NewReader(hdr))
+	if err == nil || !strings.Contains(err.Error(), "link type") {
+		t.Errorf("err = %v, want unsupported link type", err)
+	}
+}
+
+func TestTSHRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewTSHWriter(&buf)
+	w.Interface = 3
+	pkts := []*Packet{
+		{Sec: 10, Usec: 100, Data: ipv4Packet(0x0A000001, 0x0A000002, 100)},
+		{Sec: 11, Usec: 0xFFFFFF, Data: ipv4Packet(0x0A000003, 0x0A000004, 0)},
+	}
+	for _, p := range pkts {
+		if err := w.WritePacket(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if buf.Len() != 2*TSHRecordLen {
+		t.Fatalf("wrote %d bytes, want %d", buf.Len(), 2*TSHRecordLen)
+	}
+	raw := buf.Bytes()
+	if TSHInterface(raw[:TSHRecordLen]) != 3 {
+		t.Errorf("interface byte = %d, want 3", TSHInterface(raw[:TSHRecordLen]))
+	}
+
+	r := NewTSHReader(&buf)
+	for i, want := range pkts {
+		got, err := r.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Sec != want.Sec {
+			t.Errorf("packet %d sec = %d, want %d", i, got.Sec, want.Sec)
+		}
+		if len(got.Data) != tshHeaderBytes {
+			t.Errorf("packet %d data length = %d, want %d", i, len(got.Data), tshHeaderBytes)
+		}
+		// The 36 header bytes survive (packet 0 is longer, so truncated;
+		// packet 1 is 28 bytes, so zero padded).
+		n := len(want.Data)
+		if n > tshHeaderBytes {
+			n = tshHeaderBytes
+		}
+		if !bytes.Equal(got.Data[:n], want.Data[:n]) {
+			t.Errorf("packet %d header bytes mismatch", i)
+		}
+		// Wire length recovered from the IP total-length field.
+		wantWire := int(binary.BigEndian.Uint16(want.Data[2:]))
+		if wantWire < tshHeaderBytes {
+			wantWire = tshHeaderBytes
+		}
+		if got.WireLen != wantWire {
+			t.Errorf("packet %d wire = %d, want %d", i, got.WireLen, wantWire)
+		}
+		if err := ValidateIPv4(got); err != nil {
+			t.Errorf("packet %d does not parse as IPv4: %v", i, err)
+		}
+	}
+	if _, err := r.Next(); err != io.EOF {
+		t.Errorf("want EOF, got %v", err)
+	}
+}
+
+func TestTSHUsecMask(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewTSHWriter(&buf)
+	w.Interface = 9
+	if err := w.WritePacket(&Packet{Sec: 1, Usec: 0x12345678, Data: ipv4Packet(1, 2, 0)}); err != nil {
+		t.Fatal(err)
+	}
+	r := NewTSHReader(&buf)
+	p, err := r.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Only the low 24 bits of usec survive; the interface byte overlays
+	// the top 8.
+	if p.Usec != 0x345678 {
+		t.Errorf("usec = %#x, want 0x345678", p.Usec)
+	}
+}
+
+func TestTSHRejectsOptions(t *testing.T) {
+	h := packet.IPv4Header{Version: 4, IHL: 6, TTL: 1, TotalLen: 24,
+		Options: []byte{1, 1, 1, 1}}
+	b := h.Marshal()
+	w := NewTSHWriter(io.Discard)
+	if err := w.WritePacket(&Packet{Data: b}); err == nil {
+		t.Error("TSH writer accepted IP options")
+	}
+}
+
+func TestTSHPartialRecord(t *testing.T) {
+	r := NewTSHReader(bytes.NewReader(make([]byte, TSHRecordLen+10)))
+	if _, err := r.Next(); err != nil {
+		t.Fatalf("first record: %v", err)
+	}
+	if _, err := r.Next(); err == nil || err == io.EOF {
+		t.Errorf("partial record gave %v, want a non-EOF error", err)
+	}
+}
+
+func TestFormatDispatch(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, FormatTSH)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WritePacket(&Packet{Data: ipv4Packet(1, 2, 0)}); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewReader(&buf, FormatTSH)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Next(); err != nil {
+		t.Fatal(err)
+	}
+
+	buf.Reset()
+	if _, err := NewWriter(&buf, FormatPcap); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewReader(&buf, FormatPcap); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := NewReader(&buf, Format(99)); err == nil {
+		t.Error("unknown format accepted by NewReader")
+	}
+	if _, err := NewWriter(&buf, Format(99)); err == nil {
+		t.Error("unknown format accepted by NewWriter")
+	}
+	if FormatPcap.String() != "pcap" || FormatTSH.String() != "tsh" {
+		t.Error("format names wrong")
+	}
+}
+
+func TestReadAllLimit(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewPcapWriter(&buf)
+	for i := 0; i < 10; i++ {
+		_ = w.WritePacket(&Packet{Data: ipv4Packet(uint32(i), 1, 0)})
+	}
+	r, _ := NewPcapReader(&buf)
+	got, err := ReadAll(r, 4)
+	if err != nil || len(got) != 4 {
+		t.Errorf("ReadAll(4) = %d packets, %v", len(got), err)
+	}
+}

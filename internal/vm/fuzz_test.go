@@ -1,0 +1,247 @@
+package vm
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/isa"
+)
+
+// goEval is an independent Go-side evaluator for ALU instructions, used
+// as the oracle for differential fuzzing of the simulator's datapath.
+func goEval(in isa.Instruction, regs *[isa.NumRegs]uint32) {
+	rs1, rs2 := regs[in.Rs1], regs[in.Rs2]
+	imm := uint32(in.Imm)
+	var v uint32
+	switch in.Op {
+	case isa.ADD:
+		v = rs1 + rs2
+	case isa.SUB:
+		v = rs1 - rs2
+	case isa.AND:
+		v = rs1 & rs2
+	case isa.OR:
+		v = rs1 | rs2
+	case isa.XOR:
+		v = rs1 ^ rs2
+	case isa.SLL:
+		v = rs1 << (rs2 & 31)
+	case isa.SRL:
+		v = rs1 >> (rs2 & 31)
+	case isa.SRA:
+		v = uint32(int32(rs1) >> (rs2 & 31))
+	case isa.SLT:
+		if int32(rs1) < int32(rs2) {
+			v = 1
+		}
+	case isa.SLTU:
+		if rs1 < rs2 {
+			v = 1
+		}
+	case isa.MUL:
+		v = rs1 * rs2
+	case isa.ADDI:
+		v = rs1 + imm
+	case isa.ANDI:
+		v = rs1 & imm
+	case isa.ORI:
+		v = rs1 | imm
+	case isa.XORI:
+		v = rs1 ^ imm
+	case isa.SLLI:
+		v = rs1 << (imm & 31)
+	case isa.SRLI:
+		v = rs1 >> (imm & 31)
+	case isa.SRAI:
+		v = uint32(int32(rs1) >> (imm & 31))
+	case isa.SLTI:
+		if int32(rs1) < in.Imm {
+			v = 1
+		}
+	case isa.SLTIU:
+		if rs1 < imm {
+			v = 1
+		}
+	case isa.LUI:
+		v = imm << 12
+	default:
+		panic("goEval: not an ALU op: " + in.Op.String())
+	}
+	if in.Rd != isa.Zero {
+		regs[in.Rd] = v
+	}
+}
+
+// aluOps are the opcodes the fuzzer draws from.
+var aluOps = []isa.Opcode{
+	isa.ADD, isa.SUB, isa.AND, isa.OR, isa.XOR, isa.SLL, isa.SRL, isa.SRA,
+	isa.SLT, isa.SLTU, isa.MUL,
+	isa.ADDI, isa.ANDI, isa.ORI, isa.XORI, isa.SLLI, isa.SRLI, isa.SRAI,
+	isa.SLTI, isa.SLTIU, isa.LUI,
+}
+
+func randomALU(rng *rand.Rand) isa.Instruction {
+	op := aluOps[rng.Intn(len(aluOps))]
+	// Avoid sp/ra so the harness registers stay intact for bookkeeping
+	// (the architecture itself doesn't care).
+	reg := func() isa.Reg { return isa.Reg(rng.Intn(12)) }
+	in := isa.Instruction{Op: op, Rd: reg()}
+	switch op.Format() {
+	case isa.FormatR:
+		in.Rs1, in.Rs2 = reg(), reg()
+	case isa.FormatI:
+		in.Rs1 = reg()
+		switch op {
+		case isa.SLLI, isa.SRLI, isa.SRAI:
+			in.Imm = int32(rng.Intn(32))
+		case isa.ANDI, isa.ORI, isa.XORI:
+			in.Imm = int32(rng.Intn(isa.MaxUimm12 + 1))
+		default:
+			in.Imm = int32(rng.Intn(isa.MaxImm12-isa.MinImm12+1)) + isa.MinImm12
+		}
+	case isa.FormatU:
+		in.Imm = int32(rng.Intn(isa.MaxUimm20 + 1))
+	}
+	return in
+}
+
+// TestDifferentialALUFuzz runs random straight-line ALU programs on the
+// simulator and on the independent Go evaluator and compares every
+// register afterwards.
+func TestDifferentialALUFuzz(t *testing.T) {
+	rng := rand.New(rand.NewSource(1234))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(150)
+		text := make([]isa.Instruction, 0, n+1)
+		for i := 0; i < n; i++ {
+			text = append(text, randomALU(rng))
+		}
+		text = append(text, isa.Instruction{Op: isa.HALT})
+
+		// Random initial register file (zero register stays zero).
+		var init [isa.NumRegs]uint32
+		for r := 1; r < isa.NumRegs; r++ {
+			init[r] = rng.Uint32()
+		}
+
+		cpu := New(text, 0x10000, NewMemory())
+		cpu.Regs = init
+		cpu.Regs[isa.Zero] = 0
+		cpu.PC = 0x10000
+		steps, reason, err := cpu.Run(uint64(n) + 10)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if reason != StopHalt || steps != uint64(n)+1 {
+			t.Fatalf("trial %d: stopped %v after %d steps, want halt after %d",
+				trial, reason, steps, n+1)
+		}
+
+		want := init
+		want[isa.Zero] = 0
+		for _, in := range text[:n] {
+			goEval(in, &want)
+		}
+		for r := 0; r < isa.NumRegs; r++ {
+			if cpu.Regs[r] != want[r] {
+				t.Fatalf("trial %d: %s = %#x, oracle %#x\nprogram length %d",
+					trial, isa.Reg(r), cpu.Regs[r], want[r], n)
+			}
+		}
+	}
+}
+
+// TestDifferentialMemoryFuzz extends the fuzz to loads and stores over a
+// scratch data region, with a Go-side byte-array oracle.
+func TestDifferentialMemoryFuzz(t *testing.T) {
+	const dataBase, dataSize = 0x10000000, 256
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 100; trial++ {
+		var text []isa.Instruction
+		n := 1 + rng.Intn(60)
+		for i := 0; i < n; i++ {
+			if rng.Intn(3) == 0 {
+				// Memory op on a safe in-range offset with correct
+				// alignment; base register r1 holds dataBase.
+				ops := []isa.Opcode{isa.LB, isa.LBU, isa.LH, isa.LHU, isa.LW, isa.SB, isa.SH, isa.SW}
+				op := ops[rng.Intn(len(ops))]
+				align := op.MemSize()
+				off := rng.Intn(dataSize-4) &^ (align - 1)
+				text = append(text, isa.Instruction{
+					Op: op, Rd: isa.Reg(2 + rng.Intn(8)), Rs1: isa.Reg(1), Imm: int32(off),
+				})
+			} else {
+				in := randomALU(rng)
+				// Keep r1 as the stable base pointer.
+				if in.Rd == isa.Reg(1) {
+					in.Rd = isa.Reg(2)
+				}
+				text = append(text, in)
+			}
+		}
+		text = append(text, isa.Instruction{Op: isa.HALT})
+
+		mem := NewMemory()
+		cpu := New(text, 0x10000, mem)
+		cpu.Layout.DataBase = dataBase
+		cpu.Layout.DataEnd = dataBase + dataSize
+		var init [isa.NumRegs]uint32
+		for r := 2; r < 12; r++ {
+			init[r] = rng.Uint32()
+		}
+		init[1] = dataBase
+		cpu.Regs = init
+		cpu.PC = 0x10000
+		if _, _, err := cpu.Run(uint64(len(text)) + 10); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+
+		// Oracle: evaluate with a byte-slice memory.
+		want := init
+		oracle := make([]byte, dataSize)
+		rd8 := func(a uint32) uint32 { return uint32(oracle[a-dataBase]) }
+		rd16 := func(a uint32) uint32 { return rd8(a) | rd8(a+1)<<8 }
+		rd32 := func(a uint32) uint32 { return rd16(a) | rd16(a+2)<<16 }
+		for _, in := range text[:len(text)-1] {
+			if in.Op.IsLoad() || in.Op.IsStore() {
+				addr := want[in.Rs1] + uint32(in.Imm)
+				switch in.Op {
+				case isa.LB:
+					want[in.Rd] = uint32(int32(int8(rd8(addr))))
+				case isa.LBU:
+					want[in.Rd] = rd8(addr)
+				case isa.LH:
+					want[in.Rd] = uint32(int32(int16(rd16(addr))))
+				case isa.LHU:
+					want[in.Rd] = rd16(addr)
+				case isa.LW:
+					want[in.Rd] = rd32(addr)
+				case isa.SB:
+					oracle[addr-dataBase] = byte(want[in.Rd])
+				case isa.SH:
+					oracle[addr-dataBase] = byte(want[in.Rd])
+					oracle[addr-dataBase+1] = byte(want[in.Rd] >> 8)
+				case isa.SW:
+					for k := 0; k < 4; k++ {
+						oracle[addr-dataBase+uint32(k)] = byte(want[in.Rd] >> (8 * k))
+					}
+				}
+				if in.Op.IsLoad() && in.Rd == isa.Zero {
+					want[isa.Zero] = 0
+				}
+				continue
+			}
+			goEval(in, &want)
+		}
+		for r := 0; r < isa.NumRegs; r++ {
+			if cpu.Regs[r] != want[r] {
+				t.Fatalf("trial %d: %s = %#x, oracle %#x", trial, isa.Reg(r), cpu.Regs[r], want[r])
+			}
+		}
+		for i := 0; i < dataSize; i++ {
+			if got := mem.Read8(dataBase + uint32(i)); got != oracle[i] {
+				t.Fatalf("trial %d: memory[%d] = %#x, oracle %#x", trial, i, got, oracle[i])
+			}
+		}
+	}
+}

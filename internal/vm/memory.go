@@ -1,0 +1,135 @@
+package vm
+
+// pageBits selects a 4 KiB page size for the sparse memory.
+const pageBits = 12
+
+const pageSize = 1 << pageBits
+
+type page [pageSize]byte
+
+// Memory is the sparse, little-endian, byte-addressed memory of a
+// simulated core. Pages are allocated on first touch, so multi-megabyte
+// data structures (routing tables, flow tables) cost only the pages they
+// actually use.
+//
+// Memory performs no bounds or region checking of its own: the CPU applies
+// the Layout before every application access, and host (framework) code is
+// trusted. All accessors tolerate any address.
+type Memory struct {
+	pages map[uint32]*page
+}
+
+// NewMemory creates an empty memory.
+func NewMemory() *Memory {
+	return &Memory{pages: make(map[uint32]*page)}
+}
+
+func (m *Memory) pageFor(addr uint32) *page {
+	idx := addr >> pageBits
+	p := m.pages[idx]
+	if p == nil {
+		p = new(page)
+		m.pages[idx] = p
+	}
+	return p
+}
+
+// peek returns the byte at addr without allocating a page.
+func (m *Memory) peek(addr uint32) byte {
+	if p := m.pages[addr>>pageBits]; p != nil {
+		return p[addr&(pageSize-1)]
+	}
+	return 0
+}
+
+// Read8 returns the byte at addr; untouched memory reads as zero.
+func (m *Memory) Read8(addr uint32) uint8 { return m.peek(addr) }
+
+// Read16 returns the little-endian 16-bit value at addr.
+func (m *Memory) Read16(addr uint32) uint16 {
+	return uint16(m.peek(addr)) | uint16(m.peek(addr+1))<<8
+}
+
+// Read32 returns the little-endian 32-bit value at addr.
+func (m *Memory) Read32(addr uint32) uint32 {
+	// Fast path: the word lies within one page (always true for aligned
+	// accesses, which is all the CPU issues).
+	if addr&(pageSize-1) <= pageSize-4 {
+		if p := m.pages[addr>>pageBits]; p != nil {
+			o := addr & (pageSize - 1)
+			return uint32(p[o]) | uint32(p[o+1])<<8 | uint32(p[o+2])<<16 | uint32(p[o+3])<<24
+		}
+		return 0
+	}
+	return uint32(m.Read16(addr)) | uint32(m.Read16(addr+2))<<16
+}
+
+// Write8 stores one byte at addr.
+func (m *Memory) Write8(addr uint32, v uint8) {
+	m.pageFor(addr)[addr&(pageSize-1)] = v
+}
+
+// Write16 stores a little-endian 16-bit value at addr.
+func (m *Memory) Write16(addr uint32, v uint16) {
+	m.Write8(addr, uint8(v))
+	m.Write8(addr+1, uint8(v>>8))
+}
+
+// Write32 stores a little-endian 32-bit value at addr.
+func (m *Memory) Write32(addr uint32, v uint32) {
+	if addr&(pageSize-1) <= pageSize-4 {
+		p := m.pageFor(addr)
+		o := addr & (pageSize - 1)
+		p[o] = uint8(v)
+		p[o+1] = uint8(v >> 8)
+		p[o+2] = uint8(v >> 16)
+		p[o+3] = uint8(v >> 24)
+		return
+	}
+	m.Write16(addr, uint16(v))
+	m.Write16(addr+2, uint16(v>>16))
+}
+
+// WriteBytes copies b into memory starting at addr. It is intended for
+// host (framework) use: loading segments, placing packets.
+func (m *Memory) WriteBytes(addr uint32, b []byte) {
+	for len(b) > 0 {
+		p := m.pageFor(addr)
+		o := addr & (pageSize - 1)
+		n := copy(p[o:], b)
+		b = b[n:]
+		addr += uint32(n)
+	}
+}
+
+// ReadBytes copies n bytes starting at addr into a fresh slice. It is
+// intended for host (framework) use: retrieving modified packets.
+func (m *Memory) ReadBytes(addr uint32, n int) []byte {
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = m.peek(addr + uint32(i))
+	}
+	return out
+}
+
+// Zero clears n bytes starting at addr without allocating pages for
+// regions that were never written.
+func (m *Memory) Zero(addr uint32, n int) {
+	for i := 0; i < n; {
+		idx := (addr + uint32(i)) >> pageBits
+		p := m.pages[idx]
+		o := (addr + uint32(i)) & (pageSize - 1)
+		run := pageSize - int(o)
+		if run > n-i {
+			run = n - i
+		}
+		if p != nil {
+			clear(p[o : int(o)+run])
+		}
+		i += run
+	}
+}
+
+// PageCount returns the number of allocated pages (useful for memory
+// footprint assertions in tests).
+func (m *Memory) PageCount() int { return len(m.pages) }

@@ -1,0 +1,422 @@
+// Package vm implements the PB32 instruction-level simulator that executes
+// PacketBench applications.
+//
+// The simulator models a single network-processor core: sixteen 32-bit
+// registers, a program counter, and a flat little-endian byte-addressed
+// memory divided into semantically tagged regions (text, packet data,
+// program data, stack). The region tags are what make PacketBench-style
+// workload characterization possible: every memory reference the
+// application performs is classified as a packet-memory or non-packet-
+// memory access, a distinction the paper identifies as essential for
+// network processor design and one that general-purpose simulators do not
+// make.
+//
+// Selective accounting — the paper's mechanism for excluding framework
+// processing from the collected statistics — falls out of the design: the
+// PacketBench framework (trace parsing, packet placement, route-table
+// construction) runs as native host code that writes directly into
+// simulated memory via the Memory type, while only application code is
+// fetched and executed by the CPU. The Tracer hook therefore observes
+// exactly the instructions the application itself would execute on a
+// network processor core, and nothing else.
+package vm
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+)
+
+// Region classifies an address within the simulated address space. The
+// split between RegionPacket and RegionData mirrors the paper's distinction
+// between packet memory (the buffer the framework placed the packet in) and
+// non-packet memory (routing tables, flow tables, application state).
+type Region uint8
+
+// The address-space regions of a PacketBench core.
+const (
+	RegionNone   Region = iota // unmapped; any access faults
+	RegionText   Region = iota // instructions; writes fault
+	RegionPacket               // packet buffer placed by the framework
+	RegionData                 // application static data and heap
+	RegionStack                // call stack
+)
+
+var regionNames = map[Region]string{
+	RegionNone:   "unmapped",
+	RegionText:   "text",
+	RegionPacket: "packet",
+	RegionData:   "data",
+	RegionStack:  "stack",
+}
+
+// String returns the lower-case region name.
+func (r Region) String() string {
+	if n, ok := regionNames[r]; ok {
+		return n
+	}
+	return fmt.Sprintf("region?%d", uint8(r))
+}
+
+// Layout defines the boundaries of each region. All bounds are half-open:
+// a region spans [Base, End).
+type Layout struct {
+	TextBase, TextEnd     uint32
+	PacketBase, PacketEnd uint32
+	DataBase, DataEnd     uint32
+	StackBase, StackEnd   uint32
+}
+
+// Classify returns the region containing addr.
+func (l Layout) Classify(addr uint32) Region {
+	switch {
+	case addr >= l.TextBase && addr < l.TextEnd:
+		return RegionText
+	case addr >= l.PacketBase && addr < l.PacketEnd:
+		return RegionPacket
+	case addr >= l.DataBase && addr < l.DataEnd:
+		return RegionData
+	case addr >= l.StackBase && addr < l.StackEnd:
+		return RegionStack
+	}
+	return RegionNone
+}
+
+// Tracer observes application execution. Implementations must be cheap;
+// the Instr hook runs once per simulated instruction. A nil Tracer on the
+// CPU disables tracing entirely.
+type Tracer interface {
+	// Instr is called before each instruction executes.
+	Instr(pc uint32, in isa.Instruction)
+	// Mem is called for each data memory access (never for instruction
+	// fetches). size is 1, 2 or 4; region is the classification of addr.
+	Mem(pc uint32, addr uint32, size uint8, write bool, region Region)
+}
+
+// FaultKind enumerates the ways simulated execution can fail.
+type FaultKind uint8
+
+// The fault kinds raised by the simulator.
+const (
+	FaultNone      FaultKind = iota
+	FaultBadFetch            // pc outside the text segment
+	FaultUnmapped            // data access to an unmapped address
+	FaultUnaligned           // halfword/word access to a misaligned address
+	FaultTextWrite           // store into the text segment
+	FaultStepLimit           // execution exceeded the step budget
+	FaultBadIinstr           // undecodable instruction (cannot happen with assembled code)
+)
+
+var faultNames = map[FaultKind]string{
+	FaultBadFetch:  "instruction fetch outside text segment",
+	FaultUnmapped:  "access to unmapped address",
+	FaultUnaligned: "unaligned access",
+	FaultTextWrite: "store into text segment",
+	FaultStepLimit: "step limit exceeded",
+	FaultBadIinstr: "undecodable instruction",
+}
+
+// Fault is the error returned when simulated execution traps.
+type Fault struct {
+	Kind FaultKind
+	PC   uint32 // pc of the faulting instruction
+	Addr uint32 // offending data address, when applicable
+}
+
+func (f *Fault) Error() string {
+	name, ok := faultNames[f.Kind]
+	if !ok {
+		name = fmt.Sprintf("fault %d", f.Kind)
+	}
+	return fmt.Sprintf("vm: %s at pc=%#x addr=%#x", name, f.PC, f.Addr)
+}
+
+// StopReason reports why Run returned without a fault.
+type StopReason uint8
+
+// Reasons a Run completes normally.
+const (
+	StopHalt   StopReason = iota // the application executed HALT
+	StopReturn                   // the application returned to ReturnAddress
+)
+
+// ReturnAddress is the magic link-register value the framework passes to
+// the application: a jump to it (the final "ret") ends the run. It sits in
+// otherwise unmappable high memory, word aligned.
+const ReturnAddress uint32 = 0xFFFFFFF0
+
+// CPU is one simulated PB32 core.
+type CPU struct {
+	Regs [isa.NumRegs]uint32
+	PC   uint32
+
+	Mem    *Memory
+	Layout Layout
+	// Tracer, when non-nil, observes every executed instruction and data
+	// access.
+	Tracer Tracer
+
+	text     []isa.Instruction
+	textBase uint32
+	steps    uint64 // instructions executed over the CPU's lifetime
+}
+
+// New creates a CPU executing the given pre-decoded text segment. The
+// layout's text bounds are derived from textBase and len(text); packet,
+// data and stack bounds must be assigned by the caller before Run.
+func New(text []isa.Instruction, textBase uint32, mem *Memory) *CPU {
+	c := &CPU{Mem: mem, text: text, textBase: textBase}
+	c.Layout.TextBase = textBase
+	c.Layout.TextEnd = textBase + uint32(len(text))*isa.WordSize
+	return c
+}
+
+// Steps returns the total number of instructions executed by this CPU
+// since creation.
+func (c *CPU) Steps() uint64 { return c.steps }
+
+// Reg returns the value of register r (a convenience for host code).
+func (c *CPU) Reg(r isa.Reg) uint32 { return c.Regs[r] }
+
+// SetReg assigns register r. Writes to the zero register are discarded,
+// matching the architecture.
+func (c *CPU) SetReg(r isa.Reg, v uint32) {
+	if r != isa.Zero {
+		c.Regs[r] = v
+	}
+}
+
+// Run executes instructions starting at c.PC until the application halts,
+// returns to ReturnAddress, faults, or exceeds maxSteps. It returns the
+// number of instructions executed by this call.
+func (c *CPU) Run(maxSteps uint64) (steps uint64, reason StopReason, err error) {
+	for {
+		if c.PC == ReturnAddress {
+			return steps, StopReturn, nil
+		}
+		if steps >= maxSteps {
+			return steps, 0, &Fault{Kind: FaultStepLimit, PC: c.PC}
+		}
+		off := c.PC - c.textBase
+		if off%isa.WordSize != 0 || off/isa.WordSize >= uint32(len(c.text)) {
+			return steps, 0, &Fault{Kind: FaultBadFetch, PC: c.PC}
+		}
+		in := c.text[off/isa.WordSize]
+		if c.Tracer != nil {
+			c.Tracer.Instr(c.PC, in)
+		}
+		steps++
+		c.steps++
+		halt, err := c.execute(in)
+		if err != nil {
+			return steps, 0, err
+		}
+		if halt {
+			return steps, StopHalt, nil
+		}
+	}
+}
+
+// execute runs one instruction, updating registers, memory and the pc.
+func (c *CPU) execute(in isa.Instruction) (halt bool, err error) {
+	pc := c.PC
+	next := pc + isa.WordSize
+	rs1 := c.Regs[in.Rs1]
+	rs2 := c.Regs[in.Rs2]
+	imm := uint32(in.Imm)
+
+	setRd := func(v uint32) {
+		if in.Rd != isa.Zero {
+			c.Regs[in.Rd] = v
+		}
+	}
+
+	switch in.Op {
+	case isa.ADD:
+		setRd(rs1 + rs2)
+	case isa.SUB:
+		setRd(rs1 - rs2)
+	case isa.AND:
+		setRd(rs1 & rs2)
+	case isa.OR:
+		setRd(rs1 | rs2)
+	case isa.XOR:
+		setRd(rs1 ^ rs2)
+	case isa.SLL:
+		setRd(rs1 << (rs2 & 31))
+	case isa.SRL:
+		setRd(rs1 >> (rs2 & 31))
+	case isa.SRA:
+		setRd(uint32(int32(rs1) >> (rs2 & 31)))
+	case isa.SLT:
+		setRd(b2u(int32(rs1) < int32(rs2)))
+	case isa.SLTU:
+		setRd(b2u(rs1 < rs2))
+	case isa.MUL:
+		setRd(rs1 * rs2)
+
+	case isa.ADDI:
+		setRd(rs1 + imm)
+	case isa.ANDI:
+		setRd(rs1 & imm)
+	case isa.ORI:
+		setRd(rs1 | imm)
+	case isa.XORI:
+		setRd(rs1 ^ imm)
+	case isa.SLLI:
+		setRd(rs1 << (imm & 31))
+	case isa.SRLI:
+		setRd(rs1 >> (imm & 31))
+	case isa.SRAI:
+		setRd(uint32(int32(rs1) >> (imm & 31)))
+	case isa.SLTI:
+		setRd(b2u(int32(rs1) < in.Imm))
+	case isa.SLTIU:
+		setRd(b2u(rs1 < imm))
+
+	case isa.LUI:
+		setRd(imm << 12)
+
+	case isa.LB, isa.LBU, isa.LH, isa.LHU, isa.LW:
+		addr := rs1 + imm
+		v, err := c.load(pc, addr, in.Op)
+		if err != nil {
+			return false, err
+		}
+		setRd(v)
+
+	case isa.SB, isa.SH, isa.SW:
+		addr := rs1 + imm
+		if err := c.store(pc, addr, in.Op, c.Regs[in.Rd]); err != nil {
+			return false, err
+		}
+
+	case isa.BEQ:
+		if rs1 == rs2 {
+			next = pc + isa.WordSize + imm*isa.WordSize
+		}
+	case isa.BNE:
+		if rs1 != rs2 {
+			next = pc + isa.WordSize + imm*isa.WordSize
+		}
+	case isa.BLT:
+		if int32(rs1) < int32(rs2) {
+			next = pc + isa.WordSize + imm*isa.WordSize
+		}
+	case isa.BGE:
+		if int32(rs1) >= int32(rs2) {
+			next = pc + isa.WordSize + imm*isa.WordSize
+		}
+	case isa.BLTU:
+		if rs1 < rs2 {
+			next = pc + isa.WordSize + imm*isa.WordSize
+		}
+	case isa.BGEU:
+		if rs1 >= rs2 {
+			next = pc + isa.WordSize + imm*isa.WordSize
+		}
+
+	case isa.JAL:
+		setRd(next)
+		next = pc + isa.WordSize + imm*isa.WordSize
+	case isa.JALR:
+		target := (rs1 + imm) &^ 3
+		setRd(pc + isa.WordSize)
+		next = target
+
+	case isa.HALT:
+		return true, nil
+
+	default:
+		return false, &Fault{Kind: FaultBadIinstr, PC: pc}
+	}
+	c.PC = next
+	return false, nil
+}
+
+func b2u(b bool) uint32 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// load performs a data read with region classification, alignment checking
+// and tracing.
+func (c *CPU) load(pc, addr uint32, op isa.Opcode) (uint32, error) {
+	size := uint32(op.MemSize())
+	if addr%size != 0 {
+		return 0, &Fault{Kind: FaultUnaligned, PC: pc, Addr: addr}
+	}
+	region := c.Layout.Classify(addr)
+	if region == RegionNone || region == RegionText {
+		// Reading the text segment as data is disallowed: PacketBench
+		// applications keep constants in the data segment, and a text read
+		// almost always indicates a pointer bug in the application.
+		return 0, &Fault{Kind: FaultUnmapped, PC: pc, Addr: addr}
+	}
+	if c.Tracer != nil {
+		c.Tracer.Mem(pc, addr, uint8(size), false, region)
+	}
+	var v uint32
+	switch op {
+	case isa.LB:
+		v = uint32(int32(int8(c.Mem.Read8(addr))))
+	case isa.LBU:
+		v = uint32(c.Mem.Read8(addr))
+	case isa.LH:
+		v = uint32(int32(int16(c.Mem.Read16(addr))))
+	case isa.LHU:
+		v = uint32(c.Mem.Read16(addr))
+	case isa.LW:
+		v = c.Mem.Read32(addr)
+	}
+	return v, nil
+}
+
+// store performs a data write with region classification, alignment
+// checking and tracing.
+func (c *CPU) store(pc, addr uint32, op isa.Opcode, v uint32) error {
+	size := uint32(op.MemSize())
+	if addr%size != 0 {
+		return &Fault{Kind: FaultUnaligned, PC: pc, Addr: addr}
+	}
+	region := c.Layout.Classify(addr)
+	switch region {
+	case RegionText:
+		return &Fault{Kind: FaultTextWrite, PC: pc, Addr: addr}
+	case RegionNone:
+		return &Fault{Kind: FaultUnmapped, PC: pc, Addr: addr}
+	}
+	if c.Tracer != nil {
+		c.Tracer.Mem(pc, addr, uint8(size), true, region)
+	}
+	switch op {
+	case isa.SB:
+		c.Mem.Write8(addr, uint8(v))
+	case isa.SH:
+		c.Mem.Write16(addr, uint16(v))
+	case isa.SW:
+		c.Mem.Write32(addr, v)
+	}
+	return nil
+}
+
+// MultiTracer fans tracer events out to several tracers, letting the
+// workload collector and a microarchitectural profiler observe the same
+// run.
+type MultiTracer []Tracer
+
+// Instr implements Tracer.
+func (m MultiTracer) Instr(pc uint32, in isa.Instruction) {
+	for _, t := range m {
+		t.Instr(pc, in)
+	}
+}
+
+// Mem implements Tracer.
+func (m MultiTracer) Mem(pc, addr uint32, size uint8, write bool, region Region) {
+	for _, t := range m {
+		t.Mem(pc, addr, size, write, region)
+	}
+}

@@ -1,0 +1,555 @@
+package vm
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/asm"
+	"repro/internal/isa"
+)
+
+// buildCPU assembles src and returns a CPU with a standard test layout:
+// packet buffer at 0x20000000 (+64K), data at the assembler default
+// (+1M), stack at 0x7FFF0000 (+64K).
+func buildCPU(t *testing.T, src string) (*CPU, *asm.Program) {
+	t.Helper()
+	p, err := asm.Assemble(src, asm.Options{})
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	mem := NewMemory()
+	mem.WriteBytes(p.DataBase, p.Data)
+	c := New(p.Text, p.TextBase, mem)
+	c.Layout.PacketBase = 0x20000000
+	c.Layout.PacketEnd = 0x20010000
+	c.Layout.DataBase = p.DataBase
+	c.Layout.DataEnd = p.DataBase + 1<<20
+	c.Layout.StackBase = 0x7FFF0000
+	c.Layout.StackEnd = 0x80000000
+	c.PC = p.TextBase
+	c.Regs[isa.SP] = c.Layout.StackEnd
+	c.Regs[isa.RA] = ReturnAddress
+	return c, p
+}
+
+// run executes until a normal stop, failing the test on faults.
+func run(t *testing.T, c *CPU) (uint64, StopReason) {
+	t.Helper()
+	steps, reason, err := c.Run(1 << 20)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return steps, reason
+}
+
+func TestALUOps(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		reg  isa.Reg
+		want uint32
+	}{
+		{"add", "li a0, 5\nli a1, 7\nadd a2, a0, a1\nhalt", isa.A2, 12},
+		{"sub", "li a0, 5\nli a1, 7\nsub a2, a0, a1\nhalt", isa.A2, 0xFFFFFFFE},
+		{"and", "li a0, 0xF0F0\nli a1, 0xFF00\nand a2, a0, a1\nhalt", isa.A2, 0xF000},
+		{"or", "li a0, 0xF0F0\nli a1, 0x0F0F\nor a2, a0, a1\nhalt", isa.A2, 0xFFFF},
+		{"xor", "li a0, 0xFF\nli a1, 0x0F\nxor a2, a0, a1\nhalt", isa.A2, 0xF0},
+		{"sll", "li a0, 1\nli a1, 4\nsll a2, a0, a1\nhalt", isa.A2, 16},
+		{"srl", "li a0, 0x80000000\nli a1, 4\nsrl a2, a0, a1\nhalt", isa.A2, 0x08000000},
+		{"sra", "li a0, 0x80000000\nli a1, 4\nsra a2, a0, a1\nhalt", isa.A2, 0xF8000000},
+		{"slt true", "li a0, -1\nli a1, 1\nslt a2, a0, a1\nhalt", isa.A2, 1},
+		{"slt false", "li a0, 1\nli a1, -1\nslt a2, a0, a1\nhalt", isa.A2, 0},
+		{"sltu", "li a0, -1\nli a1, 1\nsltu a2, a0, a1\nhalt", isa.A2, 0}, // 0xFFFFFFFF not < 1
+		{"mul", "li a0, 7\nli a1, 6\nmul a2, a0, a1\nhalt", isa.A2, 42},
+		{"mul wrap", "li a0, 0x10000\nli a1, 0x10000\nmul a2, a0, a1\nhalt", isa.A2, 0},
+		{"addi", "addi a2, zero, -7\nhalt", isa.A2, 0xFFFFFFF9},
+		{"andi", "li a0, 0x1234\nandi a2, a0, 0xFF\nhalt", isa.A2, 0x34},
+		{"ori", "ori a2, zero, 0xABC\nhalt", isa.A2, 0xABC},
+		{"xori", "li a0, 0xFF\nxori a2, a0, 0xF0\nhalt", isa.A2, 0x0F},
+		{"slli", "li a0, 3\nslli a2, a0, 30\nhalt", isa.A2, 0xC0000000},
+		{"srli", "li a0, -1\nsrli a2, a0, 28\nhalt", isa.A2, 0xF},
+		{"srai", "li a0, -16\nsrai a2, a0, 2\nhalt", isa.A2, 0xFFFFFFFC},
+		{"slti", "li a0, -5\nslti a2, a0, -4\nhalt", isa.A2, 1},
+		{"sltiu", "li a0, 3\nsltiu a2, a0, 4\nhalt", isa.A2, 1},
+		{"lui", "lui a2, 0xABCDE\nhalt", isa.A2, 0xABCDE000},
+		{"seqz", "li a0, 0\nseqz a2, a0\nhalt", isa.A2, 1},
+		{"snez", "li a0, 9\nsnez a2, a0\nhalt", isa.A2, 1},
+		{"neg", "li a0, 5\nneg a2, a0\nhalt", isa.A2, 0xFFFFFFFB},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			cpu, _ := buildCPU(t, c.src)
+			run(t, cpu)
+			if got := cpu.Reg(c.reg); got != c.want {
+				t.Errorf("%s = %#x, want %#x", c.reg, got, c.want)
+			}
+		})
+	}
+}
+
+func TestZeroRegisterImmutable(t *testing.T) {
+	cpu, _ := buildCPU(t, `
+		addi zero, zero, 42
+		li   a0, 99
+		mv   zero, a0
+		add  a1, zero, zero
+		halt
+	`)
+	run(t, cpu)
+	if cpu.Reg(isa.Zero) != 0 {
+		t.Errorf("zero register = %d", cpu.Reg(isa.Zero))
+	}
+	if cpu.Reg(isa.A1) != 0 {
+		t.Errorf("a1 = %d, want 0", cpu.Reg(isa.A1))
+	}
+}
+
+func TestLoadsAndStores(t *testing.T) {
+	cpu, p := buildCPU(t, `
+		.data
+	buf:	.space 16
+	vals:	.word 0xDEADBEEF
+		.text
+	entry:
+		la   s0, buf
+		li   t0, 0x11223344
+		sw   t0, 0(s0)
+		lw   a0, 0(s0)      ; word round trip
+		lh   a1, 0(s0)      ; 0x3344 sign-extended (positive)
+		lhu  a2, 2(s0)      ; 0x1122
+		lb   a3, 3(s0)      ; 0x11
+		la   s1, vals
+		lw   t1, 0(s1)
+		sb   t1, 8(s0)      ; low byte 0xEF
+		lb   t2, 8(s0)      ; sign extends to 0xFFFFFFEF
+		lbu  t3, 8(s0)
+		sh   t1, 12(s0)
+		lhu  t4, 12(s0)
+		halt
+	`)
+	_ = p
+	run(t, cpu)
+	checks := []struct {
+		r    isa.Reg
+		want uint32
+	}{
+		{isa.A0, 0x11223344},
+		{isa.A1, 0x3344},
+		{isa.A2, 0x1122},
+		{isa.A3, 0x11},
+		{isa.T2, 0xFFFFFFEF},
+		{isa.T3, 0xEF},
+		{isa.T4, 0xBEEF},
+	}
+	for _, c := range checks {
+		if got := cpu.Reg(c.r); got != c.want {
+			t.Errorf("%s = %#x, want %#x", c.r, got, c.want)
+		}
+	}
+}
+
+func TestNegativeLoadSignExtension(t *testing.T) {
+	cpu, _ := buildCPU(t, `
+		.data
+	v:	.half 0x8000
+		.text
+	e:	la  s0, v
+		lh  a0, 0(s0)
+		lhu a1, 0(s0)
+		halt
+	`)
+	run(t, cpu)
+	if got := cpu.Reg(isa.A0); got != 0xFFFF8000 {
+		t.Errorf("lh = %#x, want 0xFFFF8000", got)
+	}
+	if got := cpu.Reg(isa.A1); got != 0x8000 {
+		t.Errorf("lhu = %#x, want 0x8000", got)
+	}
+}
+
+func TestBranchesAndLoop(t *testing.T) {
+	// Sum 1..10 with a loop.
+	cpu, _ := buildCPU(t, `
+		li   t0, 0     ; i
+		li   t1, 0     ; sum
+		li   t2, 10
+	loop:
+		addi t0, t0, 1
+		add  t1, t1, t0
+		blt  t0, t2, loop
+		mv   a0, t1
+		halt
+	`)
+	steps, reason := run(t, cpu)
+	if reason != StopHalt {
+		t.Errorf("reason = %v, want StopHalt", reason)
+	}
+	if got := cpu.Reg(isa.A0); got != 55 {
+		t.Errorf("sum = %d, want 55", got)
+	}
+	// 6 setup (3 li = 6) + 10 iterations * 3 + mv + halt = 6+30+2 = 38.
+	if steps != 38 {
+		t.Errorf("steps = %d, want 38", steps)
+	}
+}
+
+func TestCallReturn(t *testing.T) {
+	cpu, _ := buildCPU(t, `
+	main:
+		li   a0, 20
+		call double
+		call double
+		halt
+	double:
+		add  a0, a0, a0
+		ret
+	`)
+	run(t, cpu)
+	if got := cpu.Reg(isa.A0); got != 80 {
+		t.Errorf("a0 = %d, want 80", got)
+	}
+}
+
+func TestStackPushPop(t *testing.T) {
+	cpu, _ := buildCPU(t, `
+		addi sp, sp, -8
+		li   t0, 111
+		li   t1, 222
+		sw   t0, 0(sp)
+		sw   t1, 4(sp)
+		lw   a0, 0(sp)
+		lw   a1, 4(sp)
+		addi sp, sp, 8
+		halt
+	`)
+	run(t, cpu)
+	if cpu.Reg(isa.A0) != 111 || cpu.Reg(isa.A1) != 222 {
+		t.Errorf("a0=%d a1=%d, want 111 222", cpu.Reg(isa.A0), cpu.Reg(isa.A1))
+	}
+}
+
+func TestReturnToFramework(t *testing.T) {
+	// The framework convention: ra holds ReturnAddress; a bare ret ends
+	// the run with StopReturn.
+	cpu, _ := buildCPU(t, `
+		li  a0, 7
+		ret
+	`)
+	_, reason := run(t, cpu)
+	if reason != StopReturn {
+		t.Errorf("reason = %v, want StopReturn", reason)
+	}
+	if cpu.Reg(isa.A0) != 7 {
+		t.Errorf("a0 = %d", cpu.Reg(isa.A0))
+	}
+}
+
+func TestPacketRegionAccess(t *testing.T) {
+	cpu, _ := buildCPU(t, `
+		lw   a1, 0(a0)       ; read packet word
+		addi a1, a1, 1
+		sw   a1, 0(a0)       ; write it back
+		halt
+	`)
+	pkt := cpu.Layout.PacketBase
+	cpu.Mem.Write32(pkt, 41)
+	cpu.SetReg(isa.A0, pkt)
+	run(t, cpu)
+	if got := cpu.Mem.Read32(pkt); got != 42 {
+		t.Errorf("packet word = %d, want 42", got)
+	}
+}
+
+func faultKind(t *testing.T, err error) FaultKind {
+	t.Helper()
+	var f *Fault
+	if !errors.As(err, &f) {
+		t.Fatalf("error %v is not a *Fault", err)
+	}
+	return f.Kind
+}
+
+func TestFaults(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		prep func(*CPU)
+		want FaultKind
+	}{
+		{"unmapped load", "li s0, 0x40000000\nlw a0, 0(s0)\nhalt", nil, FaultUnmapped},
+		{"unmapped store", "li s0, 0x40000000\nsw a0, 0(s0)\nhalt", nil, FaultUnmapped},
+		{"nil deref", "lw a0, 0(zero)\nhalt", nil, FaultUnmapped},
+		{"unaligned word", "li s0, 0x20000002\nlw a0, 0(s0)\nhalt", nil, FaultUnaligned},
+		{"unaligned half store", "li s0, 0x20000001\nsh a0, 0(s0)\nhalt", nil, FaultUnaligned},
+		{"text write", "la s0, e\ne: sw a0, 0(s0)\nhalt", nil, FaultTextWrite},
+		{"text read as data", "la s0, e\ne: lw a0, 0(s0)\nhalt", nil, FaultUnmapped},
+		{"run off end", "nop", nil, FaultBadFetch},
+		{"wild jump", "li s0, 0x00001000\njr s0\nhalt", nil, FaultBadFetch},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			cpu, _ := buildCPU(t, c.src)
+			cpu.Regs[isa.RA] = 0 // force "run off end" rather than clean return
+			if c.prep != nil {
+				c.prep(cpu)
+			}
+			_, _, err := cpu.Run(1000)
+			if err == nil {
+				t.Fatal("run succeeded, want fault")
+			}
+			if got := faultKind(t, err); got != c.want {
+				t.Errorf("fault = %v, want %v (%v)", got, c.want, err)
+			}
+		})
+	}
+}
+
+func TestStepLimit(t *testing.T) {
+	cpu, _ := buildCPU(t, "loop: j loop")
+	_, _, err := cpu.Run(100)
+	if err == nil || faultKind(t, err) != FaultStepLimit {
+		t.Fatalf("err = %v, want step limit fault", err)
+	}
+	if cpu.Steps() != 100 {
+		t.Errorf("Steps() = %d, want 100", cpu.Steps())
+	}
+}
+
+// traceRecorder captures tracer callbacks for assertions.
+type traceRecorder struct {
+	pcs  []uint32
+	mems []memEvent
+}
+
+type memEvent struct {
+	addr   uint32
+	size   uint8
+	write  bool
+	region Region
+}
+
+func (r *traceRecorder) Instr(pc uint32, in isa.Instruction) { r.pcs = append(r.pcs, pc) }
+func (r *traceRecorder) Mem(pc, addr uint32, size uint8, write bool, region Region) {
+	r.mems = append(r.mems, memEvent{addr, size, write, region})
+}
+
+func TestTracerObservesEverything(t *testing.T) {
+	cpu, p := buildCPU(t, `
+		.data
+	v:	.word 5
+		.text
+	e:	la   s0, v
+		lw   t0, 0(s0)      ; data read
+		lw   t1, 0(a0)      ; packet read
+		sw   t0, 4(a0)      ; packet write
+		addi sp, sp, -4
+		sw   t0, 0(sp)      ; stack write
+		halt
+	`)
+	_ = p
+	rec := &traceRecorder{}
+	cpu.Tracer = rec
+	cpu.SetReg(isa.A0, cpu.Layout.PacketBase)
+	steps, _ := run(t, cpu)
+	if uint64(len(rec.pcs)) != steps {
+		t.Errorf("tracer saw %d instructions, run reported %d", len(rec.pcs), steps)
+	}
+	// PCs must be sequential from the text base for this straight-line code
+	// (la is 2 instructions).
+	for i, pc := range rec.pcs {
+		want := p.TextBase + uint32(i)*4
+		if pc != want {
+			t.Errorf("pc[%d] = %#x, want %#x", i, pc, want)
+		}
+	}
+	wantMems := []memEvent{
+		{p.DataBase, 4, false, RegionData},
+		{cpu.Layout.PacketBase, 4, false, RegionPacket},
+		{cpu.Layout.PacketBase + 4, 4, true, RegionPacket},
+		{cpu.Layout.StackEnd - 4, 4, true, RegionStack},
+	}
+	if len(rec.mems) != len(wantMems) {
+		t.Fatalf("tracer saw %d mem events, want %d: %+v", len(rec.mems), len(wantMems), rec.mems)
+	}
+	for i, w := range wantMems {
+		if rec.mems[i] != w {
+			t.Errorf("mem[%d] = %+v, want %+v", i, rec.mems[i], w)
+		}
+	}
+}
+
+func TestLayoutClassify(t *testing.T) {
+	l := Layout{
+		TextBase: 0x1000, TextEnd: 0x2000,
+		PacketBase: 0x20000000, PacketEnd: 0x20000800,
+		DataBase: 0x10000000, DataEnd: 0x10100000,
+		StackBase: 0x7FFF0000, StackEnd: 0x80000000,
+	}
+	cases := []struct {
+		addr uint32
+		want Region
+	}{
+		{0x0FFF, RegionNone},
+		{0x1000, RegionText},
+		{0x1FFF, RegionText},
+		{0x2000, RegionNone},
+		{0x20000000, RegionPacket},
+		{0x200007FF, RegionPacket},
+		{0x20000800, RegionNone},
+		{0x10000000, RegionData},
+		{0x100FFFFF, RegionData},
+		{0x7FFF0000, RegionStack},
+		{0x7FFFFFFF, RegionStack},
+		{0x80000000, RegionNone},
+		{0xFFFFFFF0, RegionNone},
+	}
+	for _, c := range cases {
+		if got := l.Classify(c.addr); got != c.want {
+			t.Errorf("Classify(%#x) = %v, want %v", c.addr, got, c.want)
+		}
+	}
+}
+
+func TestMemoryRoundTrip(t *testing.T) {
+	m := NewMemory()
+	// Property: Write32 then Read32 round-trips at any aligned address.
+	f := func(addr uint32, v uint32) bool {
+		addr &^= 3
+		m.Write32(addr, v)
+		return m.Read32(addr) == v
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMemoryLittleEndian(t *testing.T) {
+	m := NewMemory()
+	m.Write32(0x100, 0x04030201)
+	for i := uint32(0); i < 4; i++ {
+		if got := m.Read8(0x100 + i); got != uint8(i+1) {
+			t.Errorf("byte %d = %d, want %d", i, got, i+1)
+		}
+	}
+	if got := m.Read16(0x100); got != 0x0201 {
+		t.Errorf("Read16 = %#x", got)
+	}
+	if got := m.Read16(0x102); got != 0x0403 {
+		t.Errorf("Read16+2 = %#x", got)
+	}
+}
+
+func TestMemoryCrossPageAccess(t *testing.T) {
+	m := NewMemory()
+	boundary := uint32(2 * pageSize)
+	m.WriteBytes(boundary-2, []byte{1, 2, 3, 4})
+	if got := m.ReadBytes(boundary-2, 4); got[0] != 1 || got[3] != 4 {
+		t.Errorf("cross-page bytes = %v", got)
+	}
+	// Unaligned word access straddling pages via Read32 (host side; the
+	// CPU would fault first).
+	m.Write32(boundary-2, 0xAABBCCDD)
+	if got := m.Read32(boundary - 2); got != 0xAABBCCDD {
+		t.Errorf("cross-page word = %#x", got)
+	}
+}
+
+func TestMemoryZeroAndSparse(t *testing.T) {
+	m := NewMemory()
+	if m.Read32(0x5000) != 0 {
+		t.Error("untouched memory not zero")
+	}
+	if m.PageCount() != 0 {
+		t.Error("read allocated a page")
+	}
+	m.Write32(0x5000, 7)
+	if m.PageCount() != 1 {
+		t.Errorf("PageCount = %d, want 1", m.PageCount())
+	}
+	m.Zero(0x5000, 4)
+	if m.Read32(0x5000) != 0 {
+		t.Error("Zero did not clear")
+	}
+	// Zeroing unallocated regions must not allocate.
+	m.Zero(0x100000, 1<<16)
+	if m.PageCount() != 1 {
+		t.Errorf("Zero allocated pages: %d", m.PageCount())
+	}
+}
+
+func TestWriteBytesReadBytesRoundTrip(t *testing.T) {
+	m := NewMemory()
+	f := func(addr uint32, data []byte) bool {
+		if len(data) > 1<<16 {
+			data = data[:1<<16]
+		}
+		// Avoid wrapping the 32-bit address space.
+		if addr > 0xFFFF0000 {
+			addr = 0xFFFF0000
+		}
+		m.WriteBytes(addr, data)
+		got := m.ReadBytes(addr, len(data))
+		for i := range data {
+			if got[i] != data[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestJALRAlignsTarget(t *testing.T) {
+	// jalr masks the low two bits of the target.
+	cpu, p := buildCPU(t, `
+		la  s0, target
+		ori s0, s0, 3
+		jalr ra, 0(s0)
+	bad:	halt
+	target:
+		li  a0, 1
+		halt
+	`)
+	run(t, cpu)
+	if cpu.Reg(isa.A0) != 1 {
+		t.Errorf("jalr did not mask alignment bits; a0 = %d", cpu.Reg(isa.A0))
+	}
+	_ = p
+}
+
+func TestRegionString(t *testing.T) {
+	for r, want := range regionNames {
+		if got := r.String(); got != want {
+			t.Errorf("Region(%d).String() = %q, want %q", r, got, want)
+		}
+	}
+	if got := Region(99).String(); got == "" {
+		t.Error("unknown region produced empty string")
+	}
+}
+
+func TestFaultError(t *testing.T) {
+	f := &Fault{Kind: FaultUnmapped, PC: 0x1000, Addr: 0x4}
+	msg := f.Error()
+	for _, frag := range []string{"unmapped", "0x1000", "0x4"} {
+		if !contains(msg, frag) {
+			t.Errorf("fault message %q missing %q", msg, frag)
+		}
+	}
+}
+
+func contains(s, sub string) bool {
+	return len(s) >= len(sub) && (s == sub || len(sub) == 0 || indexOf(s, sub) >= 0)
+}
+
+func indexOf(s, sub string) int {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return i
+		}
+	}
+	return -1
+}
