@@ -10,6 +10,7 @@
 package packetbench
 
 import (
+	"fmt"
 	"testing"
 
 	"repro/internal/core"
@@ -400,6 +401,76 @@ func BenchmarkSimulatorMIPS(b *testing.B) {
 	b.StopTimer()
 	if sec := b.Elapsed().Seconds(); sec > 0 {
 		b.ReportMetric(float64(instr)/sec/1e6, "sim-MIPS")
+	}
+}
+
+// BenchmarkProcessPacketSmall measures the per-packet hot path on
+// 40–64-byte packets — the minimum-size traffic that dominates backbone
+// captures. Before the dirty-length optimization every packet paid a
+// 64 KiB buffer memset; now placement cost tracks the packet size, so
+// this number is the one to watch for hot-path regressions.
+func BenchmarkProcessPacketSmall(b *testing.B) {
+	pkts := make([]*trace.Packet, 256)
+	for i := range pkts {
+		n := 40 + i%25 // 40..64 bytes
+		data := make([]byte, n)
+		data[0] = 0x45 // IPv4, IHL 5
+		data[9] = 17   // UDP
+		data[12] = byte(i)
+		data[16] = byte(i >> 4)
+		pkts[i] = &trace.Packet{Data: data, WireLen: n}
+	}
+	bench, err := core.New(NewTSA(7), core.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.ProcessPacket(pkts[i%len(pkts)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPoolThroughput measures multi-core scaling of the work-queue
+// scheduler on the heaviest application (IPv4-radix). The packets/sec
+// metric should scale with the core count up to the host's parallelism.
+func BenchmarkPoolThroughput(b *testing.B) {
+	pkts, tbl := benchPackets(b)
+	for _, n := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("cores=%d", n), func(b *testing.B) {
+			pool, err := core.NewPool(NewIPv4Radix(tbl), n, core.Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := pool.RunPackets(pkts, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			if sec := b.Elapsed().Seconds(); sec > 0 {
+				b.ReportMetric(float64(b.N)*float64(len(pkts))/sec, "pkts/sec")
+			}
+		})
+	}
+}
+
+// BenchmarkPoolStreaming measures the bounded-channel streaming path
+// (Pool.RunTrace) against the same workload, capturing the scheduler's
+// overhead relative to the in-memory cursor path above.
+func BenchmarkPoolStreaming(b *testing.B) {
+	pkts, tbl := benchPackets(b)
+	pool, err := core.NewPool(NewIPv4Radix(tbl), 4, core.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := pool.RunTrace(trace.NewSliceReader(pkts), 0, nil); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 

@@ -48,7 +48,7 @@ func main() {
 		dumpPkt  = flag.Int("dumppkt", -1, "print the disassembled execution trace of this packet index")
 		annotate = flag.Bool("annotate", false, "print a gprof-style listing with per-instruction execution counts")
 		flowDot  = flag.String("flowgraph", "", "write the weighted basic-block flow graph to this Graphviz file")
-		pool     = flag.Int("pool", 1, "run on this many simulated cores in parallel (stateless applications only)")
+		pool     = flag.Int("pool", 1, "run on this many simulated cores via the streaming work-queue scheduler (stateful applications keep per-core state)")
 	)
 	flag.Parse()
 	if err := run(*appName, *genName, *inFile, *outFile, *tableF, *count, *prefixes, *buckets, *topK, *tsaKey, *preproc, *uarch, *dumpPkt, *annotate, *flowDot, *pool); err != nil {
@@ -290,25 +290,36 @@ func dumpTrace(bench *core.Bench, idx int, res core.Result) {
 	fmt.Printf("  block entry sequence: %v\n", col.BlockSeq)
 }
 
-// runPool processes the trace on several simulated cores and prints the
-// pooled summary. Stateful applications (flow classification) keep
-// per-core tables in this mode, as real replicated-state engines would.
+// runPool streams the trace through several simulated cores and prints
+// the pooled summary. Records are aggregated on the fly (no in-memory
+// record slice), and verdicts are counted exactly as in the single-core
+// path. Stateful applications (flow classification) keep per-core tables
+// in this mode, as real replicated-state engines would.
 func runPool(app *core.App, pkts []*trace.Packet, n, topK int) error {
 	pool, err := core.NewPool(app, n, core.Options{})
 	if err != nil {
 		return err
 	}
-	records, err := pool.RunPackets(pkts)
-	if err != nil {
+	agg := &stats.Running{KeepInstructionCounts: true}
+	verdicts := make(map[uint32]int)
+	if _, err := pool.RunTrace(trace.NewSliceReader(pkts), 0, func(i int, res core.Result) {
+		agg.Add(&res.Record)
+		verdicts[res.Verdict]++
+	}); err != nil {
 		return err
 	}
-	s := stats.Summarize(records)
+	s := agg.Summary()
 	fmt.Printf("\n%s over %d packets on %d simulated cores\n", app.Name, s.Packets, n)
 	fmt.Printf("  instructions/packet:        %10.1f\n", s.MeanInstructions)
+	fmt.Printf("  unique instructions/packet: %10.1f\n", s.MeanUnique)
 	fmt.Printf("  packet mem accesses/packet: %10.1f\n", s.MeanPacketAcc)
 	fmt.Printf("  non-packet accesses/packet: %10.1f\n", s.MeanNonPacketAcc)
-	occ := analysis.Occurrences(stats.InstructionCounts(records), topK)
+	occ := analysis.Occurrences(agg.InstructionCounts(), topK)
 	fmt.Printf("  most frequent count: %d instructions (%.2f%%)\n",
 		occ.Top[0].Value, occ.Top[0].Pct(occ.Total))
+	fmt.Printf("\n  verdicts:\n")
+	for v, c := range verdicts {
+		fmt.Printf("    %4d: %d packets\n", v, c)
+	}
 	return nil
 }

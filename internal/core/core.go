@@ -117,8 +117,11 @@ func (l *Loader) Alloc(size, align uint32) (uint32, error) {
 	if align == 0 {
 		align = 4
 	}
-	if align < 4 || align&(align-1) != 0 {
+	if align&(align-1) != 0 {
 		return 0, fmt.Errorf("core: alignment %d is not a power of two", align)
+	}
+	if align < 4 {
+		return 0, fmt.Errorf("core: alignment %d is below the minimum word alignment 4", align)
 	}
 	base := (l.next + align - 1) &^ (align - 1)
 	if base < l.next || base > l.limit || size > l.limit-base {
@@ -181,6 +184,14 @@ type Bench struct {
 	stepLimit    uint64
 	processed    int
 	extraTracers []vm.Tracer
+
+	// dirtyLen is the number of bytes at PacketBase that may hold
+	// non-zero data from the previous packet: the previous placement
+	// extent, widened by any store the application issued beyond it
+	// (tracked by the CPU's packet-write watermark). Zeroing only this
+	// window instead of the full 64 KiB buffer is what keeps the
+	// per-packet hot path proportional to the traffic, not the buffer.
+	dirtyLen int
 }
 
 // New assembles the application, loads its segments, runs Init, and
@@ -262,6 +273,11 @@ func (b *Bench) Memory() *vm.Memory { return b.mem }
 // initialized application state.
 func (b *Bench) Loader() *Loader { return b.loader }
 
+// Processed returns the number of packets this bench has successfully
+// processed (pool cancellation tests and schedulers use it to observe
+// how much work a core performed).
+func (b *Bench) Processed() int { return b.processed }
+
 // ProcessPacket runs the application on one packet and returns its
 // verdict and workload record.
 func (b *Bench) ProcessPacket(p *trace.Packet) (Result, error) {
@@ -269,13 +285,17 @@ func (b *Bench) ProcessPacket(p *trace.Packet) (Result, error) {
 	if n > MaxPacketLen {
 		return Result{}, fmt.Errorf("core: packet of %d bytes exceeds buffer", n)
 	}
-	// Place the packet. The previous packet is at most MaxPacketLen, and
-	// zeroing only up to the new length suffices because longer stale
-	// bytes are unreachable through a correctly sized a1; clear a bit
-	// beyond to be safe for header-only captures whose apps read fixed
-	// offsets.
-	b.mem.Zero(PacketBase, MaxPacketLen)
+	// Place the packet. WriteBytes overwrites [0, n), so only the tail
+	// [n, dirtyLen) can still hold stale bytes from a longer previous
+	// packet (or from stores the previous run issued past its own
+	// length); zero exactly that window rather than the whole 64 KiB
+	// buffer.
+	if b.dirtyLen > n {
+		b.mem.Zero(PacketBase+uint32(n), b.dirtyLen-n)
+	}
 	b.mem.WriteBytes(PacketBase, p.Data)
+	b.dirtyLen = n
+	b.cpu.ResetPacketWriteHigh()
 
 	for r := range b.cpu.Regs {
 		b.cpu.Regs[r] = 0
@@ -288,6 +308,12 @@ func (b *Bench) ProcessPacket(p *trace.Packet) (Result, error) {
 
 	b.col.BeginPacket()
 	_, _, err := b.cpu.Run(b.stepLimit)
+	// Even a faulting run may have dirtied the buffer past the packet's
+	// length; widen the dirty window before reporting the error so a
+	// subsequent packet still gets a clean buffer.
+	if high := b.cpu.PacketWriteHigh(); high > PacketBase && int(high-PacketBase) > b.dirtyLen {
+		b.dirtyLen = int(high - PacketBase)
+	}
 	if err != nil {
 		return Result{}, fmt.Errorf("core: %s: packet %d: %w", b.app.Name, b.processed, err)
 	}

@@ -96,6 +96,66 @@ func TestBenchPacketIsolation(t *testing.T) {
 	}
 }
 
+func TestBenchPacketIsolationMixedSizes(t *testing.T) {
+	// The dirty-length optimization must zero exactly the stale window:
+	// descending then ascending packet sizes catch both directions.
+	b, err := New(echoApp(0), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sizes := []int{200, 120, 48, 20, 64, 160}
+	for _, n := range sizes {
+		p := ipPacket(n)
+		for i := range p.Data {
+			p.Data[i] = 0x5A
+		}
+		p.Data[0] = 0x45
+		if _, err := b.ProcessPacket(p); err != nil {
+			t.Fatal(err)
+		}
+		buf := b.PacketBytes(256)
+		for i := n; i < 256; i++ {
+			if buf[i] != 0 {
+				t.Fatalf("after %d-byte packet: stale byte %#x at offset %d", n, buf[i], i)
+			}
+		}
+	}
+}
+
+func TestBenchPacketIsolationAppWritesBeyondLength(t *testing.T) {
+	// An application may store past its packet's length (still inside the
+	// packet region). The dirty window must widen to cover such stores,
+	// or the next shorter packet would see the stale byte.
+	src := `
+		.text
+		.global e
+	e:
+		li  t0, 0xAB
+		li  t1, 32
+		ble a1, t1, skip
+		sb  t0, 96(a0)
+	skip:
+		mv  a0, a1
+		ret
+	`
+	b, err := New(&App{Name: "poke", Source: src, Entry: "e"}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.ProcessPacket(ipPacket(40)); err != nil { // writes offset 96
+		t.Fatal(err)
+	}
+	if got := b.PacketBytes(97)[96]; got != 0xAB {
+		t.Fatalf("app store not visible: byte 96 = %#x", got)
+	}
+	if _, err := b.ProcessPacket(ipPacket(20)); err != nil { // takes skip branch
+		t.Fatal(err)
+	}
+	if got := b.PacketBytes(97)[96]; got != 0 {
+		t.Fatalf("stale app-written byte survived: byte 96 = %#x", got)
+	}
+}
+
 func TestBenchErrors(t *testing.T) {
 	if _, err := New(&App{Name: "x", Source: "nop", Entry: ""}, Options{}); err == nil {
 		t.Error("missing entry symbol accepted")
@@ -170,8 +230,22 @@ func TestLoaderAlloc(t *testing.T) {
 	if _, err := ld.Alloc(1<<20, 4); err == nil {
 		t.Error("over-budget allocation accepted")
 	}
-	if _, err := ld.Alloc(4, 3); err == nil {
-		t.Error("non-power-of-two alignment accepted")
+	if _, err := ld.Alloc(4, 3); err == nil || !strings.Contains(err.Error(), "not a power of two") {
+		t.Errorf("alignment 3: err = %v, want power-of-two complaint", err)
+	}
+	// Alignments 1 and 2 ARE powers of two; the rejection must say what
+	// is actually wrong (below the word-alignment minimum).
+	for _, align := range []uint32{1, 2} {
+		_, err := ld.Alloc(4, align)
+		if err == nil {
+			t.Fatalf("alignment %d accepted", align)
+		}
+		if strings.Contains(err.Error(), "power of two") {
+			t.Errorf("alignment %d: err %q misdescribes a power of two", align, err)
+		}
+		if !strings.Contains(err.Error(), "minimum word alignment") {
+			t.Errorf("alignment %d: err = %v, want minimum-alignment complaint", align, err)
+		}
 	}
 	if ld.HeapNext() < a2+4 {
 		t.Errorf("HeapNext = %#x", ld.HeapNext())
@@ -301,7 +375,7 @@ func TestPoolMatchesSingleCore(t *testing.T) {
 	if pool.Cores() != 4 {
 		t.Fatalf("Cores = %d", pool.Cores())
 	}
-	got, err := pool.RunPackets(pkts)
+	got, err := pool.RunPackets(pkts, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -331,7 +405,7 @@ func TestPoolErrorPropagation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := pool.RunPackets([]*trace.Packet{ipPacket(20), ipPacket(20)}); err == nil {
+	if _, err := pool.RunPackets([]*trace.Packet{ipPacket(20), ipPacket(20)}, nil); err == nil {
 		t.Error("pool swallowed a core fault")
 	}
 	if _, err := NewPool(crash, 0, Options{}); err == nil {

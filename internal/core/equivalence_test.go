@@ -1,0 +1,93 @@
+package core_test
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/packet"
+	"repro/internal/route"
+	"repro/internal/trace"
+)
+
+// mixedSizePackets builds a descending-then-ascending packet-size
+// sequence from a generated trace: the descending half exposes stale
+// bytes leaking from longer into shorter packets, the ascending half
+// exposes over-zealous zeroing, together pinning the dirty-length
+// optimization in ProcessPacket.
+func mixedSizePackets(t *testing.T, n int) []*trace.Packet {
+	t.Helper()
+	prof, err := gen.ProfileByName("MRA")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkts := gen.Generate(prof, n)
+	sort.SliceStable(pkts, func(i, j int) bool {
+		return len(pkts[i].Data) > len(pkts[j].Data)
+	})
+	out := make([]*trace.Packet, 0, 2*len(pkts))
+	out = append(out, pkts...)
+	for i := len(pkts) - 1; i >= 0; i-- {
+		out = append(out, pkts[i])
+	}
+	return out
+}
+
+// TestPoolMatchesSingleCoreStateless asserts that for every stateless
+// application the pool scheduler produces records identical to a
+// sequential single-core run — same instruction counts, memory accesses,
+// and block sets — with Index equal to the packet's trace position.
+func TestPoolMatchesSingleCoreStateless(t *testing.T) {
+	pkts := mixedSizePackets(t, 60)
+	var dsts []uint32
+	for _, p := range pkts {
+		if h, err := packet.ParseIPv4(p.Data); err == nil {
+			dsts = append(dsts, h.Dst)
+		}
+	}
+	tbl := route.TableFromTraffic(dsts, 1024, 16, 1)
+
+	cases := []struct {
+		name string
+		app  func() *core.App
+	}{
+		{"radix", func() *core.App { return apps.IPv4Radix(tbl) }},
+		{"trie", func() *core.App { return apps.IPv4Trie(tbl) }},
+		{"tsa", func() *core.App { return apps.TSAApp(0x5453412D31363A31) }},
+		{"payload-scan", func() *core.App { return apps.PayloadScan([4]byte{0xDE, 0xAD, 0xBE, 0xEF}) }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			single, err := core.New(tc.app(), core.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := single.RunPackets(pkts, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pool, err := core.NewPool(tc.app(), 4, core.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := pool.RunPackets(pkts, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("pool returned %d records, single %d", len(got), len(want))
+			}
+			for i := range want {
+				if got[i].Index != i {
+					t.Errorf("record %d has index %d, want trace position", i, got[i].Index)
+				}
+				if !reflect.DeepEqual(got[i], want[i]) {
+					t.Errorf("record %d differs:\n  pool   %+v\n  single %+v", i, got[i], want[i])
+				}
+			}
+		})
+	}
+}

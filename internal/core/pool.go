@@ -1,8 +1,11 @@
 package core
 
 import (
+	"context"
 	"fmt"
+	"io"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/stats"
 	"repro/internal/trace"
@@ -15,11 +18,18 @@ import (
 // the application's tables — the replicated-state regime of real
 // network-processor microengines.
 //
-// Packets are distributed round-robin. For per-packet-stateless
-// applications (forwarding, anonymization, payload scanning) the
-// records are identical to a single-core run; stateful applications
-// (flow classification) accumulate per-core state, exactly as they
-// would on hardware without shared memory.
+// Scheduling is a shared work queue, not a fixed round-robin: workers
+// claim packet ranges from an atomic cursor (RunPackets) or pull packets
+// from a bounded channel fed by a trace reader (RunTrace), so skewed
+// per-packet costs never idle a core. The first core fault cancels the
+// run: the other workers observe a shared stop flag and exit at the next
+// packet boundary instead of burning CPU to completion, and external
+// cancellation is available through the Context variants.
+//
+// For per-packet-stateless applications (forwarding, anonymization,
+// payload scanning) the records are identical to a single-core run;
+// stateful applications (flow classification) accumulate per-core state,
+// exactly as they would on hardware without shared memory.
 type Pool struct {
 	benches []*Bench
 }
@@ -48,34 +58,270 @@ func (p *Pool) Cores() int { return len(p.benches) }
 // after a run).
 func (p *Pool) Bench(i int) *Bench { return p.benches[i] }
 
-// RunPackets processes the packets across the pool's cores
-// concurrently and returns one record per packet, in packet order, with
-// Index rewritten to the packet's position in pkts. The first core
-// error aborts the run.
-func (p *Pool) RunPackets(pkts []*trace.Packet) ([]stats.PacketRecord, error) {
+// chunkFor sizes the work-queue claim: small enough that a handful of
+// expensive packets cannot serialize the run behind one core, large
+// enough that the atomic cursor is off the per-packet hot path.
+func chunkFor(packets, cores int) int {
+	chunk := packets / (cores * 8)
+	if chunk < 1 {
+		return 1
+	}
+	if chunk > 64 {
+		return 64
+	}
+	return chunk
+}
+
+// firstFailure retains the worker error with the lowest packet index, so
+// concurrent runs report the same failure a sequential run would have hit
+// first.
+type firstFailure struct {
+	mu  sync.Mutex
+	idx int
+	err error
+}
+
+func (f *firstFailure) report(idx int, err error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.err == nil || idx < f.idx {
+		f.idx, f.err = idx, err
+	}
+}
+
+func (f *firstFailure) get() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.err
+}
+
+// RunPackets processes the packets across the pool's cores concurrently
+// and returns one record per packet, in packet order, with Index
+// rewritten to the packet's position in pkts. onResult, when non-nil, is
+// invoked once per packet in packet order after the run completes. The
+// first core error cancels the remaining workers and aborts the run.
+func (p *Pool) RunPackets(pkts []*trace.Packet, onResult func(int, Result)) ([]stats.PacketRecord, error) {
+	return p.RunPacketsContext(context.Background(), pkts, onResult)
+}
+
+// RunPacketsContext is RunPackets under an external context: cancelling
+// ctx stops every worker at its next packet boundary and the run returns
+// ctx's error.
+func (p *Pool) RunPacketsContext(ctx context.Context, pkts []*trace.Packet, onResult func(int, Result)) ([]stats.PacketRecord, error) {
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
 	records := make([]stats.PacketRecord, len(pkts))
-	errs := make([]error, len(p.benches))
+	var verdicts []uint32
+	if onResult != nil {
+		verdicts = make([]uint32, len(pkts))
+	}
+	chunk := chunkFor(len(pkts), len(p.benches))
+	var cursor atomic.Int64
+	var stop atomic.Bool
+	var fail firstFailure
 	var wg sync.WaitGroup
 	for c, b := range p.benches {
 		wg.Add(1)
 		go func(c int, b *Bench) {
 			defer wg.Done()
-			for i := c; i < len(pkts); i += len(p.benches) {
-				res, err := b.ProcessPacket(pkts[i])
-				if err != nil {
-					errs[c] = fmt.Errorf("core %d: %w", c, err)
+			for !stop.Load() {
+				start := int(cursor.Add(int64(chunk))) - chunk
+				if start >= len(pkts) {
 					return
 				}
-				res.Record.Index = i
-				records[i] = res.Record
+				end := start + chunk
+				if end > len(pkts) {
+					end = len(pkts)
+				}
+				for i := start; i < end; i++ {
+					if stop.Load() {
+						return
+					}
+					res, err := b.ProcessPacket(pkts[i])
+					if err != nil {
+						fail.report(i, fmt.Errorf("core %d: %w", c, err))
+						stop.Store(true)
+						cancel()
+						return
+					}
+					res.Record.Index = i
+					records[i] = res.Record
+					if verdicts != nil {
+						verdicts[i] = res.Verdict
+					}
+				}
 			}
 		}(c, b)
 	}
+
+	// Propagate external cancellation to the stop flag the workers poll.
+	watchDone := make(chan struct{})
+	go func() {
+		select {
+		case <-ctx.Done():
+			stop.Store(true)
+		case <-watchDone:
+		}
+	}()
 	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
+	close(watchDone)
+
+	if err := fail.get(); err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if onResult != nil {
+		for i := range records {
+			onResult(i, Result{Verdict: verdicts[i], Record: records[i]})
 		}
 	}
 	return records, nil
+}
+
+// poolJob is one packet handed to a worker by the streaming scheduler.
+type poolJob struct {
+	idx int
+	pkt *trace.Packet
+}
+
+// poolResult is one worker outcome on its way to the aggregator.
+type poolResult struct {
+	idx int
+	res Result
+	err error
+}
+
+// RunTrace streams packets from the reader through the pool (up to limit
+// packets; limit <= 0 means all) without ever materializing the trace in
+// memory: a producer feeds a bounded channel, workers pull from it, and
+// results are re-sequenced so onResult observes packets in trace order
+// with Record.Index set to the trace position — the same contract as
+// single-core Bench.RunTrace. It returns the number of packets
+// processed. The first core error cancels the producer and the remaining
+// workers.
+func (p *Pool) RunTrace(r trace.Reader, limit int, onResult func(int, Result)) (int, error) {
+	return p.RunTraceContext(context.Background(), r, limit, onResult)
+}
+
+// RunTraceContext is RunTrace under an external context: cancelling ctx
+// stops the producer and every worker, and the run returns ctx's error.
+func (p *Pool) RunTraceContext(ctx context.Context, r trace.Reader, limit int, onResult func(int, Result)) (int, error) {
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var stop atomic.Bool
+	// The bounded job queue is what caps memory: a multi-gigabyte trace
+	// only ever has backlog+cores packets resident at once.
+	backlog := 32 * len(p.benches)
+	jobs := make(chan poolJob, backlog)
+	results := make(chan poolResult, len(p.benches))
+
+	// Producer: read the trace until EOF, the limit, an error, or
+	// cancellation. readErr is published before jobs is closed and read
+	// after the results channel drains, so it needs no lock.
+	var readErr error
+	go func() {
+		defer close(jobs)
+		for i := 0; limit <= 0 || i < limit; i++ {
+			if stop.Load() {
+				return
+			}
+			pkt, err := r.Next()
+			if err == io.EOF {
+				return
+			}
+			if err != nil {
+				readErr = err
+				return
+			}
+			select {
+			case jobs <- poolJob{idx: i, pkt: pkt}:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+
+	// Workers: pull packets until the queue closes. After a fault (or
+	// external cancellation) they keep draining the queue without
+	// simulating, so the producer can never deadlock on a full channel.
+	var wg sync.WaitGroup
+	for c, b := range p.benches {
+		wg.Add(1)
+		go func(c int, b *Bench) {
+			defer wg.Done()
+			for j := range jobs {
+				if stop.Load() {
+					continue
+				}
+				res, err := b.ProcessPacket(j.pkt)
+				if err != nil {
+					stop.Store(true)
+					cancel()
+					results <- poolResult{idx: j.idx, err: fmt.Errorf("core %d: %w", c, err)}
+					continue
+				}
+				res.Record.Index = j.idx
+				results <- poolResult{idx: j.idx, res: res}
+			}
+		}(c, b)
+	}
+	go func() {
+		wg.Wait()
+		close(results)
+	}()
+
+	// Propagate external cancellation to the stop flag the workers and
+	// producer poll.
+	watchDone := make(chan struct{})
+	go func() {
+		select {
+		case <-ctx.Done():
+			stop.Store(true)
+		case <-watchDone:
+		}
+	}()
+
+	// Aggregator (caller's goroutine): re-sequence out-of-order results
+	// so onResult fires in strict trace order. The pending map is bounded
+	// by the job backlog plus in-flight packets.
+	var fail firstFailure
+	processed := 0
+	next := 0
+	pending := make(map[int]Result)
+	for pr := range results {
+		if pr.err != nil {
+			fail.report(pr.idx, pr.err)
+			continue
+		}
+		processed++
+		if onResult == nil {
+			continue
+		}
+		pending[pr.idx] = pr.res
+		for {
+			res, ok := pending[next]
+			if !ok {
+				break
+			}
+			delete(pending, next)
+			onResult(next, res)
+			next++
+		}
+	}
+	close(watchDone)
+
+	if err := fail.get(); err != nil {
+		return processed, err
+	}
+	if readErr != nil {
+		return processed, readErr
+	}
+	if err := ctx.Err(); err != nil {
+		return processed, err
+	}
+	return processed, nil
 }

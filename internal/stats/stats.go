@@ -272,6 +272,59 @@ func Summarize(records []PacketRecord) Summary {
 	return s
 }
 
+// Running incrementally aggregates packet records into the same
+// run-level figures Summarize computes, for streaming runs (Pool.RunTrace)
+// that never materialize a full []PacketRecord. Add is not safe for
+// concurrent use; streaming schedulers deliver records to it from a
+// single aggregation goroutine.
+type Running struct {
+	// KeepInstructionCounts retains each packet's instruction count
+	// (8 bytes per packet) so occurrence tables can still be built from a
+	// streamed run.
+	KeepInstructionCounts bool
+
+	packets           int
+	totalInstructions uint64
+	unique            uint64
+	pktAcc            uint64
+	nonPktAcc         uint64
+	counts            []uint64
+}
+
+// Add folds one packet record into the aggregate.
+func (a *Running) Add(r *PacketRecord) {
+	a.packets++
+	a.totalInstructions += r.Instructions
+	a.unique += uint64(r.Unique)
+	a.pktAcc += r.PacketAccesses()
+	a.nonPktAcc += r.NonPacketAccesses()
+	if a.KeepInstructionCounts {
+		a.counts = append(a.counts, r.Instructions)
+	}
+}
+
+// Packets returns the number of records added.
+func (a *Running) Packets() int { return a.packets }
+
+// Summary returns the aggregate, identical to Summarize over the same
+// records.
+func (a *Running) Summary() Summary {
+	s := Summary{Packets: a.packets, TotalInstructions: a.totalInstructions}
+	if a.packets == 0 {
+		return s
+	}
+	n := float64(a.packets)
+	s.MeanInstructions = float64(a.totalInstructions) / n
+	s.MeanUnique = float64(a.unique) / n
+	s.MeanPacketAcc = float64(a.pktAcc) / n
+	s.MeanNonPacketAcc = float64(a.nonPktAcc) / n
+	return s
+}
+
+// InstructionCounts returns the retained per-packet instruction counts
+// (nil unless KeepInstructionCounts was set before the run).
+func (a *Running) InstructionCounts() []uint64 { return a.counts }
+
 // InstructionCounts extracts the per-packet instruction counts from
 // records (input to analysis.Occurrences for Table V).
 func InstructionCounts(records []PacketRecord) []uint64 {

@@ -292,3 +292,41 @@ func TestPCCounts(t *testing.T) {
 		t.Errorf("PCCounts sum to %d, want 26", total)
 	}
 }
+
+func TestRunningMatchesSummarize(t *testing.T) {
+	records := []PacketRecord{
+		{Index: 0, Instructions: 100, Unique: 40, PacketReads: 5, PacketWrites: 1, NonPacketReads: 20, NonPacketWrites: 3},
+		{Index: 1, Instructions: 250, Unique: 60, PacketReads: 8, NonPacketReads: 31},
+		{Index: 2, Instructions: 100, Unique: 40, PacketWrites: 2, NonPacketWrites: 7},
+	}
+	agg := &Running{KeepInstructionCounts: true}
+	for i := range records {
+		agg.Add(&records[i])
+	}
+	if got, want := agg.Summary(), Summarize(records); got != want {
+		t.Errorf("Running.Summary() = %+v, want %+v", got, want)
+	}
+	if agg.Packets() != 3 {
+		t.Errorf("Packets() = %d", agg.Packets())
+	}
+	counts := agg.InstructionCounts()
+	want := InstructionCounts(records)
+	if len(counts) != len(want) {
+		t.Fatalf("kept %d counts", len(counts))
+	}
+	for i := range want {
+		if counts[i] != want[i] {
+			t.Errorf("count %d = %d, want %d", i, counts[i], want[i])
+		}
+	}
+}
+
+func TestRunningEmpty(t *testing.T) {
+	var agg Running
+	if got := agg.Summary(); got != (Summary{}) {
+		t.Errorf("empty Running summary = %+v", got)
+	}
+	if agg.InstructionCounts() != nil {
+		t.Error("counts kept without KeepInstructionCounts")
+	}
+}

@@ -87,7 +87,10 @@ func (p *PcapReader) Next() (*Packet, error) {
 		usec := p.order.Uint32(rec[4:])
 		inclLen := p.order.Uint32(rec[8:])
 		origLen := p.order.Uint32(rec[12:])
-		if p.snapLen > 0 && inclLen > p.snapLen || inclLen > 1<<24 {
+		if inclLen > 1<<24 {
+			return nil, fmt.Errorf("trace: pcap record length %d exceeds the maximum supported length %d", inclLen, 1<<24)
+		}
+		if p.snapLen > 0 && inclLen > p.snapLen {
 			return nil, fmt.Errorf("trace: pcap record length %d exceeds snap length %d", inclLen, p.snapLen)
 		}
 		data := make([]byte, inclLen)
@@ -108,6 +111,13 @@ func (p *PcapReader) Next() (*Packet, error) {
 		}
 		if len(data) == 0 {
 			continue
+		}
+		// A malformed capture can record an origLen shorter than the
+		// bytes present (or, for Ethernet, shorter than the stripped
+		// header, which would go negative above); clamp so WireLen keeps
+		// its >= len(Data) invariant.
+		if wire < len(data) {
+			wire = len(data)
 		}
 		return &Packet{Sec: sec, Usec: usec, Data: data, WireLen: wire}, nil
 	}

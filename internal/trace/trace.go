@@ -100,3 +100,25 @@ func ReadAll(r Reader, limit int) ([]*Packet, error) {
 	}
 	return pkts, nil
 }
+
+// SliceReader adapts an in-memory packet slice to the Reader interface,
+// so already-loaded traces can feed streaming consumers (Pool.RunTrace).
+type SliceReader struct {
+	pkts []*Packet
+	next int
+}
+
+// NewSliceReader returns a Reader yielding the packets in order.
+func NewSliceReader(pkts []*Packet) *SliceReader {
+	return &SliceReader{pkts: pkts}
+}
+
+// Next implements Reader.
+func (s *SliceReader) Next() (*Packet, error) {
+	if s.next >= len(s.pkts) {
+		return nil, io.EOF
+	}
+	p := s.pkts[s.next]
+	s.next++
+	return p, nil
+}

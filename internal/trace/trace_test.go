@@ -327,3 +327,105 @@ func TestReadAllLimit(t *testing.T) {
 		t.Errorf("ReadAll(4) = %d packets, %v", len(got), err)
 	}
 }
+
+func TestPcapRuntEthernetWireLenClamped(t *testing.T) {
+	// A frame whose recorded origLen is shorter than the Ethernet header
+	// used to yield a negative WireLen after header stripping; it must be
+	// clamped to the payload length instead.
+	var buf bytes.Buffer
+	hdr := make([]byte, pcapHeaderLen)
+	binary.LittleEndian.PutUint32(hdr[0:], pcapMagic)
+	binary.LittleEndian.PutUint32(hdr[16:], 65536)
+	binary.LittleEndian.PutUint32(hdr[20:], LinkTypeEthernet)
+	buf.Write(hdr)
+
+	ip := ipv4Packet(3, 4, 0)
+	frame := make([]byte, ethernetHeaderLen+len(ip))
+	binary.BigEndian.PutUint16(frame[12:], etherTypeIPv4)
+	copy(frame[ethernetHeaderLen:], ip)
+	rec := make([]byte, pcapRecordLen)
+	binary.LittleEndian.PutUint32(rec[8:], uint32(len(frame)))
+	binary.LittleEndian.PutUint32(rec[12:], 10) // lying origLen < 14
+	buf.Write(rec)
+	buf.Write(frame)
+
+	r, err := NewPcapReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := r.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.WireLen < len(p.Data) {
+		t.Errorf("WireLen = %d < len(Data) = %d", p.WireLen, len(p.Data))
+	}
+	if p.WireLen != len(ip) {
+		t.Errorf("WireLen = %d, want clamp to %d", p.WireLen, len(ip))
+	}
+}
+
+func TestPcapOverlongRecordErrors(t *testing.T) {
+	build := func(snapLen, inclLen uint32) *bytes.Buffer {
+		var buf bytes.Buffer
+		hdr := make([]byte, pcapHeaderLen)
+		binary.LittleEndian.PutUint32(hdr[0:], pcapMagic)
+		binary.LittleEndian.PutUint32(hdr[16:], snapLen)
+		binary.LittleEndian.PutUint32(hdr[20:], LinkTypeRaw)
+		buf.Write(hdr)
+		rec := make([]byte, pcapRecordLen)
+		binary.LittleEndian.PutUint32(rec[8:], inclLen)
+		binary.LittleEndian.PutUint32(rec[12:], inclLen)
+		buf.Write(rec)
+		return &buf
+	}
+
+	// Over the snap length: the message names the snap length.
+	r, err := NewPcapReader(build(128, 256))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Next(); err == nil || !strings.Contains(err.Error(), "snap length 128") {
+		t.Errorf("err = %v, want snap-length complaint", err)
+	}
+
+	// Over the absolute bound with snapLen == 0: must NOT claim
+	// "exceeds snap length 0".
+	r, err = NewPcapReader(build(0, 1<<25))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = r.Next()
+	if err == nil {
+		t.Fatal("oversized record accepted")
+	}
+	if strings.Contains(err.Error(), "snap length") {
+		t.Errorf("err %q blames the snap length for the absolute bound", err)
+	}
+	if !strings.Contains(err.Error(), "maximum supported length") {
+		t.Errorf("err = %v, want maximum-length complaint", err)
+	}
+}
+
+func TestSliceReader(t *testing.T) {
+	pkts := []*Packet{
+		{Data: ipv4Packet(1, 2, 0)},
+		{Data: ipv4Packet(3, 4, 8)},
+	}
+	r := NewSliceReader(pkts)
+	for i := range pkts {
+		p, err := r.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p != pkts[i] {
+			t.Errorf("packet %d: wrong pointer", i)
+		}
+	}
+	if _, err := r.Next(); err != io.EOF {
+		t.Errorf("want EOF, got %v", err)
+	}
+	if _, err := r.Next(); err != io.EOF {
+		t.Errorf("EOF not sticky: %v", err)
+	}
+}

@@ -159,6 +159,13 @@ type CPU struct {
 	text     []isa.Instruction
 	textBase uint32
 	steps    uint64 // instructions executed over the CPU's lifetime
+
+	// packetWriteHigh is the exclusive end address of the highest
+	// packet-region store since the last ResetPacketWriteHigh. The
+	// framework uses it to bound how much of the packet buffer a run can
+	// have dirtied, so the next packet placement only has to clear bytes
+	// that were actually written.
+	packetWriteHigh uint32
 }
 
 // New creates a CPU executing the given pre-decoded text segment. The
@@ -174,6 +181,15 @@ func New(text []isa.Instruction, textBase uint32, mem *Memory) *CPU {
 // Steps returns the total number of instructions executed by this CPU
 // since creation.
 func (c *CPU) Steps() uint64 { return c.steps }
+
+// PacketWriteHigh returns the exclusive end address of the highest
+// packet-region store since the last ResetPacketWriteHigh, or zero if the
+// packet buffer was not written.
+func (c *CPU) PacketWriteHigh() uint32 { return c.packetWriteHigh }
+
+// ResetPacketWriteHigh clears the packet-store watermark; the framework
+// calls it before each packet run.
+func (c *CPU) ResetPacketWriteHigh() { c.packetWriteHigh = 0 }
 
 // Reg returns the value of register r (a convenience for host code).
 func (c *CPU) Reg(r isa.Reg) uint32 { return c.Regs[r] }
@@ -387,6 +403,10 @@ func (c *CPU) store(pc, addr uint32, op isa.Opcode, v uint32) error {
 		return &Fault{Kind: FaultTextWrite, PC: pc, Addr: addr}
 	case RegionNone:
 		return &Fault{Kind: FaultUnmapped, PC: pc, Addr: addr}
+	case RegionPacket:
+		if end := addr + size; end > c.packetWriteHigh {
+			c.packetWriteHigh = end
+		}
 	}
 	if c.Tracer != nil {
 		c.Tracer.Mem(pc, addr, uint8(size), true, region)

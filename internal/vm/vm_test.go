@@ -553,3 +553,30 @@ func indexOf(s, sub string) int {
 	}
 	return -1
 }
+
+func TestPacketWriteHighWatermark(t *testing.T) {
+	// Stores into the packet region must advance the watermark to the
+	// store's exclusive end; data/stack stores must not move it.
+	c, _ := buildCPU(t, `
+		li  t0, 0x20000000
+		li  t1, 0xAB
+		sb  t1, 100(t0)
+		sw  t1, 200(t0)
+		la  t2, scratch
+		sw  t1, 0(t2)
+		ret
+		.data
+	scratch: .word 0
+	`)
+	if c.PacketWriteHigh() != 0 {
+		t.Fatalf("fresh CPU watermark = %#x", c.PacketWriteHigh())
+	}
+	run(t, c)
+	if got := c.PacketWriteHigh(); got != 0x20000000+204 {
+		t.Errorf("watermark = %#x, want %#x", got, 0x20000000+204)
+	}
+	c.ResetPacketWriteHigh()
+	if c.PacketWriteHigh() != 0 {
+		t.Error("watermark not reset")
+	}
+}

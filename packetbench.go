@@ -249,8 +249,10 @@ func CompareTopologies(name string, w Workload, h Hardware, meanPacketBytes floa
 	return npmodel.CompareTopologies(name, w, h, meanPacketBytes)
 }
 
-// Pool runs one application on several independent simulated cores,
-// exploiting packet-level parallelism; see core.Pool.
+// Pool runs one application on several independent simulated cores via a
+// chunked work-queue scheduler with first-error cancellation and a
+// streaming RunTrace for traces too large to hold in memory; see
+// core.Pool.
 type Pool = core.Pool
 
 // NewPool builds a pool of n simulated cores running app.

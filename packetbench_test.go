@@ -164,7 +164,7 @@ func TestFacadePool(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	recs, err := pool.RunPackets(pkts)
+	recs, err := pool.RunPackets(pkts, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
