@@ -17,10 +17,12 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 
 	"repro/internal/analysis"
 	"repro/internal/apps"
 	"repro/internal/core"
+	"repro/internal/faultinject"
 	"repro/internal/flow"
 	"repro/internal/gen"
 	"repro/internal/isa"
@@ -29,51 +31,112 @@ import (
 	"repro/internal/route"
 	"repro/internal/stats"
 	"repro/internal/trace"
+	"repro/internal/vm"
 )
 
+// config carries every run parameter; main fills it from flags, tests
+// build it directly.
+type config struct {
+	app        string // radix, trie, flow, tsa
+	gen        string // synthetic trace profile
+	traceFile  string // input pcap/TSH path (overrides gen)
+	outFile    string // output pcap path
+	tableFile  string // routing table text file
+	count      int
+	prefixes   int
+	buckets    int
+	topK       int
+	tsaKey     uint64
+	preprocess bool
+	uarch      bool
+	dumpPkt    int
+	annotate   bool
+	flowDot    string
+	pool       int
+
+	// Fault handling.
+	faultPolicy string // fail-fast, skip, retry
+	errorBudget int    // quarantine budget for skip/retry; 0 = unlimited
+	maxAttempts int    // attempts per packet under retry
+	inject      string // faultinject.ParsePlan spec
+	seed        int64  // seed for injected randomness
+}
+
 func main() {
-	var (
-		appName  = flag.String("app", "radix", "application: radix, trie, flow, or tsa")
-		genName  = flag.String("gen", "", "generate a synthetic trace with this profile (MRA, COS, ODU, LAN)")
-		inFile   = flag.String("trace", "", "read packets from this pcap/TSH file instead of generating")
-		count    = flag.Int("n", 10000, "number of packets to process")
-		prefixes = flag.Int("prefixes", 32768, "routing table size for the forwarding applications")
-		buckets  = flag.Int("buckets", flow.DefaultBuckets, "hash buckets for flow classification")
-		tsaKey   = flag.Uint64("key", 0x5453412D31363A31, "TSA anonymization key")
-		outFile  = flag.String("out", "", "write processed packets to this pcap file (useful with -app tsa)")
-		topK     = flag.Int("top", 3, "rows in the instruction-count occurrence table")
-		preproc  = flag.Bool("preprocess", true, "apply NLANR renumbering + scrambling to generated backbone traces")
-		uarch    = flag.Bool("microarch", false, "also report microarchitectural statistics (mix, branches, caches, cycles)")
-		tableF   = flag.String("table", "", "load the routing table from this text file (\"a.b.c.d/len hop\" lines) instead of deriving it")
-		dumpPkt  = flag.Int("dumppkt", -1, "print the disassembled execution trace of this packet index")
-		annotate = flag.Bool("annotate", false, "print a gprof-style listing with per-instruction execution counts")
-		flowDot  = flag.String("flowgraph", "", "write the weighted basic-block flow graph to this Graphviz file")
-		pool     = flag.Int("pool", 1, "run on this many simulated cores via the streaming work-queue scheduler (stateful applications keep per-core state)")
-	)
+	var cfg config
+	flag.StringVar(&cfg.app, "app", "radix", "application: radix, trie, flow, or tsa")
+	flag.StringVar(&cfg.gen, "gen", "", "generate a synthetic trace with this profile (MRA, COS, ODU, LAN)")
+	flag.StringVar(&cfg.traceFile, "trace", "", "read packets from this pcap/TSH file instead of generating")
+	flag.IntVar(&cfg.count, "n", 10000, "number of packets to process")
+	flag.IntVar(&cfg.prefixes, "prefixes", 32768, "routing table size for the forwarding applications")
+	flag.IntVar(&cfg.buckets, "buckets", flow.DefaultBuckets, "hash buckets for flow classification")
+	flag.Uint64Var(&cfg.tsaKey, "key", 0x5453412D31363A31, "TSA anonymization key")
+	flag.StringVar(&cfg.outFile, "out", "", "write processed packets to this pcap file (useful with -app tsa)")
+	flag.IntVar(&cfg.topK, "top", 3, "rows in the instruction-count occurrence table")
+	flag.BoolVar(&cfg.preprocess, "preprocess", true, "apply NLANR renumbering + scrambling to generated backbone traces")
+	flag.BoolVar(&cfg.uarch, "microarch", false, "also report microarchitectural statistics (mix, branches, caches, cycles)")
+	flag.StringVar(&cfg.tableFile, "table", "", "load the routing table from this text file (\"a.b.c.d/len hop\" lines) instead of deriving it")
+	flag.IntVar(&cfg.dumpPkt, "dumppkt", -1, "print the disassembled execution trace of this packet index")
+	flag.BoolVar(&cfg.annotate, "annotate", false, "print a gprof-style listing with per-instruction execution counts")
+	flag.StringVar(&cfg.flowDot, "flowgraph", "", "write the weighted basic-block flow graph to this Graphviz file")
+	flag.IntVar(&cfg.pool, "pool", 1, "run on this many simulated cores via the streaming work-queue scheduler (stateful applications keep per-core state)")
+	flag.StringVar(&cfg.faultPolicy, "fault-policy", "fail-fast", "reaction to per-packet faults: fail-fast, skip (quarantine and continue), or retry")
+	flag.IntVar(&cfg.errorBudget, "error-budget", 0, "max packets one run may quarantine under -fault-policy skip/retry (0 = unlimited); also bounds malformed trace records skipped by the readers")
+	flag.IntVar(&cfg.maxAttempts, "max-attempts", 2, "total attempts per packet under -fault-policy retry")
+	flag.StringVar(&cfg.inject, "inject", "", "deterministic fault injection plan, e.g. \"flip@3,trunc@7:20,vmfault@11\" (kinds: flip, trunc, clamp, vmfault)")
+	flag.Int64Var(&cfg.seed, "seed", 1, "seed for -inject randomness (unspecified offsets, masks, step counts)")
 	flag.Parse()
-	if err := run(*appName, *genName, *inFile, *outFile, *tableF, *count, *prefixes, *buckets, *topK, *tsaKey, *preproc, *uarch, *dumpPkt, *annotate, *flowDot, *pool); err != nil {
+	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "packetbench:", err)
 		os.Exit(1)
 	}
 }
 
-func loadPackets(genName, inFile string, count int, preprocess bool) ([]*trace.Packet, error) {
-	if inFile != "" {
-		f, err := os.Open(inFile)
+// errorPolicy translates the CLI fault flags.
+func (cfg *config) errorPolicy() (core.ErrorPolicy, error) {
+	p, err := core.ParseFaultPolicy(cfg.faultPolicy)
+	if err != nil {
+		return core.ErrorPolicy{}, err
+	}
+	return core.ErrorPolicy{Policy: p, ErrorBudget: cfg.errorBudget, MaxAttempts: cfg.maxAttempts}, nil
+}
+
+func loadPackets(cfg *config, skipMalformed bool) ([]*trace.Packet, error) {
+	if cfg.traceFile != "" {
+		f, err := os.Open(cfg.traceFile)
 		if err != nil {
 			return nil, err
 		}
 		defer f.Close()
 		format := trace.FormatPcap
-		if len(inFile) > 4 && inFile[len(inFile)-4:] == ".tsh" {
+		if len(cfg.traceFile) > 4 && cfg.traceFile[len(cfg.traceFile)-4:] == ".tsh" {
 			format = trace.FormatTSH
 		}
 		r, err := trace.NewReader(f, format)
 		if err != nil {
 			return nil, err
 		}
-		return trace.ReadAll(r, count)
+		// Under a skip policy the readers degrade the same way the run
+		// engine does: malformed records are skipped (resyncing the
+		// stream) under the shared budget idea instead of aborting.
+		var skipped func() int
+		if skipMalformed {
+			switch tr := r.(type) {
+			case *trace.PcapReader:
+				tr.SetSkipMalformed(cfg.errorBudget)
+				skipped = tr.Skipped
+			case *trace.TSHReader:
+				tr.SetSkipMalformed(cfg.errorBudget)
+				skipped = tr.Skipped
+			}
+		}
+		pkts, err := trace.ReadAll(r, cfg.count)
+		if skipped != nil && skipped() > 0 {
+			fmt.Printf("trace: skipped %d malformed records\n", skipped())
+		}
+		return pkts, err
 	}
+	genName := cfg.gen
 	if genName == "" {
 		genName = "MRA"
 	}
@@ -81,16 +144,36 @@ func loadPackets(genName, inFile string, count int, preprocess bool) ([]*trace.P
 	if err != nil {
 		return nil, err
 	}
-	pkts := gen.Generate(prof, count)
-	if preprocess && genName != "LAN" {
+	pkts := gen.Generate(prof, cfg.count)
+	if cfg.preprocess && genName != "LAN" {
 		gen.RenumberNLANR(pkts)
 		gen.ScrambleAddrs(pkts)
 	}
 	return pkts, nil
 }
 
-func run(appName, genName, inFile, outFile, tableFile string, count, prefixes, buckets, topK int, tsaKey uint64, preprocess, uarch bool, dumpPkt int, annotate bool, flowDot string, poolSize int) error {
-	pkts, err := loadPackets(genName, inFile, count, preprocess)
+// reportFaults prints the quarantine breakdown of a finished run.
+func reportFaults(s stats.Summary) {
+	if s.Faulted == 0 {
+		return
+	}
+	fmt.Printf("  quarantined packets:        %10d\n", s.Faulted)
+	kinds := make([]vm.FaultKind, 0, len(s.FaultCounts))
+	for k := range s.FaultCounts {
+		kinds = append(kinds, k)
+	}
+	sort.Slice(kinds, func(i, j int) bool { return kinds[i] < kinds[j] })
+	for _, k := range kinds {
+		fmt.Printf("    %-26s %10d\n", k.String()+":", s.FaultCounts[k])
+	}
+}
+
+func run(cfg config) error {
+	policy, err := cfg.errorPolicy()
+	if err != nil {
+		return err
+	}
+	pkts, err := loadPackets(&cfg, policy.Policy != core.FailFast)
 	if err != nil {
 		return err
 	}
@@ -98,12 +181,27 @@ func run(appName, genName, inFile, outFile, tableFile string, count, prefixes, b
 		return fmt.Errorf("no packets to process")
 	}
 
+	// Fault injection: corrupt the loaded packets deterministically and
+	// keep the injector around to arm VM-fault tracers on every core.
+	var inj *faultinject.Injector
+	if cfg.inject != "" {
+		plan, err := faultinject.ParsePlan(cfg.inject)
+		if err != nil {
+			return err
+		}
+		inj = faultinject.New(cfg.seed, plan)
+		if pkts, err = trace.ReadAll(inj.Reader(trace.NewSliceReader(pkts)), 0); err != nil {
+			return err
+		}
+		fmt.Printf("fault injection: %d planned injections, seed %d\n", len(inj.Plan()), cfg.seed)
+	}
+
 	var app *core.App
-	switch appName {
+	switch cfg.app {
 	case "radix", "trie":
 		var tbl *route.Table
-		if tableFile != "" {
-			f, err := os.Open(tableFile)
+		if cfg.tableFile != "" {
+			f, err := os.Open(cfg.tableFile)
 			if err != nil {
 				return err
 			}
@@ -119,34 +217,41 @@ func run(appName, genName, inFile, outFile, tableFile string, count, prefixes, b
 					dsts = append(dsts, h.Dst)
 				}
 			}
-			tbl = route.TableFromTraffic(dsts, prefixes, 16, 1)
+			tbl = route.TableFromTraffic(dsts, cfg.prefixes, 16, 1)
 		}
-		if appName == "radix" {
+		if cfg.app == "radix" {
 			app = apps.IPv4Radix(tbl)
 		} else {
 			app = apps.IPv4Trie(tbl)
 		}
 		fmt.Printf("routing table: %d prefixes\n", len(tbl.Entries))
 	case "flow":
-		app = apps.FlowClassification(buckets)
+		app = apps.FlowClassification(cfg.buckets)
 	case "tsa":
-		app = apps.TSAApp(tsaKey)
+		app = apps.TSAApp(cfg.tsaKey)
 	default:
-		return fmt.Errorf("unknown application %q (want radix, trie, flow or tsa)", appName)
+		return fmt.Errorf("unknown application %q (want radix, trie, flow or tsa)", cfg.app)
 	}
 
-	if poolSize > 1 {
-		return runPool(app, pkts, poolSize, topK)
+	if cfg.pool > 1 {
+		return runPool(app, pkts, &cfg, policy, inj)
 	}
 
-	bench, err := core.New(app, core.Options{Coverage: true, Detail: dumpPkt >= 0 || flowDot != ""})
+	bench, err := core.New(app, core.Options{
+		Coverage: true,
+		Detail:   cfg.dumpPkt >= 0 || cfg.flowDot != "",
+		Errors:   policy,
+	})
 	if err != nil {
 		return err
 	}
-	bench.Collector().CountPCs = annotate
+	bench.Collector().CountPCs = cfg.annotate
+	if inj != nil {
+		bench.AddTracer(inj.Tracer())
+	}
 
 	var prof *microarch.Profiler
-	if uarch {
+	if cfg.uarch {
 		icache, err := microarch.NewCache(4096, 16, 2)
 		if err != nil {
 			return err
@@ -161,8 +266,8 @@ func run(appName, genName, inFile, outFile, tableFile string, count, prefixes, b
 
 	var outW trace.Writer
 	var outClose func() error
-	if outFile != "" {
-		f, err := os.Create(outFile)
+	if cfg.outFile != "" {
+		f, err := os.Create(cfg.outFile)
 		if err != nil {
 			return err
 		}
@@ -177,11 +282,16 @@ func run(appName, genName, inFile, outFile, tableFile string, count, prefixes, b
 	verdicts := make(map[uint32]int)
 	var blockSeqs [][]int
 	records, err := bench.RunPackets(pkts, func(i int, res core.Result) {
+		if res.Faulted() {
+			// Quarantined packets have no verdict and no coherent
+			// post-run packet memory to dump or write out.
+			return
+		}
 		verdicts[res.Verdict]++
-		if i == dumpPkt {
+		if i == cfg.dumpPkt {
 			dumpTrace(bench, i, res)
 		}
-		if flowDot != "" {
+		if cfg.flowDot != "" {
 			blockSeqs = append(blockSeqs, append([]int(nil), bench.Collector().BlockSeq...))
 		}
 		if outW != nil {
@@ -209,8 +319,9 @@ func run(appName, genName, inFile, outFile, tableFile string, count, prefixes, b
 	fmt.Printf("  non-packet accesses/packet: %10.1f\n", s.MeanNonPacketAcc)
 	fmt.Printf("  instruction memory touched: %10d bytes\n", bench.Collector().InstrMemSize())
 	fmt.Printf("  data memory touched:        %10d bytes\n", bench.Collector().DataMemSize())
+	reportFaults(s)
 
-	occ := analysis.Occurrences(stats.InstructionCounts(records), topK)
+	occ := analysis.Occurrences(stats.InstructionCounts(records), cfg.topK)
 	fmt.Printf("\n  most frequent instruction counts:\n")
 	for _, o := range occ.Top {
 		fmt.Printf("    %8d instructions: %6d packets (%.2f%%)\n", o.Value, o.Count, o.Pct(occ.Total))
@@ -227,15 +338,15 @@ func run(appName, genName, inFile, outFile, tableFile string, count, prefixes, b
 		prof.Flush()
 		fmt.Printf("\nmicroarchitectural profile:\n%s", prof.Report())
 	}
-	if annotate {
+	if cfg.annotate {
 		printAnnotatedListing(bench)
 	}
-	if flowDot != "" {
+	if cfg.flowDot != "" {
 		g := analysis.BuildFlowGraph(blockSeqs, bench.BlockMap().NumBlocks())
-		if err := os.WriteFile(flowDot, []byte(g.Dot()), 0o644); err != nil {
+		if err := os.WriteFile(cfg.flowDot, []byte(g.Dot()), 0o644); err != nil {
 			return err
 		}
-		fmt.Printf("\nwrote weighted flow graph (%d edges) to %s\n", len(g.Edges), flowDot)
+		fmt.Printf("\nwrote weighted flow graph (%d edges) to %s\n", len(g.Edges), cfg.flowDot)
 	}
 	return nil
 }
@@ -295,26 +406,34 @@ func dumpTrace(bench *core.Bench, idx int, res core.Result) {
 // record slice), and verdicts are counted exactly as in the single-core
 // path. Stateful applications (flow classification) keep per-core tables
 // in this mode, as real replicated-state engines would.
-func runPool(app *core.App, pkts []*trace.Packet, n, topK int) error {
-	pool, err := core.NewPool(app, n, core.Options{})
+func runPool(app *core.App, pkts []*trace.Packet, cfg *config, policy core.ErrorPolicy, inj *faultinject.Injector) error {
+	pool, err := core.NewPool(app, cfg.pool, core.Options{Errors: policy})
 	if err != nil {
 		return err
+	}
+	if inj != nil {
+		for i := 0; i < pool.Cores(); i++ {
+			pool.Bench(i).AddTracer(inj.Tracer())
+		}
 	}
 	agg := &stats.Running{KeepInstructionCounts: true}
 	verdicts := make(map[uint32]int)
 	if _, err := pool.RunTrace(trace.NewSliceReader(pkts), 0, func(i int, res core.Result) {
 		agg.Add(&res.Record)
-		verdicts[res.Verdict]++
+		if !res.Faulted() {
+			verdicts[res.Verdict]++
+		}
 	}); err != nil {
 		return err
 	}
 	s := agg.Summary()
-	fmt.Printf("\n%s over %d packets on %d simulated cores\n", app.Name, s.Packets, n)
+	fmt.Printf("\n%s over %d packets on %d simulated cores\n", app.Name, s.Packets, cfg.pool)
 	fmt.Printf("  instructions/packet:        %10.1f\n", s.MeanInstructions)
 	fmt.Printf("  unique instructions/packet: %10.1f\n", s.MeanUnique)
 	fmt.Printf("  packet mem accesses/packet: %10.1f\n", s.MeanPacketAcc)
 	fmt.Printf("  non-packet accesses/packet: %10.1f\n", s.MeanNonPacketAcc)
-	occ := analysis.Occurrences(agg.InstructionCounts(), topK)
+	reportFaults(s)
+	occ := analysis.Occurrences(agg.InstructionCounts(), cfg.topK)
 	fmt.Printf("  most frequent count: %d instructions (%.2f%%)\n",
 		occ.Top[0].Value, occ.Top[0].Pct(occ.Total))
 	fmt.Printf("\n  verdicts:\n")

@@ -9,17 +9,39 @@ import (
 	"repro/internal/route"
 )
 
+// testConfig mirrors the flag defaults, scaled down for test speed.
+func testConfig(app, gen string, n int) config {
+	return config{
+		app:         app,
+		gen:         gen,
+		count:       n,
+		prefixes:    512,
+		buckets:     64,
+		topK:        3,
+		tsaKey:      1,
+		preprocess:  true,
+		dumpPkt:     -1,
+		pool:        1,
+		faultPolicy: "fail-fast",
+		maxAttempts: 2,
+		seed:        1,
+	}
+}
+
 func TestRunAllApps(t *testing.T) {
 	for _, app := range []string{"radix", "trie", "flow", "tsa"} {
-		if err := run(app, "LAN", "", "", "", 100, 512, 64, 3, 1, true, false, -1, false, "", 1); err != nil {
+		if err := run(testConfig(app, "LAN", 100)); err != nil {
 			t.Errorf("%s: %v", app, err)
 		}
 	}
 }
 
 func TestRunWithMicroarchAndOutput(t *testing.T) {
-	out := filepath.Join(t.TempDir(), "anon.pcap")
-	if err := run("tsa", "COS", "", out, "", 50, 512, 64, 3, 2, true, true, -1, false, "", 1); err != nil {
+	cfg := testConfig("tsa", "COS", 50)
+	cfg.outFile = filepath.Join(t.TempDir(), "anon.pcap")
+	cfg.tsaKey = 2
+	cfg.uarch = true
+	if err := run(cfg); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -28,10 +50,17 @@ func TestRunFromTraceFile(t *testing.T) {
 	// Round trip: write a trace with the tsa run above, read it back in.
 	dir := t.TempDir()
 	out := filepath.Join(dir, "t.pcap")
-	if err := run("tsa", "LAN", "", out, "", 30, 512, 64, 3, 2, true, false, -1, false, "", 1); err != nil {
+	cfg := testConfig("tsa", "LAN", 30)
+	cfg.outFile = out
+	cfg.tsaKey = 2
+	if err := run(cfg); err != nil {
 		t.Fatal(err)
 	}
-	if err := run("flow", "", out, "", "", 30, 512, 64, 3, 2, true, false, 0, false, "", 1); err != nil {
+	cfg = testConfig("flow", "", 30)
+	cfg.traceFile = out
+	cfg.tsaKey = 2
+	cfg.dumpPkt = 0
+	if err := run(cfg); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -47,17 +76,23 @@ func TestRunWithTableFile(t *testing.T) {
 	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run("radix", "LAN", "", "", path, 50, 512, 64, 3, 1, true, false, -1, false, "", 1); err != nil {
+	cfg := testConfig("radix", "LAN", 50)
+	cfg.tableFile = path
+	if err := run(cfg); err != nil {
 		t.Fatal(err)
 	}
-	if err := run("radix", "LAN", "", "", "/absent-table", 50, 512, 64, 3, 1, true, false, -1, false, "", 1); err == nil {
+	cfg.tableFile = "/absent-table"
+	if err := run(cfg); err == nil {
 		t.Error("missing table file accepted")
 	}
 }
 
 func TestRunAnnotateAndFlowgraph(t *testing.T) {
 	dot := filepath.Join(t.TempDir(), "g.dot")
-	if err := run("trie", "LAN", "", "", "", 60, 512, 64, 3, 1, true, false, -1, true, dot, 1); err != nil {
+	cfg := testConfig("trie", "LAN", 60)
+	cfg.annotate = true
+	cfg.flowDot = dot
+	if err := run(cfg); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(dot)
@@ -70,19 +105,57 @@ func TestRunAnnotateAndFlowgraph(t *testing.T) {
 }
 
 func TestRunErrors(t *testing.T) {
-	if err := run("bogus", "LAN", "", "", "", 10, 512, 64, 3, 1, true, false, -1, false, "", 1); err == nil {
+	if err := run(testConfig("bogus", "LAN", 10)); err == nil {
 		t.Error("unknown app accepted")
 	}
-	if err := run("flow", "NOPE", "", "", "", 10, 512, 64, 3, 1, true, false, -1, false, "", 1); err == nil {
+	if err := run(testConfig("flow", "NOPE", 10)); err == nil {
 		t.Error("unknown profile accepted")
 	}
-	if err := run("flow", "", "/absent.pcap", "", "", 10, 512, 64, 3, 1, true, false, -1, false, "", 1); err == nil {
+	cfg := testConfig("flow", "", 10)
+	cfg.traceFile = "/absent.pcap"
+	if err := run(cfg); err == nil {
 		t.Error("missing trace file accepted")
+	}
+	cfg = testConfig("flow", "LAN", 10)
+	cfg.faultPolicy = "explode"
+	if err := run(cfg); err == nil {
+		t.Error("unknown fault policy accepted")
+	}
+	cfg = testConfig("flow", "LAN", 10)
+	cfg.inject = "zap@3"
+	if err := run(cfg); err == nil {
+		t.Error("bad injection plan accepted")
 	}
 }
 
 func TestRunPoolMode(t *testing.T) {
-	if err := run("tsa", "LAN", "", "", "", 80, 512, 64, 3, 1, true, false, -1, false, "", 4); err != nil {
+	cfg := testConfig("tsa", "LAN", 80)
+	cfg.pool = 4
+	if err := run(cfg); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestRunWithFaultInjection(t *testing.T) {
+	// Injected corruption under the skip policy must not abort the run,
+	// on one core or on a pool.
+	cfg := testConfig("tsa", "LAN", 40)
+	cfg.faultPolicy = "skip"
+	cfg.errorBudget = 10
+	cfg.inject = "flip@3,trunc@7:20,vmfault@11:5"
+	if err := run(cfg); err != nil {
+		t.Fatalf("single core: %v", err)
+	}
+	cfg.pool = 3
+	if err := run(cfg); err != nil {
+		t.Fatalf("pool: %v", err)
+	}
+
+	// The same corruption under fail-fast must abort: vmfault@11 forces an
+	// illegal instruction regardless of what the app does with the packet.
+	cfg = testConfig("tsa", "LAN", 40)
+	cfg.inject = "vmfault@11:5"
+	if err := run(cfg); err == nil {
+		t.Error("fail-fast swallowed a forced VM fault")
 	}
 }

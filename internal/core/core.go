@@ -39,8 +39,10 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"io"
+	"sync/atomic"
 
 	"repro/internal/analysis"
 	"repro/internal/asm"
@@ -85,6 +87,84 @@ type App struct {
 	Init func(ld *Loader) error
 }
 
+// FaultPolicy selects how the run engine reacts to a packet whose
+// processing faults (a *vm.Fault: bad instruction, unmapped access, step
+// limit, oversize packet, recovered panic, ...).
+type FaultPolicy int
+
+// The fault policies.
+const (
+	// FailFast aborts the run on the first fault — the historical
+	// behavior, and the default: on a reproduction rig a fault usually
+	// means a broken application or harness, and measuring past it
+	// silently would taint the run.
+	FailFast FaultPolicy = iota
+	// SkipAndRecord quarantines the faulted packet — the run continues,
+	// the packet keeps its index slot as a fault-tagged record excluded
+	// from aggregate statistics — until ErrorBudget faults have been
+	// quarantined, after which the next fault aborts the run.
+	SkipAndRecord
+	// Retry re-runs the faulted packet (MaxAttempts total attempts on
+	// the same core; transient injected faults clear, deterministic ones
+	// do not) and quarantines it like SkipAndRecord when attempts are
+	// exhausted.
+	Retry
+)
+
+// String returns the CLI name of the policy.
+func (p FaultPolicy) String() string {
+	switch p {
+	case FailFast:
+		return "fail-fast"
+	case SkipAndRecord:
+		return "skip"
+	case Retry:
+		return "retry"
+	}
+	return fmt.Sprintf("policy?%d", int(p))
+}
+
+// ParseFaultPolicy parses a CLI policy name.
+func ParseFaultPolicy(s string) (FaultPolicy, error) {
+	switch s {
+	case "fail-fast", "failfast":
+		return FailFast, nil
+	case "skip", "skip-and-record":
+		return SkipAndRecord, nil
+	case "retry":
+		return Retry, nil
+	}
+	return FailFast, fmt.Errorf("core: unknown fault policy %q (want fail-fast, skip or retry)", s)
+}
+
+// ErrorPolicy is a Bench's full fault-handling configuration.
+type ErrorPolicy struct {
+	// Policy selects the reaction to per-packet faults.
+	Policy FaultPolicy
+	// ErrorBudget bounds how many packets one run may quarantine under
+	// SkipAndRecord or Retry; <= 0 means unlimited. Pool runs share a
+	// single budget across all cores.
+	ErrorBudget int
+	// MaxAttempts is the total number of attempts per packet under
+	// Retry; values below 2 mean 2 (one retry).
+	MaxAttempts int
+}
+
+// errorBudget is a run-scoped quarantine allowance, shared by every core
+// of a pool run.
+type errorBudget struct {
+	limit int
+	used  atomic.Int64
+}
+
+func newErrorBudget(limit int) *errorBudget { return &errorBudget{limit: limit} }
+
+// take claims one quarantine slot; false means the budget is exhausted
+// and the fault must abort the run.
+func (e *errorBudget) take() bool {
+	return e.limit <= 0 || e.used.Add(1) <= int64(e.limit)
+}
+
 // Options configures a Bench.
 type Options struct {
 	// HeapSize overrides DefaultHeapSize when nonzero.
@@ -98,6 +178,8 @@ type Options struct {
 	Coverage bool
 	// KeepRecords retains every packet record on the collector.
 	KeepRecords bool
+	// Errors selects the fault-handling policy (zero value: FailFast).
+	Errors ErrorPolicy
 }
 
 // Loader is the interface Init hooks use to place application state into
@@ -163,11 +245,18 @@ func (l *Loader) HeapNext() uint32 { return l.next }
 // Result is the outcome of processing one packet.
 type Result struct {
 	// Verdict is the application's a0 at return (port number, 0 = drop,
-	// application defined).
+	// application defined). Zero for quarantined packets.
 	Verdict uint32
-	// Record is the packet's workload profile.
+	// Record is the packet's workload profile. For quarantined packets
+	// it is a fault-tagged marker (Record.Faulted()) holding no counts.
 	Record stats.PacketRecord
+	// Fault is the fault that quarantined the packet under a skip or
+	// retry policy; nil for measured packets.
+	Fault *vm.Fault
 }
+
+// Faulted reports whether the packet was quarantined instead of measured.
+func (r *Result) Faulted() bool { return r.Fault != nil }
 
 // Bench is a loaded PacketBench instance: one application on one
 // simulated core.
@@ -184,6 +273,8 @@ type Bench struct {
 	stepLimit    uint64
 	processed    int
 	extraTracers []vm.Tracer
+	policy       ErrorPolicy
+	budget       *errorBudget // for bare ProcessPacket calls; runs use their own
 
 	// dirtyLen is the number of bytes at PacketBase that may hold
 	// non-zero data from the previous packet: the previous placement
@@ -249,10 +340,15 @@ func New(app *App, opts Options) (*Bench, error) {
 	col.KeepRecords = opts.KeepRecords
 	cpu.Tracer = col
 
+	policy := opts.Errors
+	if policy.Policy == Retry && policy.MaxAttempts < 2 {
+		policy.MaxAttempts = 2
+	}
 	return &Bench{
 		app: app, prog: prog, mem: mem, cpu: cpu,
 		col: col, blocks: blocks, loader: loader,
 		entry: entry, stepLimit: stepLimit,
+		policy: policy, budget: newErrorBudget(policy.ErrorBudget),
 	}, nil
 }
 
@@ -278,12 +374,65 @@ func (b *Bench) Loader() *Loader { return b.loader }
 // how much work a core performed).
 func (b *Bench) Processed() int { return b.processed }
 
-// ProcessPacket runs the application on one packet and returns its
-// verdict and workload record.
+// packetBoundaryTracer is implemented by extra tracers that key their
+// behavior on which trace packet is about to execute (fault injectors);
+// the bench notifies them with the packet's run index before each
+// attempt.
+type packetBoundaryTracer interface{ BeginPacket(index int) }
+
+// ProcessPacket runs the application on one packet under the configured
+// error policy and returns its verdict and workload record. Under a skip
+// or retry policy a faulted packet yields a quarantine Result (Faulted())
+// and a nil error; FailFast — the default — returns the fault as an
+// error, as it always has.
 func (b *Bench) ProcessPacket(p *trace.Packet) (Result, error) {
+	return b.processUnderPolicy(b.col.Packets(), p, b.budget)
+}
+
+// ProcessPacketAt is ProcessPacket for a packet at a known trace
+// position: idx labels errors and is fed to boundary-aware tracers, so an
+// injection plan keyed on trace indexes fires on the right packets no
+// matter which core the packet was scheduled on.
+func (b *Bench) ProcessPacketAt(idx int, p *trace.Packet) (Result, error) {
+	return b.processUnderPolicy(idx, p, b.budget)
+}
+
+// processUnderPolicy applies the bench's error policy around packet
+// attempts, drawing quarantine slots from bud.
+func (b *Bench) processUnderPolicy(idx int, p *trace.Packet, bud *errorBudget) (Result, error) {
+	attempts := 1
+	if b.policy.Policy == Retry {
+		attempts = b.policy.MaxAttempts
+	}
+	var fault *vm.Fault
+	var err error
+	for a := 0; a < attempts; a++ {
+		var res Result
+		res, fault, err = b.processOnce(idx, p)
+		if err == nil {
+			return res, nil
+		}
+		if fault == nil || b.policy.Policy == FailFast {
+			// FailFast runs and non-fault errors abort immediately.
+			return Result{}, err
+		}
+	}
+	// SkipAndRecord, or Retry with its attempts exhausted: quarantine.
+	if !bud.take() {
+		return Result{}, fmt.Errorf("core: error budget of %d exhausted: %w", b.policy.ErrorBudget, err)
+	}
+	return Result{Record: b.col.AbortPacket(fault.Kind), Fault: fault}, nil
+}
+
+// processOnce runs one attempt: placement, dispatch, guarded execution.
+// On failure the *vm.Fault behind the error is returned alongside it
+// (nil for errors no policy may absorb).
+func (b *Bench) processOnce(idx int, p *trace.Packet) (Result, *vm.Fault, error) {
 	n := len(p.Data)
 	if n > MaxPacketLen {
-		return Result{}, fmt.Errorf("core: packet of %d bytes exceeds buffer", n)
+		f := &vm.Fault{Kind: vm.FaultOversizePacket}
+		return Result{}, f, fmt.Errorf("core: %s: packet %d: packet of %d bytes exceeds buffer: %w",
+			b.app.Name, idx, n, f)
 	}
 	// Place the packet. WriteBytes overwrites [0, n), so only the tail
 	// [n, dirtyLen) can still hold stale bytes from a longer previous
@@ -306,8 +455,13 @@ func (b *Bench) ProcessPacket(p *trace.Packet) (Result, error) {
 	b.cpu.SetReg(isa.RA, vm.ReturnAddress)
 	b.cpu.PC = b.entry
 
+	for _, t := range b.extraTracers {
+		if bt, ok := t.(packetBoundaryTracer); ok {
+			bt.BeginPacket(idx)
+		}
+	}
 	b.col.BeginPacket()
-	_, _, err := b.cpu.Run(b.stepLimit)
+	err := b.runGuarded()
 	// Even a faulting run may have dirtied the buffer past the packet's
 	// length; widen the dirty window before reporting the error so a
 	// subsequent packet still gets a clean buffer.
@@ -315,11 +469,33 @@ func (b *Bench) ProcessPacket(p *trace.Packet) (Result, error) {
 		b.dirtyLen = int(high - PacketBase)
 	}
 	if err != nil {
-		return Result{}, fmt.Errorf("core: %s: packet %d: %w", b.app.Name, b.processed, err)
+		var f *vm.Fault
+		errors.As(err, &f)
+		return Result{}, f, fmt.Errorf("core: %s: packet %d: %w", b.app.Name, idx, err)
 	}
 	rec := b.col.EndPacket()
 	b.processed++
-	return Result{Verdict: b.cpu.Reg(isa.A0), Record: rec}, nil
+	return Result{Verdict: b.cpu.Reg(isa.A0), Record: rec}, nil, nil
+}
+
+// runGuarded executes the simulator with a panic barrier: a panicking
+// tracer (a fault injector does this on purpose; an instrumentation bug
+// does it by accident) becomes a per-packet error the policy layer can
+// absorb, instead of killing the whole process. A panic carrying a
+// *vm.Fault keeps its identity; anything else surfaces as FaultHostPanic.
+func (b *Bench) runGuarded() (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			if f, ok := r.(*vm.Fault); ok {
+				err = f
+				return
+			}
+			err = fmt.Errorf("recovered panic %q: %w", fmt.Sprint(r),
+				&vm.Fault{Kind: vm.FaultHostPanic, PC: b.cpu.PC})
+		}
+	}()
+	_, _, err = b.cpu.Run(b.stepLimit)
+	return err
 }
 
 // SetTracing attaches or detaches the statistics collector (and any
@@ -355,6 +531,7 @@ func (b *Bench) PacketBytes(n int) []byte {
 // limit <= 0 means all) and returns the per-packet records. Verdicts are
 // passed to onResult when non-nil.
 func (b *Bench) RunTrace(r trace.Reader, limit int, onResult func(int, Result)) ([]stats.PacketRecord, error) {
+	bud := newErrorBudget(b.policy.ErrorBudget)
 	var records []stats.PacketRecord
 	for i := 0; limit <= 0 || i < limit; i++ {
 		p, err := r.Next()
@@ -364,7 +541,7 @@ func (b *Bench) RunTrace(r trace.Reader, limit int, onResult func(int, Result)) 
 		if err != nil {
 			return records, err
 		}
-		res, err := b.ProcessPacket(p)
+		res, err := b.processUnderPolicy(i, p, bud)
 		if err != nil {
 			return records, err
 		}
@@ -378,9 +555,10 @@ func (b *Bench) RunTrace(r trace.Reader, limit int, onResult func(int, Result)) 
 
 // RunPackets processes a pre-loaded packet slice and returns the records.
 func (b *Bench) RunPackets(pkts []*trace.Packet, onResult func(int, Result)) ([]stats.PacketRecord, error) {
+	bud := newErrorBudget(b.policy.ErrorBudget)
 	records := make([]stats.PacketRecord, 0, len(pkts))
 	for i, p := range pkts {
-		res, err := b.ProcessPacket(p)
+		res, err := b.processUnderPolicy(i, p, bud)
 		if err != nil {
 			return records, err
 		}

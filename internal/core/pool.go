@@ -117,6 +117,10 @@ func (p *Pool) RunPacketsContext(ctx context.Context, pkts []*trace.Packet, onRe
 		verdicts = make([]uint32, len(pkts))
 	}
 	chunk := chunkFor(len(pkts), len(p.benches))
+	// Quarantine allowance is per run and shared: N cores skipping up to
+	// N budgets' worth of packets would make the tolerated corruption
+	// scale with the machine, not the configuration.
+	bud := newErrorBudget(p.benches[0].policy.ErrorBudget)
 	var cursor atomic.Int64
 	var stop atomic.Bool
 	var fail firstFailure
@@ -138,7 +142,7 @@ func (p *Pool) RunPacketsContext(ctx context.Context, pkts []*trace.Packet, onRe
 					if stop.Load() {
 						return
 					}
-					res, err := b.ProcessPacket(pkts[i])
+					res, err := b.processUnderPolicy(i, pkts[i], bud)
 					if err != nil {
 						fail.report(i, fmt.Errorf("core %d: %w", c, err))
 						stop.Store(true)
@@ -248,6 +252,7 @@ func (p *Pool) RunTraceContext(ctx context.Context, r trace.Reader, limit int, o
 	// Workers: pull packets until the queue closes. After a fault (or
 	// external cancellation) they keep draining the queue without
 	// simulating, so the producer can never deadlock on a full channel.
+	bud := newErrorBudget(p.benches[0].policy.ErrorBudget)
 	var wg sync.WaitGroup
 	for c, b := range p.benches {
 		wg.Add(1)
@@ -257,7 +262,7 @@ func (p *Pool) RunTraceContext(ctx context.Context, r trace.Reader, limit int, o
 				if stop.Load() {
 					continue
 				}
-				res, err := b.ProcessPacket(j.pkt)
+				res, err := b.processUnderPolicy(j.idx, j.pkt, bud)
 				if err != nil {
 					stop.Store(true)
 					cancel()

@@ -1,0 +1,312 @@
+// Package faultinject deterministically corrupts a packet stream and the
+// simulated execution of chosen packets, so the run engine's error
+// policies can be exercised without hand-crafting broken capture files.
+//
+// An Injector is built from a seed and a plan of Injections, each pinned
+// to a packet index in the trace. Two attachment points cover the two
+// fault surfaces:
+//
+//   - Injector.Reader wraps a trace.Reader and mutates packets as they
+//     are read: flipping header bytes, truncating the captured data, or
+//     clamping the capture length.
+//   - Injector.Tracer returns a vm.Tracer that, armed at a packet
+//     boundary, panics with a *vm.Fault after a chosen number of
+//     simulated instructions, forcing a VM fault mid-execution.
+//
+// All randomness (unspecified offsets, masks, step counts) is resolved
+// from the seed when the Injector is built, so a plan replays identically
+// regardless of how packets are scheduled across cores.
+package faultinject
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+	"sync/atomic"
+
+	"repro/internal/isa"
+	"repro/internal/trace"
+	"repro/internal/vm"
+)
+
+// Kind enumerates the supported corruption kinds.
+type Kind int
+
+// The injection kinds.
+const (
+	// FlipByte XORs a mask into one byte of the packet data.
+	FlipByte Kind = iota
+	// Truncate cuts the captured data to a shorter length, leaving the
+	// wire length untouched (a header-only capture of a longer packet).
+	Truncate
+	// ClampLen clamps both the captured data and the wire length, as an
+	// aggressive snap length would.
+	ClampLen
+	// VMFault forces a *vm.Fault partway through the packet's simulated
+	// execution, via the tracer hook.
+	VMFault
+)
+
+// String returns the spec-syntax name of the kind.
+func (k Kind) String() string {
+	switch k {
+	case FlipByte:
+		return "flip"
+	case Truncate:
+		return "trunc"
+	case ClampLen:
+		return "clamp"
+	case VMFault:
+		return "vmfault"
+	}
+	return fmt.Sprintf("kind?%d", int(k))
+}
+
+// Injection is one planned corruption.
+type Injection struct {
+	// Index is the 0-based packet index in the trace the injection
+	// applies to.
+	Index int
+	// Kind selects the corruption.
+	Kind Kind
+	// Arg refines it: the byte offset for FlipByte, the new length for
+	// Truncate/ClampLen, or the instruction count before the fault for
+	// VMFault. Negative means "choose from the seed".
+	Arg int
+	// Times bounds how many executions of the packet the injection
+	// fires on; <= 0 means every one. Only meaningful for VMFault —
+	// with Times: 1 a retry policy gets a clean second attempt.
+	Times int
+}
+
+// resolved is an Injection with its seeded randomness drawn.
+type resolved struct {
+	Injection
+	salt uint64 // drives any length-dependent choices at apply time
+	mask byte   // FlipByte XOR mask
+
+	fired atomic.Int32 // executions the injection has fired on so far
+}
+
+// Injector applies a plan. It is safe for concurrent use: the packet
+// mutations run inside the (sequential) trace reader, and the tracers
+// only share atomic fire counters.
+type Injector struct {
+	seed    int64
+	byIndex map[int][]*resolved
+	plan    []Injection
+}
+
+// New draws all randomness for the plan from seed and returns the
+// injector.
+func New(seed int64, plan []Injection) *Injector {
+	rng := rand.New(rand.NewSource(seed))
+	inj := &Injector{
+		seed:    seed,
+		byIndex: make(map[int][]*resolved, len(plan)),
+		plan:    append([]Injection(nil), plan...),
+	}
+	for _, in := range plan {
+		r := &resolved{Injection: in, salt: rng.Uint64()}
+		r.mask = byte(r.salt >> 8)
+		if r.mask == 0 {
+			r.mask = 0xFF
+		}
+		inj.byIndex[in.Index] = append(inj.byIndex[in.Index], r)
+	}
+	return inj
+}
+
+// Plan returns a copy of the injections, sorted by packet index, for
+// reporting.
+func (inj *Injector) Plan() []Injection {
+	out := append([]Injection(nil), inj.plan...)
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Index < out[j].Index })
+	return out
+}
+
+// Reader wraps r so that planned packet corruptions (every kind except
+// VMFault) are applied as packets are read. Packet data is copied before
+// mutation; the underlying reader's packets are never modified.
+func (inj *Injector) Reader(r trace.Reader) trace.Reader {
+	return &injectReader{inj: inj, r: r}
+}
+
+type injectReader struct {
+	inj  *Injector
+	r    trace.Reader
+	next int
+}
+
+// Next implements trace.Reader.
+func (ir *injectReader) Next() (*trace.Packet, error) {
+	p, err := ir.r.Next()
+	if err != nil {
+		return p, err
+	}
+	idx := ir.next
+	ir.next++
+	for _, res := range ir.inj.byIndex[idx] {
+		p = res.applyPacket(p)
+	}
+	return p, nil
+}
+
+// applyPacket applies a packet-surface injection, returning the (possibly
+// replaced) packet.
+func (r *resolved) applyPacket(p *trace.Packet) *trace.Packet {
+	n := len(p.Data)
+	if n == 0 {
+		return p
+	}
+	switch r.Kind {
+	case FlipByte:
+		off := r.Arg
+		if off < 0 || off >= n {
+			off = int(r.salt % uint64(n))
+		}
+		q := *p
+		q.Data = append([]byte(nil), p.Data...)
+		q.Data[off] ^= r.mask
+		return &q
+	case Truncate, ClampLen:
+		cut := r.Arg
+		if cut < 1 || cut >= n {
+			cut = 1 + int(r.salt%uint64(n))
+			if cut >= n {
+				cut = n - 1
+			}
+		}
+		if cut < 1 {
+			return p
+		}
+		q := *p
+		q.Data = p.Data[:cut] // reslice only; no byte is modified
+		if r.Kind == ClampLen {
+			q.WireLen = cut
+		}
+		return &q
+	}
+	return p
+}
+
+// Tracer returns a vm.Tracer for one core. The run engine must call
+// BeginPacket with the trace index before each packet executes; when the
+// plan holds a VMFault for that index, the tracer panics with a
+// *vm.Fault{Kind: FaultBadInstr} once the armed instruction count
+// elapses. Create one Tracer per core; they share the plan's fire
+// counters, so a Times bound holds across the whole run.
+func (inj *Injector) Tracer() *Tracer {
+	return &Tracer{inj: inj}
+}
+
+// Tracer forces VM faults at planned packet indexes. It implements
+// vm.Tracer plus the BeginPacket boundary hook the run engine feeds
+// per-packet indexes through.
+type Tracer struct {
+	inj       *Injector
+	armed     *resolved
+	countdown int
+}
+
+// BeginPacket arms or disarms the tracer for the packet at the given
+// trace index.
+func (t *Tracer) BeginPacket(index int) {
+	t.armed = nil
+	for _, res := range t.inj.byIndex[index] {
+		if res.Kind != VMFault {
+			continue
+		}
+		if res.Times > 0 && res.fired.Add(1) > int32(res.Times) {
+			continue
+		}
+		t.armed = res
+		t.countdown = res.Arg
+		if t.countdown < 0 {
+			// A small seeded count keeps the fault inside even short
+			// applications' instruction budgets.
+			t.countdown = int(res.salt % 16)
+		}
+		return
+	}
+}
+
+// Instr implements vm.Tracer; it panics with a *vm.Fault when an armed
+// countdown elapses. The run engine recovers the panic into an error.
+func (t *Tracer) Instr(pc uint32, in isa.Instruction) {
+	if t.armed == nil {
+		return
+	}
+	if t.countdown > 0 {
+		t.countdown--
+		return
+	}
+	t.armed = nil
+	panic(&vm.Fault{Kind: vm.FaultBadInstr, PC: pc})
+}
+
+// Mem implements vm.Tracer.
+func (t *Tracer) Mem(pc, addr uint32, size uint8, write bool, region vm.Region) {}
+
+// ParsePlan parses the CLI injection spec: a comma-separated list of
+// kind@index entries with an optional argument, e.g.
+//
+//	flip@3,trunc@7:20,vmfault@11
+//
+// Kinds are flip, trunc, clamp and vmfault. The argument after ':' is the
+// Injection Arg (byte offset, new length, or instruction count); omit it
+// to let the seed choose. A vmfault entry takes an optional second
+// argument bounding how many executions it fires on: vmfault@11:20:1
+// faults the first attempt only, so a retry succeeds.
+func ParsePlan(spec string) ([]Injection, error) {
+	var plan []Injection
+	for _, ent := range strings.Split(spec, ",") {
+		ent = strings.TrimSpace(ent)
+		if ent == "" {
+			continue
+		}
+		kindStr, rest, ok := strings.Cut(ent, "@")
+		if !ok {
+			return nil, fmt.Errorf("faultinject: entry %q: want kind@index", ent)
+		}
+		var kind Kind
+		switch kindStr {
+		case "flip":
+			kind = FlipByte
+		case "trunc":
+			kind = Truncate
+		case "clamp":
+			kind = ClampLen
+		case "vmfault":
+			kind = VMFault
+		default:
+			return nil, fmt.Errorf("faultinject: entry %q: unknown kind %q (want flip, trunc, clamp or vmfault)", ent, kindStr)
+		}
+		parts := strings.Split(rest, ":")
+		if len(parts) > 3 || (kind != VMFault && len(parts) > 2) {
+			return nil, fmt.Errorf("faultinject: entry %q: too many arguments", ent)
+		}
+		idx, err := strconv.Atoi(parts[0])
+		if err != nil || idx < 0 {
+			return nil, fmt.Errorf("faultinject: entry %q: bad packet index %q", ent, parts[0])
+		}
+		in := Injection{Index: idx, Kind: kind, Arg: -1}
+		if len(parts) > 1 && parts[1] != "" {
+			if in.Arg, err = strconv.Atoi(parts[1]); err != nil || in.Arg < 0 {
+				return nil, fmt.Errorf("faultinject: entry %q: bad argument %q", ent, parts[1])
+			}
+		}
+		if len(parts) > 2 && parts[2] != "" {
+			if in.Times, err = strconv.Atoi(parts[2]); err != nil || in.Times < 0 {
+				return nil, fmt.Errorf("faultinject: entry %q: bad fire count %q", ent, parts[2])
+			}
+		}
+		plan = append(plan, in)
+	}
+	if len(plan) == 0 {
+		return nil, fmt.Errorf("faultinject: empty injection spec")
+	}
+	return plan, nil
+}

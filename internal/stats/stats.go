@@ -40,7 +40,16 @@ type PacketRecord struct {
 	NonPacketReads, NonPacketWrites uint64
 	// Blocks is the sorted set of basic blocks executed.
 	Blocks []int
+	// Fault marks a quarantined packet: processing failed with this kind
+	// under a skip policy. A faulted record keeps its Index slot so the
+	// run's packet numbering is stable, but carries no workload counts
+	// and is excluded from aggregate means.
+	Fault vm.FaultKind
 }
+
+// Faulted reports whether the record is a quarantine marker rather than a
+// measured packet.
+func (r *PacketRecord) Faulted() bool { return r.Fault != vm.FaultNone }
 
 // PacketAccesses returns total packet-memory accesses.
 func (r *PacketRecord) PacketAccesses() uint64 { return r.PacketReads + r.PacketWrites }
@@ -152,6 +161,20 @@ func (c *Collector) EndPacket() PacketRecord {
 	return rec
 }
 
+// AbortPacket finalizes the current packet as quarantined: the returned
+// record occupies the packet's Index slot but holds only the fault kind —
+// partial counts from the failed execution are discarded, since they
+// describe an execution that never completed. Any partial detail traces
+// are reset by the next BeginPacket as usual.
+func (c *Collector) AbortPacket(kind vm.FaultKind) PacketRecord {
+	rec := PacketRecord{Index: c.cur.Index, Fault: kind}
+	c.packets++
+	if c.KeepRecords {
+		c.Records = append(c.Records, rec)
+	}
+	return rec
+}
+
 // Instr implements vm.Tracer.
 func (c *Collector) Instr(pc uint32, in isa.Instruction) {
 	c.cur.Instructions++
@@ -240,35 +263,53 @@ func (c *Collector) DataMemSize() int { return len(c.dataTouched) }
 // Requires Coverage.
 func (c *Collector) PacketMemSize() int { return len(c.pktTouched) }
 
-// Summary aggregates a run's records.
+// Summary aggregates a run's records. Quarantined (faulted) records are
+// counted in Packets and broken out per fault kind, but contribute
+// nothing to the means and totals — those describe measured packets only,
+// so a run that skips a few corrupt packets reports the same per-packet
+// workload figures as a clean run over the surviving packets.
 type Summary struct {
-	Packets           int
+	Packets           int // all records, including faulted
+	Faulted           int // quarantined records
 	MeanInstructions  float64
 	MeanUnique        float64
 	MeanPacketAcc     float64
 	MeanNonPacketAcc  float64
 	TotalInstructions uint64
+	// FaultCounts maps fault kind to quarantined-record count; nil when
+	// the run had no faults.
+	FaultCounts map[vm.FaultKind]int
 }
+
+// Measured returns the number of non-quarantined records the means are
+// computed over.
+func (s *Summary) Measured() int { return s.Packets - s.Faulted }
 
 // Summarize computes run-level averages from a record slice.
 func Summarize(records []PacketRecord) Summary {
 	s := Summary{Packets: len(records)}
-	if len(records) == 0 {
-		return s
-	}
 	var unique, pkt, nonpkt uint64
 	for i := range records {
 		r := &records[i]
+		if r.Faulted() {
+			s.Faulted++
+			if s.FaultCounts == nil {
+				s.FaultCounts = make(map[vm.FaultKind]int)
+			}
+			s.FaultCounts[r.Fault]++
+			continue
+		}
 		s.TotalInstructions += r.Instructions
 		unique += uint64(r.Unique)
 		pkt += r.PacketAccesses()
 		nonpkt += r.NonPacketAccesses()
 	}
-	n := float64(len(records))
-	s.MeanInstructions = float64(s.TotalInstructions) / n
-	s.MeanUnique = float64(unique) / n
-	s.MeanPacketAcc = float64(pkt) / n
-	s.MeanNonPacketAcc = float64(nonpkt) / n
+	if n := float64(s.Measured()); n > 0 {
+		s.MeanInstructions = float64(s.TotalInstructions) / n
+		s.MeanUnique = float64(unique) / n
+		s.MeanPacketAcc = float64(pkt) / n
+		s.MeanNonPacketAcc = float64(nonpkt) / n
+	}
 	return s
 }
 
@@ -289,11 +330,22 @@ type Running struct {
 	pktAcc            uint64
 	nonPktAcc         uint64
 	counts            []uint64
+	faultCounts       map[vm.FaultKind]int
+	faulted           int
 }
 
-// Add folds one packet record into the aggregate.
+// Add folds one packet record into the aggregate. Quarantined records
+// only advance the fault counters.
 func (a *Running) Add(r *PacketRecord) {
 	a.packets++
+	if r.Faulted() {
+		a.faulted++
+		if a.faultCounts == nil {
+			a.faultCounts = make(map[vm.FaultKind]int)
+		}
+		a.faultCounts[r.Fault]++
+		return
+	}
 	a.totalInstructions += r.Instructions
 	a.unique += uint64(r.Unique)
 	a.pktAcc += r.PacketAccesses()
@@ -306,18 +358,25 @@ func (a *Running) Add(r *PacketRecord) {
 // Packets returns the number of records added.
 func (a *Running) Packets() int { return a.packets }
 
+// Faulted returns how many added records were quarantined.
+func (a *Running) Faulted() int { return a.faulted }
+
 // Summary returns the aggregate, identical to Summarize over the same
 // records.
 func (a *Running) Summary() Summary {
-	s := Summary{Packets: a.packets, TotalInstructions: a.totalInstructions}
-	if a.packets == 0 {
-		return s
+	s := Summary{Packets: a.packets, Faulted: a.faulted, TotalInstructions: a.totalInstructions}
+	if a.faulted > 0 {
+		s.FaultCounts = make(map[vm.FaultKind]int, len(a.faultCounts))
+		for k, n := range a.faultCounts {
+			s.FaultCounts[k] = n
+		}
 	}
-	n := float64(a.packets)
-	s.MeanInstructions = float64(a.totalInstructions) / n
-	s.MeanUnique = float64(a.unique) / n
-	s.MeanPacketAcc = float64(a.pktAcc) / n
-	s.MeanNonPacketAcc = float64(a.nonPktAcc) / n
+	if n := float64(s.Measured()); n > 0 {
+		s.MeanInstructions = float64(a.totalInstructions) / n
+		s.MeanUnique = float64(a.unique) / n
+		s.MeanPacketAcc = float64(a.pktAcc) / n
+		s.MeanNonPacketAcc = float64(a.nonPktAcc) / n
+	}
 	return s
 }
 
@@ -326,29 +385,41 @@ func (a *Running) Summary() Summary {
 func (a *Running) InstructionCounts() []uint64 { return a.counts }
 
 // InstructionCounts extracts the per-packet instruction counts from
-// records (input to analysis.Occurrences for Table V).
+// records (input to analysis.Occurrences for Table V). Quarantined
+// records carry no counts and are excluded, matching Summarize's means.
 func InstructionCounts(records []PacketRecord) []uint64 {
-	out := make([]uint64, len(records))
+	out := make([]uint64, 0, len(records))
 	for i := range records {
-		out[i] = records[i].Instructions
+		if records[i].Faulted() {
+			continue
+		}
+		out = append(out, records[i].Instructions)
 	}
 	return out
 }
 
-// UniqueCounts extracts per-packet unique-instruction counts (Table VI).
+// UniqueCounts extracts per-packet unique-instruction counts (Table VI),
+// excluding quarantined records.
 func UniqueCounts(records []PacketRecord) []uint64 {
-	out := make([]uint64, len(records))
+	out := make([]uint64, 0, len(records))
 	for i := range records {
-		out[i] = uint64(records[i].Unique)
+		if records[i].Faulted() {
+			continue
+		}
+		out = append(out, uint64(records[i].Unique))
 	}
 	return out
 }
 
-// BlockSets extracts per-packet executed block sets (Figures 7 and 8).
+// BlockSets extracts per-packet executed block sets (Figures 7 and 8),
+// excluding quarantined records.
 func BlockSets(records []PacketRecord) [][]int {
-	out := make([][]int, len(records))
+	out := make([][]int, 0, len(records))
 	for i := range records {
-		out[i] = records[i].Blocks
+		if records[i].Faulted() {
+			continue
+		}
+		out = append(out, records[i].Blocks)
 	}
 	return out
 }

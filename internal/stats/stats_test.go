@@ -1,6 +1,7 @@
 package stats
 
 import (
+	"reflect"
 	"testing"
 
 	"repro/internal/analysis"
@@ -303,7 +304,7 @@ func TestRunningMatchesSummarize(t *testing.T) {
 	for i := range records {
 		agg.Add(&records[i])
 	}
-	if got, want := agg.Summary(), Summarize(records); got != want {
+	if got, want := agg.Summary(), Summarize(records); !reflect.DeepEqual(got, want) {
 		t.Errorf("Running.Summary() = %+v, want %+v", got, want)
 	}
 	if agg.Packets() != 3 {
@@ -323,10 +324,88 @@ func TestRunningMatchesSummarize(t *testing.T) {
 
 func TestRunningEmpty(t *testing.T) {
 	var agg Running
-	if got := agg.Summary(); got != (Summary{}) {
+	if got := agg.Summary(); !reflect.DeepEqual(got, Summary{}) {
 		t.Errorf("empty Running summary = %+v", got)
 	}
 	if agg.InstructionCounts() != nil {
 		t.Error("counts kept without KeepInstructionCounts")
+	}
+}
+
+func TestFaultedRecordsExcludedFromMeans(t *testing.T) {
+	clean := []PacketRecord{
+		{Index: 0, Instructions: 100, Unique: 40, PacketReads: 5, NonPacketReads: 20},
+		{Index: 2, Instructions: 300, Unique: 50, PacketWrites: 3, NonPacketWrites: 9},
+	}
+	mixed := []PacketRecord{
+		clean[0],
+		{Index: 1, Fault: vm.FaultUnmapped},
+		clean[1],
+		{Index: 3, Fault: vm.FaultUnmapped},
+		{Index: 4, Fault: vm.FaultStepLimit},
+	}
+	got := Summarize(mixed)
+	if got.Packets != 5 || got.Faulted != 3 || got.Measured() != 2 {
+		t.Fatalf("Packets/Faulted/Measured = %d/%d/%d, want 5/3/2", got.Packets, got.Faulted, got.Measured())
+	}
+	if got.FaultCounts[vm.FaultUnmapped] != 2 || got.FaultCounts[vm.FaultStepLimit] != 1 {
+		t.Errorf("FaultCounts = %v", got.FaultCounts)
+	}
+	ref := Summarize(clean)
+	if got.MeanInstructions != ref.MeanInstructions || got.MeanUnique != ref.MeanUnique ||
+		got.MeanPacketAcc != ref.MeanPacketAcc || got.MeanNonPacketAcc != ref.MeanNonPacketAcc ||
+		got.TotalInstructions != ref.TotalInstructions {
+		t.Errorf("means over mixed records = %+v, want the clean-run values %+v", got, ref)
+	}
+
+	// Running agrees, and faulted records do not pollute kept counts.
+	agg := &Running{KeepInstructionCounts: true}
+	for i := range mixed {
+		agg.Add(&mixed[i])
+	}
+	if !reflect.DeepEqual(agg.Summary(), got) {
+		t.Errorf("Running.Summary() = %+v, want %+v", agg.Summary(), got)
+	}
+	if agg.Faulted() != 3 {
+		t.Errorf("Faulted() = %d, want 3", agg.Faulted())
+	}
+	if counts := agg.InstructionCounts(); len(counts) != 2 {
+		t.Errorf("kept %d instruction counts, want 2 (measured only)", len(counts))
+	}
+
+	// The distribution extractors agree: quarantined records would show
+	// up as spurious zero-count packets in the occurrence tables.
+	if c := InstructionCounts(mixed); !reflect.DeepEqual(c, InstructionCounts(clean)) {
+		t.Errorf("InstructionCounts over mixed records = %v", c)
+	}
+	if u := UniqueCounts(mixed); !reflect.DeepEqual(u, UniqueCounts(clean)) {
+		t.Errorf("UniqueCounts over mixed records = %v", u)
+	}
+	if b := BlockSets(mixed); len(b) != 2 {
+		t.Errorf("BlockSets kept %d sets, want 2", len(b))
+	}
+}
+
+func TestAbortPacket(t *testing.T) {
+	h := newHarness(t, countingSrc)
+	h.col.KeepRecords = true
+	h.runPacket(t)
+	h.col.BeginPacket()
+	rec := h.col.AbortPacket(vm.FaultUnmapped)
+	if rec.Index != 1 || rec.Fault != vm.FaultUnmapped || !rec.Faulted() {
+		t.Errorf("abort record = %+v", rec)
+	}
+	if rec.Instructions != 0 || rec.Unique != 0 || len(rec.Blocks) != 0 {
+		t.Errorf("abort record carries partial counts: %+v", rec)
+	}
+	if h.col.Packets() != 2 {
+		t.Errorf("Packets() = %d, want 2 (quarantine keeps the slot)", h.col.Packets())
+	}
+	h.runPacket(t)
+	if len(h.col.Records) != 3 || h.col.Records[2].Index != 2 {
+		t.Fatalf("records after abort: %+v", h.col.Records)
+	}
+	if h.col.Records[2].Faulted() {
+		t.Error("packet after an abort inherited the fault mark")
 	}
 }

@@ -2,12 +2,16 @@ package trace
 
 import (
 	"bytes"
+	"encoding/binary"
+	"errors"
 	"io"
 	"testing"
 )
 
 // FuzzPcapReader checks the pcap reader is panic-free and terminates on
-// arbitrary input.
+// arbitrary input, in both fail-fast and skip-and-resync modes: every
+// corruption surfaces as a typed *MalformedRecordError (or a clean io
+// error), packet invariants hold, and skip mode never exceeds its budget.
 func FuzzPcapReader(f *testing.F) {
 	var buf bytes.Buffer
 	w, _ := NewPcapWriter(&buf)
@@ -18,22 +22,37 @@ func FuzzPcapReader(f *testing.F) {
 	f.Add([]byte{})
 	f.Add(buf.Bytes()[:20])
 	f.Add(bytes.Repeat([]byte{0xA1}, 64))
+	corrupt := bytes.Clone(buf.Bytes())
+	binary.LittleEndian.PutUint32(corrupt[pcapHeaderLen+8:], 0xFFFFFFFF)
+	f.Add(corrupt)
 
 	f.Fuzz(func(t *testing.T, b []byte) {
-		r, err := NewPcapReader(bytes.NewReader(b))
-		if err != nil {
-			return
-		}
-		for n := 0; n < 1000; n++ {
-			p, err := r.Next()
-			if err == io.EOF {
-				return
-			}
+		for _, budget := range []int{-1, 0, 2} {
+			r, err := NewPcapReader(bytes.NewReader(b))
 			if err != nil {
-				return
+				continue // bad magic or truncated global header
 			}
-			if len(p.Data) == 0 {
-				t.Fatal("reader returned empty packet without error")
+			if budget >= 0 {
+				r.SetSkipMalformed(budget)
+			}
+			for n := 0; n < 1000; n++ {
+				p, err := r.Next()
+				if err == io.EOF {
+					break
+				}
+				if err != nil {
+					var merr *MalformedRecordError
+					if errors.Is(err, ErrMalformedRecord) && !errors.As(err, &merr) {
+						t.Fatalf("malformed error is not typed: %v", err)
+					}
+					break
+				}
+				if len(p.Data) == 0 || p.WireLen < len(p.Data) {
+					t.Fatalf("invariant broken: len(Data)=%d WireLen=%d", len(p.Data), p.WireLen)
+				}
+			}
+			if budget > 0 && r.Skipped() > budget {
+				t.Fatalf("Skipped %d exceeds budget %d", r.Skipped(), budget)
 			}
 		}
 	})

@@ -1,6 +1,7 @@
 package trace
 
 import (
+	"bufio"
 	"encoding/binary"
 	"fmt"
 	"io"
@@ -26,22 +27,42 @@ const (
 	etherTypeIPv4     = 0x0800
 )
 
+// pcapResyncWindow bounds how far past a corrupt record the reader will
+// scan for the next plausible record header before giving up.
+const pcapResyncWindow = 1 << 20
+
+// pcapBufSize is the buffered-reader size, which also bounds how much
+// lookahead resync can use to confirm a candidate record header.
+const pcapBufSize = 128 << 10
+
 // PcapReader reads libpcap capture files. Both byte orders are accepted;
 // Ethernet and raw-IP link types are supported, with non-IPv4 frames
 // skipped silently (matching how header-processing tools consume mixed
 // captures).
+//
+// By default the reader fail-fasts on the first malformed record with a
+// *MalformedRecordError. SetSkipMalformed switches it to skip-and-resync:
+// corrupt records are skipped (scanning forward for the next plausible
+// record header) until the skip budget is exhausted.
 type PcapReader struct {
-	r        io.Reader
+	r        *bufio.Reader
 	order    binary.ByteOrder
 	linkType uint32
 	snapLen  uint32
+
+	off int64 // bytes consumed from r so far
+
+	skipEnabled bool
+	skipBudget  int // max skipped records; <= 0 means unlimited
+	skipped     int
 }
 
 // NewPcapReader parses the global header and returns a reader positioned
 // at the first record.
 func NewPcapReader(r io.Reader) (*PcapReader, error) {
+	br := bufio.NewReaderSize(r, pcapBufSize)
 	var hdr [pcapHeaderLen]byte
-	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
 		return nil, fmt.Errorf("trace: reading pcap header: %w", err)
 	}
 	var order binary.ByteOrder
@@ -54,13 +75,14 @@ func NewPcapReader(r io.Reader) (*PcapReader, error) {
 		return nil, ErrNotPcap
 	}
 	p := &PcapReader{
-		r:        r,
+		r:        br,
 		order:    order,
 		snapLen:  0,
 		linkType: 0,
 	}
 	p.snapLen = order.Uint32(hdr[16:])
 	p.linkType = order.Uint32(hdr[20:])
+	p.off = pcapHeaderLen
 	switch p.linkType {
 	case LinkTypeRaw, LinkTypeEthernet:
 	default:
@@ -72,31 +94,162 @@ func NewPcapReader(r io.Reader) (*PcapReader, error) {
 // LinkType returns the capture's link type.
 func (p *PcapReader) LinkType() uint32 { return p.linkType }
 
+// SetSkipMalformed switches the reader from fail-fast to skip-and-resync:
+// malformed records no longer abort the read; the reader scans forward for
+// the next plausible record header instead. At most budget records are
+// skipped (budget <= 0 means unlimited); once the budget is exhausted the
+// next malformed record is returned as a *MalformedRecordError again.
+func (p *PcapReader) SetSkipMalformed(budget int) {
+	p.skipEnabled = true
+	p.skipBudget = budget
+}
+
+// Skipped returns how many malformed records were skipped so far.
+func (p *PcapReader) Skipped() int { return p.skipped }
+
+// consumeSkip takes one unit of skip budget; false means the policy (or
+// budget) requires the malformed record to be surfaced as an error.
+func (p *PcapReader) consumeSkip() bool {
+	if !p.skipEnabled || (p.skipBudget > 0 && p.skipped >= p.skipBudget) {
+		return false
+	}
+	p.skipped++
+	return true
+}
+
+// recHeaderProblem validates a record header's lengths, returning a
+// non-empty reason when the record cannot be read.
+func (p *PcapReader) recHeaderProblem(rec []byte) string {
+	inclLen := p.order.Uint32(rec[8:])
+	if inclLen > 1<<24 {
+		return fmt.Sprintf("pcap record length %d exceeds the maximum supported length %d", inclLen, 1<<24)
+	}
+	if p.snapLen > 0 && inclLen > p.snapLen {
+		return fmt.Sprintf("pcap record length %d exceeds snap length %d", inclLen, p.snapLen)
+	}
+	return ""
+}
+
+// plausibleHeader is the resync heuristic: a 16-byte window is accepted as
+// a record header when its lengths are consistent and the microsecond
+// field is in range. Stricter than recHeaderProblem on purpose — when
+// scanning a desynchronized byte stream, false positives cost far more
+// than skipping to the next real record.
+func (p *PcapReader) plausibleHeader(rec []byte) bool {
+	usec := p.order.Uint32(rec[4:])
+	incl := p.order.Uint32(rec[8:])
+	orig := p.order.Uint32(rec[12:])
+	limit := uint32(1 << 24)
+	if p.snapLen > 0 && p.snapLen < limit {
+		limit = p.snapLen
+	}
+	return usec < 1_000_000 && incl > 0 && incl <= limit && orig >= incl && orig <= 1<<24
+}
+
+// confirmCandidate strengthens a plausible resync window by peeking at
+// where the candidate's body would end: either the stream ends exactly
+// there (a valid final record) or another plausible header follows. A
+// shifted window over real traffic can alias into a plausible-looking
+// header; requiring the following record to line up too rejects nearly
+// all such aliases. The cost of that strictness: a genuine record whose
+// immediate successor is also corrupt fails confirmation and is
+// sacrificed to the same resync scan. Skip-and-resync is best-effort
+// recovery, and losing a record adjacent to corruption is the cheaper
+// failure mode than locking onto an alias mid-body and desynchronizing
+// the rest of the stream.
+func (p *PcapReader) confirmCandidate(w []byte) bool {
+	incl := int(p.order.Uint32(w[8:]))
+	peek, err := p.r.Peek(incl + pcapRecordLen)
+	if len(peek) >= incl+pcapRecordLen {
+		return p.plausibleHeader(peek[incl:])
+	}
+	if err == bufio.ErrBufferFull {
+		// Body longer than the lookahead buffer: accept unconfirmed.
+		return true
+	}
+	// Stream ends before incl+header bytes: valid only as the exact
+	// final record.
+	return len(peek) == incl
+}
+
+// resync slides a one-byte-at-a-time window over the stream until it
+// finds a confirmed plausible record header, returning it. io.EOF means
+// the stream ended (trailing corruption); other errors mean resync
+// failed.
+func (p *PcapReader) resync(rec [pcapRecordLen]byte) ([pcapRecordLen]byte, error) {
+	w := rec
+	for scanned := 0; scanned < pcapResyncWindow; scanned++ {
+		var b [1]byte
+		if _, err := io.ReadFull(p.r, b[:]); err != nil {
+			if err == io.EOF {
+				return w, io.EOF
+			}
+			return w, fmt.Errorf("trace: resyncing pcap stream: %w", err)
+		}
+		copy(w[:], w[1:])
+		w[pcapRecordLen-1] = b[0]
+		p.off++
+		if p.plausibleHeader(w[:]) && p.confirmCandidate(w[:]) {
+			return w, nil
+		}
+	}
+	return w, fmt.Errorf("trace: no plausible pcap record header within %d bytes of corrupt record: %w",
+		pcapResyncWindow, ErrMalformedRecord)
+}
+
 // Next returns the next IPv4 packet, skipping non-IP frames. It returns
 // io.EOF at the end of the file.
 func (p *PcapReader) Next() (*Packet, error) {
 	for {
+		recOff := p.off
 		var rec [pcapRecordLen]byte
 		if _, err := io.ReadFull(p.r, rec[:]); err != nil {
 			if err == io.EOF {
 				return nil, io.EOF
 			}
+			if err == io.ErrUnexpectedEOF {
+				// Truncated trailing record header: there is nothing left
+				// to resync into, so skip mode ends the trace here.
+				if p.consumeSkip() {
+					return nil, io.EOF
+				}
+				return nil, &MalformedRecordError{Format: FormatPcap, Offset: recOff,
+					Reason: "truncated record header", Err: err}
+			}
 			return nil, fmt.Errorf("trace: reading pcap record header: %w", err)
+		}
+		p.off += pcapRecordLen
+		if reason := p.recHeaderProblem(rec[:]); reason != "" {
+			if !p.consumeSkip() {
+				return nil, &MalformedRecordError{Format: FormatPcap, Offset: recOff, Reason: reason}
+			}
+			nrec, err := p.resync(rec)
+			if err != nil {
+				if err == io.EOF {
+					return nil, io.EOF
+				}
+				return nil, err
+			}
+			rec = nrec
 		}
 		sec := p.order.Uint32(rec[0:])
 		usec := p.order.Uint32(rec[4:])
 		inclLen := p.order.Uint32(rec[8:])
 		origLen := p.order.Uint32(rec[12:])
-		if inclLen > 1<<24 {
-			return nil, fmt.Errorf("trace: pcap record length %d exceeds the maximum supported length %d", inclLen, 1<<24)
-		}
-		if p.snapLen > 0 && inclLen > p.snapLen {
-			return nil, fmt.Errorf("trace: pcap record length %d exceeds snap length %d", inclLen, p.snapLen)
-		}
 		data := make([]byte, inclLen)
-		if _, err := io.ReadFull(p.r, data); err != nil {
+		if n, err := io.ReadFull(p.r, data); err != nil {
+			if err == io.EOF || err == io.ErrUnexpectedEOF {
+				// Truncated record body at the end of the stream.
+				if p.consumeSkip() {
+					return nil, io.EOF
+				}
+				return nil, &MalformedRecordError{Format: FormatPcap, Offset: recOff,
+					Reason: fmt.Sprintf("record body truncated at %d of %d bytes", n, inclLen),
+					Err:    io.ErrUnexpectedEOF}
+			}
 			return nil, fmt.Errorf("trace: reading pcap record body: %w", err)
 		}
+		p.off += int64(inclLen)
 		wire := int(origLen)
 		if p.linkType == LinkTypeEthernet {
 			if len(data) < ethernetHeaderLen {

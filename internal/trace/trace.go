@@ -62,6 +62,41 @@ func (f Format) String() string {
 // ErrNotPcap is returned when a pcap global header's magic is unknown.
 var ErrNotPcap = errors.New("trace: not a pcap file (bad magic)")
 
+// ErrMalformedRecord is the sentinel wrapped by every record-corruption
+// error, so callers can distinguish a corrupt record (skippable under a
+// resync policy) from an I/O failure:
+//
+//	if errors.Is(err, trace.ErrMalformedRecord) { ... }
+var ErrMalformedRecord = errors.New("trace: malformed record")
+
+// MalformedRecordError describes one corrupt trace record: where in the
+// input stream it started and why it was rejected. It unwraps to
+// ErrMalformedRecord (and to the underlying cause when there is one).
+type MalformedRecordError struct {
+	// Format is the trace format being read.
+	Format Format
+	// Offset is the byte offset of the record in the input stream.
+	Offset int64
+	// Reason says what was wrong with the record.
+	Reason string
+	// Err is the underlying error, when the corruption surfaced as one
+	// (for example io.ErrUnexpectedEOF on a truncated final record).
+	Err error
+}
+
+func (e *MalformedRecordError) Error() string {
+	return fmt.Sprintf("trace: malformed %s record at offset %d: %s", e.Format, e.Offset, e.Reason)
+}
+
+// Unwrap exposes ErrMalformedRecord and the underlying cause to
+// errors.Is/errors.As.
+func (e *MalformedRecordError) Unwrap() []error {
+	if e.Err != nil {
+		return []error{ErrMalformedRecord, e.Err}
+	}
+	return []error{ErrMalformedRecord}
+}
+
 // NewReader constructs a reader for the given format.
 func NewReader(r io.Reader, f Format) (Reader, error) {
 	switch f {

@@ -3,6 +3,7 @@ package trace
 import (
 	"bytes"
 	"encoding/binary"
+	"errors"
 	"io"
 	"strings"
 	"testing"
@@ -427,5 +428,249 @@ func TestSliceReader(t *testing.T) {
 	}
 	if _, err := r.Next(); err != io.EOF {
 		t.Errorf("EOF not sticky: %v", err)
+	}
+}
+
+// buildPcap serializes packets into an in-memory little-endian raw-IP
+// capture and returns the bytes, so corruption tests can splice in junk.
+func buildPcap(t *testing.T, pkts []*Packet) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	w, err := NewPcapWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pkts {
+		if err := w.WritePacket(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return buf.Bytes()
+}
+
+func TestMalformedRecordErrorShape(t *testing.T) {
+	pkts := []*Packet{{Sec: 1, Data: ipv4Packet(1, 2, 4)}}
+	raw := buildPcap(t, pkts)
+	// Corrupt the record's inclLen to an over-snap value.
+	binary.LittleEndian.PutUint32(raw[pcapHeaderLen+8:], 1<<20)
+	r, err := NewPcapReader(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = r.Next()
+	if err == nil {
+		t.Fatal("corrupt record accepted")
+	}
+	if !errors.Is(err, ErrMalformedRecord) {
+		t.Errorf("errors.Is(%v, ErrMalformedRecord) = false", err)
+	}
+	var merr *MalformedRecordError
+	if !errors.As(err, &merr) {
+		t.Fatalf("error %T is not a *MalformedRecordError", err)
+	}
+	if merr.Format != FormatPcap {
+		t.Errorf("Format = %v", merr.Format)
+	}
+	if merr.Offset != pcapHeaderLen {
+		t.Errorf("Offset = %d, want %d (first record)", merr.Offset, pcapHeaderLen)
+	}
+	if merr.Reason == "" {
+		t.Error("empty Reason")
+	}
+	// An honest I/O failure must NOT read as corruption.
+	if errors.Is(io.ErrClosedPipe, ErrMalformedRecord) {
+		t.Error("unrelated error matches ErrMalformedRecord")
+	}
+}
+
+func TestPcapSkipMalformedResync(t *testing.T) {
+	pkts := []*Packet{
+		{Sec: 1, Usec: 100, Data: ipv4Packet(0x0A000001, 0x0A000002, 40)},
+		{Sec: 2, Usec: 200, Data: ipv4Packet(0x0A000003, 0x0A000004, 24)},
+		{Sec: 3, Usec: 300, Data: ipv4Packet(0x0A000005, 0x0A000006, 60)},
+	}
+	raw := buildPcap(t, pkts)
+	// Corrupt the middle record's inclLen: the reader must resync by
+	// scanning over its (now unreachable) body to record 3's header.
+	rec2 := pcapHeaderLen + pcapRecordLen + len(pkts[0].Data)
+	binary.LittleEndian.PutUint32(raw[rec2+8:], 0xFFFFFFFF)
+
+	// Default policy: fail fast with a typed error.
+	r, err := NewPcapReader(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Next(); err != nil {
+		t.Fatalf("record 1: %v", err)
+	}
+	if _, err := r.Next(); !errors.Is(err, ErrMalformedRecord) {
+		t.Fatalf("record 2: err = %v, want malformed", err)
+	}
+
+	// Skip-and-resync: records 1 and 3 survive, one record is skipped.
+	r, err = NewPcapReader(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.SetSkipMalformed(10)
+	var got []*Packet
+	for {
+		p, err := r.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, p)
+	}
+	if len(got) != 2 {
+		t.Fatalf("recovered %d packets, want 2", len(got))
+	}
+	if got[0].Sec != 1 || got[1].Sec != 3 {
+		t.Errorf("recovered packets Sec = %d, %d; want 1, 3", got[0].Sec, got[1].Sec)
+	}
+	if !bytes.Equal(got[1].Data, pkts[2].Data) {
+		t.Error("resynced packet data differs from the original")
+	}
+	if r.Skipped() != 1 {
+		t.Errorf("Skipped = %d, want 1", r.Skipped())
+	}
+}
+
+func TestPcapSkipBudgetExhausted(t *testing.T) {
+	pkts := make([]*Packet, 6)
+	for i := range pkts {
+		pkts[i] = &Packet{Sec: uint32(i + 1), Data: ipv4Packet(1, 2, 16)}
+	}
+	raw := buildPcap(t, pkts)
+	// Corrupt records 2 and 5, separated by two good records so they cost
+	// two distinct skips. (Closer spacings blur together: consecutive
+	// corrupt records are jumped by a single resync scan, and a good
+	// record directly before a corrupt one fails resync's
+	// next-header confirmation and is sacrificed with it.)
+	recLen := pcapRecordLen + len(pkts[0].Data)
+	for _, i := range []int{1, 4} {
+		binary.LittleEndian.PutUint32(raw[pcapHeaderLen+i*recLen+8:], 0xFFFFFFFF)
+	}
+	r, err := NewPcapReader(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.SetSkipMalformed(1)
+	var secs []uint32
+	var lastErr error
+	for {
+		p, err := r.Next()
+		if err != nil {
+			lastErr = err
+			break
+		}
+		secs = append(secs, p.Sec)
+	}
+	if !errors.Is(lastErr, ErrMalformedRecord) {
+		t.Errorf("after budget exhaustion err = %v, want malformed", lastErr)
+	}
+	if want := []uint32{1, 3, 4}; len(secs) != 3 || secs[0] != 1 || secs[1] != 3 || secs[2] != 4 {
+		t.Errorf("recovered secs %v, want %v (budget 1 covers record 2 only)", secs, want)
+	}
+	if r.Skipped() != 1 {
+		t.Errorf("Skipped = %d, want 1", r.Skipped())
+	}
+}
+
+func TestPcapSkipTruncatedTail(t *testing.T) {
+	pkts := []*Packet{
+		{Sec: 1, Data: ipv4Packet(1, 2, 8)},
+		{Sec: 2, Data: ipv4Packet(3, 4, 8)},
+	}
+	raw := buildPcap(t, pkts)
+	truncated := raw[:len(raw)-5] // cut into record 2's body
+
+	r, err := NewPcapReader(bytes.NewReader(truncated))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Next(); err != nil {
+		t.Fatal(err)
+	}
+	_, err = r.Next()
+	if !errors.Is(err, ErrMalformedRecord) || !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Errorf("truncated body err = %v, want malformed wrapping unexpected EOF", err)
+	}
+
+	r, err = NewPcapReader(bytes.NewReader(truncated))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.SetSkipMalformed(0) // unlimited
+	if _, err := r.Next(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Next(); err != io.EOF {
+		t.Errorf("skip mode on truncated tail: err = %v, want EOF", err)
+	}
+	if r.Skipped() != 1 {
+		t.Errorf("Skipped = %d, want 1", r.Skipped())
+	}
+}
+
+func TestTSHSkipMalformed(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewTSHWriter(&buf)
+	for i := 0; i < 4; i++ {
+		if err := w.WritePacket(&Packet{Sec: uint32(i + 1), Data: ipv4Packet(1, 2, 8)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	raw := buf.Bytes()
+	// Wreck record 2's IP version nibble and record 3's total length.
+	raw[TSHRecordLen+8] = 0x60 // version 6
+	binary.BigEndian.PutUint16(raw[2*TSHRecordLen+8+2:], 7)
+
+	// Default: no validation, all four records come back (TSH has no
+	// per-record magic; historical behavior is preserved).
+	r := NewTSHReader(bytes.NewReader(raw))
+	n := 0
+	for {
+		if _, err := r.Next(); err != nil {
+			break
+		}
+		n++
+	}
+	if n != 4 {
+		t.Fatalf("default mode read %d records, want 4", n)
+	}
+
+	// Skip mode: the two wrecked records are dropped.
+	r = NewTSHReader(bytes.NewReader(raw))
+	r.SetSkipMalformed(5)
+	var secs []uint32
+	for {
+		p, err := r.Next()
+		if err != nil {
+			break
+		}
+		secs = append(secs, p.Sec)
+	}
+	if len(secs) != 2 || secs[0] != 1 || secs[1] != 4 {
+		t.Errorf("skip mode secs = %v, want [1 4]", secs)
+	}
+	if r.Skipped() != 2 {
+		t.Errorf("Skipped = %d, want 2", r.Skipped())
+	}
+
+	// Budget 1: second corruption surfaces as a typed error.
+	r = NewTSHReader(bytes.NewReader(raw))
+	r.SetSkipMalformed(1)
+	var lastErr error
+	for {
+		if _, err := r.Next(); err != nil {
+			lastErr = err
+			break
+		}
+	}
+	if !errors.Is(lastErr, ErrMalformedRecord) {
+		t.Errorf("budget-exhausted err = %v, want malformed", lastErr)
 	}
 }

@@ -27,32 +27,92 @@ const tshHeaderBytes = 36
 //
 // The packet handed to applications is the 36 captured header bytes; the
 // wire length comes from the IP header's total-length field.
+//
+// The reader accepts any 44-byte record by default (the format has no
+// per-record magic to validate against). SetSkipMalformed turns on IPv4
+// header sanity checks and skips records failing them — the fixed record
+// size makes resync trivial: advance one record.
 type TSHReader struct {
-	r io.Reader
+	r   io.Reader
+	off int64
+
+	skipEnabled bool
+	skipBudget  int // max skipped records; <= 0 means unlimited
+	skipped     int
 }
 
 // NewTSHReader wraps r.
 func NewTSHReader(r io.Reader) *TSHReader { return &TSHReader{r: r} }
 
+// SetSkipMalformed enables IPv4 sanity validation of each record (version
+// nibble, header length, total length); records failing it are skipped, at
+// most budget of them (budget <= 0 means unlimited). Once the budget is
+// exhausted, the next malformed record is returned as a
+// *MalformedRecordError.
+func (t *TSHReader) SetSkipMalformed(budget int) {
+	t.skipEnabled = true
+	t.skipBudget = budget
+}
+
+// Skipped returns how many malformed records were skipped so far.
+func (t *TSHReader) Skipped() int { return t.skipped }
+
+// recordProblem applies the skip-mode sanity checks to the captured IPv4
+// header bytes, returning a non-empty reason for a malformed record.
+func recordProblem(ip []byte) string {
+	if v := ip[0] >> 4; v != 4 {
+		return fmt.Sprintf("IP version %d, want 4", v)
+	}
+	if ihl := ip[0] & 0xF; ihl < 5 {
+		return fmt.Sprintf("IP header length %d below minimum 5", ihl)
+	}
+	if tot := binary.BigEndian.Uint16(ip[2:]); tot < 20 {
+		return fmt.Sprintf("IP total length %d below header size", tot)
+	}
+	return ""
+}
+
 // Next returns the next record, or io.EOF at the end. A trailing partial
-// record is reported as io.ErrUnexpectedEOF.
+// record is reported as a *MalformedRecordError wrapping
+// io.ErrUnexpectedEOF.
 func (t *TSHReader) Next() (*Packet, error) {
-	var rec [TSHRecordLen]byte
-	if _, err := io.ReadFull(t.r, rec[:]); err != nil {
-		if err == io.EOF {
-			return nil, io.EOF
+	for {
+		recOff := t.off
+		var rec [TSHRecordLen]byte
+		if _, err := io.ReadFull(t.r, rec[:]); err != nil {
+			if err == io.EOF {
+				return nil, io.EOF
+			}
+			if err == io.ErrUnexpectedEOF {
+				if t.skipEnabled && (t.skipBudget <= 0 || t.skipped < t.skipBudget) {
+					t.skipped++
+					return nil, io.EOF
+				}
+				return nil, &MalformedRecordError{Format: FormatTSH, Offset: recOff,
+					Reason: "truncated record", Err: err}
+			}
+			return nil, fmt.Errorf("trace: reading TSH record: %w", err)
 		}
-		return nil, fmt.Errorf("trace: reading TSH record: %w", err)
+		t.off += TSHRecordLen
+		if t.skipEnabled {
+			if reason := recordProblem(rec[8:]); reason != "" {
+				if t.skipBudget <= 0 || t.skipped < t.skipBudget {
+					t.skipped++
+					continue // fixed-size records: resync is the next record
+				}
+				return nil, &MalformedRecordError{Format: FormatTSH, Offset: recOff, Reason: reason}
+			}
+		}
+		sec := binary.BigEndian.Uint32(rec[0:])
+		usec := binary.BigEndian.Uint32(rec[4:]) & 0x00FFFFFF
+		data := make([]byte, tshHeaderBytes)
+		copy(data, rec[8:])
+		wire := int(binary.BigEndian.Uint16(data[2:])) // IP total length
+		if wire < tshHeaderBytes {
+			wire = tshHeaderBytes
+		}
+		return &Packet{Sec: sec, Usec: usec, Data: data, WireLen: wire}, nil
 	}
-	sec := binary.BigEndian.Uint32(rec[0:])
-	usec := binary.BigEndian.Uint32(rec[4:]) & 0x00FFFFFF
-	data := make([]byte, tshHeaderBytes)
-	copy(data, rec[8:])
-	wire := int(binary.BigEndian.Uint16(data[2:])) // IP total length
-	if wire < tshHeaderBytes {
-		wire = tshHeaderBytes
-	}
-	return &Packet{Sec: sec, Usec: usec, Data: data, WireLen: wire}, nil
 }
 
 // Interface extracts the capture interface number of the most recent

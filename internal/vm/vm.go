@@ -93,28 +93,59 @@ type Tracer interface {
 	Mem(pc uint32, addr uint32, size uint8, write bool, region Region)
 }
 
-// FaultKind enumerates the ways simulated execution can fail.
+// FaultKind enumerates the ways simulated execution can fail. It
+// implements error so a bare kind can be used as an errors.Is target:
+//
+//	if errors.Is(err, vm.FaultStepLimit) { ... }
 type FaultKind uint8
 
-// The fault kinds raised by the simulator.
+// The fault kinds raised by the simulator. FaultOversizePacket and
+// FaultHostPanic are raised by the framework around the simulator (packet
+// placement and panic recovery) rather than by the instruction loop, but
+// share the taxonomy so error policies can treat every per-packet failure
+// uniformly.
 const (
-	FaultNone      FaultKind = iota
-	FaultBadFetch            // pc outside the text segment
-	FaultUnmapped            // data access to an unmapped address
-	FaultUnaligned           // halfword/word access to a misaligned address
-	FaultTextWrite           // store into the text segment
-	FaultStepLimit           // execution exceeded the step budget
-	FaultBadIinstr           // undecodable instruction (cannot happen with assembled code)
+	FaultNone           FaultKind = iota
+	FaultBadFetch                 // pc outside the text segment
+	FaultUnmapped                 // data access to an unmapped address
+	FaultUnaligned                // halfword/word access to a misaligned address
+	FaultTextWrite                // store into the text segment
+	FaultStepLimit                // execution exceeded the step budget
+	FaultBadInstr                 // undecodable instruction (cannot happen with assembled code)
+	FaultOversizePacket           // packet larger than the packet buffer
+	FaultHostPanic                // panic recovered during simulated execution
 )
 
+// FaultBadIinstr is the original, misspelled name of FaultBadInstr.
+//
+// Deprecated: use FaultBadInstr.
+const FaultBadIinstr = FaultBadInstr
+
 var faultNames = map[FaultKind]string{
-	FaultBadFetch:  "instruction fetch outside text segment",
-	FaultUnmapped:  "access to unmapped address",
-	FaultUnaligned: "unaligned access",
-	FaultTextWrite: "store into text segment",
-	FaultStepLimit: "step limit exceeded",
-	FaultBadIinstr: "undecodable instruction",
+	FaultBadFetch:       "instruction fetch outside text segment",
+	FaultUnmapped:       "access to unmapped address",
+	FaultUnaligned:      "unaligned access",
+	FaultTextWrite:      "store into text segment",
+	FaultStepLimit:      "step limit exceeded",
+	FaultBadInstr:       "undecodable instruction",
+	FaultOversizePacket: "packet exceeds the packet buffer",
+	FaultHostPanic:      "panic during simulated execution",
 }
+
+// String returns the human-readable fault name.
+func (k FaultKind) String() string {
+	if k == FaultNone {
+		return "none"
+	}
+	if n, ok := faultNames[k]; ok {
+		return n
+	}
+	return fmt.Sprintf("fault?%d", uint8(k))
+}
+
+// Error implements error, making a FaultKind usable directly as an
+// errors.Is target for any wrapped *Fault of that kind.
+func (k FaultKind) Error() string { return "vm: " + k.String() }
 
 // Fault is the error returned when simulated execution traps.
 type Fault struct {
@@ -124,11 +155,29 @@ type Fault struct {
 }
 
 func (f *Fault) Error() string {
-	name, ok := faultNames[f.Kind]
-	if !ok {
-		name = fmt.Sprintf("fault %d", f.Kind)
+	// Kind.String, not Kind itself: fmt would pick the Error method
+	// (which already carries the "vm: " prefix) and double it.
+	return fmt.Sprintf("vm: %s at pc=%#x addr=%#x", f.Kind.String(), f.PC, f.Addr)
+}
+
+// Unwrap exposes the kind, so errors.Is(err, vm.FaultUnmapped) matches
+// through arbitrary wrapping.
+func (f *Fault) Unwrap() error { return f.Kind }
+
+// Is reports whether target names the same failure: a FaultKind matches
+// by kind alone; a *Fault matches by kind with zero PC/Addr fields acting
+// as wildcards, so errors.Is(err, &vm.Fault{Kind: vm.FaultUnmapped})
+// works without knowing the faulting address.
+func (f *Fault) Is(target error) bool {
+	switch t := target.(type) {
+	case FaultKind:
+		return f.Kind == t
+	case *Fault:
+		return f.Kind == t.Kind &&
+			(t.PC == 0 || t.PC == f.PC) &&
+			(t.Addr == 0 || t.Addr == f.Addr)
 	}
-	return fmt.Sprintf("vm: %s at pc=%#x addr=%#x", name, f.PC, f.Addr)
+	return false
 }
 
 // StopReason reports why Run returned without a fault.
@@ -344,7 +393,7 @@ func (c *CPU) execute(in isa.Instruction) (halt bool, err error) {
 		return true, nil
 
 	default:
-		return false, &Fault{Kind: FaultBadIinstr, PC: pc}
+		return false, &Fault{Kind: FaultBadInstr, PC: pc}
 	}
 	c.PC = next
 	return false, nil

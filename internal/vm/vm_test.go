@@ -2,6 +2,8 @@ package vm
 
 import (
 	"errors"
+	"fmt"
+	"strings"
 	"testing"
 	"testing/quick"
 
@@ -578,5 +580,50 @@ func TestPacketWriteHighWatermark(t *testing.T) {
 	c.ResetPacketWriteHigh()
 	if c.PacketWriteHigh() != 0 {
 		t.Error("watermark not reset")
+	}
+}
+
+func TestFaultErrorsIsAs(t *testing.T) {
+	cpu, _ := buildCPU(t, "li s0, 0x40000000\nlw a0, 0(s0)\nhalt")
+	_, _, err := cpu.Run(100)
+	if err == nil {
+		t.Fatal("run succeeded, want fault")
+	}
+	// Matching by bare kind, through fmt wrapping.
+	wrapped := fmt.Errorf("core 3: packet 17: %w", err)
+	if !errors.Is(wrapped, FaultUnmapped) {
+		t.Errorf("errors.Is(%v, FaultUnmapped) = false", wrapped)
+	}
+	if errors.Is(wrapped, FaultStepLimit) {
+		t.Error("errors.Is matched the wrong kind")
+	}
+	// Matching by *Fault template with wildcard PC/Addr.
+	if !errors.Is(wrapped, &Fault{Kind: FaultUnmapped}) {
+		t.Error("wildcard *Fault template did not match")
+	}
+	if errors.Is(wrapped, &Fault{Kind: FaultUnmapped, Addr: 0x1234}) {
+		t.Error("*Fault template with mismatched Addr matched")
+	}
+	// errors.As still extracts the concrete fault.
+	var f *Fault
+	if !errors.As(wrapped, &f) || f.Kind != FaultUnmapped || f.Addr != 0x40000000 {
+		t.Errorf("errors.As fault = %+v", f)
+	}
+}
+
+func TestFaultKindNames(t *testing.T) {
+	if FaultBadIinstr != FaultBadInstr {
+		t.Error("deprecated alias diverged from FaultBadInstr")
+	}
+	if got := FaultNone.String(); got != "none" {
+		t.Errorf("FaultNone.String() = %q", got)
+	}
+	for k := FaultBadFetch; k <= FaultHostPanic; k++ {
+		if s := k.String(); strings.HasPrefix(s, "fault?") {
+			t.Errorf("kind %d has no name", k)
+		}
+	}
+	if got := FaultKind(250).String(); got != "fault?250" {
+		t.Errorf("unknown kind String() = %q", got)
 	}
 }

@@ -36,6 +36,7 @@ import (
 	"repro/internal/analysis"
 	"repro/internal/apps"
 	"repro/internal/core"
+	"repro/internal/faultinject"
 	"repro/internal/flow"
 	"repro/internal/gen"
 	"repro/internal/microarch"
@@ -45,6 +46,7 @@ import (
 	"repro/internal/route"
 	"repro/internal/stats"
 	"repro/internal/trace"
+	"repro/internal/vm"
 )
 
 // Core framework types.
@@ -77,10 +79,72 @@ type (
 	CoveragePoint = analysis.CoveragePoint
 	// FiveTuple is the flow key used by classification.
 	FiveTuple = packet.FiveTuple
+	// FaultPolicy selects how a run reacts to per-packet faults.
+	FaultPolicy = core.FaultPolicy
+	// ErrorPolicy is the full fault-handling configuration (policy,
+	// error budget, retry attempts), set via Options.Errors.
+	ErrorPolicy = core.ErrorPolicy
+	// FaultKind tags a quarantined packet's failure cause; use it with
+	// errors.Is and Summary.FaultCounts.
+	FaultKind = vm.FaultKind
+	// FaultInjector deterministically corrupts trace packets and forces
+	// VM faults at chosen packet indexes — the test harness behind the
+	// fault policies.
+	FaultInjector = faultinject.Injector
+	// Injection is one planned fault in an injection plan.
+	Injection = faultinject.Injection
+)
+
+// The fault policies: abort on the first fault (the default), quarantine
+// faulted packets under a budget, or retry before quarantining.
+const (
+	FailFast      = core.FailFast
+	SkipAndRecord = core.SkipAndRecord
+	Retry         = core.Retry
+)
+
+// The fault kinds a packet can be quarantined (or a run aborted) with;
+// every run error wraps one, so errors.Is(err, packetbench.FaultStepLimit)
+// and friends work across the API.
+const (
+	FaultBadFetch       = vm.FaultBadFetch
+	FaultUnmapped       = vm.FaultUnmapped
+	FaultUnaligned      = vm.FaultUnaligned
+	FaultTextWrite      = vm.FaultTextWrite
+	FaultStepLimit      = vm.FaultStepLimit
+	FaultBadInstr       = vm.FaultBadInstr
+	FaultOversizePacket = vm.FaultOversizePacket
+	FaultHostPanic      = vm.FaultHostPanic
 )
 
 // New loads an application onto a fresh simulated core.
 func New(app *App, opts Options) (*Bench, error) { return core.New(app, opts) }
+
+// ParseInjectionPlan parses a comma-separated fault injection spec
+// ("kind@index[:arg[:times]]", kinds flip/trunc/clamp/vmfault) — the
+// format of cmd/packetbench's -inject flag.
+func ParseInjectionPlan(spec string) ([]Injection, error) { return faultinject.ParsePlan(spec) }
+
+// NewFaultInjector builds a deterministic injector: every unspecified
+// choice (byte offset, mask, step count) is drawn from seed at
+// construction, so runs are reproducible regardless of scheduling.
+// Attach FaultInjector.Tracer to each bench to arm forced VM faults.
+func NewFaultInjector(seed int64, plan []Injection) *FaultInjector {
+	return faultinject.New(seed, plan)
+}
+
+// InjectTraceFaults applies the injector's packet-level corruption
+// (flips, truncations, length clamps) to the trace, returning the
+// corrupted packets; untouched packets are shared, corrupted ones are
+// copies.
+func InjectTraceFaults(inj *FaultInjector, pkts []*Packet) []*Packet {
+	out, err := trace.ReadAll(inj.Reader(trace.NewSliceReader(pkts)), 0)
+	if err != nil {
+		// A slice reader cannot fail and the injector adds no errors.
+		panic(err)
+	}
+	return out
+}
 
 // NewIPv4Radix returns the paper's IPv4-radix forwarding application
 // (RFC 1812 forwarding over a BSD-style radix tree).
