@@ -14,6 +14,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -55,6 +56,7 @@ type config struct {
 	pool       int
 
 	// Fault handling.
+	noVerify    bool   // skip the static verifier at load time
 	faultPolicy string // fail-fast, skip, retry
 	errorBudget int    // quarantine budget for skip/retry; 0 = unlimited
 	maxAttempts int    // attempts per packet under retry
@@ -80,6 +82,7 @@ func main() {
 	flag.BoolVar(&cfg.annotate, "annotate", false, "print a gprof-style listing with per-instruction execution counts")
 	flag.StringVar(&cfg.flowDot, "flowgraph", "", "write the weighted basic-block flow graph to this Graphviz file")
 	flag.IntVar(&cfg.pool, "pool", 1, "run on this many simulated cores via the streaming work-queue scheduler (stateful applications keep per-core state)")
+	flag.BoolVar(&cfg.noVerify, "no-verify", false, "load the application even if the static verifier reports errors")
 	flag.StringVar(&cfg.faultPolicy, "fault-policy", "fail-fast", "reaction to per-packet faults: fail-fast, skip (quarantine and continue), or retry")
 	flag.IntVar(&cfg.errorBudget, "error-budget", 0, "max packets one run may quarantine under -fault-policy skip/retry (0 = unlimited); also bounds malformed trace records skipped by the readers")
 	flag.IntVar(&cfg.maxAttempts, "max-attempts", 2, "total attempts per packet under -fault-policy retry")
@@ -241,9 +244,10 @@ func run(cfg config) error {
 		Coverage: true,
 		Detail:   cfg.dumpPkt >= 0 || cfg.flowDot != "",
 		Errors:   policy,
+		NoVerify: cfg.noVerify,
 	})
 	if err != nil {
-		return err
+		return describeVerifyError(err)
 	}
 	bench.Collector().CountPCs = cfg.annotate
 	if inj != nil {
@@ -351,6 +355,20 @@ func run(cfg config) error {
 	return nil
 }
 
+// describeVerifyError expands a static-verification rejection into the
+// full diagnostic listing; other errors pass through unchanged.
+func describeVerifyError(err error) error {
+	var verr *core.VerifyError
+	if !errors.As(err, &verr) {
+		return err
+	}
+	for _, d := range verr.Diags {
+		fmt.Fprintf(os.Stderr, "%s: %s\n", verr.App, d)
+	}
+	return fmt.Errorf("application %q failed static verification with %d error(s); rerun with -no-verify to execute it anyway",
+		verr.App, len(verr.Diags.Errors()))
+}
+
 // printAnnotatedListing renders the program with per-instruction
 // execution counts — the paper's application-optimization use case.
 func printAnnotatedListing(bench *core.Bench) {
@@ -407,9 +425,9 @@ func dumpTrace(bench *core.Bench, idx int, res core.Result) {
 // path. Stateful applications (flow classification) keep per-core tables
 // in this mode, as real replicated-state engines would.
 func runPool(app *core.App, pkts []*trace.Packet, cfg *config, policy core.ErrorPolicy, inj *faultinject.Injector) error {
-	pool, err := core.NewPool(app, cfg.pool, core.Options{Errors: policy})
+	pool, err := core.NewPool(app, cfg.pool, core.Options{Errors: policy, NoVerify: cfg.noVerify})
 	if err != nil {
-		return err
+		return describeVerifyError(err)
 	}
 	if inj != nil {
 		for i := 0; i < pool.Cores(); i++ {

@@ -4,8 +4,10 @@ import (
 	"bytes"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
+	"repro/internal/core"
 	"repro/internal/route"
 )
 
@@ -157,5 +159,28 @@ func TestRunWithFaultInjection(t *testing.T) {
 	cfg.inject = "vmfault@11:5"
 	if err := run(cfg); err == nil {
 		t.Error("fail-fast swallowed a forced VM fault")
+	}
+}
+
+// TestNoVerifyGatesLoading exercises the load-time verification contract
+// the -no-verify flag toggles: a statically-rejected program refuses to
+// load by default, the refusal names the escape hatch, and setting
+// NoVerify (what -no-verify does) loads it anyway.
+func TestNoVerifyGatesLoading(t *testing.T) {
+	bad := &core.App{Name: "escape", Source: "e:\nj 0x100000\nhalt", Entry: "e"}
+	_, err := core.New(bad, core.Options{})
+	if err == nil {
+		t.Fatal("verifier-rejected program loaded without -no-verify")
+	}
+	err = describeVerifyError(err)
+	if !strings.Contains(err.Error(), "-no-verify") {
+		t.Errorf("refusal does not mention the flag: %v", err)
+	}
+	if _, err := core.New(bad, core.Options{NoVerify: true}); err != nil {
+		t.Fatalf("-no-verify load failed: %v", err)
+	}
+	// Non-verifier errors pass through describeVerifyError untouched.
+	if got := describeVerifyError(os.ErrNotExist); got != os.ErrNotExist {
+		t.Errorf("unrelated error rewritten: %v", got)
 	}
 }

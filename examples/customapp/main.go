@@ -9,46 +9,22 @@
 package main
 
 import (
+	_ "embed"
 	"fmt"
 	"log"
 
 	packetbench "repro"
 )
 
-// The application: drop packets whose TTL is below a configured
-// threshold, count accepted packets per TTL octile in a small table, and
-// return 1 (accept) or 0 (drop).
-const ttlFilterSrc = `
-        .equ IP_TTL, 8
-
-        .data
-threshold:                     ; minimum acceptable TTL, set by Init
-        .word 0
-counters:                      ; accepted packets per TTL/32 bucket
-        .space 8*4
-
-        .text
-        .global process_packet
-process_packet:
-        lbu  t0, IP_TTL(a0)    ; packet TTL
-        la   t1, threshold
-        lw   t1, 0(t1)
-        blt  t0, t1, reject
-
-        srli t2, t0, 5         ; TTL / 32 -> bucket 0..7
-        slli t2, t2, 2
-        la   t3, counters
-        add  t3, t3, t2
-        lw   t4, 0(t3)
-        addi t4, t4, 1
-        sw   t4, 0(t3)
-
-        addi a0, zero, 1
-        ret
-reject:
-        mv   a0, zero
-        ret
-`
+// The application lives in its own assembly file, like the bundled
+// applications: drop packets whose TTL is below a configured threshold,
+// count accepted packets per TTL octile in a small table, and return 1
+// (accept) or 0 (drop). Keeping the source on disk lets the pbvet CLI
+// (and CI) statically verify it without running this program. It sits in
+// src/ so the Go toolchain does not mistake it for Go assembly.
+//
+//go:embed src/ttl_filter.s
+var ttlFilterSrc string
 
 func ttlFilter(threshold uint32) *packetbench.App {
 	return &packetbench.App{

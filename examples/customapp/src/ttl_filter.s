@@ -1,0 +1,35 @@
+; TTL-threshold filter with a per-port packet counter: drop packets
+; whose TTL is below the threshold Init publishes, count accepted
+; packets per TTL octile, return 1 (accept) or 0 (drop).
+;
+; The file is embedded by main.go and verified by pbvet in CI.
+
+        .equ IP_TTL, 8
+
+        .data
+threshold:                     ; minimum acceptable TTL, set by Init
+        .word 0
+counters:                      ; accepted packets per TTL/32 bucket
+        .space 8*4
+
+        .text
+        .global process_packet
+process_packet:
+        lbu  t0, IP_TTL(a0)    ; packet TTL
+        la   t1, threshold
+        lw   t1, 0(t1)
+        blt  t0, t1, reject
+
+        srli t2, t0, 5         ; TTL / 32 -> bucket 0..7
+        slli t2, t2, 2
+        la   t3, counters
+        add  t3, t3, t2
+        lw   t4, 0(t3)
+        addi t4, t4, 1
+        sw   t4, 0(t3)
+
+        addi a0, zero, 1
+        ret
+reject:
+        mv   a0, zero
+        ret

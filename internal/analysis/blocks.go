@@ -107,6 +107,71 @@ func (m *BlockMap) Size(b int) int {
 	return end - m.leaders[b]
 }
 
+// TerminatorIndex returns the instruction index of block b's last
+// instruction — the one that decides where control goes next.
+func (m *BlockMap) TerminatorIndex(b int) int {
+	return m.leaders[b] + m.Size(b) - 1
+}
+
+// Successors computes the static control-flow successor edges of every
+// basic block: branch targets plus fall-through, JAL targets (with the
+// fall-through return point when the jump links, per the assembler's
+// call discipline), and plain fall-through for blocks split by a
+// following leader. JALR targets are not statically known and contribute
+// no edges; HALT ends the graph. Targets outside the text segment are
+// omitted (the static verifier reports them as diagnostics). text must
+// be the instruction slice the map was built from.
+func Successors(text []isa.Instruction, m *BlockMap) [][]int {
+	succs := make([][]int, m.NumBlocks())
+	addEdge := func(b int, idx int) {
+		if idx < 0 || idx >= len(text) {
+			return
+		}
+		t := m.of[idx]
+		for _, s := range succs[b] {
+			if s == t {
+				return
+			}
+		}
+		succs[b] = append(succs[b], t)
+	}
+	for b := 0; b < m.NumBlocks(); b++ {
+		last := m.TerminatorIndex(b)
+		in := text[last]
+		switch {
+		case in.Op == isa.HALT:
+			// no successors
+		case in.Op.IsBranch():
+			addEdge(b, last+1+int(in.Imm))
+			addEdge(b, last+1)
+		case in.Op == isa.JAL:
+			addEdge(b, last+1+int(in.Imm))
+			if in.Rd != isa.Zero {
+				// A linking jump is a call; control returns to the
+				// fall-through instruction.
+				addEdge(b, last+1)
+			}
+		case in.Op == isa.JALR:
+			// Target unknown statically (function return or indirect
+			// jump); no edges.
+		default:
+			addEdge(b, last+1)
+		}
+	}
+	return succs
+}
+
+// Predecessors inverts a successor edge list.
+func Predecessors(succs [][]int) [][]int {
+	preds := make([][]int, len(succs))
+	for b, ss := range succs {
+		for _, s := range ss {
+			preds[s] = append(preds[s], b)
+		}
+	}
+	return preds
+}
+
 // BlockProbabilities returns, for each block, the fraction of packets
 // whose execution touched it (Figure 7 of the paper). blockSets holds the
 // sorted block-id sets of each packet.

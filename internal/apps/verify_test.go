@@ -1,0 +1,30 @@
+package apps
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/route"
+)
+
+// TestAllAppsVerifyClean runs the static verifier over every bundled
+// application exactly as core.New does at load time. Error-severity
+// findings are load failures; the bundled applications must also stay
+// free of warnings so that real findings in user programs stand out.
+func TestAllAppsVerifyClean(t *testing.T) {
+	tbl := route.GenerateTable(route.GenOptions{})
+	list := All(tbl, 64, 1)
+	list = append(list, PayloadScan([4]byte{0xde, 0xad, 0xbe, 0xef}), Frag(576))
+	if len(list) != 6 {
+		t.Fatalf("expected the 6 bundled applications, got %d", len(list))
+	}
+	for _, app := range list {
+		ds, err := core.Verify(app, core.Options{})
+		if err != nil {
+			t.Fatalf("%s: %v", app.Name, err)
+		}
+		if len(ds) != 0 {
+			t.Errorf("%s: verifier findings:\n%s", app.Name, ds)
+		}
+	}
+}

@@ -75,8 +75,10 @@ package asm
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"strings"
 
+	"repro/internal/diag"
 	"repro/internal/isa"
 )
 
@@ -113,6 +115,24 @@ type Program struct {
 	// SourceLines[i] is the 1-based source line that produced Text[i];
 	// pseudo-instruction expansions share their source line.
 	SourceLines []int
+	// LabelLines maps each label to the 1-based source line of its
+	// definition.
+	LabelLines map[string]int
+	// Lint holds the assembler's style findings for an otherwise valid
+	// program: labels that are defined but never referenced, and labels
+	// that shadow a register or mnemonic name. The verifier (and pbvet)
+	// surface these alongside its own diagnostics; they never fail
+	// assembly.
+	Lint diag.List
+}
+
+// LineFor returns the 1-based source line of the instruction at the
+// given text address, or 0 if the address is outside the text segment.
+func (p *Program) LineFor(addr uint32) int {
+	if addr < p.TextBase || addr >= p.TextEnd() || addr%isa.WordSize != 0 {
+		return 0
+	}
+	return p.SourceLines[(addr-p.TextBase)/isa.WordSize]
 }
 
 // TextEnd returns the first address past the text segment.
@@ -181,11 +201,13 @@ func Assemble(src string, opts Options) (*Program, error) {
 	a := &assembler{
 		opts: opts,
 		prog: &Program{
-			TextBase: opts.TextBase,
-			DataBase: opts.DataBase,
-			Symbols:  make(map[string]uint32),
+			TextBase:   opts.TextBase,
+			DataBase:   opts.DataBase,
+			Symbols:    make(map[string]uint32),
+			LabelLines: make(map[string]int),
 		},
-		consts: make(map[string]int64),
+		consts:    make(map[string]int64),
+		labelRefs: make(map[string]bool),
 	}
 	a.run(src)
 	if len(a.errs) > 0 {
@@ -210,10 +232,11 @@ const (
 )
 
 type assembler struct {
-	opts   Options
-	prog   *Program
-	consts map[string]int64 // .equ constants
-	errs   []error
+	opts      Options
+	prog      *Program
+	consts    map[string]int64 // .equ constants
+	labelRefs map[string]bool  // labels resolved by some expression or .global
+	errs      []error
 }
 
 func (a *assembler) errorf(line int, format string, args ...any) {
@@ -230,6 +253,39 @@ func (a *assembler) run(src string) {
 		return
 	}
 	a.passTwo(stmts)
+	if len(a.errs) == 0 {
+		a.lint()
+	}
+}
+
+// lint records style findings for a successfully assembled program:
+// defined-but-unreferenced labels (dead code, or a host-interface anchor
+// missing its .global) and labels that shadow a register or mnemonic
+// name (legal, but a branch to "ra" or "ret" reads like the register or
+// instruction, not the label).
+func (a *assembler) lint() {
+	names := make([]string, 0, len(a.prog.Symbols))
+	for name := range a.prog.Symbols {
+		names = append(names, name)
+	}
+	sort.Slice(names, func(i, j int) bool {
+		return a.prog.LabelLines[names[i]] < a.prog.LabelLines[names[j]]
+	})
+	for _, name := range names {
+		line := a.prog.LabelLines[name]
+		if _, isReg := isa.ParseReg(name); isReg || instrSize(name) >= 0 {
+			a.prog.Lint = append(a.prog.Lint, diag.Diagnostic{
+				Severity: diag.Warning, Check: "shadowed-name", Line: line,
+				Msg: fmt.Sprintf("label %q shadows a register or instruction mnemonic", name),
+			})
+		}
+		if !a.labelRefs[name] {
+			a.prog.Lint = append(a.prog.Lint, diag.Diagnostic{
+				Severity: diag.Warning, Check: "unused-label", Line: line,
+				Msg: fmt.Sprintf("label %q is defined but never referenced (declare it .global if it is a host-interface anchor)", name),
+			})
+		}
+	}
 }
 
 // parseLines splits the source into statements, handling comments and
@@ -377,6 +433,7 @@ func (a *assembler) passOne(stmts []statement) {
 			a.errorf(st.line, "label %q collides with .equ constant", st.label)
 			return
 		}
+		a.prog.LabelLines[st.label] = st.line
 		if seg == segText {
 			a.prog.Symbols[st.label] = a.opts.TextBase + textOff
 		} else {
@@ -399,6 +456,9 @@ func (a *assembler) passOne(stmts []statement) {
 					continue
 				}
 				a.prog.Globals = append(a.prog.Globals, st.operands[0])
+				// Exporting a symbol counts as a reference: host code
+				// resolves it by name.
+				a.labelRefs[st.operands[0]] = true
 			case ".equ", ".set":
 				defineLabel(st)
 				if len(st.operands) != 2 || !isIdent(st.operands[0]) {

@@ -1,0 +1,27 @@
+package asm
+
+// FuzzSeeds is the assembler's seed fuzz corpus. It is exported so the
+// static verifier's soundness smoke test can check the same programs:
+// any corpus program that assembles and executes to completion on the
+// simulator must not be rejected (error severity) by the verifier.
+var FuzzSeeds = []string{
+	"",
+	"nop",
+	"addi a0, zero, 1\nhalt",
+	"x: j x",
+	".data\nv: .word 1\n.text\nla t0, v\nlw a0, 0(t0)\nret",
+	".equ K, 1<<4\nandi t0, t0, K-1",
+	"li a0, 0xFFFFFFFF",
+	".data\ns: .asciz \"hi\\n\"",
+	"beq a0, a1, nowhere",
+	"lw a0, 4(",
+	".align 3",
+	"add a0, a1",
+	"call f\nf: ret",
+	"; comment only",
+	".word 1",
+	"label:",
+	"\t.text\n\tsw a0, -4(sp)",
+	"e:\naddi sp, sp, -8\nsw a0, 0(sp)\nlw a1, 4(sp)\naddi sp, sp, 8\nhalt",
+	".global e\ne: beqz a0, out\naddi a0, zero, 2\nout: halt",
+}

@@ -22,7 +22,7 @@ import (
 //	unary  := ('-'|'~')* primary
 //	primary:= integer | 'c' | symbol | '(' expr ')'
 func (a *assembler) eval(s string, labels map[string]uint32) (int64, error) {
-	p := &exprParser{src: s, consts: a.consts, labels: labels}
+	p := &exprParser{src: s, consts: a.consts, labels: labels, refs: a.labelRefs}
 	v, err := p.parseExpr()
 	if err != nil {
 		return 0, err
@@ -39,6 +39,7 @@ type exprParser struct {
 	pos    int
 	consts map[string]int64
 	labels map[string]uint32
+	refs   map[string]bool // label-reference tracking for lint, may be nil
 }
 
 func (p *exprParser) skipSpace() {
@@ -270,6 +271,9 @@ func (p *exprParser) parseSymbol() (int64, error) {
 	}
 	if p.labels != nil {
 		if v, ok := p.labels[name]; ok {
+			if p.refs != nil {
+				p.refs[name] = true
+			}
 			return int64(v), nil
 		}
 		return 0, fmt.Errorf("undefined symbol %q", name)

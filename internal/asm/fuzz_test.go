@@ -8,26 +8,7 @@ import (
 // FuzzAssemble checks the assembler never panics and that accepted
 // programs satisfy basic well-formedness invariants.
 func FuzzAssemble(f *testing.F) {
-	seeds := []string{
-		"",
-		"nop",
-		"addi a0, zero, 1\nhalt",
-		"x: j x",
-		".data\nv: .word 1\n.text\nla t0, v\nlw a0, 0(t0)\nret",
-		".equ K, 1<<4\nandi t0, t0, K-1",
-		"li a0, 0xFFFFFFFF",
-		".data\ns: .asciz \"hi\\n\"",
-		"beq a0, a1, nowhere",
-		"lw a0, 4(",
-		".align 3",
-		"add a0, a1",
-		"call f\nf: ret",
-		"; comment only",
-		".word 1",
-		"label:",
-		"\t.text\n\tsw a0, -4(sp)",
-	}
-	for _, s := range seeds {
+	for _, s := range FuzzSeeds {
 		f.Add(s)
 	}
 	f.Fuzz(func(t *testing.T, src string) {

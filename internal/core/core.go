@@ -47,6 +47,7 @@ import (
 	"repro/internal/analysis"
 	"repro/internal/asm"
 	"repro/internal/isa"
+	"repro/internal/staticcheck"
 	"repro/internal/stats"
 	"repro/internal/trace"
 	"repro/internal/vm"
@@ -180,6 +181,64 @@ type Options struct {
 	KeepRecords bool
 	// Errors selects the fault-handling policy (zero value: FailFast).
 	Errors ErrorPolicy
+	// NoVerify skips the static verifier. By default New refuses to load
+	// a program with error-severity findings (control transfers that
+	// leave the text segment, statically-bad memory accesses, paths that
+	// run off the end of the program); NoVerify loads it anyway, leaving
+	// fault handling to the runtime ErrorPolicy.
+	NoVerify bool
+}
+
+// VerifyError is returned by New when the static verifier refuses an
+// application. Diags holds the full report (warnings included); only
+// error-severity findings cause rejection.
+type VerifyError struct {
+	App   string
+	Diags staticcheck.List
+}
+
+func (e *VerifyError) Error() string {
+	errs := e.Diags.Errors()
+	return fmt.Sprintf("core: application %q failed static verification (%d error(s), e.g. %s); use NoVerify to load it anyway",
+		e.App, len(errs), errs[0])
+}
+
+// LayoutFor is the memory map a Bench gives a program assembled from an
+// application: the framework constants (packet buffer, stack) plus the
+// program's own text and data segments with heapSize bytes of heap. It
+// is exported so the static verifier and CLIs check programs against
+// the exact map they will run under.
+func LayoutFor(prog *asm.Program, heapSize uint32) vm.Layout {
+	if heapSize == 0 {
+		heapSize = DefaultHeapSize
+	}
+	return vm.Layout{
+		TextBase:   prog.TextBase,
+		TextEnd:    prog.TextEnd(),
+		PacketBase: PacketBase,
+		PacketEnd:  PacketBase + MaxPacketLen,
+		DataBase:   prog.DataBase,
+		DataEnd:    prog.DataBase + heapSize,
+		StackBase:  StackTop - StackSize,
+		StackEnd:   StackTop,
+	}
+}
+
+// Verify runs the static verifier over an application's program exactly
+// as New would, without building a Bench.
+func Verify(app *App, opts Options) (staticcheck.List, error) {
+	prog, err := asm.Assemble(app.Source, asm.Options{})
+	if err != nil {
+		return nil, fmt.Errorf("core: assembling %s: %w", app.Name, err)
+	}
+	return verifyProg(prog, app, opts), nil
+}
+
+func verifyProg(prog *asm.Program, app *App, opts Options) staticcheck.List {
+	return staticcheck.Verify(prog, staticcheck.Options{
+		Layout:  LayoutFor(prog, opts.HeapSize),
+		Entries: []string{app.Entry},
+	})
 }
 
 // Loader is the interface Init hooks use to place application state into
@@ -309,6 +368,12 @@ func New(app *App, opts Options) (*Bench, error) {
 		stepLimit = DefaultStepLimit
 	}
 
+	if !opts.NoVerify {
+		if ds := verifyProg(prog, app, opts); ds.HasErrors() {
+			return nil, &VerifyError{App: app.Name, Diags: ds}
+		}
+	}
+
 	mem := vm.NewMemory()
 	mem.WriteBytes(prog.DataBase, prog.Data)
 
@@ -326,12 +391,7 @@ func New(app *App, opts Options) (*Bench, error) {
 	}
 
 	cpu := vm.New(prog.Text, prog.TextBase, mem)
-	cpu.Layout.PacketBase = PacketBase
-	cpu.Layout.PacketEnd = PacketBase + MaxPacketLen
-	cpu.Layout.DataBase = prog.DataBase
-	cpu.Layout.DataEnd = prog.DataBase + heap
-	cpu.Layout.StackBase = StackTop - StackSize
-	cpu.Layout.StackEnd = StackTop
+	cpu.Layout = LayoutFor(prog, heap)
 
 	blocks := analysis.NewBlockMap(prog.Text, prog.TextBase)
 	col := stats.NewCollector(prog.Text, prog.TextBase, blocks)

@@ -2,9 +2,11 @@ package core
 
 import (
 	"bytes"
+	"errors"
 	"strings"
 	"testing"
 
+	"repro/internal/asm"
 	"repro/internal/gen"
 	"repro/internal/stats"
 	"repro/internal/trace"
@@ -197,13 +199,61 @@ func TestBenchStepLimit(t *testing.T) {
 
 func TestBenchFaultMentionsAppAndPacket(t *testing.T) {
 	app := &App{Name: "crash", Source: "e:\nlw a0, 0(zero)\nret", Entry: "e"}
-	b, err := New(app, Options{})
+	// The verifier statically rejects this program; the test is about the
+	// runtime fault message, so load it unverified.
+	b, err := New(app, Options{NoVerify: true})
 	if err != nil {
 		t.Fatal(err)
 	}
 	_, err = b.ProcessPacket(ipPacket(20))
 	if err == nil || !strings.Contains(err.Error(), "crash") || !strings.Contains(err.Error(), "packet 0") {
 		t.Errorf("fault message lacks context: %v", err)
+	}
+}
+
+func TestVerifyGate(t *testing.T) {
+	// Jump past the end of the text segment: a static error.
+	bad := &App{Name: "escape", Source: "e:\nj 0x100000\nhalt", Entry: "e"}
+	_, err := New(bad, Options{})
+	var verr *VerifyError
+	if !errors.As(err, &verr) {
+		t.Fatalf("want *VerifyError, got %v", err)
+	}
+	if verr.App != "escape" || !verr.Diags.HasErrors() {
+		t.Errorf("VerifyError lacks context: %+v", verr)
+	}
+	if !strings.Contains(err.Error(), "NoVerify") {
+		t.Errorf("error should point at the escape hatch: %v", err)
+	}
+	// The same program loads when verification is off.
+	if _, err := New(bad, Options{NoVerify: true}); err != nil {
+		t.Fatalf("NoVerify load failed: %v", err)
+	}
+	// Warnings alone never block a load.
+	warn := &App{Name: "warny", Source: "e:\nadd a2, t2, zero\nhalt", Entry: "e"}
+	if _, err := New(warn, Options{}); err != nil {
+		t.Fatalf("warning-only program rejected: %v", err)
+	}
+	ds, err := Verify(warn, Options{})
+	if err != nil || len(ds) == 0 || ds.HasErrors() {
+		t.Errorf("Verify(warny) = %v, %v; want warnings only", ds, err)
+	}
+}
+
+func TestLayoutFor(t *testing.T) {
+	prog, err := asm.Assemble("e: halt", asm.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := LayoutFor(prog, 0)
+	if l.TextBase != prog.TextBase || l.TextEnd != prog.TextEnd() {
+		t.Errorf("text bounds wrong: %+v", l)
+	}
+	if l.DataEnd != prog.DataBase+DefaultHeapSize {
+		t.Errorf("zero heap must default: %+v", l)
+	}
+	if l.Classify(PacketBase) != vm.RegionPacket || l.Classify(StackTop-4) != vm.RegionStack {
+		t.Errorf("regions wrong: %+v", l)
 	}
 }
 
@@ -401,14 +451,14 @@ func TestPoolMatchesSingleCore(t *testing.T) {
 
 func TestPoolErrorPropagation(t *testing.T) {
 	crash := &App{Name: "crash", Source: "e:\nlw a0, 0(zero)\nret", Entry: "e"}
-	pool, err := NewPool(crash, 2, Options{})
+	pool, err := NewPool(crash, 2, Options{NoVerify: true})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if _, err := pool.RunPackets([]*trace.Packet{ipPacket(20), ipPacket(20)}, nil); err == nil {
 		t.Error("pool swallowed a core fault")
 	}
-	if _, err := NewPool(crash, 0, Options{}); err == nil {
+	if _, err := NewPool(crash, 0, Options{NoVerify: true}); err == nil {
 		t.Error("zero-core pool accepted")
 	}
 	bad := &App{Name: "bad", Source: "frob", Entry: "e"}

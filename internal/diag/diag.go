@@ -1,0 +1,138 @@
+// Package diag defines the diagnostic type shared by the assembler's
+// lint warnings and the static verifier (internal/staticcheck): a typed,
+// located finding with a severity, a short check code, and the source
+// line it refers to.
+//
+// The package is a leaf — it imports nothing from the toolchain — so the
+// assembler can report lint findings with the same type the verifier
+// uses without creating an import cycle (staticcheck imports asm to read
+// assembled programs).
+package diag
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Severity ranks a diagnostic. Error-severity findings gate execution:
+// the run engine refuses to load a program carrying any (unless
+// verification is explicitly disabled), while warnings are advisory.
+type Severity uint8
+
+// The severities, in increasing order of gravity.
+const (
+	Info Severity = iota
+	Warning
+	Error
+)
+
+// String returns the lower-case severity name.
+func (s Severity) String() string {
+	switch s {
+	case Info:
+		return "info"
+	case Warning:
+		return "warning"
+	case Error:
+		return "error"
+	}
+	return fmt.Sprintf("severity?%d", uint8(s))
+}
+
+// Diagnostic is one located finding.
+type Diagnostic struct {
+	Severity Severity
+	// Check is the short kebab-case name of the analysis that produced
+	// the finding (for example "bad-target" or "unused-label").
+	Check string
+	// Line is the 1-based source line the finding refers to, 0 when no
+	// line information is available.
+	Line int
+	// PC is the text address the finding refers to, 0 when the finding
+	// is not tied to an instruction.
+	PC uint32
+	// Msg describes the finding.
+	Msg string
+}
+
+// String renders the diagnostic as "line 12: error: msg [check]".
+func (d Diagnostic) String() string {
+	var b strings.Builder
+	if d.Line > 0 {
+		fmt.Fprintf(&b, "line %d: ", d.Line)
+	}
+	fmt.Fprintf(&b, "%s: %s", d.Severity, d.Msg)
+	if d.Check != "" {
+		fmt.Fprintf(&b, " [%s]", d.Check)
+	}
+	return b.String()
+}
+
+// List is a collection of diagnostics.
+type List []Diagnostic
+
+// HasErrors reports whether any finding is error severity.
+func (l List) HasErrors() bool {
+	for _, d := range l {
+		if d.Severity == Error {
+			return true
+		}
+	}
+	return false
+}
+
+// Errors returns only the error-severity findings.
+func (l List) Errors() List {
+	var out List
+	for _, d := range l {
+		if d.Severity == Error {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// Count returns the number of findings at the given severity.
+func (l List) Count(s Severity) int {
+	n := 0
+	for _, d := range l {
+		if d.Severity == s {
+			n++
+		}
+	}
+	return n
+}
+
+// Sort orders the list by source line, then address, then check name,
+// and removes exact duplicates (analyses over shared code paths can
+// reach the same instruction twice).
+func (l List) Sort() List {
+	sort.SliceStable(l, func(i, j int) bool {
+		if l[i].Line != l[j].Line {
+			return l[i].Line < l[j].Line
+		}
+		if l[i].PC != l[j].PC {
+			return l[i].PC < l[j].PC
+		}
+		return l[i].Check < l[j].Check
+	})
+	out := l[:0]
+	for i, d := range l {
+		if i > 0 && d == l[i-1] {
+			continue
+		}
+		out = append(out, d)
+	}
+	return out
+}
+
+// String renders the list one diagnostic per line.
+func (l List) String() string {
+	var b strings.Builder
+	for _, d := range l {
+		b.WriteString(d.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

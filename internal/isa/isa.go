@@ -313,6 +313,37 @@ type Instruction struct {
 	Imm int32
 }
 
+// RegDef returns the register the instruction writes and whether it
+// writes one at all. Stores, branches and HALT define no register;
+// writes to the zero register are architecturally discarded but still
+// reported here (callers that care must check for Zero themselves).
+func (in Instruction) RegDef() (Reg, bool) {
+	switch in.Op.Format() {
+	case FormatR, FormatI, FormatU, FormatJ:
+		return in.Rd, true
+	}
+	return 0, false
+}
+
+// RegUses returns the registers the instruction reads, in encoding
+// order. For stores the Rd field is the value source and is reported as
+// a use alongside the Rs1 base. The fixed-size return avoids allocating
+// on dataflow-analysis hot paths.
+func (in Instruction) RegUses() (regs [2]Reg, n int) {
+	switch in.Op.Format() {
+	case FormatR, FormatB:
+		regs[0], regs[1] = in.Rs1, in.Rs2
+		n = 2
+	case FormatI:
+		regs[0] = in.Rs1
+		n = 1
+	case FormatS:
+		regs[0], regs[1] = in.Rs1, in.Rd
+		n = 2
+	}
+	return regs, n
+}
+
 // immediate range limits per format.
 const (
 	MinImm12  = -(1 << 11)

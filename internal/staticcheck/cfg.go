@@ -1,0 +1,360 @@
+package staticcheck
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/asm"
+	"repro/internal/diag"
+	"repro/internal/isa"
+)
+
+// CFG is the static control-flow graph of an assembled program: basic
+// blocks from analysis.BlockMap connected by successor/predecessor
+// edges, the call graph implied by the assembler's JAL/JALR call-return
+// discipline, and the set of blocks reachable from the entry points.
+type CFG struct {
+	Prog   *asm.Program
+	Blocks *analysis.BlockMap
+	// Succs and Preds are the static control-flow edges per block,
+	// including both the target and the return point of linking jumps.
+	Succs [][]int
+	Preds [][]int
+	// Entries holds the block ids execution enters from the framework.
+	Entries []int
+	// Reachable[b] reports whether block b is reachable from Entries.
+	Reachable []bool
+	// FuncEntries holds the block ids that start a function: the program
+	// entries plus every call (linking JAL) target.
+	FuncEntries []int
+	// Calls lists the call sites (linking JALs with an in-text target).
+	Calls []Call
+
+	funcEntry []bool // indexed by block id
+}
+
+// Call is one static call site.
+type Call struct {
+	Block  int // calling block
+	Index  int // instruction index of the JAL
+	Target int // callee entry block
+}
+
+// BuildCFG constructs the control-flow graph of prog. Diagnostics are
+// produced only for unresolvable entry symbols; the graph itself is
+// built for any program.
+func BuildCFG(prog *asm.Program, opts Options) (*CFG, diag.List) {
+	blocks := analysis.NewBlockMap(prog.Text, prog.TextBase)
+	c := &CFG{
+		Prog:   prog,
+		Blocks: blocks,
+		Succs:  analysis.Successors(prog.Text, blocks),
+	}
+	c.Preds = analysis.Predecessors(c.Succs)
+
+	entryAddrs, ds := resolveEntries(prog, opts)
+	seenEntry := make(map[int]bool)
+	for _, addr := range entryAddrs {
+		if b := blocks.BlockOf(addr); b >= 0 && !seenEntry[b] {
+			seenEntry[b] = true
+			c.Entries = append(c.Entries, b)
+		}
+	}
+
+	// Function entries: program entries plus call targets.
+	c.funcEntry = make([]bool, blocks.NumBlocks())
+	for _, e := range c.Entries {
+		c.funcEntry[e] = true
+	}
+	for b := 0; b < blocks.NumBlocks(); b++ {
+		last := blocks.TerminatorIndex(b)
+		in := prog.Text[last]
+		if in.Op == isa.JAL && in.Rd != isa.Zero {
+			t := last + 1 + int(in.Imm)
+			if t >= 0 && t < len(prog.Text) {
+				tb := blocks.BlockOfIndex(t)
+				c.Calls = append(c.Calls, Call{Block: b, Index: last, Target: tb})
+				c.funcEntry[tb] = true
+			}
+		}
+	}
+	for b, is := range c.funcEntry {
+		if is {
+			c.FuncEntries = append(c.FuncEntries, b)
+		}
+	}
+
+	// Reachability over the full edge set (call targets included).
+	c.Reachable = make([]bool, blocks.NumBlocks())
+	work := append([]int(nil), c.Entries...)
+	for _, b := range work {
+		c.Reachable[b] = true
+	}
+	for len(work) > 0 {
+		b := work[len(work)-1]
+		work = work[:len(work)-1]
+		for _, s := range c.Succs[b] {
+			if !c.Reachable[s] {
+				c.Reachable[s] = true
+				work = append(work, s)
+			}
+		}
+	}
+	return c, ds
+}
+
+// resolveEntries determines the program's entry addresses: explicit
+// addresses, named symbols, or (by default) the text-segment globals,
+// falling back to the base of the text segment.
+func resolveEntries(prog *asm.Program, opts Options) ([]uint32, diag.List) {
+	if len(opts.EntryAddrs) > 0 {
+		return opts.EntryAddrs, nil
+	}
+	var ds diag.List
+	if len(opts.Entries) > 0 {
+		var addrs []uint32
+		for _, name := range opts.Entries {
+			addr, ok := prog.Symbols[name]
+			if !ok {
+				ds = append(ds, diag.Diagnostic{Severity: diag.Error, Check: "entry",
+					Msg: fmt.Sprintf("entry symbol %q is not defined", name)})
+				continue
+			}
+			if addr < prog.TextBase || addr >= prog.TextEnd() {
+				ds = append(ds, diag.Diagnostic{Severity: diag.Error, Check: "entry",
+					Line: prog.LabelLines[name],
+					Msg:  fmt.Sprintf("entry symbol %q at %#x is outside the text segment", name, addr)})
+				continue
+			}
+			addrs = append(addrs, addr)
+		}
+		return addrs, ds
+	}
+	var addrs []uint32
+	for _, g := range prog.Globals {
+		if addr, ok := prog.Symbols[g]; ok && addr >= prog.TextBase && addr < prog.TextEnd() {
+			addrs = append(addrs, addr)
+		}
+	}
+	if len(addrs) == 0 && len(prog.Text) > 0 {
+		addrs = append(addrs, prog.TextBase)
+	}
+	return addrs, ds
+}
+
+// lineAt returns the source line of instruction index i.
+func (c *CFG) lineAt(i int) int {
+	if i >= 0 && i < len(c.Prog.SourceLines) {
+		return c.Prog.SourceLines[i]
+	}
+	return 0
+}
+
+// pcAt returns the text address of instruction index i.
+func (c *CFG) pcAt(i int) uint32 {
+	return c.Prog.TextBase + uint32(i)*isa.WordSize
+}
+
+// structural checks the graph's shape: control transfers that leave the
+// text segment, paths that run off the end of the program, and
+// unreachable code. Only reachable blocks are held to the error-severity
+// checks — dead code cannot fault.
+func (c *CFG) structural() diag.List {
+	var ds diag.List
+	text := c.Prog.Text
+	n := len(text)
+	for b := 0; b < c.Blocks.NumBlocks(); b++ {
+		if !c.Reachable[b] {
+			continue
+		}
+		last := c.Blocks.TerminatorIndex(b)
+		in := text[last]
+		line, pc := c.lineAt(last), c.pcAt(last)
+		target := last + 1 + int(in.Imm)
+		switch {
+		case in.Op.IsBranch():
+			if target < 0 || target >= n {
+				ds = append(ds, diag.Diagnostic{Severity: diag.Error, Check: "bad-target", Line: line, PC: pc,
+					Msg: fmt.Sprintf("branch target %#x is outside the text segment [%#x, %#x)",
+						pc+4+uint32(in.Imm)*isa.WordSize, c.Prog.TextBase, c.Prog.TextEnd())})
+			}
+			if last == n-1 {
+				ds = append(ds, fallOff(line, pc))
+			}
+		case in.Op == isa.JAL:
+			if target < 0 || target >= n {
+				ds = append(ds, diag.Diagnostic{Severity: diag.Error, Check: "bad-target", Line: line, PC: pc,
+					Msg: fmt.Sprintf("jump target %#x is outside the text segment [%#x, %#x)",
+						pc+4+uint32(in.Imm)*isa.WordSize, c.Prog.TextBase, c.Prog.TextEnd())})
+			}
+			if in.Rd != isa.Zero && last == n-1 {
+				// A call in the last slot returns to an address past the
+				// end of the program.
+				ds = append(ds, fallOff(line, pc))
+			}
+		case in.Op == isa.JALR, in.Op == isa.HALT:
+			// Return, indirect jump, or stop: never falls through.
+		default:
+			if last == n-1 {
+				ds = append(ds, fallOff(line, pc))
+			}
+		}
+	}
+
+	// Unreachable code, reported once per maximal run of dead blocks.
+	for b := 0; b < c.Blocks.NumBlocks(); {
+		if c.Reachable[b] {
+			b++
+			continue
+		}
+		start := b
+		instrs := 0
+		for b < c.Blocks.NumBlocks() && !c.Reachable[b] {
+			instrs += c.Blocks.Size(b)
+			b++
+		}
+		lead := c.Blocks.LeaderIndex(start)
+		ds = append(ds, diag.Diagnostic{Severity: diag.Warning, Check: "unreachable",
+			Line: c.lineAt(lead), PC: c.pcAt(lead),
+			Msg: fmt.Sprintf("unreachable code: %d instructions starting at block %d are never executed from the entry point", instrs, start)})
+	}
+	return ds
+}
+
+func fallOff(line int, pc uint32) diag.Diagnostic {
+	return diag.Diagnostic{Severity: diag.Error, Check: "fall-off-end", Line: line, PC: pc,
+		Msg: "control can run past the end of the text segment (missing halt or ret)"}
+}
+
+// nonTermination warns about loops no exit can escape: reachable blocks
+// from which no path leads to a HALT, a function return, or any other
+// way out of the program. The warning fires once per loop entry.
+func (c *CFG) nonTermination() diag.List {
+	text := c.Prog.Text
+	n := c.Blocks.NumBlocks()
+	canExit := make([]bool, n)
+	var work []int
+	for b := 0; b < n; b++ {
+		last := c.Blocks.TerminatorIndex(b)
+		in := text[last]
+		exits := in.Op == isa.HALT || in.Op == isa.JALR
+		fallsThrough := !in.Op.IsControl() || in.Op.IsBranch() ||
+			(in.Op == isa.JAL && in.Rd != isa.Zero)
+		if fallsThrough && last == len(text)-1 {
+			// Running off the end leaves the program (reported as
+			// fall-off-end).
+			exits = true
+		}
+		if !exits && (in.Op.IsBranch() || in.Op == isa.JAL) {
+			// A control transfer that leaves the text segment is an exit
+			// for termination purposes (it is reported as bad-target).
+			if t := last + 1 + int(in.Imm); t < 0 || t >= len(text) {
+				exits = true
+			}
+		}
+		if exits {
+			canExit[b] = true
+			work = append(work, b)
+		}
+	}
+	for len(work) > 0 {
+		b := work[len(work)-1]
+		work = work[:len(work)-1]
+		for _, p := range c.Preds[b] {
+			if !canExit[p] {
+				canExit[p] = true
+				work = append(work, p)
+			}
+		}
+	}
+
+	trapped := make(map[int]bool)
+	for b := 0; b < n; b++ {
+		if c.Reachable[b] && !canExit[b] {
+			trapped[b] = true
+		}
+	}
+	if len(trapped) == 0 {
+		return nil
+	}
+	// Loop entries: trapped blocks entered from outside the trapped set
+	// (or program entries that are themselves trapped).
+	entries := make(map[int]bool)
+	for b := range trapped {
+		for _, p := range c.Preds[b] {
+			if !trapped[p] && c.Reachable[p] {
+				entries[b] = true
+			}
+		}
+	}
+	for _, e := range c.Entries {
+		if trapped[e] {
+			entries[e] = true
+		}
+	}
+	if len(entries) == 0 {
+		// A trap with no entry edge: fall back to its smallest block.
+		min := -1
+		for b := range trapped {
+			if min < 0 || b < min {
+				min = b
+			}
+		}
+		entries[min] = true
+	}
+	var ds diag.List
+	var order []int
+	for b := range entries {
+		order = append(order, b)
+	}
+	sort.Ints(order)
+	for _, b := range order {
+		lead := c.Blocks.LeaderIndex(b)
+		ds = append(ds, diag.Diagnostic{Severity: diag.Warning, Check: "non-termination",
+			Line: c.lineAt(lead), PC: c.pcAt(lead),
+			Msg: fmt.Sprintf("possible non-termination: no path from block %d reaches halt or return", b)})
+	}
+	return ds
+}
+
+// Dot renders the control-flow graph in Graphviz format: one node per
+// basic block labeled with its address range and source lines,
+// fall-through/branch edges solid, call edges dashed, and unreachable
+// blocks grayed out.
+func (c *CFG) Dot() string {
+	var b strings.Builder
+	b.WriteString("digraph cfg {\n  node [shape=box, fontname=\"monospace\"];\n")
+	isCallTarget := func(from, to int) bool {
+		for _, call := range c.Calls {
+			if call.Block == from && call.Target == to {
+				return true
+			}
+		}
+		return false
+	}
+	for blk := 0; blk < c.Blocks.NumBlocks(); blk++ {
+		lead := c.Blocks.LeaderIndex(blk)
+		last := c.Blocks.TerminatorIndex(blk)
+		label := fmt.Sprintf("b%d\\n%#x..%#x\\nlines %d..%d",
+			blk, c.pcAt(lead), c.pcAt(last), c.lineAt(lead), c.lineAt(last))
+		attrs := ""
+		if !c.Reachable[blk] {
+			attrs = ", style=dashed, color=gray"
+		}
+		if c.funcEntry[blk] {
+			attrs += ", peripheries=2"
+		}
+		fmt.Fprintf(&b, "  b%d [label=\"%s\"%s];\n", blk, label, attrs)
+		for _, s := range c.Succs[blk] {
+			style := ""
+			if isCallTarget(blk, s) {
+				style = " [style=dashed, label=\"call\"]"
+			}
+			fmt.Fprintf(&b, "  b%d -> b%d%s;\n", blk, s, style)
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

@@ -1,0 +1,474 @@
+package staticcheck
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/diag"
+	"repro/internal/isa"
+	"repro/internal/vm"
+)
+
+// The dataflow analysis runs a forward abstract interpretation over each
+// function of the program (the entry functions plus every call target),
+// tracking per-register abstract values:
+//
+//   - uninit: never written on some path (the bottom element)
+//   - const:  a single known 32-bit value, folded with the simulator's
+//     exact ALU semantics
+//   - sprel:  a known signed offset from the function's incoming sp
+//   - unknown: defined, value untracked (the top of the value lattice)
+//
+// The fixpoint answers may-questions: a register is flagged only if some
+// path reaches the use without a write. Constants feed the static
+// memory checks (region and alignment of load/store addresses) and the
+// computed-jump check on JALR; sp tracking drives the stack-discipline
+// checks (balanced frames at return, sp clobber detection).
+//
+// Functions are analyzed separately: a call terminator propagates the
+// caller's state across the call site with the caller-saved registers
+// (a0–a3, t0–t4, ra) clobbered to unknown and the callee-saved registers
+// (s0–s3, sp) preserved, which is the discipline the bundled
+// applications and the assembler's call/ret pseudo-instructions follow.
+
+type valKind uint8
+
+const (
+	vUninit valKind = iota // may be read before written
+	vUnknown
+	vConst
+	vSPRel // value = incoming sp + int32(v)
+)
+
+type absVal struct {
+	kind valKind
+	v    uint32
+}
+
+func (a absVal) defined() bool { return a.kind != vUninit }
+
+type regState [isa.NumRegs]absVal
+
+// meet combines the states of two paths in place; it returns true if a
+// changed. The lattice order is vUninit < vUnknown < {vConst, vSPRel}.
+func (a *regState) meet(b *regState) bool {
+	changed := false
+	for r := range a {
+		av, bv := a[r], b[r]
+		if av == bv {
+			continue
+		}
+		var m absVal
+		switch {
+		case av.kind == vUninit || bv.kind == vUninit:
+			m = absVal{kind: vUninit}
+		default:
+			m = absVal{kind: vUnknown}
+		}
+		if m != av {
+			a[r] = m
+			changed = true
+		}
+	}
+	return changed
+}
+
+type dfa struct {
+	cfg       *CFG
+	opts      Options
+	hasLayout bool
+	ds        diag.List
+}
+
+func newDataflow(cfg *CFG, opts Options) *dfa {
+	return &dfa{cfg: cfg, opts: opts, hasLayout: opts.Layout != (vm.Layout{})}
+}
+
+func (d *dfa) run() diag.List {
+	isEntry := make(map[int]bool, len(d.cfg.Entries))
+	for _, e := range d.cfg.Entries {
+		isEntry[e] = true
+	}
+	for _, e := range d.cfg.FuncEntries {
+		d.analyzeFunction(e, isEntry[e])
+	}
+	return d.ds
+}
+
+// entryState builds the abstract register state at a function's entry.
+// Program entries get the framework's ABI contract: a0 = packet address,
+// a1 = length, sp = top of stack, ra = the magic return address, all
+// other registers unwritten. Helper entries assume the caller defined
+// everything (the call-clobber transfer keeps this honest) with sp at an
+// unknown but trackable base.
+func (d *dfa) entryState(programEntry bool) regState {
+	var st regState
+	st[isa.Zero] = absVal{kind: vConst, v: 0}
+	if !programEntry {
+		for r := range st {
+			if st[r].kind == vUninit {
+				st[r] = absVal{kind: vUnknown}
+			}
+		}
+		st[isa.SP] = absVal{kind: vSPRel, v: 0}
+		return st
+	}
+	st[isa.A0] = absVal{kind: vUnknown}
+	st[isa.A1] = absVal{kind: vUnknown}
+	st[isa.SP] = absVal{kind: vSPRel, v: 0}
+	st[isa.RA] = absVal{kind: vConst, v: vm.ReturnAddress}
+	if d.hasLayout {
+		st[isa.A0] = absVal{kind: vConst, v: d.opts.Layout.PacketBase}
+		st[isa.SP] = absVal{kind: vConst, v: d.opts.Layout.StackEnd}
+	}
+	return st
+}
+
+// intraSuccs returns block b's successors within the function rooted at
+// entry: call targets and edges into other functions' entries (tail
+// calls, fall-ins) are cut, since those blocks are analyzed under their
+// own entry state.
+func (d *dfa) intraSuccs(b, entry int) []int {
+	text := d.cfg.Prog.Text
+	last := d.cfg.Blocks.TerminatorIndex(b)
+	in := text[last]
+	var idxs []int
+	switch {
+	case in.Op == isa.HALT, in.Op == isa.JALR:
+	case in.Op.IsBranch():
+		idxs = append(idxs, last+1+int(in.Imm), last+1)
+	case in.Op == isa.JAL:
+		if in.Rd == isa.Zero {
+			idxs = append(idxs, last+1+int(in.Imm))
+		} else {
+			idxs = append(idxs, last+1) // control returns after the call
+		}
+	default:
+		idxs = append(idxs, last+1)
+	}
+	var succs []int
+	for _, idx := range idxs {
+		if idx < 0 || idx >= len(text) {
+			continue
+		}
+		s := d.cfg.Blocks.BlockOfIndex(idx)
+		if s != entry && d.cfg.funcEntry[s] {
+			continue
+		}
+		dup := false
+		for _, t := range succs {
+			dup = dup || t == s
+		}
+		if !dup {
+			succs = append(succs, s)
+		}
+	}
+	return succs
+}
+
+// analyzeFunction runs the fixpoint over one function's blocks, then a
+// deterministic reporting pass over the stable block-entry states.
+func (d *dfa) analyzeFunction(entry int, programEntry bool) {
+	in := map[int]*regState{}
+	est := d.entryState(programEntry)
+	in[entry] = &est
+	work := []int{entry}
+	for len(work) > 0 {
+		b := work[len(work)-1]
+		work = work[:len(work)-1]
+		st := *in[b] // copy
+		d.stepBlock(b, &st, false)
+		for _, s := range d.intraSuccs(b, entry) {
+			if prev, ok := in[s]; !ok {
+				cp := st
+				in[s] = &cp
+				work = append(work, s)
+			} else if prev.meet(&st) {
+				work = append(work, s)
+			}
+		}
+	}
+
+	blocks := make([]int, 0, len(in))
+	for b := range in {
+		blocks = append(blocks, b)
+	}
+	sort.Ints(blocks)
+	for _, b := range blocks {
+		st := *in[b]
+		d.stepBlock(b, &st, true)
+	}
+}
+
+// stepBlock interprets every instruction of block b, mutating st. With
+// emit set it appends diagnostics; the fixpoint pass runs with emit
+// unset but must make identical state transitions.
+func (d *dfa) stepBlock(b int, st *regState, emit bool) {
+	lead := d.cfg.Blocks.LeaderIndex(b)
+	last := d.cfg.Blocks.TerminatorIndex(b)
+	for i := lead; i <= last; i++ {
+		d.step(i, st, emit)
+	}
+	in := d.cfg.Prog.Text[last]
+	if in.Op == isa.JAL && in.Rd != isa.Zero {
+		clobberCallerSaved(st)
+	}
+}
+
+// callerSaved are the registers a callee may freely overwrite under the
+// framework's calling convention.
+var callerSaved = []isa.Reg{isa.A0, isa.A1, isa.A2, isa.A3,
+	isa.T0, isa.T1, isa.T2, isa.T3, isa.T4, isa.RA}
+
+func clobberCallerSaved(st *regState) {
+	for _, r := range callerSaved {
+		st[r] = absVal{kind: vUnknown}
+	}
+}
+
+// step interprets one instruction.
+func (d *dfa) step(i int, st *regState, emit bool) {
+	in := d.cfg.Prog.Text[i]
+	line, pc := d.cfg.lineAt(i), d.cfg.pcAt(i)
+
+	// Uses before definition. After reporting, the register is treated as
+	// defined so one bad register yields one warning per use site, not a
+	// cascade through every later read.
+	regs, n := in.RegUses()
+	for _, r := range regs[:n] {
+		if r != isa.Zero && !st[r].defined() {
+			if emit {
+				d.report(diag.Warning, "uninit-reg", line, pc,
+					fmt.Sprintf("register %s may be used before it is set", r))
+			}
+			st[r] = absVal{kind: vUnknown}
+		}
+	}
+
+	if in.Op.IsLoad() || in.Op.IsStore() {
+		d.checkAccess(in, st[in.Rs1], line, pc)
+	}
+	if in.Op == isa.JALR {
+		d.checkJALR(in, st, line, pc)
+	}
+	if in.Op == isa.HALT {
+		// Nothing: halt hands control back regardless of stack state.
+	}
+
+	if rd, ok := in.RegDef(); ok && rd != isa.Zero {
+		v := evalInstr(in, st, pc)
+		// Writing sp from anything other than sp itself abandons the
+		// stack discipline. Adjustments of an untracked sp (for example
+		// loop-variant pushes) are legitimate and stay silent.
+		if rd == isa.SP && v.kind == vUnknown && emit {
+			fromSP := false
+			regs, n := in.RegUses()
+			for _, r := range regs[:n] {
+				fromSP = fromSP || r == isa.SP
+			}
+			if !fromSP {
+				d.report(diag.Warning, "sp-clobber", line, pc,
+					"sp is overwritten with a value unrelated to the stack pointer; stack checks stop here")
+			}
+		}
+		st[rd] = v
+	}
+}
+
+// checkAccess statically validates a load/store whose base register
+// holds a known constant: region classification against the memory map
+// and natural alignment — the same rules the simulator enforces
+// dynamically. Stack-relative accesses with an unknown base are skipped;
+// they are covered by the sp-balance checks instead.
+func (d *dfa) checkAccess(in isa.Instruction, base absVal, line int, pc uint32) {
+	if base.kind != vConst {
+		return
+	}
+	addr := base.v + uint32(in.Imm)
+	size := uint32(in.Op.MemSize())
+	verb := "load from"
+	if in.Op.IsStore() {
+		verb = "store to"
+	}
+	if addr%size != 0 {
+		d.report(diag.Error, "misaligned", line, pc,
+			fmt.Sprintf("misaligned %d-byte %s address %#x", size, verbNoun(in), addr))
+		return
+	}
+	if !d.hasLayout {
+		// Without a memory map only the text segment is known.
+		if addr >= d.cfg.Prog.TextBase && addr < d.cfg.Prog.TextEnd() {
+			d.report(diag.Error, "bad-access", line, pc,
+				fmt.Sprintf("%s text-segment address %#x", verb, addr))
+		}
+		return
+	}
+	switch d.opts.Layout.Classify(addr) {
+	case vm.RegionNone:
+		d.report(diag.Error, "bad-access", line, pc,
+			fmt.Sprintf("%s unmapped address %#x", verb, addr))
+	case vm.RegionText:
+		d.report(diag.Error, "bad-access", line, pc,
+			fmt.Sprintf("%s text-segment address %#x", verb, addr))
+	}
+}
+
+func verbNoun(in isa.Instruction) string {
+	if in.Op.IsStore() {
+		return "store"
+	}
+	return "load"
+}
+
+// checkJALR validates indirect jumps and enforces stack discipline at
+// function returns.
+func (d *dfa) checkJALR(in isa.Instruction, st *regState, line int, pc uint32) {
+	base := st[in.Rs1]
+	isReturn := false
+	if base.kind == vConst {
+		tgt := (base.v + uint32(in.Imm)) &^ 3
+		switch {
+		case tgt == vm.ReturnAddress:
+			isReturn = true
+		case tgt < d.cfg.Prog.TextBase || tgt >= d.cfg.Prog.TextEnd():
+			d.report(diag.Error, "bad-target", line, pc,
+				fmt.Sprintf("computed jump target %#x is outside the text segment", tgt))
+		}
+	} else if in.Rs1 == isa.RA && in.Imm == 0 {
+		// The assembler's "ret": returning to an untracked ra.
+		isReturn = true
+	}
+	if !isReturn || in.Rd != isa.Zero {
+		return
+	}
+	// At a return the stack pointer must be back where the function
+	// started: every push must have a matching pop.
+	sp := st[isa.SP]
+	var off int32
+	switch {
+	case sp.kind == vSPRel:
+		off = int32(sp.v)
+	case sp.kind == vConst && d.hasLayout:
+		off = int32(sp.v - d.opts.Layout.StackEnd)
+	default:
+		return // sp untracked (loop-variant or clobbered); nothing to prove
+	}
+	if off != 0 {
+		d.report(diag.Warning, "stack-imbalance", line, pc,
+			fmt.Sprintf("function returns with sp displaced by %d bytes from its entry value", off))
+	}
+}
+
+// report appends a diagnostic. Duplicate diagnostics (the same finding
+// reached through several functions sharing a block) collapse in
+// List.Sort.
+func (d *dfa) report(sev diag.Severity, check string, line int, pc uint32, msg string) {
+	d.ds = append(d.ds, diag.Diagnostic{Severity: sev, Check: check, Line: line, PC: pc, Msg: msg})
+}
+
+// evalInstr computes the abstract value an instruction writes to its
+// destination register, folding constants with exactly the simulator's
+// ALU semantics so the derived addresses match runtime behavior.
+func evalInstr(in isa.Instruction, st *regState, pc uint32) absVal {
+	unknown := absVal{kind: vUnknown}
+	imm := uint32(in.Imm)
+	a, b := st[in.Rs1], st[in.Rs2]
+	switch in.Op {
+	case isa.ADD:
+		if a.kind == vConst && b.kind == vConst {
+			return absVal{kind: vConst, v: a.v + b.v}
+		}
+		if a.kind == vSPRel && b.kind == vConst {
+			return absVal{kind: vSPRel, v: a.v + b.v}
+		}
+		if a.kind == vConst && b.kind == vSPRel {
+			return absVal{kind: vSPRel, v: a.v + b.v}
+		}
+	case isa.SUB:
+		if a.kind == vConst && b.kind == vConst {
+			return absVal{kind: vConst, v: a.v - b.v}
+		}
+		if a.kind == vSPRel && b.kind == vConst {
+			return absVal{kind: vSPRel, v: a.v - b.v}
+		}
+	case isa.AND, isa.OR, isa.XOR, isa.SLL, isa.SRL, isa.SRA, isa.SLT, isa.SLTU, isa.MUL:
+		if a.kind == vConst && b.kind == vConst {
+			return absVal{kind: vConst, v: foldR(in.Op, a.v, b.v)}
+		}
+	case isa.ADDI:
+		if a.kind == vConst {
+			return absVal{kind: vConst, v: a.v + imm}
+		}
+		if a.kind == vSPRel {
+			return absVal{kind: vSPRel, v: a.v + imm}
+		}
+	case isa.ANDI, isa.ORI, isa.XORI, isa.SLLI, isa.SRLI, isa.SRAI, isa.SLTI, isa.SLTIU:
+		if a.kind == vConst {
+			return absVal{kind: vConst, v: foldI(in.Op, a.v, in.Imm)}
+		}
+	case isa.LUI:
+		return absVal{kind: vConst, v: imm << 12}
+	case isa.JAL, isa.JALR:
+		return absVal{kind: vConst, v: pc + isa.WordSize}
+	}
+	return unknown
+}
+
+func foldR(op isa.Opcode, rs1, rs2 uint32) uint32 {
+	switch op {
+	case isa.AND:
+		return rs1 & rs2
+	case isa.OR:
+		return rs1 | rs2
+	case isa.XOR:
+		return rs1 ^ rs2
+	case isa.SLL:
+		return rs1 << (rs2 & 31)
+	case isa.SRL:
+		return rs1 >> (rs2 & 31)
+	case isa.SRA:
+		return uint32(int32(rs1) >> (rs2 & 31))
+	case isa.SLT:
+		if int32(rs1) < int32(rs2) {
+			return 1
+		}
+		return 0
+	case isa.SLTU:
+		if rs1 < rs2 {
+			return 1
+		}
+		return 0
+	case isa.MUL:
+		return rs1 * rs2
+	}
+	return 0
+}
+
+func foldI(op isa.Opcode, rs1 uint32, immS int32) uint32 {
+	imm := uint32(immS)
+	switch op {
+	case isa.ANDI:
+		return rs1 & imm
+	case isa.ORI:
+		return rs1 | imm
+	case isa.XORI:
+		return rs1 ^ imm
+	case isa.SLLI:
+		return rs1 << (imm & 31)
+	case isa.SRLI:
+		return rs1 >> (imm & 31)
+	case isa.SRAI:
+		return uint32(int32(rs1) >> (imm & 31))
+	case isa.SLTI:
+		if int32(rs1) < immS {
+			return 1
+		}
+		return 0
+	case isa.SLTIU:
+		if rs1 < imm {
+			return 1
+		}
+		return 0
+	}
+	return 0
+}

@@ -1,0 +1,365 @@
+package staticcheck
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/diag"
+	"repro/internal/vm"
+)
+
+// testLayout mirrors the memory map core.New builds: packet buffer at
+// 0x20000000, data + heap after the program's data base, 64 KiB stack
+// below 0x80000000.
+func testLayout(prog *asm.Program) vm.Layout {
+	return vm.Layout{
+		TextBase:   prog.TextBase,
+		TextEnd:    prog.TextEnd(),
+		PacketBase: 0x20000000,
+		PacketEnd:  0x20000000 + 64*1024,
+		DataBase:   prog.DataBase,
+		DataEnd:    prog.DataBase + 1<<20,
+		StackBase:  0x80000000 - 64*1024,
+		StackEnd:   0x80000000,
+	}
+}
+
+func mustAssemble(t *testing.T, src string) *asm.Program {
+	t.Helper()
+	prog, err := asm.Assemble(src, asm.Options{})
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	return prog
+}
+
+func verifySrc(t *testing.T, src string, opts Options) (*asm.Program, List) {
+	t.Helper()
+	prog := mustAssemble(t, src)
+	if opts.Layout == (vm.Layout{}) {
+		opts.Layout = testLayout(prog)
+	}
+	return prog, Verify(prog, opts)
+}
+
+func checksOf(ds List) map[string]diag.Severity {
+	m := make(map[string]diag.Severity)
+	for _, d := range ds {
+		if cur, ok := m[d.Check]; !ok || d.Severity > cur {
+			m[d.Check] = d.Severity
+		}
+	}
+	return m
+}
+
+// TestAnalyses drives each analysis with a minimal program that triggers
+// it, and a clean program through all of them.
+func TestAnalyses(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want map[string]diag.Severity // check -> minimum severity expected
+		none []string                 // checks that must NOT fire
+	}{
+		{
+			name: "clean",
+			src: `        .global process_packet
+process_packet:
+        lw   t0, 0(a0)
+        addi a0, zero, 1
+        halt`,
+			none: []string{"bad-target", "fall-off-end", "uninit-reg", "unreachable",
+				"non-termination", "bad-access", "misaligned", "stack-imbalance",
+				"sp-clobber", "unused-label", "shadowed-name"},
+		},
+		{
+			name: "branch target outside text",
+			src: `        .global e
+e:      beq  a0, a1, 0x10100
+        halt`,
+			want: map[string]diag.Severity{"bad-target": diag.Error},
+		},
+		{
+			name: "fall off the end",
+			src: `        .global e
+e:      addi a0, zero, 1`,
+			want: map[string]diag.Severity{"fall-off-end": diag.Error},
+		},
+		{
+			name: "uninitialized register read",
+			src: `        .global e
+e:      add  a0, t3, zero
+        halt`,
+			want: map[string]diag.Severity{"uninit-reg": diag.Warning},
+			none: []string{"bad-target", "fall-off-end"},
+		},
+		{
+			name: "unreachable block",
+			src: `        .global e
+e:      halt
+        addi a0, zero, 1
+        halt`,
+			want: map[string]diag.Severity{"unreachable": diag.Warning},
+		},
+		{
+			name: "load from unmapped address",
+			src: `        .global e
+e:      li   t0, 0x500
+        lw   a0, 0(t0)
+        halt`,
+			want: map[string]diag.Severity{"bad-access": diag.Error},
+		},
+		{
+			name: "misaligned packet load",
+			src: `        .global e
+e:      li   t0, 0x20000001
+        lw   a0, 0(t0)
+        halt`,
+			want: map[string]diag.Severity{"misaligned": diag.Error},
+		},
+		{
+			name: "store into text segment",
+			src: `        .global e
+e:      li   t0, 0x10000
+        sw   a0, 0(t0)
+        halt`,
+			want: map[string]diag.Severity{"bad-access": diag.Error},
+		},
+		{
+			name: "stack imbalance at return",
+			src: `        .global e
+e:      addi sp, sp, -8
+        ret`,
+			want: map[string]diag.Severity{"stack-imbalance": diag.Warning},
+		},
+		{
+			name: "sp clobber",
+			src: `        .global e
+e:      add  sp, t0, t1
+        halt`,
+			want: map[string]diag.Severity{"sp-clobber": diag.Warning, "uninit-reg": diag.Warning},
+		},
+		{
+			name: "non-terminating loop",
+			src: `        .global e
+e:      j    e`,
+			want: map[string]diag.Severity{"non-termination": diag.Warning},
+			none: []string{"fall-off-end"},
+		},
+		{
+			name: "computed jump outside text",
+			src: `        .global e
+e:      li   t0, 0x99999998
+        jr   t0`,
+			want: map[string]diag.Severity{"bad-target": diag.Error},
+		},
+		{
+			name: "balanced call and return is clean",
+			src: `        .global e
+e:      addi sp, sp, -4
+        sw   ra, 0(sp)
+        call f
+        lw   ra, 0(sp)
+        addi sp, sp, 4
+        ret
+f:      addi a0, zero, 7
+        ret`,
+			none: []string{"stack-imbalance", "sp-clobber", "uninit-reg",
+				"unused-label", "non-termination", "fall-off-end"},
+		},
+		{
+			name: "unused label",
+			src: `        .global e
+e:      halt
+dead:   halt`,
+			want: map[string]diag.Severity{"unused-label": diag.Warning},
+		},
+		{
+			name: "label shadows mnemonic",
+			src: `        .global e
+e:      j    add
+add:    halt`,
+			want: map[string]diag.Severity{"shadowed-name": diag.Warning},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, ds := verifySrc(t, tc.src, Options{})
+			got := checksOf(ds)
+			for check, sev := range tc.want {
+				if got[check] < sev {
+					t.Errorf("want %s at severity >= %s, got %v\ndiagnostics:\n%s",
+						check, sev, got[check], ds)
+				}
+			}
+			for _, check := range tc.none {
+				if _, ok := got[check]; ok {
+					t.Errorf("check %s must not fire\ndiagnostics:\n%s", check, ds)
+				}
+			}
+			if tc.name == "clean" && len(ds) != 0 {
+				t.Errorf("clean program produced diagnostics:\n%s", ds)
+			}
+		})
+	}
+}
+
+// TestAcceptance is the issue's acceptance scenario: a program with a
+// jump past TextEnd, a read of an uninitialized register, and an
+// unreachable block reports exactly those three diagnostics, each on the
+// correct source line.
+func TestAcceptance(t *testing.T) {
+	src := `        .global process_packet
+process_packet:
+        add  a2, t2, zero
+        j    0x100000
+        halt`
+	_, ds := verifySrc(t, src, Options{})
+	if len(ds) != 3 {
+		t.Fatalf("want exactly 3 diagnostics, got %d:\n%s", len(ds), ds)
+	}
+	wants := []struct {
+		check string
+		sev   diag.Severity
+		line  int
+	}{
+		{"uninit-reg", diag.Warning, 3},
+		{"bad-target", diag.Error, 4},
+		{"unreachable", diag.Warning, 5},
+	}
+	for _, w := range wants {
+		found := false
+		for _, d := range ds {
+			if d.Check == w.check && d.Severity == w.sev && d.Line == w.line {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("missing %s (%s) at line %d; got:\n%s", w.check, w.sev, w.line, ds)
+		}
+	}
+	if !ds.HasErrors() {
+		t.Error("list must report HasErrors")
+	}
+	if n := len(ds.Errors()); n != 1 {
+		t.Errorf("want 1 error-severity finding, got %d", n)
+	}
+}
+
+// TestEmptyText rejects programs with no instructions.
+func TestEmptyText(t *testing.T) {
+	_, ds := verifySrc(t, `.data
+v: .word 1`, Options{})
+	if got := checksOf(ds); got["empty-text"] != diag.Error {
+		t.Fatalf("want empty-text error, got:\n%s", ds)
+	}
+}
+
+// TestEntryResolution covers explicit entry symbols, missing ones, and
+// the default fallback.
+func TestEntryResolution(t *testing.T) {
+	prog := mustAssemble(t, "e: halt")
+	ds := Verify(prog, Options{Entries: []string{"nope"}, Layout: testLayout(prog)})
+	if got := checksOf(ds); got["entry"] != diag.Error {
+		t.Fatalf("missing entry symbol must be an error, got:\n%s", ds)
+	}
+	// Default entry: no globals, falls back to TextBase; the single
+	// block is reachable, so no unreachable warning.
+	ds = Verify(prog, Options{Layout: testLayout(prog)})
+	if got := checksOf(ds); got["unreachable"] != 0 {
+		t.Fatalf("fallback entry must make code reachable, got:\n%s", ds)
+	}
+}
+
+// TestUninitNotCascading: one bad register produces one warning per
+// use site, not a warning for every downstream use of derived values.
+func TestUninitNotCascading(t *testing.T) {
+	src := `        .global e
+e:      add  a0, t3, zero
+        add  a1, t3, zero
+        add  a2, a0, a1
+        halt`
+	_, ds := verifySrc(t, src, Options{})
+	n := 0
+	for _, d := range ds {
+		if d.Check == "uninit-reg" {
+			n++
+		}
+	}
+	// t3 is reported at its first use only; a0/a1 are defined by their
+	// writes, so line 4 is silent.
+	if n != 1 {
+		t.Fatalf("want exactly 1 uninit-reg warning, got %d:\n%s", n, ds)
+	}
+}
+
+// TestHelperUsesCallerState: a helper reading caller-set s-registers is
+// not flagged — callee entry assumes the caller defined everything.
+func TestHelperUsesCallerState(t *testing.T) {
+	src := `        .global e
+e:      addi s0, zero, 5
+        call f
+        halt
+f:      add  a0, s0, zero
+        ret`
+	_, ds := verifySrc(t, src, Options{})
+	if got := checksOf(ds); got["uninit-reg"] != 0 {
+		t.Fatalf("helper use of caller state flagged:\n%s", ds)
+	}
+}
+
+// TestDot sanity-checks the CFG renderer.
+func TestDot(t *testing.T) {
+	prog := mustAssemble(t, `        .global e
+e:      beqz a0, out
+        addi a0, zero, 2
+out:    halt`)
+	cfg, ds := BuildCFG(prog, Options{Layout: testLayout(prog)})
+	if len(ds) != 0 {
+		t.Fatalf("unexpected entry diagnostics: %s", ds)
+	}
+	dot := cfg.Dot()
+	for _, want := range []string{"digraph cfg", "b0 -> b1", "b0 -> b2", "lines"} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("dot output missing %q:\n%s", want, dot)
+		}
+	}
+}
+
+// TestCallGraph: linking jumps populate the call list and mark function
+// entries.
+func TestCallGraph(t *testing.T) {
+	prog := mustAssemble(t, `        .global e
+e:      call f
+        halt
+f:      ret`)
+	cfg, _ := BuildCFG(prog, Options{Layout: testLayout(prog)})
+	if len(cfg.Calls) != 1 {
+		t.Fatalf("want 1 call site, got %d", len(cfg.Calls))
+	}
+	if len(cfg.FuncEntries) != 2 {
+		t.Fatalf("want 2 function entries (e, f), got %v", cfg.FuncEntries)
+	}
+}
+
+// TestNoLayoutDegradesGracefully: without a memory map the absolute
+// address checks are skipped but text-segment stores are still caught.
+func TestNoLayoutDegradesGracefully(t *testing.T) {
+	prog := mustAssemble(t, `        .global e
+e:      li   t0, 0x10000
+        sw   a0, 0(t0)
+        li   t1, 0x500
+        lw   a1, 0(t1)
+        halt`)
+	ds := Verify(prog, Options{})
+	got := checksOf(ds)
+	if got["bad-access"] != diag.Error {
+		t.Errorf("text store must be caught without a layout:\n%s", ds)
+	}
+	for _, d := range ds {
+		if d.Check == "bad-access" && strings.Contains(d.Msg, "unmapped") {
+			t.Errorf("unmapped check needs a layout and must not fire: %s", d)
+		}
+	}
+}

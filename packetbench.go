@@ -44,6 +44,7 @@ import (
 	"repro/internal/packet"
 	"repro/internal/qsim"
 	"repro/internal/route"
+	"repro/internal/staticcheck"
 	"repro/internal/stats"
 	"repro/internal/trace"
 	"repro/internal/vm"
@@ -93,6 +94,24 @@ type (
 	FaultInjector = faultinject.Injector
 	// Injection is one planned fault in an injection plan.
 	Injection = faultinject.Injection
+	// Diagnostic is one static-verifier (or assembler lint) finding:
+	// severity, check name, source line, and message.
+	Diagnostic = staticcheck.Diagnostic
+	// Severity classifies a Diagnostic.
+	Severity = staticcheck.Severity
+	// Diagnostics is an ordered list of findings; HasErrors reports
+	// whether any would block loading.
+	Diagnostics = staticcheck.List
+	// VerifyError is the error New returns when the static verifier
+	// refuses an application; its Diags field holds the full report.
+	VerifyError = core.VerifyError
+)
+
+// The diagnostic severities.
+const (
+	SeverityInfo    = staticcheck.Info
+	SeverityWarning = staticcheck.Warning
+	SeverityError   = staticcheck.Error
 )
 
 // The fault policies: abort on the first fault (the default), quarantine
@@ -117,8 +136,18 @@ const (
 	FaultHostPanic      = vm.FaultHostPanic
 )
 
-// New loads an application onto a fresh simulated core.
+// New loads an application onto a fresh simulated core. The program is
+// statically verified first (control flow, register dataflow, memory
+// ranges, stack discipline — see Verify); error-severity findings refuse
+// the load with a *VerifyError unless Options.NoVerify is set.
 func New(app *App, opts Options) (*Bench, error) { return core.New(app, opts) }
+
+// Verify runs the static verifier over an application without loading
+// it, returning every finding (warnings included). The program is
+// checked against the exact memory map New would run it under.
+func Verify(app *App) (Diagnostics, error) {
+	return core.Verify(app, core.Options{})
+}
 
 // ParseInjectionPlan parses a comma-separated fault injection spec
 // ("kind@index[:arg[:times]]", kinds flip/trunc/clamp/vmfault) — the

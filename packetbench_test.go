@@ -1,6 +1,7 @@
 package packetbench
 
 import (
+	"errors"
 	"os"
 	"path/filepath"
 	"strings"
@@ -174,5 +175,38 @@ func TestFacadePool(t *testing.T) {
 	s := Summarize(recs)
 	if s.MeanInstructions == 0 {
 		t.Error("empty records from pool")
+	}
+}
+
+func TestFacadeVerify(t *testing.T) {
+	// A clean custom app verifies without findings.
+	ok := &App{Name: "ok", Source: ".global e\ne: lw t0, 0(a0)\nhalt", Entry: "e"}
+	ds, err := Verify(ok)
+	if err != nil || len(ds) != 0 {
+		t.Fatalf("Verify(ok) = %v, %v", ds, err)
+	}
+	// A program that escapes the text segment is refused by New with a
+	// typed error carrying the diagnostics.
+	bad := &App{Name: "bad", Source: ".global e\ne: j 0x100000\nhalt", Entry: "e"}
+	ds, err = Verify(bad)
+	if err != nil || !ds.HasErrors() {
+		t.Fatalf("Verify(bad) = %v, %v; want errors", ds, err)
+	}
+	_, err = New(bad, Options{})
+	var verr *VerifyError
+	if !errors.As(err, &verr) {
+		t.Fatalf("New(bad) = %v; want *VerifyError", err)
+	}
+	for _, d := range verr.Diags.Errors() {
+		if d.Severity != SeverityError {
+			t.Errorf("Errors() returned non-error %v", d)
+		}
+		if d.Line == 0 || d.Check == "" {
+			t.Errorf("diagnostic lacks location or check: %+v", d)
+		}
+	}
+	// NoVerify is the escape hatch.
+	if _, err := New(bad, Options{NoVerify: true}); err != nil {
+		t.Fatalf("NoVerify: %v", err)
 	}
 }
