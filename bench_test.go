@@ -406,9 +406,13 @@ func BenchmarkSimulatorMIPS(b *testing.B) {
 
 // BenchmarkProcessPacketSmall measures the per-packet hot path on
 // 40–64-byte packets — the minimum-size traffic that dominates backbone
-// captures. Before the dirty-length optimization every packet paid a
-// 64 KiB buffer memset; now placement cost tracks the packet size, so
-// this number is the one to watch for hot-path regressions.
+// captures — across engine × tracing. Before the dirty-length
+// optimization every packet paid a 64 KiB buffer memset; now placement
+// cost tracks the packet size. The threaded/traced=false row is the
+// fast path (statistics off, block-threaded dispatch) and is the one to
+// watch for hot-path regressions; interp rows exist so the speedup of
+// the block-threaded engine over the reference interpreter stays
+// visible in plain -bench output.
 func BenchmarkProcessPacketSmall(b *testing.B) {
 	pkts := make([]*trace.Packet, 256)
 	for i := range pkts {
@@ -420,14 +424,21 @@ func BenchmarkProcessPacketSmall(b *testing.B) {
 		data[16] = byte(i >> 4)
 		pkts[i] = &trace.Packet{Data: data, WireLen: n}
 	}
-	bench, err := core.New(NewTSA(7), core.Options{})
-	if err != nil {
-		b.Fatal(err)
-	}
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, err := bench.ProcessPacket(pkts[i%len(pkts)]); err != nil {
-			b.Fatal(err)
+	for _, engine := range []core.EngineKind{core.EngineThreaded, core.EngineInterpreter} {
+		for _, traced := range []bool{false, true} {
+			b.Run(fmt.Sprintf("%s/traced=%v", engine, traced), func(b *testing.B) {
+				bench, err := core.New(NewTSA(7), core.Options{Engine: engine})
+				if err != nil {
+					b.Fatal(err)
+				}
+				bench.SetTracing(traced)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := bench.ProcessPacket(pkts[i%len(pkts)]); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
 		}
 	}
 }

@@ -1,0 +1,124 @@
+// Command benchjson converts `go test -bench` text output into a JSON
+// document suitable for storing as a CI artifact or diffing across
+// runs. It reads benchmark output on stdin and writes JSON on stdout:
+//
+//	go test -run XXX -bench . ./... | go run ./cmd/benchjson > BENCH.json
+//
+// Every benchmark line becomes an entry with its iteration count and a
+// metric map (ns/op plus any custom b.ReportMetric units such as
+// instrs/sec); goos/goarch/cpu/pkg header lines are captured as
+// environment metadata.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one `Benchmark...` result line.
+type Benchmark struct {
+	// Name is the benchmark name with the -GOMAXPROCS suffix trimmed.
+	Name string `json:"name"`
+	// Pkg is the package the benchmark ran in (last `pkg:` header seen).
+	Pkg string `json:"pkg,omitempty"`
+	// Iterations is b.N for the reported run.
+	Iterations int64 `json:"iterations"`
+	// Metrics maps unit -> value: "ns/op" plus custom ReportMetric
+	// units ("instrs/sec", "pkts/sec", ...).
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// Report is the whole document.
+type Report struct {
+	Goos       string      `json:"goos,omitempty"`
+	Goarch     string      `json:"goarch,omitempty"`
+	CPU        string      `json:"cpu,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+func main() {
+	rep, err := parse(bufio.NewScanner(os.Stdin))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+// parse consumes `go test -bench` output line by line. Lines that are
+// neither benchmark results nor recognized headers (PASS, ok, test log
+// output) are ignored, so raw `go test` output can be piped in whole.
+func parse(sc *bufio.Scanner) (*Report, error) {
+	rep := &Report{Benchmarks: []Benchmark{}}
+	pkg := ""
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "goos: "):
+			rep.Goos = strings.TrimPrefix(line, "goos: ")
+		case strings.HasPrefix(line, "goarch: "):
+			rep.Goarch = strings.TrimPrefix(line, "goarch: ")
+		case strings.HasPrefix(line, "cpu: "):
+			rep.CPU = strings.TrimPrefix(line, "cpu: ")
+		case strings.HasPrefix(line, "pkg: "):
+			pkg = strings.TrimPrefix(line, "pkg: ")
+		case strings.HasPrefix(line, "Benchmark"):
+			b, ok := parseBenchLine(line)
+			if !ok {
+				continue
+			}
+			b.Pkg = pkg
+			rep.Benchmarks = append(rep.Benchmarks, b)
+		}
+	}
+	return rep, sc.Err()
+}
+
+// parseBenchLine parses one result line:
+//
+//	BenchmarkName/sub-8   1234   567 ns/op   89.0 instrs/sec
+//
+// Fields after the iteration count come in value/unit pairs.
+func parseBenchLine(line string) (Benchmark, bool) {
+	f := strings.Fields(line)
+	if len(f) < 4 || len(f)%2 != 0 {
+		return Benchmark{}, false
+	}
+	iters, err := strconv.ParseInt(f[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, false
+	}
+	b := Benchmark{Name: trimProcs(f[0]), Iterations: iters, Metrics: map[string]float64{}}
+	for i := 2; i+1 < len(f); i += 2 {
+		v, err := strconv.ParseFloat(f[i], 64)
+		if err != nil {
+			return Benchmark{}, false
+		}
+		b.Metrics[f[i+1]] = v
+	}
+	return b, true
+}
+
+// trimProcs drops the trailing -GOMAXPROCS suffix go test appends to
+// benchmark names ("BenchmarkX/sub-8" -> "BenchmarkX/sub"). Only a
+// purely numeric suffix after the last dash is removed, so names that
+// merely contain dashes survive intact.
+func trimProcs(name string) string {
+	i := strings.LastIndexByte(name, '-')
+	if i <= 0 || i == len(name)-1 {
+		return name
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return name
+	}
+	return name[:i]
+}

@@ -1,0 +1,80 @@
+package main
+
+import (
+	"bufio"
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: repro/internal/vm
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkVMDispatch/threaded/traced=false-4         	   47302	      7776 ns/op	      2052 instrs/op	 263886865 instrs/sec
+BenchmarkVMDispatch/interp/traced=false-4           	   25526	     14144 ns/op	      2052 instrs/op	 145082435 instrs/sec
+PASS
+ok  	repro/internal/vm	1.998s
+pkg: repro
+BenchmarkProcessPacketSmall/threaded/traced=false-4 	  360025	      1690 ns/op
+=== RUN   TestSomething
+--- PASS: TestSomething (0.00s)
+`
+
+func TestParse(t *testing.T) {
+	rep, err := parse(bufio.NewScanner(strings.NewReader(sampleOutput)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Goos != "linux" || rep.Goarch != "amd64" || !strings.Contains(rep.CPU, "Xeon") {
+		t.Errorf("environment header not captured: %+v", rep)
+	}
+	if len(rep.Benchmarks) != 3 {
+		t.Fatalf("got %d benchmarks, want 3", len(rep.Benchmarks))
+	}
+	b := rep.Benchmarks[0]
+	if b.Name != "BenchmarkVMDispatch/threaded/traced=false" {
+		t.Errorf("name = %q (GOMAXPROCS suffix should be trimmed)", b.Name)
+	}
+	if b.Pkg != "repro/internal/vm" {
+		t.Errorf("pkg = %q", b.Pkg)
+	}
+	if b.Iterations != 47302 {
+		t.Errorf("iterations = %d", b.Iterations)
+	}
+	if b.Metrics["ns/op"] != 7776 || b.Metrics["instrs/sec"] != 263886865 {
+		t.Errorf("metrics = %v", b.Metrics)
+	}
+	if got := rep.Benchmarks[2]; got.Pkg != "repro" || got.Metrics["ns/op"] != 1690 {
+		t.Errorf("third benchmark = %+v", got)
+	}
+}
+
+func TestTrimProcs(t *testing.T) {
+	cases := map[string]string{
+		"BenchmarkX-8":                "BenchmarkX",
+		"BenchmarkX/sub-16":           "BenchmarkX/sub",
+		"BenchmarkX/traced=false-4":   "BenchmarkX/traced=false",
+		"BenchmarkX/pre-filter":       "BenchmarkX/pre-filter",
+		"BenchmarkProcessPacketSmall": "BenchmarkProcessPacketSmall",
+		"BenchmarkX/cores=2-4":        "BenchmarkX/cores=2",
+		"BenchmarkTable1TraceGen-4":   "BenchmarkTable1TraceGen",
+	}
+	for in, want := range cases {
+		if got := trimProcs(in); got != want {
+			t.Errorf("trimProcs(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestParseBenchLineRejectsMalformed(t *testing.T) {
+	for _, line := range []string{
+		"BenchmarkBroken",
+		"BenchmarkBroken notanumber 5 ns/op",
+		"BenchmarkBroken 10 x ns/op",
+		"BenchmarkOdd 10 5 ns/op extra",
+	} {
+		if _, ok := parseBenchLine(line); ok {
+			t.Errorf("parseBenchLine(%q) accepted malformed line", line)
+		}
+	}
+}

@@ -54,6 +54,7 @@ type config struct {
 	annotate   bool
 	flowDot    string
 	pool       int
+	engine     string // threaded (default) or interp
 
 	// Fault handling.
 	noVerify    bool   // skip the static verifier at load time
@@ -82,6 +83,7 @@ func main() {
 	flag.BoolVar(&cfg.annotate, "annotate", false, "print a gprof-style listing with per-instruction execution counts")
 	flag.StringVar(&cfg.flowDot, "flowgraph", "", "write the weighted basic-block flow graph to this Graphviz file")
 	flag.IntVar(&cfg.pool, "pool", 1, "run on this many simulated cores via the streaming work-queue scheduler (stateful applications keep per-core state)")
+	flag.StringVar(&cfg.engine, "engine", "threaded", "execution engine: threaded (block-threaded, default) or interp (reference interpreter)")
 	flag.BoolVar(&cfg.noVerify, "no-verify", false, "load the application even if the static verifier reports errors")
 	flag.StringVar(&cfg.faultPolicy, "fault-policy", "fail-fast", "reaction to per-packet faults: fail-fast, skip (quarantine and continue), or retry")
 	flag.IntVar(&cfg.errorBudget, "error-budget", 0, "max packets one run may quarantine under -fault-policy skip/retry (0 = unlimited); also bounds malformed trace records skipped by the readers")
@@ -176,6 +178,10 @@ func run(cfg config) error {
 	if err != nil {
 		return err
 	}
+	engine, err := core.ParseEngine(cfg.engine)
+	if err != nil {
+		return err
+	}
 	pkts, err := loadPackets(&cfg, policy.Policy != core.FailFast)
 	if err != nil {
 		return err
@@ -237,13 +243,14 @@ func run(cfg config) error {
 	}
 
 	if cfg.pool > 1 {
-		return runPool(app, pkts, &cfg, policy, inj)
+		return runPool(app, pkts, &cfg, policy, engine, inj)
 	}
 
 	bench, err := core.New(app, core.Options{
 		Coverage: true,
 		Detail:   cfg.dumpPkt >= 0 || cfg.flowDot != "",
 		Errors:   policy,
+		Engine:   engine,
 		NoVerify: cfg.noVerify,
 	})
 	if err != nil {
@@ -424,8 +431,8 @@ func dumpTrace(bench *core.Bench, idx int, res core.Result) {
 // record slice), and verdicts are counted exactly as in the single-core
 // path. Stateful applications (flow classification) keep per-core tables
 // in this mode, as real replicated-state engines would.
-func runPool(app *core.App, pkts []*trace.Packet, cfg *config, policy core.ErrorPolicy, inj *faultinject.Injector) error {
-	pool, err := core.NewPool(app, cfg.pool, core.Options{Errors: policy, NoVerify: cfg.noVerify})
+func runPool(app *core.App, pkts []*trace.Packet, cfg *config, policy core.ErrorPolicy, engine core.EngineKind, inj *faultinject.Injector) error {
+	pool, err := core.NewPool(app, cfg.pool, core.Options{Errors: policy, Engine: engine, NoVerify: cfg.noVerify})
 	if err != nil {
 		return describeVerifyError(err)
 	}

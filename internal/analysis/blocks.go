@@ -100,11 +100,17 @@ func (m *BlockMap) Leader(b int) uint32 {
 
 // Size returns the instruction count of block b.
 func (m *BlockMap) Size(b int) int {
-	end := len(m.of)
+	return m.EndIndex(b) - m.leaders[b]
+}
+
+// EndIndex returns the exclusive end instruction index of block b: the
+// index one past its terminator. The block-threaded engine uses it to
+// bound straight-line execution of a block body.
+func (m *BlockMap) EndIndex(b int) int {
 	if b+1 < len(m.leaders) {
-		end = m.leaders[b+1]
+		return m.leaders[b+1]
 	}
-	return end - m.leaders[b]
+	return len(m.of)
 }
 
 // TerminatorIndex returns the instruction index of block b's last

@@ -88,6 +88,46 @@ type App struct {
 	Init func(ld *Loader) error
 }
 
+// EngineKind selects the execution engine a Bench simulates with. Both
+// engines implement the same architecture bit for bit — identical
+// registers, memory, statistics records and fault PCs for any program —
+// so the choice is purely a speed/validation tradeoff.
+type EngineKind int
+
+// The execution engines.
+const (
+	// EngineThreaded is the default: the block-threaded engine, which
+	// pre-translates the text segment into basic-block micro-op traces
+	// at load time and executes block bodies with no per-instruction
+	// fetch checks.
+	EngineThreaded EngineKind = iota
+	// EngineInterpreter is the reference interpreter — the oracle the
+	// threaded engine is differentially validated against.
+	EngineInterpreter
+)
+
+// String returns the CLI name of the engine.
+func (e EngineKind) String() string {
+	switch e {
+	case EngineThreaded:
+		return "threaded"
+	case EngineInterpreter:
+		return "interp"
+	}
+	return fmt.Sprintf("engine?%d", int(e))
+}
+
+// ParseEngine parses a CLI engine name.
+func ParseEngine(s string) (EngineKind, error) {
+	switch s {
+	case "threaded", "":
+		return EngineThreaded, nil
+	case "interp", "interpreter":
+		return EngineInterpreter, nil
+	}
+	return EngineThreaded, fmt.Errorf("core: unknown engine %q (want threaded or interp)", s)
+}
+
 // FaultPolicy selects how the run engine reacts to a packet whose
 // processing faults (a *vm.Fault: bad instruction, unmapped access, step
 // limit, oversize packet, recovered panic, ...).
@@ -181,6 +221,8 @@ type Options struct {
 	KeepRecords bool
 	// Errors selects the fault-handling policy (zero value: FailFast).
 	Errors ErrorPolicy
+	// Engine selects the execution engine (zero value: EngineThreaded).
+	Engine EngineKind
 	// NoVerify skips the static verifier. By default New refuses to load
 	// a program with error-severity findings (control transfers that
 	// leave the text segment, statically-bad memory accesses, paths that
@@ -328,6 +370,11 @@ type Bench struct {
 	blocks *analysis.BlockMap
 	loader *Loader
 
+	engine EngineKind
+	// tprog is the block-threaded translation of the program, nil when
+	// the bench runs on the reference interpreter.
+	tprog *vm.Program
+
 	entry        uint32
 	stepLimit    uint64
 	processed    int
@@ -394,11 +441,23 @@ func New(app *App, opts Options) (*Bench, error) {
 	cpu.Layout = LayoutFor(prog, heap)
 
 	blocks := analysis.NewBlockMap(prog.Text, prog.TextBase)
-	col := stats.NewCollector(prog.Text, prog.TextBase, blocks)
+	col := stats.NewCollector(prog.Text, prog.TextBase, blocks, cpu.Layout)
 	col.Detail = opts.Detail
 	col.Coverage = opts.Coverage
 	col.KeepRecords = opts.KeepRecords
 	cpu.Tracer = col
+
+	var tprog *vm.Program
+	switch opts.Engine {
+	case EngineThreaded:
+		tprog = vm.Translate(prog.Text, prog.TextBase, blocks)
+		// The threaded engine reports block entries itself; the
+		// collector must not re-derive them per instruction.
+		col.BlocksFromEngine = true
+	case EngineInterpreter:
+	default:
+		return nil, fmt.Errorf("core: unknown engine %d", opts.Engine)
+	}
 
 	policy := opts.Errors
 	if policy.Policy == Retry && policy.MaxAttempts < 2 {
@@ -407,10 +466,14 @@ func New(app *App, opts Options) (*Bench, error) {
 	return &Bench{
 		app: app, prog: prog, mem: mem, cpu: cpu,
 		col: col, blocks: blocks, loader: loader,
+		engine: opts.Engine, tprog: tprog,
 		entry: entry, stepLimit: stepLimit,
 		policy: policy, budget: newErrorBudget(policy.ErrorBudget),
 	}, nil
 }
+
+// Engine returns the execution engine the bench was built with.
+func (b *Bench) Engine() EngineKind { return b.engine }
 
 // Program returns the assembled application image.
 func (b *Bench) Program() *asm.Program { return b.prog }
@@ -554,7 +617,11 @@ func (b *Bench) runGuarded() (err error) {
 				&vm.Fault{Kind: vm.FaultHostPanic, PC: b.cpu.PC})
 		}
 	}()
-	_, _, err = b.cpu.Run(b.stepLimit)
+	if b.tprog != nil {
+		_, _, err = b.cpu.RunProgram(b.tprog, b.stepLimit)
+	} else {
+		_, _, err = b.cpu.Run(b.stepLimit)
+	}
 	return err
 }
 

@@ -21,6 +21,8 @@
 package stats
 
 import (
+	"math/bits"
+
 	"repro/internal/analysis"
 	"repro/internal/isa"
 	"repro/internal/vm"
@@ -80,10 +82,17 @@ type Collector struct {
 	// CountPCs enables per-instruction execution counters (PCCounts),
 	// the input for gprof-style annotated listings.
 	CountPCs bool
+	// BlocksFromEngine declares that the execution engine reports block
+	// entries itself through EnterBlock (the block-threaded engine knows
+	// the block structure already), so Instr skips the per-instruction
+	// BlockOfIndex lookup. The core run engine sets it to match the
+	// engine a bench was built with.
+	BlocksFromEngine bool
 
 	blocks   *analysis.BlockMap
 	textBase uint32
 	numText  int
+	layout   vm.Layout
 
 	// Epoch-stamped uniqueness tracking: seenInstr[i] == epoch means
 	// instruction i already executed for the current packet.
@@ -107,23 +116,61 @@ type Collector struct {
 	// whole run (enabled by CountPCs).
 	PCCounts []uint64
 
-	// Whole-run coverage sets (enabled by Coverage).
+	// Whole-run coverage sets (enabled by Coverage). Data/stack/packet
+	// coverage is tracked at word granularity with one bit per 32-bit
+	// word, keyed off the layout — Table IV only needs counts, and the
+	// bitset update is a shift and an OR where the old per-byte map
+	// insert dominated -coverage runs. Allocated at the first
+	// BeginPacket after Coverage is set.
 	instrTouched []bool // per text instruction
-	dataTouched  map[uint32]struct{}
-	pktTouched   map[uint32]struct{}
+	dataTouched  wordBitset
+	stackTouched wordBitset
+	pktTouched   wordBitset
 }
 
-// NewCollector creates a collector for a program's text segment.
-func NewCollector(text []isa.Instruction, textBase uint32, blocks *analysis.BlockMap) *Collector {
+// wordBitset tracks the touched 32-bit words of one contiguous address
+// region, one bit per word.
+type wordBitset struct {
+	base uint32
+	bits []uint64
+}
+
+func newWordBitset(base, end uint32) wordBitset {
+	words := (end - base + 3) / 4
+	return wordBitset{base: base, bits: make([]uint64, (words+63)/64)}
+}
+
+// set marks the word containing addr, which must lie inside the region.
+func (s *wordBitset) set(addr uint32) {
+	w := (addr - s.base) / 4
+	s.bits[w>>6] |= 1 << (w & 63)
+}
+
+// count returns the number of marked words.
+func (s *wordBitset) count() int {
+	n := 0
+	for _, b := range s.bits {
+		n += bits.OnesCount64(b)
+	}
+	return n
+}
+
+// NewCollector creates a collector for a program's text segment. The
+// layout supplies the region bounds the coverage bitsets are keyed off;
+// it must be the layout the CPU classifies accesses with.
+func NewCollector(text []isa.Instruction, textBase uint32, blocks *analysis.BlockMap, layout vm.Layout) *Collector {
 	return &Collector{
 		blocks:       blocks,
 		textBase:     textBase,
 		numText:      len(text),
+		layout:       layout,
 		seenInstr:    make([]uint32, len(text)),
 		seenBlock:    make([]uint32, blocks.NumBlocks()),
 		instrTouched: make([]bool, len(text)),
-		dataTouched:  make(map[uint32]struct{}),
-		pktTouched:   make(map[uint32]struct{}),
+		// PCCounts is eagerly allocated (one counter per text
+		// instruction is a few KiB at most) so the per-instruction hot
+		// path never has to test for a nil slice.
+		PCCounts: make([]uint64, len(text)),
 	}
 }
 
@@ -141,6 +188,11 @@ func (c *Collector) BeginPacket() {
 		c.InstrTrace = c.InstrTrace[:0]
 		c.MemTrace = c.MemTrace[:0]
 		c.BlockSeq = c.BlockSeq[:0]
+	}
+	if c.Coverage && c.dataTouched.bits == nil {
+		c.dataTouched = newWordBitset(c.layout.DataBase, c.layout.DataEnd)
+		c.stackTouched = newWordBitset(c.layout.StackBase, c.layout.StackEnd)
+		c.pktTouched = newWordBitset(c.layout.PacketBase, c.layout.PacketEnd)
 	}
 }
 
@@ -184,28 +236,44 @@ func (c *Collector) Instr(pc uint32, in isa.Instruction) {
 			c.seenInstr[idx] = c.epoch
 			c.cur.Unique++
 		}
-		b := c.blocks.BlockOfIndex(idx)
-		if c.seenBlock[b] != c.epoch {
-			c.seenBlock[b] = c.epoch
+		if !c.BlocksFromEngine {
+			b := c.blocks.BlockOfIndex(idx)
+			if c.seenBlock[b] != c.epoch {
+				c.seenBlock[b] = c.epoch
+			}
+			if c.Detail && c.blocks.LeaderIndex(b) == idx {
+				// A block is entered whenever its leader executes (all
+				// control-transfer targets are leaders), so self-loops
+				// count as re-entries.
+				c.BlockSeq = append(c.BlockSeq, b)
+			}
 		}
 		if c.Coverage {
 			c.instrTouched[idx] = true
 		}
 		if c.CountPCs {
-			if c.PCCounts == nil {
-				c.PCCounts = make([]uint64, c.numText)
-			}
 			c.PCCounts[idx]++
 		}
 		if c.Detail {
 			c.InstrTrace = append(c.InstrTrace, pc)
-			// A block is entered whenever its leader executes (all
-			// control-transfer targets are leaders), so self-loops count
-			// as re-entries.
-			if c.blocks.LeaderIndex(b) == idx {
-				c.BlockSeq = append(c.BlockSeq, b)
-			}
 		}
+	}
+}
+
+// EnterBlock implements vm.BlockTracer: the block-threaded engine
+// reports each dynamic block entry directly, replacing the
+// per-instruction block derivation in Instr. It is a no-op unless
+// BlocksFromEngine is set, so a collector attached to the interpreter
+// never double-counts.
+func (c *Collector) EnterBlock(b int, leader bool) {
+	if !c.BlocksFromEngine {
+		return
+	}
+	if c.seenBlock[b] != c.epoch {
+		c.seenBlock[b] = c.epoch
+	}
+	if c.Detail && leader {
+		c.BlockSeq = append(c.BlockSeq, b)
 	}
 }
 
@@ -225,12 +293,15 @@ func (c *Collector) Mem(pc, addr uint32, size uint8, write bool, region vm.Regio
 		}
 	}
 	if c.Coverage {
-		set := c.dataTouched
-		if region == vm.RegionPacket {
-			set = c.pktTouched
-		}
-		for i := uint32(0); i < uint32(size); i++ {
-			set[addr+i] = struct{}{}
+		// Aligned accesses never span a word, so marking the word of
+		// addr covers the whole access.
+		switch region {
+		case vm.RegionPacket:
+			c.pktTouched.set(addr)
+		case vm.RegionStack:
+			c.stackTouched.set(addr)
+		default:
+			c.dataTouched.set(addr)
 		}
 	}
 	if c.Detail {
@@ -253,15 +324,17 @@ func (c *Collector) InstrMemSize() int {
 	return n * isa.WordSize
 }
 
-// DataMemSize returns the touched data-memory footprint in bytes,
-// counting non-packet data only (routing tables, flow state, stack),
-// which is the application-owned memory Table IV reports. Requires
-// Coverage.
-func (c *Collector) DataMemSize() int { return len(c.dataTouched) }
+// DataMemSize returns the touched data-memory footprint in bytes at
+// word granularity, counting non-packet data only (routing tables, flow
+// state, stack), which is the application-owned memory Table IV
+// reports. Requires Coverage.
+func (c *Collector) DataMemSize() int {
+	return (c.dataTouched.count() + c.stackTouched.count()) * isa.WordSize
+}
 
-// PacketMemSize returns the touched packet-buffer footprint in bytes.
-// Requires Coverage.
-func (c *Collector) PacketMemSize() int { return len(c.pktTouched) }
+// PacketMemSize returns the touched packet-buffer footprint in bytes at
+// word granularity. Requires Coverage.
+func (c *Collector) PacketMemSize() int { return c.pktTouched.count() * isa.WordSize }
 
 // Summary aggregates a run's records. Quarantined (faulted) records are
 // counted in Packets and broken out per fault kind, but contribute

@@ -34,7 +34,7 @@ func newHarness(t *testing.T, src string) *harness {
 	cpu.Layout.StackBase = 0x7FFF0000
 	cpu.Layout.StackEnd = 0x80000000
 	blocks := analysis.NewBlockMap(p.Text, p.TextBase)
-	col := NewCollector(p.Text, p.TextBase, blocks)
+	col := NewCollector(p.Text, p.TextBase, blocks, cpu.Layout)
 	cpu.Tracer = col
 	return &harness{prog: p, cpu: cpu, col: col}
 }

@@ -103,11 +103,21 @@ func (m *Memory) WriteBytes(addr uint32, b []byte) {
 }
 
 // ReadBytes copies n bytes starting at addr into a fresh slice. It is
-// intended for host (framework) use: retrieving modified packets.
+// intended for host (framework) use: retrieving modified packets. Like
+// WriteBytes it copies page-sized runs; unallocated pages read as zero.
 func (m *Memory) ReadBytes(addr uint32, n int) []byte {
 	out := make([]byte, n)
-	for i := range out {
-		out[i] = m.peek(addr + uint32(i))
+	for i := 0; i < n; {
+		a := addr + uint32(i)
+		o := a & (pageSize - 1)
+		run := pageSize - int(o)
+		if run > n-i {
+			run = n - i
+		}
+		if p := m.pages[a>>pageBits]; p != nil {
+			copy(out[i:i+run], p[o:int(o)+run])
+		}
+		i += run
 	}
 	return out
 }
@@ -133,3 +143,27 @@ func (m *Memory) Zero(addr uint32, n int) {
 // PageCount returns the number of allocated pages (useful for memory
 // footprint assertions in tests).
 func (m *Memory) PageCount() int { return len(m.pages) }
+
+// Equal reports whether two memories hold identical contents. Pages
+// allocated in one but not the other count as equal when all-zero, since
+// unallocated memory reads as zero.
+func (m *Memory) Equal(o *Memory) bool {
+	for idx, p := range m.pages {
+		q := o.pages[idx]
+		if q == nil {
+			if *p != (page{}) {
+				return false
+			}
+			continue
+		}
+		if *p != *q {
+			return false
+		}
+	}
+	for idx, q := range o.pages {
+		if m.pages[idx] == nil && *q != (page{}) {
+			return false
+		}
+	}
+	return true
+}

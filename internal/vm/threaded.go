@@ -1,0 +1,892 @@
+// Block-threaded execution engine.
+//
+// The reference interpreter (CPU.Run) pays a fixed per-instruction tax:
+// a return-address check, a step-budget check, a fetch bounds/alignment
+// check, a tracer nil-check, and a 40-way opcode switch over operands
+// that are re-read from the decoded Instruction on every execution. For
+// the per-packet hot path — millions of simulated instructions per trace
+// — that tax dominates the run time.
+//
+// Translate compiles the decoded text segment once, at load time, into a
+// flat array of pre-decoded micro-ops grouped into the basic blocks of
+// an analysis.BlockMap. Within a block the engine executes straight-line
+// with no fetch checks at all: the entry PC is validated once at the
+// block boundary, the step budget is charged per block (falling back to
+// a truncated body only when the budget would expire mid-block), and
+// every operand — register indexes, sign- or zero-extended immediates,
+// the pre-shifted LUI constant, branch and jump targets — was resolved
+// during translation. Static branch/JAL targets dispatch directly to the
+// target instruction index; only the indirect JALR pays a full PC
+// validation, exactly like the interpreter's fetch path.
+//
+// The engine keeps two completely separate dispatch loops: the untraced
+// loop (Tracer == nil) carries zero tracing branches, while the traced
+// loop reproduces the interpreter's observable event order bit for bit —
+// Instr before the step is counted, Mem between the fault checks and the
+// access, c.PC current at every tracer call so a panicking tracer (the
+// fault injector does this on purpose) is recovered at the right PC.
+//
+// The interpreter remains the oracle: for any program and input the two
+// engines produce identical register files, memory images, step counts,
+// stop reasons and fault kind/PC/Addr. Differential tests (threaded_test,
+// core's engine-diff harness, FuzzEngineDiff) pin that contract.
+package vm
+
+import (
+	"encoding/binary"
+
+	"repro/internal/analysis"
+	"repro/internal/isa"
+)
+
+// Micro-op codes. ALU ops whose destination is the zero register are
+// translated to uNOP (architecturally they have no effect); loads keep
+// their full fault-check/trace behavior and only the write-back is
+// discarded, matching the interpreter.
+const (
+	uNOP uint8 = iota
+	uADD
+	uSUB
+	uAND
+	uOR
+	uXOR
+	uSLL
+	uSRL
+	uSRA
+	uSLT
+	uSLTU
+	uMUL
+	uADDI
+	uANDI
+	uORI
+	uXORI
+	uSLLI
+	uSRLI
+	uSRAI
+	uSLTI
+	uSLTIU
+	uLI // rd <- imm (LUI with the <<12 applied at translation time)
+	uLB
+	uLBU
+	uLH
+	uLHU
+	uLW
+	uSB
+	uSH
+	uSW
+	uBEQ
+	uBNE
+	uBLT
+	uBGE
+	uBLTU
+	uBGEU
+	uJAL
+	uJALR
+	uHALT
+	uBAD // undecodable instruction: FaultBadInstr when executed
+)
+
+// Special aux values for statically resolved control-transfer targets.
+const (
+	// auxFault marks a static target outside the text segment; taking the
+	// transfer raises FaultBadFetch at the target PC (recomputed from the
+	// imm byte offset), after the budget check, like the interpreter.
+	auxFault int32 = -1
+	// auxReturn marks a static target equal to ReturnAddress.
+	auxReturn int32 = -2
+)
+
+// microOp is one pre-decoded instruction. Register fields are masked to
+// the architectural range at translation time (and re-masked with &15 at
+// the use sites, which is what actually lets the compiler drop the
+// register-file bounds checks). imm holds the ready-to-use
+// immediate: sign/zero-extended for ALU and memory ops, the full shifted
+// constant for uLI, and for branches and uJAL the byte offset from the
+// instruction's own PC to the target (4 + imm*4), which the fault path
+// uses to recompute an out-of-text target address.
+type microOp struct {
+	code uint8
+	rd   uint8
+	rs1  uint8
+	rs2  uint8
+	imm  uint32
+	aux  int32 // branch/JAL target instruction index, or auxFault/auxReturn
+}
+
+// Program is a translated text segment, ready for block-threaded
+// execution on any CPU whose text base matches the one it was translated
+// for. A Program is immutable after Translate and safe to share between
+// cores (each CPU carries its own mutable state).
+type Program struct {
+	ops      []microOp
+	text     []isa.Instruction // original instructions, for tracer events
+	textBase uint32
+	blockOf  []int32 // instruction index -> block id
+	blockEnd []int32 // block id -> exclusive end instruction index
+	leader   []int32 // block id -> leader instruction index
+	endAt    []int32 // instruction index -> exclusive end of its block
+}
+
+// NumBlocks returns the number of translated basic blocks.
+func (p *Program) NumBlocks() int { return len(p.blockEnd) }
+
+// Translate compiles a decoded text segment into a block-threaded
+// Program using the given basic-block decomposition, which must have
+// been built from the same text and textBase.
+func Translate(text []isa.Instruction, textBase uint32, blocks *analysis.BlockMap) *Program {
+	n := len(text)
+	p := &Program{
+		ops:      make([]microOp, n),
+		text:     text,
+		textBase: textBase,
+		blockOf:  make([]int32, n),
+		blockEnd: make([]int32, blocks.NumBlocks()),
+		leader:   make([]int32, blocks.NumBlocks()),
+		endAt:    make([]int32, n),
+	}
+	for b := 0; b < blocks.NumBlocks(); b++ {
+		p.blockEnd[b] = int32(blocks.EndIndex(b))
+		p.leader[b] = int32(blocks.LeaderIndex(b))
+	}
+	for i, in := range text {
+		p.blockOf[i] = int32(blocks.BlockOfIndex(i))
+		p.endAt[i] = p.blockEnd[p.blockOf[i]]
+		p.ops[i] = translateOne(i, in, textBase, n)
+	}
+	return p
+}
+
+// aluCode maps the register-register and register-immediate ALU opcodes
+// to their micro-op codes (same dispatch, pre-masked operands).
+var aluCode = map[isa.Opcode]uint8{
+	isa.ADD: uADD, isa.SUB: uSUB, isa.AND: uAND, isa.OR: uOR, isa.XOR: uXOR,
+	isa.SLL: uSLL, isa.SRL: uSRL, isa.SRA: uSRA, isa.SLT: uSLT, isa.SLTU: uSLTU,
+	isa.MUL:  uMUL,
+	isa.ADDI: uADDI, isa.ANDI: uANDI, isa.ORI: uORI, isa.XORI: uXORI,
+	isa.SLLI: uSLLI, isa.SRLI: uSRLI, isa.SRAI: uSRAI, isa.SLTI: uSLTI,
+	isa.SLTIU: uSLTIU,
+}
+
+var memCode = map[isa.Opcode]uint8{
+	isa.LB: uLB, isa.LBU: uLBU, isa.LH: uLH, isa.LHU: uLHU, isa.LW: uLW,
+	isa.SB: uSB, isa.SH: uSH, isa.SW: uSW,
+}
+
+var branchCode = map[isa.Opcode]uint8{
+	isa.BEQ: uBEQ, isa.BNE: uBNE, isa.BLT: uBLT,
+	isa.BGE: uBGE, isa.BLTU: uBLTU, isa.BGEU: uBGEU,
+}
+
+func translateOne(i int, in isa.Instruction, textBase uint32, n int) microOp {
+	op := microOp{
+		rd:  uint8(in.Rd) & 15,
+		rs1: uint8(in.Rs1) & 15,
+		rs2: uint8(in.Rs2) & 15,
+		imm: uint32(in.Imm),
+	}
+	pc := textBase + uint32(i)*isa.WordSize
+	switch {
+	case aluCode[in.Op] != 0:
+		if in.Rd == isa.Zero {
+			return microOp{code: uNOP}
+		}
+		op.code = aluCode[in.Op]
+	case in.Op == isa.LUI:
+		if in.Rd == isa.Zero {
+			return microOp{code: uNOP}
+		}
+		op.code = uLI
+		op.imm = uint32(in.Imm) << 12
+	case memCode[in.Op] != 0:
+		op.code = memCode[in.Op]
+	case branchCode[in.Op] != 0:
+		op.code = branchCode[in.Op]
+		op.imm = isa.WordSize + uint32(in.Imm)*isa.WordSize // byte offset from pc
+		op.aux = staticTarget(pc+op.imm, textBase, n)
+	case in.Op == isa.JAL:
+		op.code = uJAL
+		op.imm = isa.WordSize + uint32(in.Imm)*isa.WordSize
+		op.aux = staticTarget(pc+op.imm, textBase, n)
+	case in.Op == isa.JALR:
+		op.code = uJALR
+	case in.Op == isa.HALT:
+		op.code = uHALT
+	default:
+		op.code = uBAD
+	}
+	return op
+}
+
+// staticTarget resolves a translation-time-known control transfer target
+// to an instruction index, using the interpreter's exact uint32 wrapping
+// semantics for the bounds test.
+func staticTarget(target, textBase uint32, n int) int32 {
+	if target == ReturnAddress {
+		return auxReturn
+	}
+	off := target - textBase
+	if off%isa.WordSize == 0 && off/isa.WordSize < uint32(n) {
+		return int32(off / isa.WordSize)
+	}
+	return auxFault
+}
+
+// BlockTracer is an optional Tracer extension: an engine that already
+// knows the basic-block structure (the block-threaded engine) reports
+// block entries directly, so a block-aware tracer (the statistics
+// collector) does not have to re-derive the block of every instruction.
+// EnterBlock is called once per dynamic block entry, before the entry
+// instruction's Instr event; leader reports whether execution entered at
+// the block's first instruction (false only for indirect jumps into the
+// middle of a block).
+type BlockTracer interface {
+	Tracer
+	EnterBlock(b int, leader bool)
+}
+
+// EnterBlock implements BlockTracer by fanning out to the members that
+// are themselves block-aware.
+func (m MultiTracer) EnterBlock(b int, leader bool) {
+	for _, t := range m {
+		if bt, ok := t.(BlockTracer); ok {
+			bt.EnterBlock(b, leader)
+		}
+	}
+}
+
+// RunProgram executes the translated program starting at c.PC until the
+// application halts, returns to ReturnAddress, faults, or exceeds
+// maxSteps — the block-threaded equivalent of Run, with the identical
+// observable contract: same final registers and memory, same step count,
+// same stop reason, and the same fault kind, PC and address on every
+// failure. p must have been translated from the text segment and base
+// this CPU was created with.
+//
+// With a nil Tracer the untraced dispatch loop runs: no tracing branches,
+// per-block step accounting, and c.PC/c.packetWriteHigh updated only at
+// run exit. With a Tracer attached the traced loop reproduces the
+// interpreter's per-instruction event order exactly (Instr before the
+// step is counted, Mem between the fault checks and the access, c.PC
+// current at every hook) so tracer-driven fault injection behaves
+// identically under both engines.
+func (c *CPU) RunProgram(p *Program, maxSteps uint64) (steps uint64, reason StopReason, err error) {
+	if c.Tracer != nil {
+		return c.runTraced(p, maxSteps)
+	}
+	return c.runFast(p, maxSteps)
+}
+
+// runFast is the untraced dispatch loop.
+func (c *CPU) runFast(p *Program, maxSteps uint64) (steps uint64, reason StopReason, rerr error) {
+	regs := &c.Regs
+	layout := c.Layout
+	ops := p.ops
+	endAt := p.endAt
+	textBase := p.textBase
+	n := uint32(len(ops))
+	pktHigh := c.packetWriteHigh
+	defer func() {
+		c.steps += steps
+		if pktHigh > c.packetWriteHigh {
+			c.packetWriteHigh = pktHigh
+		}
+	}()
+
+	pcv := c.PC // pending control-transfer target, when idx < 0
+	idx := -1   // entry instruction index, when >= 0 (already validated in-text)
+outer:
+	for {
+		if idx < 0 {
+			// Slow entry: arbitrary PC (run start, JALR, out-of-text
+			// static targets, fall-through past the end). The check order
+			// matches the interpreter: return address, budget, fetch.
+			if pcv == ReturnAddress {
+				c.PC = pcv
+				return steps, StopReturn, nil
+			}
+			if steps >= maxSteps {
+				c.PC = pcv
+				return steps, 0, &Fault{Kind: FaultStepLimit, PC: pcv}
+			}
+			off := pcv - textBase
+			if off%isa.WordSize != 0 || off/isa.WordSize >= n {
+				c.PC = pcv
+				return steps, 0, &Fault{Kind: FaultBadFetch, PC: pcv}
+			}
+			idx = int(off / isa.WordSize)
+		} else if steps >= maxSteps {
+			pc := textBase + uint32(idx)*isa.WordSize
+			c.PC = pc
+			return steps, 0, &Fault{Kind: FaultStepLimit, PC: pc}
+		}
+
+		end := int(endAt[idx])
+		if rem := maxSteps - steps; uint64(end-idx) > rem {
+			// The budget expires mid-block: execute only the affordable
+			// prefix; the re-entry check above raises the step-limit
+			// fault at the exact instruction the interpreter would.
+			end = idx + int(rem)
+		}
+		if end > len(ops) {
+			// Never taken (endAt values are block bounds); it teaches the
+			// compiler end <= len(ops) so ops[j] below needs no bounds
+			// check.
+			end = len(ops)
+		}
+		pc := textBase + uint32(idx)*isa.WordSize
+		for j := idx; j < end; j++ {
+			op := &ops[j]
+			switch op.code {
+			case uNOP:
+			case uADD:
+				regs[op.rd&15] = regs[op.rs1&15] + regs[op.rs2&15]
+			case uSUB:
+				regs[op.rd&15] = regs[op.rs1&15] - regs[op.rs2&15]
+			case uAND:
+				regs[op.rd&15] = regs[op.rs1&15] & regs[op.rs2&15]
+			case uOR:
+				regs[op.rd&15] = regs[op.rs1&15] | regs[op.rs2&15]
+			case uXOR:
+				regs[op.rd&15] = regs[op.rs1&15] ^ regs[op.rs2&15]
+			case uSLL:
+				regs[op.rd&15] = regs[op.rs1&15] << (regs[op.rs2&15] & 31)
+			case uSRL:
+				regs[op.rd&15] = regs[op.rs1&15] >> (regs[op.rs2&15] & 31)
+			case uSRA:
+				regs[op.rd&15] = uint32(int32(regs[op.rs1&15]) >> (regs[op.rs2&15] & 31))
+			case uSLT:
+				regs[op.rd&15] = b2u(int32(regs[op.rs1&15]) < int32(regs[op.rs2&15]))
+			case uSLTU:
+				regs[op.rd&15] = b2u(regs[op.rs1&15] < regs[op.rs2&15])
+			case uMUL:
+				regs[op.rd&15] = regs[op.rs1&15] * regs[op.rs2&15]
+			case uADDI:
+				regs[op.rd&15] = regs[op.rs1&15] + op.imm
+			case uANDI:
+				regs[op.rd&15] = regs[op.rs1&15] & op.imm
+			case uORI:
+				regs[op.rd&15] = regs[op.rs1&15] | op.imm
+			case uXORI:
+				regs[op.rd&15] = regs[op.rs1&15] ^ op.imm
+			case uSLLI:
+				regs[op.rd&15] = regs[op.rs1&15] << (op.imm & 31)
+			case uSRLI:
+				regs[op.rd&15] = regs[op.rs1&15] >> (op.imm & 31)
+			case uSRAI:
+				regs[op.rd&15] = uint32(int32(regs[op.rs1&15]) >> (op.imm & 31))
+			case uSLTI:
+				regs[op.rd&15] = b2u(int32(regs[op.rs1&15]) < int32(op.imm))
+			case uSLTIU:
+				regs[op.rd&15] = b2u(regs[op.rs1&15] < op.imm)
+			case uLI:
+				regs[op.rd&15] = op.imm
+
+			case uLB:
+				addr := regs[op.rs1&15] + op.imm
+				r := layout.Classify(addr)
+				if r == RegionNone || r == RegionText {
+					steps += uint64(j-idx) + 1
+					c.PC = pc
+					return steps, 0, &Fault{Kind: FaultUnmapped, PC: pc, Addr: addr}
+				}
+				if op.rd != 0 {
+					regs[op.rd&15] = uint32(int32(int8(c.cachedRead8(addr, r))))
+				}
+			case uLBU:
+				addr := regs[op.rs1&15] + op.imm
+				r := layout.Classify(addr)
+				if r == RegionNone || r == RegionText {
+					steps += uint64(j-idx) + 1
+					c.PC = pc
+					return steps, 0, &Fault{Kind: FaultUnmapped, PC: pc, Addr: addr}
+				}
+				if op.rd != 0 {
+					regs[op.rd&15] = uint32(c.cachedRead8(addr, r))
+				}
+			case uLH:
+				addr := regs[op.rs1&15] + op.imm
+				r, f := c.checkData(addr, 1, pc, layout)
+				if f != nil {
+					steps += uint64(j-idx) + 1
+					c.PC = pc
+					return steps, 0, f
+				}
+				if op.rd != 0 {
+					regs[op.rd&15] = uint32(int32(int16(c.cachedRead16(addr, r))))
+				}
+			case uLHU:
+				addr := regs[op.rs1&15] + op.imm
+				r, f := c.checkData(addr, 1, pc, layout)
+				if f != nil {
+					steps += uint64(j-idx) + 1
+					c.PC = pc
+					return steps, 0, f
+				}
+				if op.rd != 0 {
+					regs[op.rd&15] = uint32(c.cachedRead16(addr, r))
+				}
+			case uLW:
+				addr := regs[op.rs1&15] + op.imm
+				r, f := c.checkData(addr, 3, pc, layout)
+				if f != nil {
+					steps += uint64(j-idx) + 1
+					c.PC = pc
+					return steps, 0, f
+				}
+				if op.rd != 0 {
+					regs[op.rd&15] = c.cachedRead32(addr, r)
+				}
+
+			case uSB:
+				addr := regs[op.rs1&15] + op.imm
+				region := layout.Classify(addr)
+				if region == RegionText || region == RegionNone {
+					steps += uint64(j-idx) + 1
+					c.PC = pc
+					return steps, 0, storeFault(region, pc, addr)
+				}
+				if region == RegionPacket && addr+1 > pktHigh {
+					pktHigh = addr + 1
+				}
+				pg := c.cachedPage(addr, region)
+				pg[addr&(pageSize-1)] = uint8(regs[op.rd&15])
+			case uSH:
+				addr := regs[op.rs1&15] + op.imm
+				if addr&1 != 0 {
+					steps += uint64(j-idx) + 1
+					c.PC = pc
+					return steps, 0, &Fault{Kind: FaultUnaligned, PC: pc, Addr: addr}
+				}
+				region := layout.Classify(addr)
+				if region == RegionText || region == RegionNone {
+					steps += uint64(j-idx) + 1
+					c.PC = pc
+					return steps, 0, storeFault(region, pc, addr)
+				}
+				if region == RegionPacket && addr+2 > pktHigh {
+					pktHigh = addr + 2
+				}
+				pg := c.cachedPage(addr, region)
+				o := addr & (pageSize - 1)
+				binary.LittleEndian.PutUint16(pg[o:o+2:o+2], uint16(regs[op.rd&15]))
+			case uSW:
+				addr := regs[op.rs1&15] + op.imm
+				if addr&3 != 0 {
+					steps += uint64(j-idx) + 1
+					c.PC = pc
+					return steps, 0, &Fault{Kind: FaultUnaligned, PC: pc, Addr: addr}
+				}
+				region := layout.Classify(addr)
+				if region == RegionText || region == RegionNone {
+					steps += uint64(j-idx) + 1
+					c.PC = pc
+					return steps, 0, storeFault(region, pc, addr)
+				}
+				if region == RegionPacket && addr+4 > pktHigh {
+					pktHigh = addr + 4
+				}
+				pg := c.cachedPage(addr, region)
+				o := addr & (pageSize - 1)
+				binary.LittleEndian.PutUint32(pg[o:o+4:o+4], regs[op.rd&15])
+
+			case uBEQ:
+				if regs[op.rs1&15] == regs[op.rs2&15] {
+					steps += uint64(j-idx) + 1
+					idx, pcv = branchTo(op, pc)
+					continue outer
+				}
+			case uBNE:
+				if regs[op.rs1&15] != regs[op.rs2&15] {
+					steps += uint64(j-idx) + 1
+					idx, pcv = branchTo(op, pc)
+					continue outer
+				}
+			case uBLT:
+				if int32(regs[op.rs1&15]) < int32(regs[op.rs2&15]) {
+					steps += uint64(j-idx) + 1
+					idx, pcv = branchTo(op, pc)
+					continue outer
+				}
+			case uBGE:
+				if int32(regs[op.rs1&15]) >= int32(regs[op.rs2&15]) {
+					steps += uint64(j-idx) + 1
+					idx, pcv = branchTo(op, pc)
+					continue outer
+				}
+			case uBLTU:
+				if regs[op.rs1&15] < regs[op.rs2&15] {
+					steps += uint64(j-idx) + 1
+					idx, pcv = branchTo(op, pc)
+					continue outer
+				}
+			case uBGEU:
+				if regs[op.rs1&15] >= regs[op.rs2&15] {
+					steps += uint64(j-idx) + 1
+					idx, pcv = branchTo(op, pc)
+					continue outer
+				}
+
+			case uJAL:
+				if op.rd != 0 {
+					regs[op.rd&15] = pc + isa.WordSize
+				}
+				steps += uint64(j-idx) + 1
+				idx, pcv = branchTo(op, pc)
+				continue outer
+			case uJALR:
+				target := (regs[op.rs1&15] + op.imm) &^ 3
+				if op.rd != 0 {
+					regs[op.rd&15] = pc + isa.WordSize
+				}
+				steps += uint64(j-idx) + 1
+				idx, pcv = -1, target
+				continue outer
+
+			case uHALT:
+				steps += uint64(j-idx) + 1
+				c.PC = pc
+				return steps, StopHalt, nil
+			case uBAD:
+				steps += uint64(j-idx) + 1
+				c.PC = pc
+				return steps, 0, &Fault{Kind: FaultBadInstr, PC: pc}
+			}
+			pc += isa.WordSize
+		}
+		// Block body exhausted without a control transfer: either the
+		// budget truncated it, the block was split by a following leader,
+		// or execution ran past the last instruction. The re-entry checks
+		// sort the three cases out (step limit / next block / bad fetch).
+		steps += uint64(end - idx)
+		if uint32(end) < n {
+			idx = end
+		} else {
+			idx, pcv = -1, textBase+uint32(end)*isa.WordSize
+		}
+	}
+}
+
+// branchTo turns a taken static control transfer into the next dispatch
+// state: a validated instruction index for in-text targets, or a slow
+// pending PC (idx -1) for ReturnAddress and out-of-text targets.
+func branchTo(op *microOp, pc uint32) (idx int, pcv uint32) {
+	if op.aux >= 0 {
+		return int(op.aux), 0
+	}
+	if op.aux == auxReturn {
+		return -1, ReturnAddress
+	}
+	return -1, pc + op.imm
+}
+
+// storeFault builds the interpreter's store fault for a text/unmapped
+// region.
+func storeFault(region Region, pc, addr uint32) *Fault {
+	if region == RegionText {
+		return &Fault{Kind: FaultTextWrite, PC: pc, Addr: addr}
+	}
+	return &Fault{Kind: FaultUnmapped, PC: pc, Addr: addr}
+}
+
+// checkData performs the alignment and region checks shared by the
+// halfword/word loads: mask is size-1. The classified region is
+// returned so the caller can pick the matching page-cache slot.
+func (c *CPU) checkData(addr, mask, pc uint32, layout Layout) (Region, *Fault) {
+	if addr&mask != 0 {
+		return RegionNone, &Fault{Kind: FaultUnaligned, PC: pc, Addr: addr}
+	}
+	r := layout.Classify(addr)
+	if r == RegionNone || r == RegionText {
+		return r, &Fault{Kind: FaultUnmapped, PC: pc, Addr: addr}
+	}
+	return r, nil
+}
+
+// runTraced is the traced dispatch loop. It keeps the interpreter's
+// per-instruction observable order exactly; the speedup here comes only
+// from the eliminated fetch checks and pre-decoded operands, since every
+// instruction still owes its tracer events.
+func (c *CPU) runTraced(p *Program, maxSteps uint64) (steps uint64, reason StopReason, rerr error) {
+	tr := c.Tracer
+	bt, blockAware := tr.(BlockTracer)
+	regs := &c.Regs
+	layout := c.Layout
+	ops := p.ops
+	text := p.text
+	blockOf := p.blockOf
+	blockEnd := p.blockEnd
+	textBase := p.textBase
+	n := uint32(len(ops))
+	// A tracer may panic mid-run (the fault injector does); account the
+	// executed steps to the CPU lifetime counter even then, exactly as
+	// the interpreter's per-instruction increments would have.
+	defer func() { c.steps += steps }()
+
+	pcv := c.PC
+	idx := -1
+outer:
+	for {
+		if idx < 0 {
+			if pcv == ReturnAddress {
+				c.PC = pcv
+				return steps, StopReturn, nil
+			}
+			if steps >= maxSteps {
+				c.PC = pcv
+				return steps, 0, &Fault{Kind: FaultStepLimit, PC: pcv}
+			}
+			off := pcv - textBase
+			if off%isa.WordSize != 0 || off/isa.WordSize >= n {
+				c.PC = pcv
+				return steps, 0, &Fault{Kind: FaultBadFetch, PC: pcv}
+			}
+			idx = int(off / isa.WordSize)
+		} else if steps >= maxSteps {
+			pc := textBase + uint32(idx)*isa.WordSize
+			c.PC = pc
+			return steps, 0, &Fault{Kind: FaultStepLimit, PC: pc}
+		}
+
+		b := blockOf[idx]
+		if blockAware {
+			bt.EnterBlock(int(b), idx == int(p.leader[b]))
+		}
+		end := int(blockEnd[b])
+		if rem := maxSteps - steps; uint64(end-idx) > rem {
+			end = idx + int(rem)
+		}
+		pc := textBase + uint32(idx)*isa.WordSize
+		for j := idx; j < end; j++ {
+			op := &ops[j]
+			c.PC = pc
+			tr.Instr(pc, text[j])
+			steps++
+			switch op.code {
+			case uNOP:
+			case uADD:
+				regs[op.rd&15] = regs[op.rs1&15] + regs[op.rs2&15]
+			case uSUB:
+				regs[op.rd&15] = regs[op.rs1&15] - regs[op.rs2&15]
+			case uAND:
+				regs[op.rd&15] = regs[op.rs1&15] & regs[op.rs2&15]
+			case uOR:
+				regs[op.rd&15] = regs[op.rs1&15] | regs[op.rs2&15]
+			case uXOR:
+				regs[op.rd&15] = regs[op.rs1&15] ^ regs[op.rs2&15]
+			case uSLL:
+				regs[op.rd&15] = regs[op.rs1&15] << (regs[op.rs2&15] & 31)
+			case uSRL:
+				regs[op.rd&15] = regs[op.rs1&15] >> (regs[op.rs2&15] & 31)
+			case uSRA:
+				regs[op.rd&15] = uint32(int32(regs[op.rs1&15]) >> (regs[op.rs2&15] & 31))
+			case uSLT:
+				regs[op.rd&15] = b2u(int32(regs[op.rs1&15]) < int32(regs[op.rs2&15]))
+			case uSLTU:
+				regs[op.rd&15] = b2u(regs[op.rs1&15] < regs[op.rs2&15])
+			case uMUL:
+				regs[op.rd&15] = regs[op.rs1&15] * regs[op.rs2&15]
+			case uADDI:
+				regs[op.rd&15] = regs[op.rs1&15] + op.imm
+			case uANDI:
+				regs[op.rd&15] = regs[op.rs1&15] & op.imm
+			case uORI:
+				regs[op.rd&15] = regs[op.rs1&15] | op.imm
+			case uXORI:
+				regs[op.rd&15] = regs[op.rs1&15] ^ op.imm
+			case uSLLI:
+				regs[op.rd&15] = regs[op.rs1&15] << (op.imm & 31)
+			case uSRLI:
+				regs[op.rd&15] = regs[op.rs1&15] >> (op.imm & 31)
+			case uSRAI:
+				regs[op.rd&15] = uint32(int32(regs[op.rs1&15]) >> (op.imm & 31))
+			case uSLTI:
+				regs[op.rd&15] = b2u(int32(regs[op.rs1&15]) < int32(op.imm))
+			case uSLTIU:
+				regs[op.rd&15] = b2u(regs[op.rs1&15] < op.imm)
+			case uLI:
+				regs[op.rd&15] = op.imm
+
+			case uLB, uLBU, uLH, uLHU, uLW:
+				size := loadSize[op.code-uLB]
+				addr := regs[op.rs1&15] + op.imm
+				if addr&(size-1) != 0 {
+					c.PC = pc
+					return steps, 0, &Fault{Kind: FaultUnaligned, PC: pc, Addr: addr}
+				}
+				region := layout.Classify(addr)
+				if region == RegionNone || region == RegionText {
+					c.PC = pc
+					return steps, 0, &Fault{Kind: FaultUnmapped, PC: pc, Addr: addr}
+				}
+				tr.Mem(pc, addr, uint8(size), false, region)
+				var v uint32
+				switch op.code {
+				case uLB:
+					v = uint32(int32(int8(c.cachedRead8(addr, region))))
+				case uLBU:
+					v = uint32(c.cachedRead8(addr, region))
+				case uLH:
+					v = uint32(int32(int16(c.cachedRead16(addr, region))))
+				case uLHU:
+					v = uint32(c.cachedRead16(addr, region))
+				case uLW:
+					v = c.cachedRead32(addr, region)
+				}
+				if op.rd != 0 {
+					regs[op.rd&15] = v
+				}
+
+			case uSB, uSH, uSW:
+				size := storeSize[op.code-uSB]
+				addr := regs[op.rs1&15] + op.imm
+				if addr&(size-1) != 0 {
+					c.PC = pc
+					return steps, 0, &Fault{Kind: FaultUnaligned, PC: pc, Addr: addr}
+				}
+				region := layout.Classify(addr)
+				if region == RegionText || region == RegionNone {
+					c.PC = pc
+					return steps, 0, storeFault(region, pc, addr)
+				}
+				if region == RegionPacket {
+					// Update the watermark on the CPU before the tracer
+					// runs, like the interpreter: a tracer panic must not
+					// lose the stores already recorded.
+					if end := addr + size; end > c.packetWriteHigh {
+						c.packetWriteHigh = end
+					}
+				}
+				tr.Mem(pc, addr, uint8(size), true, region)
+				pg := c.cachedPage(addr, region)
+				o := addr & (pageSize - 1)
+				switch op.code {
+				case uSB:
+					pg[o] = uint8(regs[op.rd&15])
+				case uSH:
+					binary.LittleEndian.PutUint16(pg[o:o+2:o+2], uint16(regs[op.rd&15]))
+				case uSW:
+					binary.LittleEndian.PutUint32(pg[o:o+4:o+4], regs[op.rd&15])
+				}
+
+			case uBEQ:
+				if regs[op.rs1&15] == regs[op.rs2&15] {
+					idx, pcv = branchTo(op, pc)
+					continue outer
+				}
+			case uBNE:
+				if regs[op.rs1&15] != regs[op.rs2&15] {
+					idx, pcv = branchTo(op, pc)
+					continue outer
+				}
+			case uBLT:
+				if int32(regs[op.rs1&15]) < int32(regs[op.rs2&15]) {
+					idx, pcv = branchTo(op, pc)
+					continue outer
+				}
+			case uBGE:
+				if int32(regs[op.rs1&15]) >= int32(regs[op.rs2&15]) {
+					idx, pcv = branchTo(op, pc)
+					continue outer
+				}
+			case uBLTU:
+				if regs[op.rs1&15] < regs[op.rs2&15] {
+					idx, pcv = branchTo(op, pc)
+					continue outer
+				}
+			case uBGEU:
+				if regs[op.rs1&15] >= regs[op.rs2&15] {
+					idx, pcv = branchTo(op, pc)
+					continue outer
+				}
+
+			case uJAL:
+				if op.rd != 0 {
+					regs[op.rd&15] = pc + isa.WordSize
+				}
+				idx, pcv = branchTo(op, pc)
+				continue outer
+			case uJALR:
+				target := (regs[op.rs1&15] + op.imm) &^ 3
+				if op.rd != 0 {
+					regs[op.rd&15] = pc + isa.WordSize
+				}
+				idx, pcv = -1, target
+				continue outer
+
+			case uHALT:
+				c.PC = pc
+				return steps, StopHalt, nil
+			case uBAD:
+				c.PC = pc
+				return steps, 0, &Fault{Kind: FaultBadInstr, PC: pc}
+			}
+			pc += isa.WordSize
+		}
+		if uint32(end) < n {
+			idx = end
+		} else {
+			idx, pcv = -1, textBase+uint32(end)*isa.WordSize
+		}
+	}
+}
+
+var loadSize = [5]uint32{1, 1, 2, 2, 4} // uLB..uLW
+var storeSize = [3]uint32{1, 2, 4}      // uSB..uSW
+
+// Per-region last-page cache ----------------------------------------------
+
+// cachedRead8 reads one byte through the region's last-page cache slot.
+// A page, once allocated, is never replaced or freed, so a cached
+// pointer stays valid for the CPU's lifetime; pages never seen non-nil
+// are not cached, because a later host write could allocate them.
+func (c *CPU) cachedRead8(addr uint32, region Region) uint8 {
+	pidx := addr >> pageBits
+	p := c.pageCache[region]
+	if p == nil || c.pageCacheIdx[region] != pidx {
+		if p = c.Mem.pages[pidx]; p == nil {
+			return 0
+		}
+		c.pageCache[region], c.pageCacheIdx[region] = p, pidx
+	}
+	return p[addr&(pageSize-1)]
+}
+
+// cachedRead16 reads an aligned little-endian halfword through the cache.
+func (c *CPU) cachedRead16(addr uint32, region Region) uint16 {
+	pidx := addr >> pageBits
+	p := c.pageCache[region]
+	if p == nil || c.pageCacheIdx[region] != pidx {
+		if p = c.Mem.pages[pidx]; p == nil {
+			return 0
+		}
+		c.pageCache[region], c.pageCacheIdx[region] = p, pidx
+	}
+	o := addr & (pageSize - 1)
+	return binary.LittleEndian.Uint16(p[o : o+2 : o+2])
+}
+
+// cachedRead32 reads an aligned little-endian word through the cache.
+func (c *CPU) cachedRead32(addr uint32, region Region) uint32 {
+	pidx := addr >> pageBits
+	p := c.pageCache[region]
+	if p == nil || c.pageCacheIdx[region] != pidx {
+		if p = c.Mem.pages[pidx]; p == nil {
+			return 0
+		}
+		c.pageCache[region], c.pageCacheIdx[region] = p, pidx
+	}
+	o := addr & (pageSize - 1)
+	return binary.LittleEndian.Uint32(p[o : o+4 : o+4])
+}
+
+// cachedPage returns the (allocated) page containing addr through the
+// region's cache slot, for stores.
+func (c *CPU) cachedPage(addr uint32, region Region) *page {
+	pidx := addr >> pageBits
+	if p := c.pageCache[region]; p != nil && c.pageCacheIdx[region] == pidx {
+		return p
+	}
+	p := c.Mem.pageFor(addr)
+	c.pageCache[region], c.pageCacheIdx[region] = p, pidx
+	return p
+}

@@ -40,6 +40,8 @@ const (
 	RegionPacket               // packet buffer placed by the framework
 	RegionData                 // application static data and heap
 	RegionStack                // call stack
+
+	numRegions = int(RegionStack) + 1
 )
 
 var regionNames = map[Region]string{
@@ -215,6 +217,17 @@ type CPU struct {
 	// have dirtied, so the next packet placement only has to clear bytes
 	// that were actually written.
 	packetWriteHigh uint32
+
+	// Per-region last-page cache used by the block-threaded engine:
+	// consecutive accesses to the same 4 KiB page skip the Memory.pages
+	// map lookup. One slot per Region, because real workloads alternate
+	// between regions (packet header reads interleaved with stack
+	// spills) and a single shared slot would thrash. Pages are never
+	// freed or replaced once allocated, so a cached pointer can never go
+	// stale; only nil lookups are left uncached (a host write could
+	// allocate the page later).
+	pageCache    [numRegions]*page
+	pageCacheIdx [numRegions]uint32
 }
 
 // New creates a CPU executing the given pre-decoded text segment. The

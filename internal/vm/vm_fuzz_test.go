@@ -2,6 +2,7 @@ package vm
 
 import (
 	"errors"
+	"reflect"
 	"testing"
 
 	"repro/internal/isa"
@@ -64,6 +65,70 @@ func FuzzVM(f *testing.F) {
 		}
 		if cpu.Regs[isa.Zero] != 0 {
 			t.Fatalf("zero register clobbered: %#x", cpu.Regs[isa.Zero])
+		}
+	})
+}
+
+// FuzzEngineDiff is the differential fuzzer behind the engine-equivalence
+// contract: arbitrary instruction streams (same input encoding as FuzzVM)
+// run through the reference interpreter and the block-threaded engine,
+// untraced and traced, and every observable — registers, final PC, step
+// count, stop reason, fault kind/PC/Addr, packet watermark, memory image,
+// tracer event streams — must be bit-identical. CI runs this as a short
+// -fuzz smoke.
+func FuzzEngineDiff(f *testing.F) {
+	f.Add([]byte{byte(isa.HALT), 0, 0, 0, 0, 0})
+	f.Add([]byte{
+		byte(isa.ADDI), 4, 0, 0, 10, 0,
+		byte(isa.ADDI), 4, 4, 0, 0xFF, 0xFF,
+		byte(isa.BNE), 0, 4, 0, 0xFF, 0xFF,
+		byte(isa.JALR), 0, 15, 0, 0, 0,
+	})
+	f.Add([]byte{
+		byte(isa.LW), 4, 1, 0, 0, 0,
+		byte(isa.SW), 4, 3, 0, 4, 0,
+		byte(isa.SB), 4, 1, 0, 200, 0,
+		byte(isa.JAL), 15, 0, 0, 0xFC, 0xFF,
+	})
+	f.Add([]byte{255, 255, 255, 255, 255, 255})
+	f.Fuzz(func(t *testing.T, b []byte) {
+		n := len(b) / 6
+		if n == 0 || n > 4096 {
+			t.Skip()
+		}
+		text := make([]isa.Instruction, n)
+		for i := 0; i < n; i++ {
+			w := b[i*6 : i*6+6]
+			text[i] = isa.Instruction{
+				Op:  isa.Opcode(int(w[0]) % (isa.NumOpcodes + 3)),
+				Rd:  isa.Reg(w[1] % isa.NumRegs),
+				Rs1: isa.Reg(w[2] % isa.NumRegs),
+				Rs2: isa.Reg(w[3] % isa.NumRegs),
+				Imm: int32(int16(uint16(w[4]) | uint16(w[5])<<8)),
+			}
+		}
+		const textBase = 0x00400000
+		const maxSteps = 50_000
+		seed := func(c *CPU) {
+			c.Regs[1] = 0x20000000
+			c.Regs[2] = 0x10000000
+			c.Regs[3] = 0x7FFF8000
+			c.Regs[15] = ReturnAddress
+		}
+		want := runEngine(t, text, textBase, maxSteps, false, nil, seed)
+		got := runEngine(t, text, textBase, maxSteps, true, nil, seed)
+		requireSameResult(t, want, got, "untraced")
+
+		wt := &recordingTracer{}
+		gt := &recordingTracer{}
+		want = runEngine(t, text, textBase, maxSteps, false, wt, seed)
+		got = runEngine(t, text, textBase, maxSteps, true, gt, seed)
+		requireSameResult(t, want, got, "traced")
+		if !reflect.DeepEqual(wt.instrs, gt.instrs) {
+			t.Fatalf("Instr event streams differ (%d vs %d events)", len(wt.instrs), len(gt.instrs))
+		}
+		if !reflect.DeepEqual(wt.mems, gt.mems) {
+			t.Fatalf("Mem event streams differ (%d vs %d events)", len(wt.mems), len(gt.mems))
 		}
 	})
 }

@@ -105,6 +105,17 @@ type (
 	// VerifyError is the error New returns when the static verifier
 	// refuses an application; its Diags field holds the full report.
 	VerifyError = core.VerifyError
+	// EngineKind selects the execution engine (Options.Engine): the
+	// block-threaded engine (default) or the reference interpreter it is
+	// differentially validated against. Both produce bit-identical
+	// results.
+	EngineKind = core.EngineKind
+)
+
+// The execution engines.
+const (
+	EngineThreaded    = core.EngineThreaded
+	EngineInterpreter = core.EngineInterpreter
 )
 
 // The diagnostic severities.
