@@ -16,6 +16,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/gen"
 	"repro/internal/report"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
 
@@ -440,6 +441,30 @@ func BenchmarkProcessPacketSmall(b *testing.B) {
 				}
 			})
 		}
+	}
+	// Telemetry guardrail on the fast path (threaded, tracing off): with
+	// no registry the hot path must keep zero allocations per packet —
+	// only nil-check branches remain; with a registry attached the cost
+	// is a handful of atomic adds and must stay allocation-free too.
+	for _, tel := range []bool{false, true} {
+		b.Run(fmt.Sprintf("telemetry=%v", tel), func(b *testing.B) {
+			opts := core.Options{Engine: core.EngineThreaded}
+			if tel {
+				opts.Metrics = telemetry.NewRegistry()
+			}
+			bench, err := core.New(NewTSA(7), opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			bench.SetTracing(false)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := bench.ProcessPacket(pkts[i%len(pkts)]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

@@ -19,9 +19,11 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"time"
 
 	"repro/internal/analysis"
 	"repro/internal/apps"
+	"repro/internal/asm"
 	"repro/internal/core"
 	"repro/internal/faultinject"
 	"repro/internal/flow"
@@ -29,8 +31,10 @@ import (
 	"repro/internal/isa"
 	"repro/internal/microarch"
 	"repro/internal/packet"
+	"repro/internal/profile"
 	"repro/internal/route"
 	"repro/internal/stats"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 	"repro/internal/vm"
 )
@@ -63,6 +67,11 @@ type config struct {
 	maxAttempts int    // attempts per packet under retry
 	inject      string // faultinject.ParsePlan spec
 	seed        int64  // seed for injected randomness
+
+	// Observability.
+	progress   bool   // live status line on stderr
+	debugAddr  string // /metrics + expvar + pprof HTTP endpoint
+	profileOut string // guest-profile output path prefix
 }
 
 func main() {
@@ -90,6 +99,9 @@ func main() {
 	flag.IntVar(&cfg.maxAttempts, "max-attempts", 2, "total attempts per packet under -fault-policy retry")
 	flag.StringVar(&cfg.inject, "inject", "", "deterministic fault injection plan, e.g. \"flip@3,trunc@7:20,vmfault@11\" (kinds: flip, trunc, clamp, vmfault)")
 	flag.Int64Var(&cfg.seed, "seed", 1, "seed for -inject randomness (unspecified offsets, masks, step counts)")
+	flag.BoolVar(&cfg.progress, "progress", false, "render a live status line on stderr: packets/sec, instrs/sec, faults, %% complete")
+	flag.StringVar(&cfg.debugAddr, "debug-addr", "", "serve /metrics (Prometheus text), /debug/vars (expvar) and /debug/pprof on this address (e.g. :6060)")
+	flag.StringVar(&cfg.profileOut, "profile-out", "", "write guest-program profiles to <path>.folded (flamegraph) and <path>.pb.gz (go tool pprof)")
 	flag.Parse()
 	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "packetbench:", err)
@@ -120,6 +132,15 @@ func loadPackets(cfg *config, skipMalformed bool) ([]*trace.Packet, error) {
 		r, err := trace.NewReader(f, format)
 		if err != nil {
 			return nil, err
+		}
+		// Let the reader report progress in input bytes.
+		if fi, err := f.Stat(); err == nil {
+			switch tr := r.(type) {
+			case *trace.PcapReader:
+				tr.SetTotal(fi.Size())
+			case *trace.TSHReader:
+				tr.SetTotal(fi.Size())
+			}
 		}
 		// Under a skip policy the readers degrade the same way the run
 		// engine does: malformed records are skipped (resyncing the
@@ -182,6 +203,20 @@ func run(cfg config) error {
 	if err != nil {
 		return err
 	}
+	// The registry exists only when something consumes it; a nil registry
+	// disables telemetry in the run engine at zero hot-path cost.
+	var reg *telemetry.Registry
+	if cfg.progress || cfg.debugAddr != "" {
+		reg = telemetry.NewRegistry()
+	}
+	if cfg.debugAddr != "" {
+		dbg, err := telemetry.ServeDebug(cfg.debugAddr, reg)
+		if err != nil {
+			return err
+		}
+		defer dbg.Close()
+		fmt.Fprintf(os.Stderr, "debug endpoint on http://%s/ (/metrics, /debug/vars, /debug/pprof)\n", dbg.Addr)
+	}
 	pkts, err := loadPackets(&cfg, policy.Policy != core.FailFast)
 	if err != nil {
 		return err
@@ -243,7 +278,7 @@ func run(cfg config) error {
 	}
 
 	if cfg.pool > 1 {
-		return runPool(app, pkts, &cfg, policy, engine, inj)
+		return runPool(app, pkts, &cfg, policy, engine, inj, reg)
 	}
 
 	bench, err := core.New(app, core.Options{
@@ -252,11 +287,12 @@ func run(cfg config) error {
 		Errors:   policy,
 		Engine:   engine,
 		NoVerify: cfg.noVerify,
+		Metrics:  reg,
 	})
 	if err != nil {
 		return describeVerifyError(err)
 	}
-	bench.Collector().CountPCs = cfg.annotate
+	bench.Collector().CountPCs = cfg.annotate || cfg.profileOut != ""
 	if inj != nil {
 		bench.AddTracer(inj.Tracer())
 	}
@@ -288,6 +324,17 @@ func run(cfg config) error {
 			return err
 		}
 		outW, outClose = w, f.Close
+	}
+
+	if cfg.progress {
+		total := len(pkts)
+		stopProgress := startProgress(reg, func() (float64, bool) {
+			s := reg.Snapshot()
+			done := s.CounterTotal(telemetry.MetricPacketsProcessed) +
+				s.CounterTotal(telemetry.MetricPacketsFaulted)
+			return float64(done) / float64(total), total > 0
+		})
+		defer stopProgress()
 	}
 
 	verdicts := make(map[uint32]int)
@@ -359,6 +406,80 @@ func run(cfg config) error {
 		}
 		fmt.Printf("\nwrote weighted flow graph (%d edges) to %s\n", len(g.Edges), cfg.flowDot)
 	}
+	if cfg.profileOut != "" {
+		if err := writeProfiles(cfg.profileOut, app, bench.Program(), bench.Collector().PCCounts); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// startProgress launches the live status line and returns its stopper.
+// frac reports the completed fraction of the run when known.
+func startProgress(reg *telemetry.Registry, frac func() (float64, bool)) (stop func()) {
+	quit := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		tick := time.NewTicker(500 * time.Millisecond)
+		defer tick.Stop()
+		prev := reg.Snapshot()
+		for {
+			select {
+			case <-quit:
+				fmt.Fprintln(os.Stderr)
+				return
+			case <-tick.C:
+			}
+			cur := reg.Snapshot()
+			line := fmt.Sprintf("\r%10.0f pkt/s %14.0f instr/s %6d faults",
+				cur.Rate(prev, telemetry.MetricPacketsProcessed),
+				cur.Rate(prev, telemetry.MetricInstrsExecuted),
+				cur.CounterTotal(telemetry.MetricPacketsFaulted))
+			if f, ok := frac(); ok {
+				line += fmt.Sprintf("  %5.1f%%", 100*f)
+			}
+			fmt.Fprint(os.Stderr, line+"  ")
+			prev = cur
+		}
+	}()
+	return func() {
+		close(quit)
+		<-done
+	}
+}
+
+// writeProfiles builds the guest profile from accumulated PC counts and
+// writes both output formats next to each other: base.folded for
+// flamegraph tools and base.pb.gz for go tool pprof.
+func writeProfiles(base string, app *core.App, prog *asm.Program, counts []uint64) error {
+	var entries []string
+	if app.Entry != "" {
+		entries = []string{app.Entry}
+	}
+	p, err := profile.Build(prog, counts, profile.Options{Entries: entries, AppName: app.Name})
+	if err != nil {
+		return err
+	}
+	write := func(path string, emit func(*os.File) error) error {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := emit(f); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
+	}
+	if err := write(base+".folded", func(f *os.File) error { return p.WriteFolded(f) }); err != nil {
+		return err
+	}
+	if err := write(base+".pb.gz", func(f *os.File) error { return p.WritePprof(f) }); err != nil {
+		return err
+	}
+	fmt.Printf("\nwrote guest profile (%d functions, %d instructions) to %s.folded and %s.pb.gz\n",
+		len(p.Funcs), p.Total, base, base)
 	return nil
 }
 
@@ -431,19 +552,25 @@ func dumpTrace(bench *core.Bench, idx int, res core.Result) {
 // record slice), and verdicts are counted exactly as in the single-core
 // path. Stateful applications (flow classification) keep per-core tables
 // in this mode, as real replicated-state engines would.
-func runPool(app *core.App, pkts []*trace.Packet, cfg *config, policy core.ErrorPolicy, engine core.EngineKind, inj *faultinject.Injector) error {
-	pool, err := core.NewPool(app, cfg.pool, core.Options{Errors: policy, Engine: engine, NoVerify: cfg.noVerify})
+func runPool(app *core.App, pkts []*trace.Packet, cfg *config, policy core.ErrorPolicy, engine core.EngineKind, inj *faultinject.Injector, reg *telemetry.Registry) error {
+	pool, err := core.NewPool(app, cfg.pool, core.Options{Errors: policy, Engine: engine, NoVerify: cfg.noVerify, Metrics: reg})
 	if err != nil {
 		return describeVerifyError(err)
 	}
-	if inj != nil {
-		for i := 0; i < pool.Cores(); i++ {
+	for i := 0; i < pool.Cores(); i++ {
+		if inj != nil {
 			pool.Bench(i).AddTracer(inj.Tracer())
 		}
+		pool.Bench(i).Collector().CountPCs = cfg.profileOut != ""
+	}
+	reader := trace.NewSliceReader(pkts)
+	if cfg.progress {
+		stopProgress := startProgress(reg, func() (float64, bool) { return trace.Progress(reader) })
+		defer stopProgress()
 	}
 	agg := &stats.Running{KeepInstructionCounts: true}
 	verdicts := make(map[uint32]int)
-	if _, err := pool.RunTrace(trace.NewSliceReader(pkts), 0, func(i int, res core.Result) {
+	if _, err := pool.RunTrace(reader, 0, func(i int, res core.Result) {
 		agg.Add(&res.Record)
 		if !res.Faulted() {
 			verdicts[res.Verdict]++
@@ -464,6 +591,18 @@ func runPool(app *core.App, pkts []*trace.Packet, cfg *config, policy core.Error
 	fmt.Printf("\n  verdicts:\n")
 	for v, c := range verdicts {
 		fmt.Printf("    %4d: %d packets\n", v, c)
+	}
+	if cfg.profileOut != "" {
+		// Sum the per-core PC counters: one profile for the pooled run.
+		counts := make([]uint64, len(pool.Bench(0).Collector().PCCounts))
+		for i := 0; i < pool.Cores(); i++ {
+			for j, c := range pool.Bench(i).Collector().PCCounts {
+				counts[j] += c
+			}
+		}
+		if err := writeProfiles(cfg.profileOut, app, pool.Bench(0).Program(), counts); err != nil {
+			return err
+		}
 	}
 	return nil
 }

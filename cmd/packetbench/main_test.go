@@ -184,3 +184,38 @@ func TestNoVerifyGatesLoading(t *testing.T) {
 		t.Errorf("unrelated error rewritten: %v", got)
 	}
 }
+
+func TestRunObservability(t *testing.T) {
+	dir := t.TempDir()
+	cfg := testConfig("radix", "MRA", 200)
+	cfg.progress = true
+	cfg.debugAddr = "127.0.0.1:0"
+	cfg.profileOut = filepath.Join(dir, "prof")
+	if err := run(cfg); err != nil {
+		t.Fatal(err)
+	}
+	folded, err := os.ReadFile(cfg.profileOut + ".folded")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(folded), "process_packet ") {
+		t.Errorf("folded output missing process_packet:\n%s", folded)
+	}
+	if _, err := os.Stat(cfg.profileOut + ".pb.gz"); err != nil {
+		t.Errorf("pprof output missing: %v", err)
+	}
+}
+
+func TestRunPoolObservability(t *testing.T) {
+	dir := t.TempDir()
+	cfg := testConfig("flow", "COS", 300)
+	cfg.pool = 3
+	cfg.progress = true
+	cfg.profileOut = filepath.Join(dir, "poolprof")
+	if err := run(cfg); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(cfg.profileOut + ".folded"); err != nil {
+		t.Errorf("pool folded output missing: %v", err)
+	}
+}

@@ -24,15 +24,77 @@ import (
 
 func main() {
 	var (
-		exp    = flag.String("exp", "all", "experiment to run (table1..table6, fig3..fig9, microarch, all)")
-		scale  = flag.Float64("scale", 1.0, "scale factor on the paper's packet counts")
-		outDir = flag.String("out", "", "also write figure series as CSV files into this directory")
+		exp     = flag.String("exp", "all", "experiment to run (table1..table6, fig3..fig9, microarch, all)")
+		scale   = flag.Float64("scale", 1.0, "scale factor on the paper's packet counts")
+		outDir  = flag.String("out", "", "also write figure series as CSV files into this directory")
+		profM   = flag.Bool("profile", false, "profile each application's guest program instead of running experiments; with -out, also writes <app>.folded and <app>.pb.gz")
+		profTr  = flag.String("profile-trace", "MRA", "trace the -profile mode runs each application over")
+		profPkt = flag.Int("profile-packets", 1000, "packets per application in -profile mode (scaled by -scale)")
 	)
 	flag.Parse()
+	if *profM {
+		if err := runProfile(*profTr, scaled(*profPkt, *scale), *outDir); err != nil {
+			fmt.Fprintln(os.Stderr, "pbreport:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if err := run(*exp, *scale, *outDir); err != nil {
 		fmt.Fprintln(os.Stderr, "pbreport:", err)
 		os.Exit(1)
 	}
+}
+
+// runProfile is the -profile mode: run every application over the named
+// trace with per-instruction counting and print a gprof-style flat
+// profile per application. With outDir set, the folded-stack and pprof
+// outputs are written alongside for external tools.
+func runProfile(traceName string, packets int, outDir string) error {
+	cfg := report.Config{TablePackets: packets}
+	fmt.Fprintf(os.Stderr, "building environment (traces + routing tables)...\n")
+	env := report.NewEnv(cfg)
+	for _, app := range report.AppNames {
+		p, err := env.Profile(app, traceName, packets)
+		if err != nil {
+			return fmt.Errorf("profiling %s: %w", app, err)
+		}
+		fmt.Printf("%s on %s, %d packets (%d instructions):\n", app, traceName, packets, p.Total)
+		if err := p.WriteText(os.Stdout); err != nil {
+			return err
+		}
+		fmt.Println()
+		if outDir == "" {
+			continue
+		}
+		if err := os.MkdirAll(outDir, 0o755); err != nil {
+			return err
+		}
+		base := filepath.Join(outDir, strings.ReplaceAll(app, " ", "_"))
+		ff, err := os.Create(base + ".folded")
+		if err != nil {
+			return err
+		}
+		if err := p.WriteFolded(ff); err != nil {
+			ff.Close()
+			return err
+		}
+		if err := ff.Close(); err != nil {
+			return err
+		}
+		pf, err := os.Create(base + ".pb.gz")
+		if err != nil {
+			return err
+		}
+		if err := p.WritePprof(pf); err != nil {
+			pf.Close()
+			return err
+		}
+		if err := pf.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s.folded and %s.pb.gz\n", base, base)
+	}
+	return nil
 }
 
 func scaled(n int, s float64) int {

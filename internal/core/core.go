@@ -43,12 +43,14 @@ import (
 	"fmt"
 	"io"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/analysis"
 	"repro/internal/asm"
 	"repro/internal/isa"
 	"repro/internal/staticcheck"
 	"repro/internal/stats"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 	"repro/internal/vm"
 )
@@ -229,6 +231,12 @@ type Options struct {
 	// run off the end of the program); NoVerify loads it anyway, leaving
 	// fault handling to the runtime ErrorPolicy.
 	NoVerify bool
+	// Metrics, when non-nil, receives run telemetry: per-packet
+	// counters (packets, instructions, region-split memory references,
+	// faults by kind) and the packet-latency histogram. All cores of a
+	// Pool share one registry, so the series aggregate across cores.
+	// Nil disables telemetry at zero hot-path cost.
+	Metrics *telemetry.Registry
 }
 
 // VerifyError is returned by New when the static verifier refuses an
@@ -381,6 +389,8 @@ type Bench struct {
 	extraTracers []vm.Tracer
 	policy       ErrorPolicy
 	budget       *errorBudget // for bare ProcessPacket calls; runs use their own
+	reg          *telemetry.Registry
+	metrics      *runMetrics // nil when telemetry is disabled
 
 	// dirtyLen is the number of bytes at PacketBase that may hold
 	// non-zero data from the previous packet: the previous placement
@@ -469,8 +479,13 @@ func New(app *App, opts Options) (*Bench, error) {
 		engine: opts.Engine, tprog: tprog,
 		entry: entry, stepLimit: stepLimit,
 		policy: policy, budget: newErrorBudget(policy.ErrorBudget),
+		reg: opts.Metrics, metrics: newRunMetrics(opts.Metrics),
 	}, nil
 }
+
+// Metrics returns the telemetry registry the bench reports into (nil
+// when telemetry is disabled).
+func (b *Bench) Metrics() *telemetry.Registry { return b.reg }
 
 // Engine returns the execution engine the bench was built with.
 func (b *Bench) Engine() EngineKind { return b.engine }
@@ -544,6 +559,7 @@ func (b *Bench) processUnderPolicy(idx int, p *trace.Packet, bud *errorBudget) (
 	if !bud.take() {
 		return Result{}, fmt.Errorf("core: error budget of %d exhausted: %w", b.policy.ErrorBudget, err)
 	}
+	b.metrics.fault(fault.Kind)
 	return Result{Record: b.col.AbortPacket(fault.Kind), Fault: fault}, nil
 }
 
@@ -551,6 +567,11 @@ func (b *Bench) processUnderPolicy(idx int, p *trace.Packet, bud *errorBudget) (
 // On failure the *vm.Fault behind the error is returned alongside it
 // (nil for errors no policy may absorb).
 func (b *Bench) processOnce(idx int, p *trace.Packet) (Result, *vm.Fault, error) {
+	var start time.Time
+	if b.metrics != nil {
+		b.metrics.attempts.Inc()
+		start = time.Now()
+	}
 	n := len(p.Data)
 	if n > MaxPacketLen {
 		f := &vm.Fault{Kind: vm.FaultOversizePacket}
@@ -592,12 +613,19 @@ func (b *Bench) processOnce(idx int, p *trace.Packet) (Result, *vm.Fault, error)
 		b.dirtyLen = int(high - PacketBase)
 	}
 	if err != nil {
+		if b.metrics != nil {
+			b.metrics.latency.Observe(uint64(time.Since(start)))
+		}
 		var f *vm.Fault
 		errors.As(err, &f)
 		return Result{}, f, fmt.Errorf("core: %s: packet %d: %w", b.app.Name, idx, err)
 	}
 	rec := b.col.EndPacket()
 	b.processed++
+	if b.metrics != nil {
+		b.metrics.latency.Observe(uint64(time.Since(start)))
+		b.metrics.measured(&rec)
+	}
 	return Result{Verdict: b.cpu.Reg(isa.A0), Record: rec}, nil, nil
 }
 

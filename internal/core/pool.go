@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/stats"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
 
@@ -32,10 +33,14 @@ import (
 // exactly as they would on hardware without shared memory.
 type Pool struct {
 	benches []*Bench
+	// busy gauges how many cores are simulating a packet right now;
+	// nil (no-op) when telemetry is disabled.
+	busy *telemetry.Gauge
 }
 
 // NewPool builds a pool of n cores running app. Each core runs the
-// application's Init independently.
+// application's Init independently. All cores share opts.Metrics, so
+// the run counters aggregate across the pool.
 func NewPool(app *App, n int, opts Options) (*Pool, error) {
 	if n < 1 {
 		return nil, fmt.Errorf("core: pool needs at least one core")
@@ -48,6 +53,8 @@ func NewPool(app *App, n int, opts Options) (*Pool, error) {
 		}
 		p.benches = append(p.benches, b)
 	}
+	p.busy = opts.Metrics.Gauge(telemetry.MetricPoolWorkersBusy, "Pool cores currently simulating a packet.")
+	opts.Metrics.Gauge(telemetry.MetricPoolCores, "Simulated cores in the pool.").Set(int64(n))
 	return p, nil
 }
 
@@ -142,7 +149,9 @@ func (p *Pool) RunPacketsContext(ctx context.Context, pkts []*trace.Packet, onRe
 					if stop.Load() {
 						return
 					}
+					p.busy.Inc()
 					res, err := b.processUnderPolicy(i, pkts[i], bud)
+					p.busy.Dec()
 					if err != nil {
 						fail.report(i, fmt.Errorf("core %d: %w", c, err))
 						stop.Store(true)
@@ -262,7 +271,9 @@ func (p *Pool) RunTraceContext(ctx context.Context, r trace.Reader, limit int, o
 				if stop.Load() {
 					continue
 				}
+				p.busy.Inc()
 				res, err := b.processUnderPolicy(j.idx, j.pkt, bud)
+				p.busy.Dec()
 				if err != nil {
 					stop.Store(true)
 					cancel()

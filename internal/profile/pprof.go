@@ -1,0 +1,182 @@
+package profile
+
+import (
+	"compress/gzip"
+	"io"
+)
+
+// This file hand-encodes the pprof profile.proto wire format
+// (github.com/google/pprof/proto/profile.proto) so `go tool pprof` can
+// read guest profiles without this repository depending on a protobuf
+// library. Only two wire types appear in the message: varint (0) for
+// integers and length-delimited (2) for strings, packed repeats, and
+// nested messages.
+//
+// Field numbers used (from profile.proto):
+//
+//	Profile:  sample_type=1 sample=2 mapping=3 location=4 function=5
+//	          string_table=6 time_nanos=9 duration_nanos=10
+//	          period_type=11 period=12
+//	ValueType: type=1 unit=2            (string-table indices)
+//	Sample:    location_id=1 value=2    (packed; location ids leaf first)
+//	Mapping:   id=1 memory_start=2 memory_limit=3 filename=5
+//	Location:  id=1 mapping_id=2 address=3 line=4
+//	Line:      function_id=1 line=2
+//	Function:  id=1 name=2 system_name=3 filename=4 start_line=5
+
+type protoBuf struct{ b []byte }
+
+func (p *protoBuf) varint(v uint64) {
+	for v >= 0x80 {
+		p.b = append(p.b, byte(v)|0x80)
+		v >>= 7
+	}
+	p.b = append(p.b, byte(v))
+}
+
+func (p *protoBuf) uintField(field int, v uint64) {
+	if v == 0 {
+		return // proto3 default; omitted
+	}
+	p.varint(uint64(field)<<3 | 0) // wire type 0: varint
+	p.varint(v)
+}
+
+func (p *protoBuf) bytesField(field int, b []byte) {
+	p.varint(uint64(field)<<3 | 2) // wire type 2: length-delimited
+	p.varint(uint64(len(b)))
+	p.b = append(p.b, b...)
+}
+
+func (p *protoBuf) stringField(field int, s string) {
+	p.bytesField(field, []byte(s))
+}
+
+// packedField emits a repeated integer field in packed encoding.
+func (p *protoBuf) packedField(field int, vs []uint64) {
+	if len(vs) == 0 {
+		return
+	}
+	var inner protoBuf
+	for _, v := range vs {
+		inner.varint(v)
+	}
+	p.bytesField(field, inner.b)
+}
+
+// strTable interns strings into the profile string table; index 0 is
+// the mandatory empty string.
+type strTable struct {
+	idx  map[string]uint64
+	list []string
+}
+
+func newStrTable() *strTable {
+	return &strTable{idx: map[string]uint64{"": 0}, list: []string{""}}
+}
+
+func (t *strTable) id(s string) uint64 {
+	if i, ok := t.idx[s]; ok {
+		return i
+	}
+	i := uint64(len(t.list))
+	t.idx[s] = i
+	t.list = append(t.list, s)
+	return i
+}
+
+// WritePprof writes the profile as a gzipped pprof profile.proto. The
+// sample value is simulated instructions (count); one sample per
+// function with a nonzero flat weight, its location stack leaf-first as
+// the format requires.
+func (p *Profile) WritePprof(w io.Writer) error {
+	appName := p.AppName
+	if appName == "" {
+		appName = "pb32"
+	}
+	strs := newStrTable()
+	var out protoBuf
+
+	// sample_type: {type: "instructions", unit: "count"}.
+	var vt protoBuf
+	vt.uintField(1, strs.id("instructions"))
+	vt.uintField(2, strs.id("count"))
+	out.bytesField(1, vt.b)
+
+	// One mapping covering the simulated text segment. has_functions and
+	// has_filenames (fields 7 and 8) declare that symbols are already in
+	// the profile, so pprof does not attempt local binary symbolization.
+	var mp protoBuf
+	mp.uintField(1, 1)
+	mp.uintField(2, uint64(p.Prog.TextBase))
+	mp.uintField(3, uint64(p.Prog.TextEnd()))
+	mp.uintField(5, strs.id(appName))
+	mp.uintField(7, 1)
+	mp.uintField(8, 1)
+	out.bytesField(3, mp.b)
+
+	// Functions and locations: one of each per guest function; ids are
+	// 1-based function indices. The location address is the function's
+	// entry PC inside the mapping.
+	for i := range p.Funcs {
+		f := &p.Funcs[i]
+		id := uint64(i + 1)
+
+		var fn protoBuf
+		fn.uintField(1, id)
+		fn.uintField(2, strs.id(f.Name))
+		fn.uintField(3, strs.id(f.Name))
+		fn.uintField(4, strs.id(appName+".s"))
+		fn.uintField(5, uint64(f.StartLine))
+		out.bytesField(5, fn.b)
+
+		var ln protoBuf
+		ln.uintField(1, id)
+		ln.uintField(2, uint64(f.StartLine))
+		var loc protoBuf
+		loc.uintField(1, id)
+		loc.uintField(2, 1) // mapping id
+		loc.uintField(3, uint64(f.Addr))
+		loc.bytesField(4, ln.b)
+		out.bytesField(4, loc.b)
+	}
+
+	// Samples: location ids leaf first (the function itself, then its
+	// callers up to the root).
+	for i := range p.Funcs {
+		f := &p.Funcs[i]
+		if f.Flat == 0 {
+			continue
+		}
+		locs := make([]uint64, len(f.Stack))
+		for j, fi := range f.Stack {
+			locs[len(f.Stack)-1-j] = uint64(fi + 1)
+		}
+		var smp protoBuf
+		smp.packedField(1, locs)
+		smp.packedField(2, []uint64{f.Flat})
+		out.bytesField(2, smp.b)
+	}
+
+	// period_type/period: one simulated instruction per count, which
+	// lets pprof label the profile sensibly.
+	var pt protoBuf
+	pt.uintField(1, strs.id("instructions"))
+	pt.uintField(2, strs.id("count"))
+	out.bytesField(11, pt.b)
+	out.uintField(12, 1)
+
+	// duration: total instructions is the closest meaningful notion;
+	// pprof only uses it for display. Field 10 expects nanoseconds, so
+	// leave it unset rather than lie. The string table goes last by
+	// convention (any order is legal).
+	for _, s := range strs.list {
+		out.stringField(6, s)
+	}
+
+	gz := gzip.NewWriter(w)
+	if _, err := gz.Write(out.b); err != nil {
+		return err
+	}
+	return gz.Close()
+}

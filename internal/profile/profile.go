@@ -1,0 +1,279 @@
+// Package profile turns guest-program execution counts into standard
+// profiler outputs. The input side is cheap and already exists: the
+// stats.Collector's per-instruction PCCounts (enabled by CountPCs) and
+// the static call graph internal/staticcheck derives from the
+// assembler's JAL/JALR call discipline. The output side is two formats
+// every profiling toolchain reads: folded stacks (flamegraph.pl,
+// speedscope, inferno) and the gzipped pprof profile.proto that
+// `go tool pprof` consumes — hand-encoded here, since the repository
+// takes no dependencies beyond the standard library.
+//
+// The profile is a static-call-graph profile, not a sampled one: each
+// function's flat weight is the exact number of simulated instructions
+// retired in basic blocks owned by that function, and its stack is the
+// shortest static call path from the program entry. That is the honest
+// best available without a shadow call stack in the VM, and it is exact
+// for the paper's workloads, whose call graphs are trees.
+package profile
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"repro/internal/asm"
+	"repro/internal/staticcheck"
+)
+
+// Func is one guest function discovered from the call graph: a function
+// entry block plus every block reachable from it without crossing into
+// another function.
+type Func struct {
+	// Name is the function's label, or func_0x<addr> when the entry has
+	// no symbol.
+	Name string
+	// Addr is the entry address; StartLine its 1-based source line.
+	Addr      uint32
+	StartLine int
+	// Flat is the number of simulated instructions retired inside the
+	// function's own blocks (callees excluded).
+	Flat uint64
+	// Blocks lists the basic-block ids the function owns, ascending.
+	Blocks []int
+	// Callees indexes the functions this one calls, ascending, deduped.
+	Callees []int
+	// Stack is the shortest static call path from a program entry to
+	// this function, root first and ending with the function itself.
+	// Functions unreachable from the entries have a one-frame stack.
+	Stack []int
+}
+
+// Profile is a guest-program execution profile.
+type Profile struct {
+	Prog  *asm.Program
+	Funcs []Func // ordered by entry address
+	// Total is the sum of all flat weights: every counted instruction.
+	Total uint64
+	// AppName labels the pprof mapping and synthetic filename.
+	AppName string
+}
+
+// Options configure profile construction.
+type Options struct {
+	// Entries names the program entry symbols for call-graph rooting;
+	// empty means the program's text globals (the verifier's default).
+	Entries []string
+	// AppName labels the profile (pprof mapping filename); defaults to
+	// "pb32".
+	AppName string
+}
+
+// Build constructs a profile from a program and its per-instruction
+// execution counts (stats.Collector.PCCounts; len(pcCounts) must equal
+// len(prog.Text)).
+func Build(prog *asm.Program, pcCounts []uint64, opts Options) (*Profile, error) {
+	if len(pcCounts) != len(prog.Text) {
+		return nil, fmt.Errorf("profile: %d PC counts for %d instructions", len(pcCounts), len(prog.Text))
+	}
+	cfg, ds := staticcheck.BuildCFG(prog, staticcheck.Options{Entries: opts.Entries})
+	if errs := ds.Errors(); len(errs) > 0 {
+		return nil, fmt.Errorf("profile: %s", errs[0].Msg)
+	}
+
+	// Function indices, by entry block. FuncEntries is ascending by
+	// block id, which is ascending by address.
+	funcIdx := make(map[int]int, len(cfg.FuncEntries)) // entry block -> func
+	for i, b := range cfg.FuncEntries {
+		funcIdx[b] = i
+	}
+
+	// Reverse symbol table for naming. On address collisions the
+	// lexically smallest label wins, for determinism.
+	symAt := make(map[uint32]string)
+	for name, addr := range prog.Symbols {
+		if cur, ok := symAt[addr]; !ok || name < cur {
+			symAt[addr] = name
+		}
+	}
+
+	p := &Profile{Prog: prog, Funcs: make([]Func, len(cfg.FuncEntries)), AppName: opts.AppName}
+	if p.AppName == "" {
+		p.AppName = "pb32"
+	}
+	for i, b := range cfg.FuncEntries {
+		addr := cfg.Blocks.Leader(b)
+		name, ok := symAt[addr]
+		if !ok {
+			name = fmt.Sprintf("func_0x%08x", addr)
+		}
+		lead := cfg.Blocks.LeaderIndex(b)
+		line := 0
+		if lead < len(prog.SourceLines) {
+			line = prog.SourceLines[lead]
+		}
+		p.Funcs[i] = Func{Name: name, Addr: addr, StartLine: line}
+	}
+
+	// Assign every block to the first function that reaches it without
+	// crossing a function entry: intra-procedural flood fill from each
+	// entry. Call targets are function entries by construction, so the
+	// "stop at entries" rule excludes call edges automatically while the
+	// fall-through return point stays inside the caller.
+	owner := make([]int, cfg.Blocks.NumBlocks())
+	for b := range owner {
+		owner[b] = -1
+	}
+	for i, entry := range cfg.FuncEntries {
+		work := []int{entry}
+		owner[entry] = i
+		for len(work) > 0 {
+			b := work[len(work)-1]
+			work = work[:len(work)-1]
+			for _, s := range cfg.Succs[b] {
+				if owner[s] >= 0 {
+					continue
+				}
+				if _, isEntry := funcIdx[s]; isEntry {
+					continue
+				}
+				owner[s] = i
+				work = append(work, s)
+			}
+		}
+	}
+	for b, f := range owner {
+		if f < 0 {
+			continue
+		}
+		p.Funcs[f].Blocks = append(p.Funcs[f].Blocks, b)
+		for j := cfg.Blocks.LeaderIndex(b); j < cfg.Blocks.EndIndex(b); j++ {
+			p.Funcs[f].Flat += pcCounts[j]
+		}
+	}
+	for i := range p.Funcs {
+		sort.Ints(p.Funcs[i].Blocks)
+		p.Total += p.Funcs[i].Flat
+	}
+
+	// Call edges between functions, deduped.
+	seenEdge := make(map[[2]int]bool)
+	for _, call := range cfg.Calls {
+		from, to := owner[call.Block], funcIdx[call.Target]
+		if from < 0 || from == to || seenEdge[[2]int{from, to}] {
+			continue
+		}
+		seenEdge[[2]int{from, to}] = true
+		p.Funcs[from].Callees = append(p.Funcs[from].Callees, to)
+	}
+	for i := range p.Funcs {
+		sort.Ints(p.Funcs[i].Callees)
+	}
+
+	// Shortest root-first call paths by BFS from the entry functions.
+	parent := make([]int, len(p.Funcs))
+	for i := range parent {
+		parent[i] = -1
+	}
+	var queue []int
+	for _, b := range cfg.Entries {
+		if f, ok := funcIdx[b]; ok && parent[f] == -1 {
+			parent[f] = f // root marks itself
+			queue = append(queue, f)
+		}
+	}
+	for len(queue) > 0 {
+		f := queue[0]
+		queue = queue[1:]
+		for _, c := range p.Funcs[f].Callees {
+			if parent[c] == -1 {
+				parent[c] = f
+				queue = append(queue, c)
+			}
+		}
+	}
+	for i := range p.Funcs {
+		if parent[i] == -1 {
+			p.Funcs[i].Stack = []int{i}
+			continue
+		}
+		var rev []int
+		for f := i; ; f = parent[f] {
+			rev = append(rev, f)
+			if parent[f] == f {
+				break
+			}
+		}
+		stack := make([]int, len(rev))
+		for j, f := range rev {
+			stack[len(rev)-1-j] = f
+		}
+		p.Funcs[i].Stack = stack
+	}
+	return p, nil
+}
+
+// WriteFolded writes the profile in folded-stack format: one line per
+// function with a nonzero flat weight, frames root-first joined by ";",
+// a space, and the count. Lines are sorted, so equal prefixes are
+// adjacent — the input contract of flamegraph.pl and speedscope.
+func (p *Profile) WriteFolded(w io.Writer) error {
+	lines := make([]string, 0, len(p.Funcs))
+	for i := range p.Funcs {
+		f := &p.Funcs[i]
+		if f.Flat == 0 {
+			continue
+		}
+		frames := make([]string, len(f.Stack))
+		for j, fi := range f.Stack {
+			frames[j] = p.Funcs[fi].Name
+		}
+		lines = append(lines, fmt.Sprintf("%s %d", strings.Join(frames, ";"), f.Flat))
+	}
+	sort.Strings(lines)
+	for _, l := range lines {
+		if _, err := fmt.Fprintln(w, l); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Top returns the functions ordered by descending flat weight (ties by
+// address), for textual reports.
+func (p *Profile) Top() []Func {
+	out := append([]Func(nil), p.Funcs...)
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Flat != out[j].Flat {
+			return out[i].Flat > out[j].Flat
+		}
+		return out[i].Addr < out[j].Addr
+	})
+	return out
+}
+
+// WriteText writes a gprof-style flat listing: rank, percentage,
+// cumulative percentage, instruction count, and function name.
+func (p *Profile) WriteText(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "%5s  %7s  %7s  %12s  %s\n", "rank", "flat%", "cum%", "instrs", "function"); err != nil {
+		return err
+	}
+	var cum uint64
+	for i, f := range p.Top() {
+		if f.Flat == 0 {
+			break
+		}
+		cum += f.Flat
+		pct := func(v uint64) float64 {
+			if p.Total == 0 {
+				return 0
+			}
+			return 100 * float64(v) / float64(p.Total)
+		}
+		if _, err := fmt.Fprintf(w, "%5d  %6.2f%%  %6.2f%%  %12d  %s\n",
+			i+1, pct(f.Flat), pct(cum), f.Flat, f.Name); err != nil {
+			return err
+		}
+	}
+	return nil
+}

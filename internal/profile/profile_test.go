@@ -1,0 +1,366 @@
+package profile
+
+import (
+	"bytes"
+	"compress/gzip"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/asm"
+)
+
+// callSrc is a small program with a two-level call tree:
+// main -> helper -> leaf, plus a main-only loop.
+const callSrc = `
+	.text
+	.global main
+main:
+	li   s0, 3
+loop:
+	jal  ra, helper
+	addi s0, s0, -1
+	bne  s0, zero, loop
+	li   a0, 1
+	ret
+
+helper:
+	addi sp, sp, -4
+	sw   ra, 0(sp)
+	jal  ra, leaf
+	lw   ra, 0(sp)
+	addi sp, sp, 4
+	ret
+
+leaf:
+	addi t0, zero, 7
+	ret
+`
+
+func buildTestProfile(t *testing.T) *Profile {
+	t.Helper()
+	prog, err := asm.Assemble(callSrc, asm.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Synthesize execution counts: every instruction ran once per
+	// "packet", scaled by its function to make flat weights distinct.
+	counts := make([]uint64, len(prog.Text))
+	for i := range counts {
+		counts[i] = uint64(i + 1)
+	}
+	p, err := Build(prog, counts, Options{Entries: []string{"main"}, AppName: "calltest"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func funcByName(t *testing.T, p *Profile, name string) *Func {
+	t.Helper()
+	for i := range p.Funcs {
+		if p.Funcs[i].Name == name {
+			return &p.Funcs[i]
+		}
+	}
+	t.Fatalf("no function %q in %v", name, p.Funcs)
+	return nil
+}
+
+func TestBuildFunctionsAndStacks(t *testing.T) {
+	p := buildTestProfile(t)
+	if len(p.Funcs) != 3 {
+		t.Fatalf("got %d functions, want 3: %+v", len(p.Funcs), p.Funcs)
+	}
+	main := funcByName(t, p, "main")
+	helper := funcByName(t, p, "helper")
+	leaf := funcByName(t, p, "leaf")
+
+	if len(main.Stack) != 1 || p.Funcs[main.Stack[0]].Name != "main" {
+		t.Errorf("main stack = %v", main.Stack)
+	}
+	wantStack := func(f *Func, names ...string) {
+		t.Helper()
+		var got []string
+		for _, fi := range f.Stack {
+			got = append(got, p.Funcs[fi].Name)
+		}
+		if strings.Join(got, ";") != strings.Join(names, ";") {
+			t.Errorf("%s stack = %v, want %v", f.Name, got, names)
+		}
+	}
+	wantStack(helper, "main", "helper")
+	wantStack(leaf, "main", "helper", "leaf")
+
+	if len(main.Callees) != 1 || main.Callees[0] != funcIndex(p, "helper") {
+		t.Errorf("main callees = %v", main.Callees)
+	}
+	if p.Total == 0 || main.Flat == 0 || helper.Flat == 0 || leaf.Flat == 0 {
+		t.Errorf("zero flat weights: total=%d main=%d helper=%d leaf=%d",
+			p.Total, main.Flat, helper.Flat, leaf.Flat)
+	}
+	var sum uint64
+	for _, f := range p.Funcs {
+		sum += f.Flat
+	}
+	if sum != p.Total {
+		t.Errorf("Total = %d, func sum = %d", p.Total, sum)
+	}
+}
+
+func funcIndex(p *Profile, name string) int {
+	for i := range p.Funcs {
+		if p.Funcs[i].Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+func TestBuildCountLengthMismatch(t *testing.T) {
+	prog, err := asm.Assemble("main: ret", asm.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Build(prog, make([]uint64, 99), Options{}); err == nil {
+		t.Fatal("length mismatch not rejected")
+	}
+}
+
+// TestWriteFolded validates the folded contract: sorted lines, frames
+// joined by ";", trailing integer count.
+func TestWriteFolded(t *testing.T) {
+	p := buildTestProfile(t)
+	var b bytes.Buffer
+	if err := p.WriteFolded(&b); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(b.String(), "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("got %d folded lines, want 3:\n%s", len(lines), b.String())
+	}
+	if !sort.StringsAreSorted(lines) {
+		t.Errorf("folded lines not sorted:\n%s", b.String())
+	}
+	for _, l := range lines {
+		sp := strings.LastIndexByte(l, ' ')
+		if sp < 0 {
+			t.Fatalf("folded line %q has no count", l)
+		}
+		if _, err := strconv.ParseUint(l[sp+1:], 10, 64); err != nil {
+			t.Errorf("folded count %q: %v", l[sp+1:], err)
+		}
+		for _, frame := range strings.Split(l[:sp], ";") {
+			if frame == "" {
+				t.Errorf("empty frame in %q", l)
+			}
+		}
+	}
+	if !strings.Contains(b.String(), "main;helper;leaf ") {
+		t.Errorf("missing leaf stack:\n%s", b.String())
+	}
+}
+
+// protoField is one decoded top-level or nested protobuf field.
+type protoField struct {
+	num  int
+	wire int
+	val  uint64 // wire type 0
+	b    []byte // wire type 2
+}
+
+func parseProto(t *testing.T, b []byte) []protoField {
+	t.Helper()
+	var out []protoField
+	for len(b) > 0 {
+		tag, n := uvarint(b)
+		if n <= 0 {
+			t.Fatalf("bad tag varint")
+		}
+		b = b[n:]
+		f := protoField{num: int(tag >> 3), wire: int(tag & 7)}
+		switch f.wire {
+		case 0:
+			v, n := uvarint(b)
+			if n <= 0 {
+				t.Fatalf("bad varint in field %d", f.num)
+			}
+			f.val, b = v, b[n:]
+		case 2:
+			l, n := uvarint(b)
+			if n <= 0 || uint64(len(b)-n) < l {
+				t.Fatalf("bad length in field %d", f.num)
+			}
+			f.b, b = b[n:n+int(l)], b[n+int(l):]
+		default:
+			t.Fatalf("unexpected wire type %d for field %d", f.wire, f.num)
+		}
+		out = append(out, f)
+	}
+	return out
+}
+
+func uvarint(b []byte) (uint64, int) {
+	var v uint64
+	for i := 0; i < len(b) && i < 10; i++ {
+		v |= uint64(b[i]&0x7f) << (7 * i)
+		if b[i] < 0x80 {
+			return v, i + 1
+		}
+	}
+	return 0, -1
+}
+
+// TestWritePprofStructure gunzips and structurally decodes the emitted
+// profile.proto: string table, sample/location/function cross
+// references, and leaf-first sample stacks.
+func TestWritePprofStructure(t *testing.T) {
+	p := buildTestProfile(t)
+	var b bytes.Buffer
+	if err := p.WritePprof(&b); err != nil {
+		t.Fatal(err)
+	}
+	zr, err := gzip.NewReader(&b)
+	if err != nil {
+		t.Fatalf("output is not gzip: %v", err)
+	}
+	raw, err := io.ReadAll(zr)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var strTab []string
+	var samples, locations, functions [][]protoField
+	for _, f := range parseProto(t, raw) {
+		switch f.num {
+		case 6:
+			strTab = append(strTab, string(f.b))
+		case 2:
+			samples = append(samples, parseProto(t, f.b))
+		case 4:
+			locations = append(locations, parseProto(t, f.b))
+		case 5:
+			functions = append(functions, parseProto(t, f.b))
+		}
+	}
+	if len(strTab) == 0 || strTab[0] != "" {
+		t.Fatalf("string table must start with empty string: %v", strTab)
+	}
+	hasStr := func(s string) bool {
+		for _, v := range strTab {
+			if v == s {
+				return true
+			}
+		}
+		return false
+	}
+	for _, want := range []string{"main", "helper", "leaf", "instructions", "count", "calltest"} {
+		if !hasStr(want) {
+			t.Errorf("string table missing %q: %v", want, strTab)
+		}
+	}
+	if len(functions) != 3 || len(locations) != 3 {
+		t.Fatalf("got %d functions, %d locations; want 3 each", len(functions), len(locations))
+	}
+	if len(samples) != 3 {
+		t.Fatalf("got %d samples, want 3", len(samples))
+	}
+
+	// The deepest sample's packed location stack must be leaf-first:
+	// leaf, helper, main.
+	nameOf := map[uint64]string{}
+	for _, fn := range functions {
+		var id, nameIdx uint64
+		for _, f := range fn {
+			if f.num == 1 {
+				id = f.val
+			}
+			if f.num == 2 {
+				nameIdx = f.val
+			}
+		}
+		nameOf[id] = strTab[nameIdx]
+	}
+	foundDeep := false
+	for _, smp := range samples {
+		var locIDs []uint64
+		for _, f := range smp {
+			if f.num == 1 {
+				rest := f.b
+				for len(rest) > 0 {
+					v, n := uvarint(rest)
+					locIDs = append(locIDs, v)
+					rest = rest[n:]
+				}
+			}
+		}
+		if len(locIDs) == 3 {
+			foundDeep = true
+			// Location ids equal function ids in this encoding.
+			got := []string{nameOf[locIDs[0]], nameOf[locIDs[1]], nameOf[locIDs[2]]}
+			if got[0] != "leaf" || got[1] != "helper" || got[2] != "main" {
+				t.Errorf("deep sample stack = %v, want [leaf helper main]", got)
+			}
+		}
+	}
+	if !foundDeep {
+		t.Errorf("no 3-frame sample found")
+	}
+}
+
+// TestPprofToolReads shells out to `go tool pprof -top` when the go
+// tool is available, proving real-toolchain compatibility.
+func TestPprofToolReads(t *testing.T) {
+	goBin, err := exec.LookPath("go")
+	if err != nil {
+		t.Skip("go tool not on PATH")
+	}
+	p := buildTestProfile(t)
+	path := filepath.Join(t.TempDir(), "guest.pb.gz")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.WritePprof(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command(goBin, "tool", "pprof", "-top", path)
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("go tool pprof -top: %v\n%s", err, out)
+	}
+	for _, want := range []string{"main", "helper", "leaf"} {
+		if !strings.Contains(string(out), want) {
+			t.Errorf("pprof -top missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWriteText(t *testing.T) {
+	p := buildTestProfile(t)
+	var b bytes.Buffer
+	if err := p.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"rank", "flat%", "main", "helper", "leaf"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("text report missing %q:\n%s", want, out)
+		}
+	}
+	// Ranks are by descending flat weight.
+	top := p.Top()
+	for i := 1; i < len(top); i++ {
+		if top[i].Flat > top[i-1].Flat {
+			t.Errorf("Top() not descending at %d: %v", i, top)
+		}
+	}
+}

@@ -1,0 +1,62 @@
+package report
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// update regenerates the golden files instead of comparing against
+// them: go test ./internal/report/ -run Golden -update
+var update = flag.Bool("update", false, "rewrite golden files with current output")
+
+// checkGolden compares got against testdata/<name>.golden, or rewrites
+// the file under -update. The environment is deterministic (seeded
+// generators, fixed iteration orders — see TestEnvDeterminism), so the
+// formatted reports are byte-stable across runs and platforms.
+func checkGolden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name+".golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (rerun with -update): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("%s output differs from golden file; rerun with -update if the change is intended.\n--- got ---\n%s\n--- want ---\n%s",
+			name, got, want)
+	}
+}
+
+func TestGoldenVariationTables(t *testing.T) {
+	for _, tc := range []struct {
+		name   string
+		unique bool
+	}{
+		{"variation_total", false},
+		{"variation_unique", true},
+	} {
+		rows, err := sharedEnv.Variation(tc.unique)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkGolden(t, tc.name, FormatVariation(rows, tc.unique, testConfig.VariationPackets))
+	}
+}
+
+func TestGoldenTable4MemoryCoverage(t *testing.T) {
+	rows, err := sharedEnv.Table4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "table4_coverage", FormatTable4(rows, testConfig.CoveragePackets))
+}

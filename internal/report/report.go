@@ -20,6 +20,7 @@ import (
 	"repro/internal/gen"
 	"repro/internal/microarch"
 	"repro/internal/packet"
+	"repro/internal/profile"
 	"repro/internal/route"
 	"repro/internal/stats"
 	"repro/internal/textplot"
@@ -163,6 +164,27 @@ func (e *Env) Run(appName, traceName string, n int, opts core.Options) (*core.Be
 	}
 	recs, err := b.RunPackets(e.Trace(traceName, n), nil)
 	return b, recs, err
+}
+
+// Profile runs appName over the first n packets of the named trace with
+// per-instruction counting enabled and returns the guest-program
+// profile (pbreport -profile).
+func (e *Env) Profile(appName, traceName string, n int) (*profile.Profile, error) {
+	app := e.app(appName)
+	b, err := core.New(app, core.Options{})
+	if err != nil {
+		return nil, err
+	}
+	b.Collector().CountPCs = true
+	if _, err := b.RunPackets(e.Trace(traceName, n), nil); err != nil {
+		return nil, err
+	}
+	var entries []string
+	if app.Entry != "" {
+		entries = []string{app.Entry}
+	}
+	return profile.Build(b.Program(), b.Collector().PCCounts,
+		profile.Options{Entries: entries, AppName: appName})
 }
 
 // ----------------------------------------------------------------------

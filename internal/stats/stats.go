@@ -22,6 +22,7 @@ package stats
 
 import (
 	"math/bits"
+	"time"
 
 	"repro/internal/analysis"
 	"repro/internal/isa"
@@ -433,6 +434,53 @@ func (a *Running) Packets() int { return a.packets }
 
 // Faulted returns how many added records were quarantined.
 func (a *Running) Faulted() int { return a.faulted }
+
+// FaultCounts returns the per-kind quarantine tally so far, as a copy
+// safe to retain across further Adds. It is how a progress display
+// reports fault composition mid-run, before Summary is built. The map
+// is nil when no record has faulted.
+func (a *Running) FaultCounts() map[vm.FaultKind]int {
+	if len(a.faultCounts) == 0 {
+		return nil
+	}
+	out := make(map[vm.FaultKind]int, len(a.faultCounts))
+	for k, n := range a.faultCounts {
+		out[k] = n
+	}
+	return out
+}
+
+// TotalInstructions returns the instructions retired by measured
+// packets so far.
+func (a *Running) TotalInstructions() uint64 { return a.totalInstructions }
+
+// Window is a point-in-time mark of a Running aggregate, from which
+// per-interval throughput can be computed while the run is in flight.
+type Window struct {
+	At           time.Time
+	Packets      int
+	Faulted      int
+	Instructions uint64
+}
+
+// Mark captures the aggregate's current totals with a timestamp. Mark
+// must be called from the goroutine that Adds (Running is not
+// synchronized); the returned Window is a value and may cross
+// goroutines freely.
+func (a *Running) Mark(at time.Time) Window {
+	return Window{At: at, Packets: a.packets, Faulted: a.faulted, Instructions: a.totalInstructions}
+}
+
+// Throughput returns the packet and instruction rates per second over
+// the interval between prev and w. Rates are zero when the interval is
+// not positive (identical or out-of-order marks).
+func (w Window) Throughput(prev Window) (packetsPerSec, instrsPerSec float64) {
+	dt := w.At.Sub(prev.At).Seconds()
+	if dt <= 0 {
+		return 0, 0
+	}
+	return float64(w.Packets-prev.Packets) / dt, float64(w.Instructions-prev.Instructions) / dt
+}
 
 // Summary returns the aggregate, identical to Summarize over the same
 // records.

@@ -3,6 +3,7 @@ package stats
 import (
 	"reflect"
 	"testing"
+	"time"
 
 	"repro/internal/analysis"
 	"repro/internal/asm"
@@ -407,5 +408,64 @@ func TestAbortPacket(t *testing.T) {
 	}
 	if h.col.Records[2].Faulted() {
 		t.Error("packet after an abort inherited the fault mark")
+	}
+}
+
+func TestRunningFaultCounts(t *testing.T) {
+	var agg Running
+	agg.Add(&PacketRecord{Instructions: 100})
+	agg.Add(&PacketRecord{Fault: vm.FaultUnmapped})
+	agg.Add(&PacketRecord{Fault: vm.FaultUnmapped})
+	agg.Add(&PacketRecord{Fault: vm.FaultStepLimit})
+
+	fc := agg.FaultCounts()
+	if fc[vm.FaultUnmapped] != 2 || fc[vm.FaultStepLimit] != 1 || len(fc) != 2 {
+		t.Fatalf("FaultCounts = %v", fc)
+	}
+	// The returned map is a copy: mutating it must not corrupt the
+	// aggregate, and later Adds must not show through it.
+	fc[vm.FaultUnmapped] = 99
+	agg.Add(&PacketRecord{Fault: vm.FaultBadFetch})
+	if got := agg.FaultCounts(); got[vm.FaultUnmapped] != 2 || got[vm.FaultBadFetch] != 1 {
+		t.Errorf("FaultCounts after mutation/Add = %v", got)
+	}
+	if s := agg.Summary(); s.FaultCounts[vm.FaultUnmapped] != 2 {
+		t.Errorf("Summary fault counts corrupted: %v", s.FaultCounts)
+	}
+
+	var clean Running
+	clean.Add(&PacketRecord{Instructions: 1})
+	if clean.FaultCounts() != nil {
+		t.Errorf("FaultCounts with no faults = %v, want nil", clean.FaultCounts())
+	}
+}
+
+func TestRunningThroughputWindow(t *testing.T) {
+	var agg Running
+	base := time.Unix(1000, 0)
+	prev := agg.Mark(base)
+	for i := 0; i < 30; i++ {
+		agg.Add(&PacketRecord{Instructions: 10})
+	}
+	agg.Add(&PacketRecord{Fault: vm.FaultUnmapped})
+	cur := agg.Mark(base.Add(2 * time.Second))
+
+	pps, ips := cur.Throughput(prev)
+	if pps != 15.5 { // 31 records over 2s, faulted included in packet rate
+		t.Errorf("packets/sec = %v, want 15.5", pps)
+	}
+	if ips != 150 { // 300 instructions over 2s
+		t.Errorf("instrs/sec = %v, want 150", ips)
+	}
+	if cur.Faulted-prev.Faulted != 1 {
+		t.Errorf("window fault delta = %d", cur.Faulted-prev.Faulted)
+	}
+
+	// Degenerate intervals rate zero instead of dividing by zero.
+	if pps, ips := cur.Throughput(cur); pps != 0 || ips != 0 {
+		t.Errorf("zero-interval throughput = %v, %v", pps, ips)
+	}
+	if pps, _ := prev.Throughput(cur); pps != 0 {
+		t.Errorf("out-of-order throughput = %v", pps)
 	}
 }

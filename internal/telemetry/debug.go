@@ -1,0 +1,95 @@
+package telemetry
+
+import (
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+	"time"
+)
+
+// DebugServer is the opt-in observability endpoint of a PacketBench
+// process: /metrics in Prometheus text format from a run's Registry,
+// /debug/vars (expvar, including the registry bridged as a JSON var),
+// and the standard /debug/pprof profiles of the host process. It binds
+// eagerly so ":0" users can read the resolved address, and serves until
+// closed.
+type DebugServer struct {
+	ln  net.Listener
+	srv *http.Server
+	// Addr is the resolved listen address (host:port), useful when the
+	// requested address was ":0".
+	Addr string
+}
+
+// expvarOnce guards the process-global expvar name; expvar.Publish
+// panics on duplicates, and tests start several servers per process.
+var expvarOnce sync.Once
+
+// currentExpvarRegistry is the registry the expvar bridge reads; the
+// most recent ServeDebug call wins.
+var (
+	expvarMu              sync.Mutex
+	currentExpvarRegistry *Registry
+)
+
+// ServeDebug starts the debug endpoint on addr serving reg and returns
+// once the listener is bound. Pass ":0" to pick a free port; the
+// resolved address is in DebugServer.Addr. The server runs until Close.
+func ServeDebug(addr string, reg *Registry) (*DebugServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: binding debug endpoint %s: %w", addr, err)
+	}
+
+	expvarMu.Lock()
+	currentExpvarRegistry = reg
+	expvarMu.Unlock()
+	expvarOnce.Do(func() {
+		expvar.Publish("packetbench", expvar.Func(func() any {
+			expvarMu.Lock()
+			r := currentExpvarRegistry
+			expvarMu.Unlock()
+			s := r.Snapshot()
+			return map[string]any{
+				"counters":   s.Counters,
+				"gauges":     s.Gauges,
+				"histograms": s.Histograms,
+			}
+		}))
+	})
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = reg.WritePrometheus(w)
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	// net/http/pprof registers on http.DefaultServeMux; with a private
+	// mux the handlers are wired explicitly.
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		fmt.Fprint(w, "packetbench debug endpoint\n\n/metrics\n/debug/vars\n/debug/pprof/\n")
+	})
+
+	d := &DebugServer{
+		ln:   ln,
+		srv:  &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second},
+		Addr: ln.Addr().String(),
+	}
+	go func() { _ = d.srv.Serve(ln) }()
+	return d, nil
+}
+
+// Close shuts the endpoint down.
+func (d *DebugServer) Close() error { return d.srv.Close() }

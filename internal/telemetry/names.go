@@ -1,0 +1,31 @@
+package telemetry
+
+// Canonical metric names of the PacketBench run engine. Everything that
+// reads or writes run metrics — internal/core, the CLIs' progress
+// renderers, the CI smoke test scraping /metrics — goes through these
+// constants so a rename can never silently split a series.
+const (
+	// MetricPacketsProcessed counts successfully measured packets.
+	MetricPacketsProcessed = "packets_processed_total"
+	// MetricPacketsFaulted counts quarantined packets, labeled by
+	// kind=<vm.FaultKind.String()>.
+	MetricPacketsFaulted = "packets_faulted_total"
+	// MetricPacketAttempts counts processing attempts, including
+	// failed ones under a retry policy (attempts - processed - faulted
+	// = retries that later succeeded or aborted).
+	MetricPacketAttempts = "packet_attempts_total"
+	// MetricInstrsExecuted counts simulated guest instructions of
+	// measured packets.
+	MetricInstrsExecuted = "instrs_executed_total"
+	// MetricMemRefs counts guest data-memory references, labeled by
+	// region=packet|nonpacket and op=read|write.
+	MetricMemRefs = "mem_refs_total"
+	// MetricPacketLatency is the host-side wall-clock histogram of one
+	// packet's simulation, in nanoseconds.
+	MetricPacketLatency = "packet_latency_ns"
+	// MetricPoolWorkersBusy gauges how many pool cores are simulating
+	// a packet right now.
+	MetricPoolWorkersBusy = "pool_workers_busy"
+	// MetricPoolCores gauges the pool size of the current run.
+	MetricPoolCores = "pool_cores"
+)

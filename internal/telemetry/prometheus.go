@@ -1,0 +1,124 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// WritePrometheus renders every series in Prometheus text exposition
+// format version 0.0.4: # HELP and # TYPE headers per metric name,
+// counter/gauge sample lines, and the cumulative _bucket/_sum/_count
+// expansion for histograms. Series are ordered by metric name then
+// series key, so output is deterministic and diffable. A nil registry
+// writes nothing.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+
+	// Group series keys by metric name so each name gets one header.
+	byName := make(map[string][]string)
+	for _, key := range r.order {
+		name := metricName(key)
+		byName[name] = append(byName[name], key)
+	}
+	names := make([]string, 0, len(byName))
+	for n := range byName {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+
+	for _, name := range names {
+		if help := r.names[name]; help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", name, escapeHelp(help)); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", name, r.types[name]); err != nil {
+			return err
+		}
+		keys := byName[name]
+		sort.Strings(keys)
+		for _, key := range keys {
+			if c, ok := r.counters[key]; ok {
+				if _, err := fmt.Fprintf(w, "%s %d\n", key, c.Value()); err != nil {
+					return err
+				}
+			}
+			if g, ok := r.gauges[key]; ok {
+				if _, err := fmt.Fprintf(w, "%s %d\n", key, g.Value()); err != nil {
+					return err
+				}
+			}
+			if h, ok := r.histograms[key]; ok {
+				if err := writeHistogram(w, key, h); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// writeHistogram expands one histogram series into the cumulative
+// _bucket lines Prometheus expects, plus _sum and _count.
+func writeHistogram(w io.Writer, key string, h *Histogram) error {
+	name, labels := splitSeriesKey(key)
+	withLabels := func(suffix, extra string) string {
+		ls := labels
+		if extra != "" {
+			if ls != "" {
+				ls += ","
+			}
+			ls += extra
+		}
+		if ls == "" {
+			return name + suffix
+		}
+		return name + suffix + "{" + ls + "}"
+	}
+	var cum uint64
+	for i := range h.counts {
+		cum += h.counts[i].Load()
+		le := "+Inf"
+		if i < len(h.bounds) {
+			le = fmt.Sprint(h.bounds[i])
+		}
+		if _, err := fmt.Fprintf(w, "%s %d\n", withLabels("_bucket", fmt.Sprintf("le=%q", le)), cum); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s %d\n", withLabels("_sum", ""), h.sum.Load()); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s %d\n", withLabels("_count", ""), h.count.Load())
+	return err
+}
+
+// metricName strips the label block from a series key.
+func metricName(key string) string {
+	if i := strings.IndexByte(key, '{'); i >= 0 {
+		return key[:i]
+	}
+	return key
+}
+
+// splitSeriesKey splits name{a="b"} into the name and inner label list
+// a="b" (no braces), or name and "" when the series is unlabeled.
+func splitSeriesKey(key string) (name, labels string) {
+	i := strings.IndexByte(key, '{')
+	if i < 0 {
+		return key, ""
+	}
+	return key[:i], key[i+1 : len(key)-1]
+}
+
+// escapeHelp escapes backslashes and newlines per the exposition spec.
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}

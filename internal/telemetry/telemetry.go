@@ -1,0 +1,431 @@
+// Package telemetry is PacketBench's run-scoped metrics layer: a
+// dependency-light registry of atomic counters, gauges and fixed-bucket
+// histograms that the run engine (internal/core), the pool scheduler and
+// the CLIs update while a run is in flight, plus the snapshot/rate API
+// that turns those raw totals into live progress (packets/sec,
+// instrs/sec) and the Prometheus text exposition a debug endpoint
+// serves.
+//
+// Design constraints, in order:
+//
+//   - Zero cost when disabled. The run engine holds possibly-nil metric
+//     handles; every mutating method is a no-op on a nil receiver, so a
+//     bench built without a registry pays one nil check per packet and
+//     allocates nothing on the hot path.
+//   - Cheap when enabled. Counters and gauges are single atomic adds.
+//     Histograms have a fixed bucket layout chosen at registration, so
+//     an observation is a linear scan over a handful of bounds and one
+//     atomic add — no locks, no allocation, safe from every pool worker
+//     concurrently.
+//   - Run-scoped, not process-global. A Registry is an ordinary value
+//     handed to the things it instruments; tests and pools create as
+//     many as they want. Nothing here touches process globals except
+//     the optional expvar bridge in debug.go.
+//
+// Series identity follows the Prometheus data model: a name plus an
+// ordered label set ({kind="step limit exceeded"}). Get-or-create
+// lookups (Counter, Gauge, Histogram) are guarded by a mutex and meant
+// for setup time; the returned handles are the hot-path API.
+package telemetry
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Label is one name=value pair qualifying a metric series.
+type Label struct {
+	Key, Value string
+}
+
+// L is shorthand for constructing a Label.
+func L(key, value string) Label { return Label{Key: key, Value: value} }
+
+// seriesKey renders the canonical identity of name plus labels, which
+// doubles as the exposition form: name{k1="v1",k2="v2"}. Labels are
+// sorted by key so registration order never splits a series.
+func seriesKey(name string, labels []Label) string {
+	if len(labels) == 0 {
+		return name
+	}
+	ls := append([]Label(nil), labels...)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Key < ls[j].Key })
+	var b strings.Builder
+	b.WriteString(name)
+	b.WriteByte('{')
+	for i, l := range ls {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", l.Key, l.Value)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// Counter is a monotonically increasing series. The zero value is
+// usable; a nil *Counter is a no-op.
+type Counter struct {
+	key  string
+	name string
+	v    atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v.Add(1)
+	}
+}
+
+// Add adds n.
+func (c *Counter) Add(n uint64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current total (0 on nil).
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a series that can go up and down (workers busy, queue
+// depth). A nil *Gauge is a no-op.
+type Gauge struct {
+	key  string
+	name string
+	v    atomic.Int64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v int64) {
+	if g != nil {
+		g.v.Store(v)
+	}
+}
+
+// Add adds delta (negative to decrease).
+func (g *Gauge) Add(delta int64) {
+	if g != nil {
+		g.v.Add(delta)
+	}
+}
+
+// Inc adds one.
+func (g *Gauge) Inc() { g.Add(1) }
+
+// Dec subtracts one.
+func (g *Gauge) Dec() { g.Add(-1) }
+
+// Value returns the current level (0 on nil).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Histogram is a fixed-bucket distribution of integer-valued
+// observations (latencies in nanoseconds, sizes in bytes). Buckets are
+// cumulative-upper-bound style, chosen once at registration and never
+// resized: a fixed layout keeps Observe lock-free (one scan, one atomic
+// add) and keeps two snapshots of the same histogram directly
+// subtractable. Observations are uint64 because everything PacketBench
+// measures is a count or a duration; the exposition layer renders the
+// float forms Prometheus expects. A nil *Histogram is a no-op.
+type Histogram struct {
+	key    string
+	name   string
+	bounds []uint64 // sorted upper bounds; an implicit +Inf bucket follows
+	counts []atomic.Uint64
+	sum    atomic.Uint64
+	count  atomic.Uint64
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v uint64) {
+	if h == nil {
+		return
+	}
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.sum.Add(v)
+	h.count.Add(1)
+}
+
+// Count returns the number of observations (0 on nil).
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the running total of observed values (0 on nil).
+func (h *Histogram) Sum() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.Load()
+}
+
+// LatencyBuckets is the default packet-latency layout: exponential
+// nanosecond bounds from 250ns to ~4ms, wide enough for both the
+// block-threaded fast path (~1-2µs per small packet) and pathological
+// step-limit packets, in 14 buckets.
+func LatencyBuckets() []uint64 {
+	bounds := make([]uint64, 14)
+	v := uint64(250)
+	for i := range bounds {
+		bounds[i] = v
+		v *= 2
+	}
+	return bounds
+}
+
+// Registry is one run's metric namespace. The zero value is not usable;
+// call NewRegistry. All methods are safe for concurrent use; a nil
+// *Registry returns nil handles from every lookup, which are themselves
+// no-ops, so "telemetry off" needs no branches at the call sites that
+// only touch handles.
+type Registry struct {
+	mu    sync.Mutex
+	names map[string]string // metric name -> help
+	types map[string]string // metric name -> "counter"|"gauge"|"histogram"
+	order []string          // series keys in registration order
+
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+
+	start time.Time
+}
+
+// NewRegistry returns an empty registry. The creation time anchors
+// uptime reporting in snapshots.
+func NewRegistry() *Registry {
+	return &Registry{
+		names:      make(map[string]string),
+		types:      make(map[string]string),
+		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
+		histograms: make(map[string]*Histogram),
+		start:      time.Now(),
+	}
+}
+
+// Start returns the registry's creation time.
+func (r *Registry) Start() time.Time {
+	if r == nil {
+		return time.Time{}
+	}
+	return r.start
+}
+
+// register records name/type/help metadata, enforcing that one metric
+// name keeps one type across all its label series.
+func (r *Registry) register(name, typ, help string) {
+	if prev, ok := r.types[name]; ok && prev != typ {
+		panic(fmt.Sprintf("telemetry: metric %q registered as both %s and %s", name, prev, typ))
+	}
+	r.types[name] = typ
+	if help != "" || r.names[name] == "" {
+		r.names[name] = help
+	}
+}
+
+// Counter returns the counter series name{labels...}, creating it on
+// first use. Nil registries return a nil (no-op) counter.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	if r == nil {
+		return nil
+	}
+	key := seriesKey(name, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c, ok := r.counters[key]; ok {
+		return c
+	}
+	r.register(name, "counter", help)
+	c := &Counter{key: key, name: name}
+	r.counters[key] = c
+	r.order = append(r.order, key)
+	return c
+}
+
+// Gauge returns the gauge series name{labels...}, creating it on first
+// use. Nil registries return a nil (no-op) gauge.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	if r == nil {
+		return nil
+	}
+	key := seriesKey(name, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g, ok := r.gauges[key]; ok {
+		return g
+	}
+	r.register(name, "gauge", help)
+	g := &Gauge{key: key, name: name}
+	r.gauges[key] = g
+	r.order = append(r.order, key)
+	return g
+}
+
+// Histogram returns the histogram series name{labels...} with the given
+// bucket upper bounds (sorted ascending; an implicit +Inf bucket is
+// appended), creating it on first use. The bounds of an existing series
+// win; passing different bounds later does not resize it. Nil
+// registries return a nil (no-op) histogram.
+func (r *Registry) Histogram(name, help string, bounds []uint64, labels ...Label) *Histogram {
+	if r == nil {
+		return nil
+	}
+	key := seriesKey(name, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h, ok := r.histograms[key]; ok {
+		return h
+	}
+	r.register(name, "histogram", help)
+	bs := append([]uint64(nil), bounds...)
+	sort.Slice(bs, func(i, j int) bool { return bs[i] < bs[j] })
+	h := &Histogram{key: key, name: name, bounds: bs, counts: make([]atomic.Uint64, len(bs)+1)}
+	r.histograms[key] = h
+	r.order = append(r.order, key)
+	return h
+}
+
+// HistogramSnapshot is the frozen state of one histogram series.
+type HistogramSnapshot struct {
+	// Bounds are the bucket upper bounds; Counts has one extra final
+	// entry for the +Inf bucket. Counts are per bucket, not cumulative.
+	Bounds []uint64
+	Counts []uint64
+	Sum    uint64
+	Count  uint64
+}
+
+// Snapshot is a point-in-time copy of every series in a registry,
+// consistent enough for progress display: each series is read
+// atomically, though the set is not a single atomic cut across series.
+type Snapshot struct {
+	// At is when the snapshot was taken.
+	At time.Time
+	// Counters, Gauges and Histograms are keyed by the canonical series
+	// key (name{labels}).
+	Counters   map[string]uint64
+	Gauges     map[string]int64
+	Histograms map[string]HistogramSnapshot
+}
+
+// Snapshot freezes the registry's current values. A nil registry yields
+// an empty snapshot.
+func (r *Registry) Snapshot() *Snapshot {
+	s := &Snapshot{
+		At:         time.Now(),
+		Counters:   make(map[string]uint64),
+		Gauges:     make(map[string]int64),
+		Histograms: make(map[string]HistogramSnapshot),
+	}
+	if r == nil {
+		return s
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for k, c := range r.counters {
+		s.Counters[k] = c.Value()
+	}
+	for k, g := range r.gauges {
+		s.Gauges[k] = g.Value()
+	}
+	for k, h := range r.histograms {
+		hs := HistogramSnapshot{
+			Bounds: h.bounds,
+			Counts: make([]uint64, len(h.counts)),
+			Sum:    h.sum.Load(),
+			Count:  h.count.Load(),
+		}
+		for i := range h.counts {
+			hs.Counts[i] = h.counts[i].Load()
+		}
+		s.Histograms[k] = hs
+	}
+	return s
+}
+
+// CounterTotal sums every counter series of the given metric name
+// (all label combinations), so callers can read
+// packets_faulted_total without enumerating fault kinds.
+func (s *Snapshot) CounterTotal(name string) uint64 {
+	var total uint64
+	for k, v := range s.Counters {
+		if k == name || strings.HasPrefix(k, name+"{") {
+			total += v
+		}
+	}
+	return total
+}
+
+// Rate returns the per-second increase of the named counter (summed
+// across label series) between two snapshots, prev taken before s.
+// It returns 0 when the interval is degenerate.
+func (s *Snapshot) Rate(prev *Snapshot, name string) float64 {
+	if prev == nil {
+		return 0
+	}
+	dt := s.At.Sub(prev.At).Seconds()
+	if dt <= 0 {
+		return 0
+	}
+	cur, old := s.CounterTotal(name), prev.CounterTotal(name)
+	if cur < old { // counter reset; don't report a bogus negative rate
+		return 0
+	}
+	return float64(cur-old) / dt
+}
+
+// Quantile estimates the q-quantile (0 < q < 1) of a histogram
+// snapshot by linear interpolation inside the containing bucket, the
+// standard Prometheus histogram_quantile estimate. Returns NaN when the
+// histogram is empty.
+func (h *HistogramSnapshot) Quantile(q float64) float64 {
+	if h.Count == 0 {
+		return math.NaN()
+	}
+	target := q * float64(h.Count)
+	var cum uint64
+	for i, c := range h.Counts {
+		if float64(cum+c) >= target {
+			var lo, hi float64
+			if i > 0 {
+				lo = float64(h.Bounds[i-1])
+			}
+			if i < len(h.Bounds) {
+				hi = float64(h.Bounds[i])
+			} else {
+				// +Inf bucket: report its lower bound; there is no upper
+				// edge to interpolate toward.
+				return lo
+			}
+			if c == 0 {
+				return hi
+			}
+			return lo + (hi-lo)*(target-float64(cum))/float64(c)
+		}
+		cum += c
+	}
+	return float64(h.Bounds[len(h.Bounds)-1])
+}

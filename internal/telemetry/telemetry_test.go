@@ -1,0 +1,254 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("packets_total", "packets")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if again := r.Counter("packets_total", ""); again != c {
+		t.Fatalf("get-or-create returned a different counter")
+	}
+
+	g := r.Gauge("busy", "busy workers")
+	g.Set(3)
+	g.Inc()
+	g.Dec()
+	g.Add(-1)
+	if got := g.Value(); got != 2 {
+		t.Fatalf("gauge = %d, want 2", got)
+	}
+}
+
+func TestLabeledSeriesAreDistinctAndOrderInsensitive(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("faults_total", "", L("kind", "step"), L("core", "0"))
+	b := r.Counter("faults_total", "", L("core", "0"), L("kind", "step"))
+	if a != b {
+		t.Fatalf("label order split the series")
+	}
+	c := r.Counter("faults_total", "", L("kind", "unmapped"), L("core", "0"))
+	if a == c {
+		t.Fatalf("different label values shared a series")
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x", "")
+	g := r.Gauge("y", "")
+	h := r.Histogram("z", "", LatencyBuckets())
+	c.Inc()
+	c.Add(7)
+	g.Set(3)
+	g.Inc()
+	h.Observe(100)
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 {
+		t.Fatalf("nil metrics must read zero")
+	}
+	if err := r.WritePrometheus(io.Discard); err != nil {
+		t.Fatalf("nil WritePrometheus: %v", err)
+	}
+	s := r.Snapshot()
+	if len(s.Counters) != 0 {
+		t.Fatalf("nil snapshot not empty")
+	}
+}
+
+func TestHistogramBucketsAndQuantile(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", "", []uint64{10, 100, 1000})
+	for _, v := range []uint64{1, 5, 10, 11, 50, 200, 5000} {
+		h.Observe(v)
+	}
+	if h.Count() != 7 {
+		t.Fatalf("count = %d, want 7", h.Count())
+	}
+	if h.Sum() != 1+5+10+11+50+200+5000 {
+		t.Fatalf("sum = %d", h.Sum())
+	}
+	s := r.Snapshot().Histograms["lat"]
+	want := []uint64{3, 2, 1, 1} // <=10, <=100, <=1000, +Inf
+	for i, w := range want {
+		if s.Counts[i] != w {
+			t.Fatalf("bucket %d = %d, want %d (counts %v)", i, s.Counts[i], w, s.Counts)
+		}
+	}
+	if q := s.Quantile(0.5); q < 1 || q > 100 {
+		t.Fatalf("p50 = %v out of plausible range", q)
+	}
+	empty := HistogramSnapshot{Bounds: []uint64{1}, Counts: []uint64{0, 0}}
+	if !math.IsNaN(empty.Quantile(0.9)) {
+		t.Fatalf("empty quantile should be NaN")
+	}
+}
+
+func TestSnapshotRates(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter(MetricPacketsProcessed, "")
+	k := r.Counter(MetricPacketsFaulted, "", L("kind", "step limit exceeded"))
+	c.Add(100)
+	k.Add(2)
+	prev := r.Snapshot()
+	prev.At = prev.At.Add(-time.Second) // pretend a second passed
+	c.Add(50)
+	k.Add(1)
+	cur := r.Snapshot()
+	cur.At = prev.At.Add(time.Second)
+	if got := cur.CounterTotal(MetricPacketsFaulted); got != 3 {
+		t.Fatalf("CounterTotal = %d, want 3", got)
+	}
+	rate := cur.Rate(prev, MetricPacketsProcessed)
+	if rate < 49 || rate > 51 {
+		t.Fatalf("rate = %v, want ~50/s", rate)
+	}
+	if cur.Rate(nil, MetricPacketsProcessed) != 0 {
+		t.Fatalf("nil prev should rate 0")
+	}
+}
+
+func TestWritePrometheusFormat(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("packets_processed_total", "Measured packets.").Add(42)
+	r.Counter("packets_faulted_total", "Quarantined packets.", L("kind", "unmapped")).Add(3)
+	r.Gauge("pool_workers_busy", "Busy cores.").Set(2)
+	h := r.Histogram("packet_latency_ns", "Per-packet latency.", []uint64{1000, 2000})
+	h.Observe(500)
+	h.Observe(1500)
+	h.Observe(9999)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE packets_processed_total counter",
+		"packets_processed_total 42",
+		"# HELP packets_processed_total Measured packets.",
+		`packets_faulted_total{kind="unmapped"} 3`,
+		"# TYPE pool_workers_busy gauge",
+		"pool_workers_busy 2",
+		"# TYPE packet_latency_ns histogram",
+		`packet_latency_ns_bucket{le="1000"} 1`,
+		`packet_latency_ns_bucket{le="2000"} 2`,
+		`packet_latency_ns_bucket{le="+Inf"} 3`,
+		"packet_latency_ns_sum 11999",
+		"packet_latency_ns_count 3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// Labeled histograms merge le into the existing label set.
+	r2 := NewRegistry()
+	r2.Histogram("h", "", []uint64{5}, L("app", "radix")).Observe(1)
+	b.Reset()
+	if err := r2.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), `h_bucket{app="radix",le="5"} 1`) {
+		t.Errorf("labeled histogram bucket wrong:\n%s", b.String())
+	}
+	if !strings.Contains(b.String(), `h_count{app="radix"} 1`) {
+		t.Errorf("labeled histogram count wrong:\n%s", b.String())
+	}
+}
+
+func TestConcurrentUpdates(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c", "")
+	h := r.Histogram("h", "", LatencyBuckets())
+	g := r.Gauge("g", "")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+				g.Inc()
+				h.Observe(uint64(i*1000 + j))
+				// Concurrent get-or-create of the same and new series.
+				r.Counter("c", "").Add(0)
+				r.Counter(fmt.Sprintf("c%d", i), "")
+			}
+		}(i)
+	}
+	wg.Wait()
+	if c.Value() != 8000 {
+		t.Fatalf("counter = %d, want 8000", c.Value())
+	}
+	if h.Count() != 8000 {
+		t.Fatalf("histogram count = %d, want 8000", h.Count())
+	}
+}
+
+func TestDebugServer(t *testing.T) {
+	r := NewRegistry()
+	r.Counter(MetricPacketsProcessed, "Measured packets.").Add(7)
+	d, err := ServeDebug("127.0.0.1:0", r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+
+	get := func(path string) string {
+		t.Helper()
+		resp, err := http.Get("http://" + d.Addr + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(body)
+	}
+
+	if body := get("/metrics"); !strings.Contains(body, MetricPacketsProcessed+" 7") {
+		t.Errorf("/metrics missing counter:\n%s", body)
+	}
+	if body := get("/debug/vars"); !strings.Contains(body, "packetbench") {
+		t.Errorf("/debug/vars missing packetbench var:\n%s", body)
+	}
+	if body := get("/debug/pprof/"); !strings.Contains(body, "profile") {
+		t.Errorf("/debug/pprof/ index looks wrong:\n%s", body)
+	}
+
+	// A second server (fresh registry) must not panic on the expvar
+	// re-publish and must serve the latest registry.
+	r2 := NewRegistry()
+	r2.Counter(MetricPacketsProcessed, "").Add(99)
+	d2, err := ServeDebug("127.0.0.1:0", r2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d2.Close()
+	resp, err := http.Get("http://" + d2.Addr + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(body), MetricPacketsProcessed+" 99") {
+		t.Errorf("second server /metrics wrong:\n%s", body)
+	}
+}

@@ -50,7 +50,8 @@ type PcapReader struct {
 	linkType uint32
 	snapLen  uint32
 
-	off int64 // bytes consumed from r so far
+	off   int64 // bytes consumed from r so far
+	total int64 // input size in bytes; 0 when unknown
 
 	skipEnabled bool
 	skipBudget  int // max skipped records; <= 0 means unlimited
@@ -93,6 +94,18 @@ func NewPcapReader(r io.Reader) (*PcapReader, error) {
 
 // LinkType returns the capture's link type.
 func (p *PcapReader) LinkType() uint32 { return p.linkType }
+
+// Pos implements Positioned: the number of input bytes consumed,
+// including the global header, skipped bytes, and the partial bytes of
+// a truncated trailing record.
+func (p *PcapReader) Pos() int64 { return p.off }
+
+// SetTotal records the input size in bytes (for example from the file's
+// stat), enabling progress reporting through Total.
+func (p *PcapReader) SetTotal(n int64) { p.total = n }
+
+// Total implements Positioned; 0 means unknown.
+func (p *PcapReader) Total() int64 { return p.total }
 
 // SetSkipMalformed switches the reader from fail-fast to skip-and-resync:
 // malformed records no longer abort the read; the reader scans forward for
@@ -203,13 +216,15 @@ func (p *PcapReader) Next() (*Packet, error) {
 	for {
 		recOff := p.off
 		var rec [pcapRecordLen]byte
-		if _, err := io.ReadFull(p.r, rec[:]); err != nil {
+		if n, err := io.ReadFull(p.r, rec[:]); err != nil {
 			if err == io.EOF {
 				return nil, io.EOF
 			}
 			if err == io.ErrUnexpectedEOF {
 				// Truncated trailing record header: there is nothing left
-				// to resync into, so skip mode ends the trace here.
+				// to resync into, so skip mode ends the trace here. The
+				// partial bytes were consumed, so Pos advances past them.
+				p.off += int64(n)
 				if p.consumeSkip() {
 					return nil, io.EOF
 				}
@@ -239,7 +254,9 @@ func (p *PcapReader) Next() (*Packet, error) {
 		data := make([]byte, inclLen)
 		if n, err := io.ReadFull(p.r, data); err != nil {
 			if err == io.EOF || err == io.ErrUnexpectedEOF {
-				// Truncated record body at the end of the stream.
+				// Truncated record body at the end of the stream. The
+				// partial bytes were consumed, so Pos advances past them.
+				p.off += int64(n)
 				if p.consumeSkip() {
 					return nil, io.EOF
 				}

@@ -1,0 +1,172 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+)
+
+func tshRecordBytes(t *testing.T, pkt *Packet) []byte {
+	t.Helper()
+	var b bytes.Buffer
+	if err := NewTSHWriter(&b).WritePacket(pkt); err != nil {
+		t.Fatal(err)
+	}
+	return b.Bytes()
+}
+
+func posTestPacket(t *testing.T) *Packet {
+	t.Helper()
+	data := make([]byte, tshHeaderBytes)
+	data[0] = 0x45 // IPv4, IHL 5
+	data[2], data[3] = 0, 40
+	return &Packet{Sec: 1, Usec: 2, Data: data, WireLen: 40}
+}
+
+func TestTSHReaderPos(t *testing.T) {
+	rec := tshRecordBytes(t, posTestPacket(t))
+	input := append(append([]byte{}, rec...), rec...)
+	r := NewTSHReader(bytes.NewReader(input))
+	r.SetTotal(int64(len(input)))
+
+	if r.Pos() != 0 {
+		t.Fatalf("initial Pos = %d", r.Pos())
+	}
+	if _, err := r.Next(); err != nil {
+		t.Fatal(err)
+	}
+	if r.Pos() != TSHRecordLen {
+		t.Errorf("Pos after one record = %d, want %d", r.Pos(), TSHRecordLen)
+	}
+	if frac, ok := Progress(r); !ok || frac != 0.5 {
+		t.Errorf("Progress = %v, %v; want 0.5, true", frac, ok)
+	}
+	if _, err := r.Next(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Next(); err != io.EOF {
+		t.Fatalf("want EOF, got %v", err)
+	}
+	if r.Pos() != r.Total() {
+		t.Errorf("Pos %d != Total %d at EOF", r.Pos(), r.Total())
+	}
+}
+
+func TestTSHReaderPosTruncatedRecord(t *testing.T) {
+	rec := tshRecordBytes(t, posTestPacket(t))
+	input := append(append([]byte{}, rec...), rec[:10]...)
+	r := NewTSHReader(bytes.NewReader(input))
+	r.SetTotal(int64(len(input)))
+	if _, err := r.Next(); err != nil {
+		t.Fatal(err)
+	}
+	_, err := r.Next()
+	var mre *MalformedRecordError
+	if !errors.As(err, &mre) {
+		t.Fatalf("want MalformedRecordError, got %v", err)
+	}
+	// The error reports the tracked start of the truncated record...
+	if mre.Offset != TSHRecordLen {
+		t.Errorf("error Offset = %d, want %d", mre.Offset, TSHRecordLen)
+	}
+	// ...while Pos accounts for the partial bytes actually consumed.
+	if r.Pos() != int64(len(input)) {
+		t.Errorf("Pos after truncation = %d, want %d", r.Pos(), len(input))
+	}
+}
+
+func TestPcapReaderPos(t *testing.T) {
+	var b bytes.Buffer
+	w, err := NewPcapWriter(&b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkt := posTestPacket(t)
+	for i := 0; i < 3; i++ {
+		if err := w.WritePacket(pkt); err != nil {
+			t.Fatal(err)
+		}
+	}
+	input := b.Bytes()
+	r, err := NewPcapReader(bytes.NewReader(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.SetTotal(int64(len(input)))
+	if r.Pos() != pcapHeaderLen {
+		t.Fatalf("Pos after header = %d, want %d", r.Pos(), pcapHeaderLen)
+	}
+	if _, err := r.Next(); err != nil {
+		t.Fatal(err)
+	}
+	wantPos := int64(pcapHeaderLen + pcapRecordLen + len(pkt.Data))
+	if r.Pos() != wantPos {
+		t.Errorf("Pos after one packet = %d, want %d", r.Pos(), wantPos)
+	}
+	for {
+		if _, err := r.Next(); err == io.EOF {
+			break
+		} else if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if r.Pos() != r.Total() {
+		t.Errorf("Pos %d != Total %d at EOF", r.Pos(), r.Total())
+	}
+	if frac, ok := Progress(r); !ok || frac != 1 {
+		t.Errorf("Progress at EOF = %v, %v; want 1, true", frac, ok)
+	}
+}
+
+func TestPcapReaderPosTruncatedBody(t *testing.T) {
+	var b bytes.Buffer
+	w, err := NewPcapWriter(&b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WritePacket(posTestPacket(t)); err != nil {
+		t.Fatal(err)
+	}
+	input := b.Bytes()[:b.Len()-5] // cut into the record body
+	r, err := NewPcapReader(bytes.NewReader(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = r.Next()
+	var mre *MalformedRecordError
+	if !errors.As(err, &mre) {
+		t.Fatalf("want MalformedRecordError, got %v", err)
+	}
+	if r.Pos() != int64(len(input)) {
+		t.Errorf("Pos after truncated body = %d, want %d", r.Pos(), len(input))
+	}
+}
+
+func TestSliceReaderPos(t *testing.T) {
+	pkts := []*Packet{posTestPacket(t), posTestPacket(t), posTestPacket(t), posTestPacket(t)}
+	r := NewSliceReader(pkts)
+	if r.Pos() != 0 || r.Total() != 4 {
+		t.Fatalf("initial Pos/Total = %d/%d", r.Pos(), r.Total())
+	}
+	if _, err := r.Next(); err != nil {
+		t.Fatal(err)
+	}
+	if frac, ok := Progress(r); !ok || frac != 0.25 {
+		t.Errorf("Progress = %v, %v; want 0.25, true", frac, ok)
+	}
+}
+
+func TestProgressUnknown(t *testing.T) {
+	r := NewTSHReader(bytes.NewReader(nil)) // no SetTotal
+	if _, ok := Progress(r); ok {
+		t.Errorf("Progress should be unknown without SetTotal")
+	}
+	if _, ok := Progress(readerOnly{}); ok {
+		t.Errorf("Progress should be unknown for non-Positioned readers")
+	}
+}
+
+type readerOnly struct{}
+
+func (readerOnly) Next() (*Packet, error) { return nil, io.EOF }

@@ -34,6 +34,39 @@ type Reader interface {
 	Next() (*Packet, error)
 }
 
+// Positioned is implemented by readers that can report how far through
+// their input they are, for progress display. Pos and Total are in the
+// reader's natural unit — bytes for the file formats, packets for
+// SliceReader — so the fraction Pos/Total is meaningful even though the
+// unit varies. Total returns 0 when the input size is unknown (an
+// unseekable stream, or no SetTotal call).
+type Positioned interface {
+	// Pos returns the amount of input consumed so far, including any
+	// skipped or partially-read trailing record.
+	Pos() int64
+	// Total returns the input size, or 0 if unknown.
+	Total() int64
+}
+
+// Progress returns the completed fraction of r's input in [0, 1] and
+// whether it is known: the reader must implement Positioned and know
+// its total size.
+func Progress(r Reader) (float64, bool) {
+	p, ok := r.(Positioned)
+	if !ok {
+		return 0, false
+	}
+	total := p.Total()
+	if total <= 0 {
+		return 0, false
+	}
+	frac := float64(p.Pos()) / float64(total)
+	if frac > 1 {
+		frac = 1
+	}
+	return frac, true
+}
+
 // Writer appends packets to a trace.
 type Writer interface {
 	WritePacket(*Packet) error
@@ -157,3 +190,9 @@ func (s *SliceReader) Next() (*Packet, error) {
 	s.next++
 	return p, nil
 }
+
+// Pos implements Positioned; the unit is packets.
+func (s *SliceReader) Pos() int64 { return int64(s.next) }
+
+// Total implements Positioned; the unit is packets.
+func (s *SliceReader) Total() int64 { return int64(len(s.pkts)) }

@@ -33,8 +33,9 @@ const tshHeaderBytes = 36
 // header sanity checks and skips records failing them — the fixed record
 // size makes resync trivial: advance one record.
 type TSHReader struct {
-	r   io.Reader
-	off int64
+	r     io.Reader
+	off   int64
+	total int64
 
 	skipEnabled bool
 	skipBudget  int // max skipped records; <= 0 means unlimited
@@ -43,6 +44,18 @@ type TSHReader struct {
 
 // NewTSHReader wraps r.
 func NewTSHReader(r io.Reader) *TSHReader { return &TSHReader{r: r} }
+
+// Pos implements Positioned: the number of input bytes consumed,
+// including skipped records and the partial bytes of a truncated
+// trailing record.
+func (t *TSHReader) Pos() int64 { return t.off }
+
+// SetTotal records the input size in bytes (for example from the file's
+// stat), enabling progress reporting through Total.
+func (t *TSHReader) SetTotal(n int64) { t.total = n }
+
+// Total implements Positioned; 0 means unknown.
+func (t *TSHReader) Total() int64 { return t.total }
 
 // SetSkipMalformed enables IPv4 sanity validation of each record (version
 // nibble, header length, total length); records failing it are skipped, at
@@ -79,11 +92,16 @@ func (t *TSHReader) Next() (*Packet, error) {
 	for {
 		recOff := t.off
 		var rec [TSHRecordLen]byte
-		if _, err := io.ReadFull(t.r, rec[:]); err != nil {
+		if n, err := io.ReadFull(t.r, rec[:]); err != nil {
 			if err == io.EOF {
 				return nil, io.EOF
 			}
 			if err == io.ErrUnexpectedEOF {
+				// The partial bytes were consumed from the stream, so Pos
+				// must advance past them; the error still reports the
+				// tracked start of the truncated record, not a recomputed
+				// position.
+				t.off += int64(n)
 				if t.skipEnabled && (t.skipBudget <= 0 || t.skipped < t.skipBudget) {
 					t.skipped++
 					return nil, io.EOF
