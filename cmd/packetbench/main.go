@@ -10,6 +10,7 @@
 //
 //	packetbench -app radix -gen MRA -n 10000
 //	packetbench -app flow -trace capture.pcap
+//	packetbench -app flow -trace shard-0.pcap,shard-1.pcap -pool 8
 //	packetbench -app tsa -gen LAN -n 1000 -out anon.pcap
 package main
 
@@ -19,6 +20,7 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"strings"
 	"time"
 
 	"repro/internal/analysis"
@@ -44,7 +46,9 @@ import (
 type config struct {
 	app        string // radix, trie, flow, tsa
 	gen        string // synthetic trace profile
-	traceFile  string // input pcap/TSH path (overrides gen)
+	traceFile  string // input pcap/TSH path(s), comma-separated (overrides gen)
+	mmapTrace  bool   // memory-map pcap inputs when streaming
+	batch      int    // packets per streaming pool job; 0 = default
 	outFile    string // output pcap path
 	tableFile  string // routing table text file
 	count      int
@@ -78,7 +82,9 @@ func main() {
 	var cfg config
 	flag.StringVar(&cfg.app, "app", "radix", "application: radix, trie, flow, or tsa")
 	flag.StringVar(&cfg.gen, "gen", "", "generate a synthetic trace with this profile (MRA, COS, ODU, LAN)")
-	flag.StringVar(&cfg.traceFile, "trace", "", "read packets from this pcap/TSH file instead of generating")
+	flag.StringVar(&cfg.traceFile, "trace", "", "read packets from these pcap/TSH files (comma-separated shards replay merged by timestamp) instead of generating")
+	flag.BoolVar(&cfg.mmapTrace, "mmap", true, "memory-map pcap inputs when streaming into the pool (zero-copy; buffered reads when unavailable)")
+	flag.IntVar(&cfg.batch, "batch", 0, "packets per streaming pool job (0 = scheduler default)")
 	flag.IntVar(&cfg.count, "n", 10000, "number of packets to process")
 	flag.IntVar(&cfg.prefixes, "prefixes", 32768, "routing table size for the forwarding applications")
 	flag.IntVar(&cfg.buckets, "buckets", flow.DefaultBuckets, "hash buckets for flow classification")
@@ -118,49 +124,107 @@ func (cfg *config) errorPolicy() (core.ErrorPolicy, error) {
 	return core.ErrorPolicy{Policy: p, ErrorBudget: cfg.errorBudget, MaxAttempts: cfg.maxAttempts}, nil
 }
 
-func loadPackets(cfg *config, skipMalformed bool) ([]*trace.Packet, error) {
-	if cfg.traceFile != "" {
-		f, err := os.Open(cfg.traceFile)
-		if err != nil {
-			return nil, err
-		}
-		defer f.Close()
-		format := trace.FormatPcap
-		if len(cfg.traceFile) > 4 && cfg.traceFile[len(cfg.traceFile)-4:] == ".tsh" {
-			format = trace.FormatTSH
-		}
-		r, err := trace.NewReader(f, format)
-		if err != nil {
-			return nil, err
-		}
-		// Let the reader report progress in input bytes.
-		if fi, err := f.Stat(); err == nil {
-			switch tr := r.(type) {
-			case *trace.PcapReader:
-				tr.SetTotal(fi.Size())
-			case *trace.TSHReader:
-				tr.SetTotal(fi.Size())
+// openTrace opens cfg.traceFile — one capture or a comma-separated shard
+// list replayed in timestamp order through a trace.MergeReader — and
+// returns the reader, a cleanup closing every underlying file (and
+// mapping), and a malformed-record counter summed across shards. Pcap
+// shards are memory-mapped when useMmap is set, serving packet bytes
+// zero-copy from the page cache; TSH shards always read buffered.
+func openTrace(cfg *config, skipMalformed, useMmap bool) (trace.Reader, func() error, func() int, error) {
+	var (
+		readers []trace.Reader
+		closers []func() error
+		skips   []func() int
+	)
+	cleanup := func() error {
+		var first error
+		for _, c := range closers {
+			if err := c(); first == nil {
+				first = err
 			}
 		}
+		return first
+	}
+	for _, path := range strings.Split(cfg.traceFile, ",") {
+		path = strings.TrimSpace(path)
+		if path == "" {
+			continue
+		}
+		if strings.HasSuffix(path, ".tsh") {
+			f, err := os.Open(path)
+			if err != nil {
+				cleanup()
+				return nil, nil, nil, err
+			}
+			closers = append(closers, f.Close)
+			tr := trace.NewTSHReader(f)
+			// Let the reader report progress in input bytes.
+			if fi, err := f.Stat(); err == nil {
+				tr.SetTotal(fi.Size())
+			}
+			if skipMalformed {
+				tr.SetSkipMalformed(cfg.errorBudget)
+			}
+			skips = append(skips, tr.Skipped)
+			readers = append(readers, tr)
+			continue
+		}
+		open := trace.OpenPcapBuffered
+		if useMmap {
+			open = trace.OpenPcap
+		}
+		fr, err := open(path)
+		if err != nil {
+			cleanup()
+			return nil, nil, nil, err
+		}
+		closers = append(closers, fr.Close)
 		// Under a skip policy the readers degrade the same way the run
 		// engine does: malformed records are skipped (resyncing the
 		// stream) under the shared budget idea instead of aborting.
-		var skipped func() int
 		if skipMalformed {
-			switch tr := r.(type) {
-			case *trace.PcapReader:
-				tr.SetSkipMalformed(cfg.errorBudget)
-				skipped = tr.Skipped
-			case *trace.TSHReader:
-				tr.SetSkipMalformed(cfg.errorBudget)
-				skipped = tr.Skipped
-			}
+			fr.SetSkipMalformed(cfg.errorBudget)
 		}
-		pkts, err := trace.ReadAll(r, cfg.count)
-		if skipped != nil && skipped() > 0 {
-			fmt.Printf("trace: skipped %d malformed records\n", skipped())
+		skips = append(skips, fr.Skipped)
+		readers = append(readers, fr)
+	}
+	if len(readers) == 0 {
+		cleanup()
+		return nil, nil, nil, fmt.Errorf("no trace files in %q", cfg.traceFile)
+	}
+	skipped := func() int {
+		n := 0
+		for _, s := range skips {
+			n += s()
 		}
-		return pkts, err
+		return n
+	}
+	if len(readers) == 1 {
+		return readers[0], cleanup, skipped, nil
+	}
+	return trace.NewMergeReader(readers...), cleanup, skipped, nil
+}
+
+func loadPackets(cfg *config, skipMalformed bool) ([]*trace.Packet, error) {
+	if cfg.traceFile != "" {
+		// Preloaded packets outlive the reader, so never mmap here: a
+		// zero-copy packet must not alias an unmapped file.
+		r, cleanup, skipped, err := openTrace(cfg, skipMalformed, false)
+		if err != nil {
+			return nil, err
+		}
+		pkts, rerr := trace.ReadAll(r, cfg.count)
+		cerr := cleanup()
+		if n := skipped(); n > 0 {
+			fmt.Printf("trace: skipped %d malformed records\n", n)
+		}
+		if rerr != nil {
+			return nil, rerr
+		}
+		if cerr != nil {
+			return nil, cerr
+		}
+		return pkts, nil
 	}
 	genName := cfg.gen
 	if genName == "" {
@@ -217,12 +281,23 @@ func run(cfg config) error {
 		defer dbg.Close()
 		fmt.Fprintf(os.Stderr, "debug endpoint on http://%s/ (/metrics, /debug/vars, /debug/pprof)\n", dbg.Addr)
 	}
-	pkts, err := loadPackets(&cfg, policy.Policy != core.FailFast)
-	if err != nil {
-		return err
-	}
-	if len(pkts) == 0 {
-		return fmt.Errorf("no packets to process")
+	// Streaming ingestion: with a multi-core pool reading from trace
+	// files, no fault injection (which rewrites loaded packets), and an
+	// application that does not need the packets up front to derive its
+	// routing table, the trace flows from the reader straight into the
+	// pool without ever materializing in memory.
+	streaming := cfg.pool > 1 && cfg.traceFile != "" && cfg.inject == "" &&
+		(cfg.tableFile != "" || cfg.app == "flow" || cfg.app == "tsa")
+
+	var pkts []*trace.Packet
+	if !streaming {
+		pkts, err = loadPackets(&cfg, policy.Policy != core.FailFast)
+		if err != nil {
+			return err
+		}
+		if len(pkts) == 0 {
+			return fmt.Errorf("no packets to process")
+		}
 	}
 
 	// Fault injection: corrupt the loaded packets deterministically and
@@ -278,7 +353,22 @@ func run(cfg config) error {
 	}
 
 	if cfg.pool > 1 {
-		return runPool(app, pkts, &cfg, policy, engine, inj, reg)
+		if streaming {
+			r, cleanup, skipped, err := openTrace(&cfg, policy.Policy != core.FailFast, cfg.mmapTrace)
+			if err != nil {
+				return err
+			}
+			runErr := runPool(app, r, cfg.count, &cfg, policy, engine, inj, reg)
+			cerr := cleanup()
+			if n := skipped(); n > 0 {
+				fmt.Printf("trace: skipped %d malformed records\n", n)
+			}
+			if runErr != nil {
+				return runErr
+			}
+			return cerr
+		}
+		return runPool(app, trace.NewSliceReader(pkts), 0, &cfg, policy, engine, inj, reg)
 	}
 
 	bench, err := core.New(app, core.Options{
@@ -547,15 +637,19 @@ func dumpTrace(bench *core.Bench, idx int, res core.Result) {
 	fmt.Printf("  block entry sequence: %v\n", col.BlockSeq)
 }
 
-// runPool streams the trace through several simulated cores and prints
-// the pooled summary. Records are aggregated on the fly (no in-memory
-// record slice), and verdicts are counted exactly as in the single-core
-// path. Stateful applications (flow classification) keep per-core tables
-// in this mode, as real replicated-state engines would.
-func runPool(app *core.App, pkts []*trace.Packet, cfg *config, policy core.ErrorPolicy, engine core.EngineKind, inj *faultinject.Injector, reg *telemetry.Registry) error {
+// runPool streams the trace reader through several simulated cores (up
+// to limit packets; <= 0 means all) and prints the pooled summary.
+// Records are aggregated on the fly (no in-memory record slice), and
+// verdicts are counted exactly as in the single-core path. Stateful
+// applications (flow classification) keep per-core tables in this mode,
+// as real replicated-state engines would.
+func runPool(app *core.App, reader trace.Reader, limit int, cfg *config, policy core.ErrorPolicy, engine core.EngineKind, inj *faultinject.Injector, reg *telemetry.Registry) error {
 	pool, err := core.NewPool(app, cfg.pool, core.Options{Errors: policy, Engine: engine, NoVerify: cfg.noVerify, Metrics: reg})
 	if err != nil {
 		return describeVerifyError(err)
+	}
+	if cfg.batch > 0 {
+		pool.SetBatchSize(cfg.batch)
 	}
 	for i := 0; i < pool.Cores(); i++ {
 		if inj != nil {
@@ -563,14 +657,13 @@ func runPool(app *core.App, pkts []*trace.Packet, cfg *config, policy core.Error
 		}
 		pool.Bench(i).Collector().CountPCs = cfg.profileOut != ""
 	}
-	reader := trace.NewSliceReader(pkts)
 	if cfg.progress {
 		stopProgress := startProgress(reg, func() (float64, bool) { return trace.Progress(reader) })
 		defer stopProgress()
 	}
 	agg := &stats.Running{KeepInstructionCounts: true}
 	verdicts := make(map[uint32]int)
-	if _, err := pool.RunTrace(reader, 0, func(i int, res core.Result) {
+	if _, err := pool.RunTrace(reader, limit, func(i int, res core.Result) {
 		agg.Add(&res.Record)
 		if !res.Faulted() {
 			verdicts[res.Verdict]++
@@ -579,6 +672,9 @@ func runPool(app *core.App, pkts []*trace.Packet, cfg *config, policy core.Error
 		return err
 	}
 	s := agg.Summary()
+	if s.Packets == 0 {
+		return fmt.Errorf("no packets to process")
+	}
 	fmt.Printf("\n%s over %d packets on %d simulated cores\n", app.Name, s.Packets, cfg.pool)
 	fmt.Printf("  instructions/packet:        %10.1f\n", s.MeanInstructions)
 	fmt.Printf("  unique instructions/packet: %10.1f\n", s.MeanUnique)

@@ -8,7 +8,9 @@ import (
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/gen"
 	"repro/internal/route"
+	"repro/internal/trace"
 )
 
 // testConfig mirrors the flag defaults, scaled down for test speed.
@@ -135,6 +137,46 @@ func TestRunPoolMode(t *testing.T) {
 	cfg.pool = 4
 	if err := run(cfg); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestRunPoolStreamsShardedTrace exercises the streaming ingestion path:
+// a multi-core pool fed straight from a timestamp-merged pair of pcap
+// shards, with and without mmap, with an explicit batch size.
+func TestRunPoolStreamsShardedTrace(t *testing.T) {
+	dir := t.TempDir()
+	pkts := gen.Generate(gen.Profile{
+		Name: "shardtest", Flows: 30, NewFlowProb: 0.1, TCP: 1,
+		Sizes: []gen.SizePoint{{Bytes: 80, Weight: 1}}, AddrBits: 12, Seed: 7,
+	}, 120)
+	shards := []string{filepath.Join(dir, "s0.pcap"), filepath.Join(dir, "s1.pcap")}
+	for i, path := range shards {
+		f, err := os.Create(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w, err := trace.NewPcapWriter(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := i; j < len(pkts); j += 2 {
+			if err := w.WritePacket(pkts[j]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := f.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, mmap := range []bool{true, false} {
+		cfg := testConfig("flow", "", 0)
+		cfg.traceFile = shards[0] + "," + shards[1]
+		cfg.pool = 4
+		cfg.mmapTrace = mmap
+		cfg.batch = 8
+		if err := run(cfg); err != nil {
+			t.Fatalf("mmap=%v: %v", mmap, err)
+		}
 	}
 }
 

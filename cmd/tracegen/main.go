@@ -6,6 +6,7 @@
 //
 //	tracegen -profile MRA -n 100000 -o mra.pcap
 //	tracegen -profile LAN -n 10000 -o lan.tsh
+//	tracegen -profile DCWEB -n 100000 -shards 4 -o dcweb.pcap
 //	tracegen -list
 package main
 
@@ -14,6 +15,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 
 	"repro/internal/gen"
@@ -22,9 +24,10 @@ import (
 
 func main() {
 	var (
-		profile  = flag.String("profile", "MRA", "trace profile (MRA, COS, ODU, LAN)")
+		profile  = flag.String("profile", "MRA", "trace profile (see -list)")
 		count    = flag.Int("n", 10000, "number of packets")
 		output   = flag.String("o", "", "output file (.pcap or .tsh); required")
+		shards   = flag.Int("shards", 1, "split the trace round-robin across this many files (base-0.pcap ... base-K-1.pcap), for sharded replay")
 		list     = flag.Bool("list", false, "list available profiles and exit")
 		renumber = flag.Bool("renumber", false, "apply NLANR-style sequential address renumbering")
 		scramble = flag.Bool("scramble", false, "apply the paper's address scrambling (usually after -renumber)")
@@ -33,22 +36,29 @@ func main() {
 	flag.Parse()
 
 	if *list {
-		fmt.Printf("%-8s %-20s %10s %8s %8s\n", "Name", "Link", "Packets", "Flows", "NewFlow")
-		for _, p := range gen.Profiles() {
-			fmt.Printf("%-8s %-20s %10d %8d %7.0f%%\n",
-				p.Name, p.Link, p.Packets, p.Flows, p.NewFlowProb*100)
+		fmt.Printf("%-8s %-20s %10s %8s %8s %8s\n", "Name", "Link", "Packets", "Flows", "NewFlow", "FlowPkt")
+		for _, p := range gen.AllProfiles() {
+			fp := "-"
+			if p.FlowPackets > 0 {
+				fp = fmt.Sprintf("%d", p.FlowPackets)
+			}
+			fmt.Printf("%-8s %-20s %10d %8d %7.0f%% %8s\n",
+				p.Name, p.Link, p.Packets, p.Flows, p.NewFlowProb*100, fp)
 		}
 		return
 	}
-	if err := run(*profile, *spec, *output, *count, *renumber, *scramble); err != nil {
+	if err := run(*profile, *spec, *output, *count, *shards, *renumber, *scramble); err != nil {
 		fmt.Fprintln(os.Stderr, "tracegen:", err)
 		os.Exit(1)
 	}
 }
 
-func run(profile, spec, output string, count int, renumber, scramble bool) error {
+func run(profile, spec, output string, count, shards int, renumber, scramble bool) error {
 	if output == "" {
 		return fmt.Errorf("-o output file is required")
+	}
+	if shards < 1 {
+		return fmt.Errorf("-shards must be at least 1")
 	}
 	var prof gen.Profile
 	var err error
@@ -72,28 +82,70 @@ func run(profile, spec, output string, count int, renumber, scramble bool) error
 	if strings.HasSuffix(output, ".tsh") {
 		format = trace.FormatTSH
 	}
-	f, err := os.Create(output)
-	if err != nil {
-		return err
-	}
-	w, err := trace.NewWriter(f, format)
-	if err != nil {
-		f.Close()
-		return err
+	names := shardNames(output, shards)
+	files := make([]*os.File, len(names))
+	writers := make([]trace.Writer, len(names))
+	for i, name := range names {
+		f, err := os.Create(name)
+		if err != nil {
+			closeAll(files[:i])
+			return err
+		}
+		w, err := trace.NewWriter(f, format)
+		if err != nil {
+			f.Close()
+			closeAll(files[:i])
+			return err
+		}
+		files[i], writers[i] = f, w
 	}
 	var bytes int
-	for _, p := range pkts {
-		if err := w.WritePacket(p); err != nil {
-			f.Close()
+	// Round-robin sharding keeps each shard's timestamps monotone (the
+	// generator's are), so a timestamp-merged replay of the shards
+	// reproduces the original trace exactly.
+	for i, p := range pkts {
+		if err := writers[i%shards].WritePacket(p); err != nil {
+			closeAll(files)
 			return err
 		}
 		bytes += p.WireLen
 	}
-	if err := f.Close(); err != nil {
-		return err
+	for _, f := range files {
+		if err := f.Close(); err != nil {
+			return err
+		}
 	}
-	fmt.Printf("wrote %d packets (%d wire bytes) to %s (%s)\n", len(pkts), bytes, output, format)
+	if shards == 1 {
+		fmt.Printf("wrote %d packets (%d wire bytes) to %s (%s)\n", len(pkts), bytes, output, format)
+	} else {
+		fmt.Printf("wrote %d packets (%d wire bytes) across %d shards %s ... %s (%s)\n",
+			len(pkts), bytes, shards, names[0], names[len(names)-1], format)
+	}
 	return nil
+}
+
+// shardNames derives per-shard output paths: "base.pcap" with 3 shards
+// becomes base-0.pcap, base-1.pcap, base-2.pcap. One shard keeps the
+// name as given.
+func shardNames(output string, shards int) []string {
+	if shards == 1 {
+		return []string{output}
+	}
+	ext := filepath.Ext(output)
+	base := strings.TrimSuffix(output, ext)
+	names := make([]string, shards)
+	for i := range names {
+		names[i] = fmt.Sprintf("%s-%d%s", base, i, ext)
+	}
+	return names
+}
+
+func closeAll(files []*os.File) {
+	for _, f := range files {
+		if f != nil {
+			f.Close()
+		}
+	}
 }
 
 // loadSpec reads a gen.Profile from a JSON file, so custom workloads can

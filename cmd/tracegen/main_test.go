@@ -5,13 +5,15 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"repro/internal/trace"
 )
 
 func TestRunWritesBothFormats(t *testing.T) {
 	dir := t.TempDir()
 	for _, name := range []string{"out.pcap", "out.tsh"} {
 		// LAN generates no IP options, so both formats accept it.
-		if err := run("LAN", "", filepath.Join(dir, name), 50, false, false); err != nil {
+		if err := run("LAN", "", filepath.Join(dir, name), 50, 1, false, false); err != nil {
 			t.Errorf("%s: %v", name, err)
 		}
 	}
@@ -19,8 +21,56 @@ func TestRunWritesBothFormats(t *testing.T) {
 
 func TestRunPreprocessing(t *testing.T) {
 	dir := t.TempDir()
-	if err := run("MRA", "", filepath.Join(dir, "m.pcap"), 20, true, true); err != nil {
+	if err := run("MRA", "", filepath.Join(dir, "m.pcap"), 20, 1, true, true); err != nil {
 		t.Errorf("renumber+scramble: %v", err)
+	}
+}
+
+// TestRunSharded checks round-robin sharding: the shard files together
+// hold every packet, and a timestamp-merged replay reproduces the
+// unsharded trace exactly.
+func TestRunSharded(t *testing.T) {
+	dir := t.TempDir()
+	if err := run("LAN", "", filepath.Join(dir, "whole.pcap"), 60, 1, false, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("LAN", "", filepath.Join(dir, "sh.pcap"), 60, 3, false, false); err != nil {
+		t.Fatal(err)
+	}
+	var shards []trace.Reader
+	for i := 0; i < 3; i++ {
+		r, err := trace.OpenPcap(filepath.Join(dir, "sh-"+string(rune('0'+i))+".pcap"))
+		if err != nil {
+			t.Fatalf("shard %d: %v", i, err)
+		}
+		defer r.Close()
+		shards = append(shards, r)
+	}
+	merged, err := trace.ReadAll(trace.NewMergeReader(shards...), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	whole, err := trace.OpenPcap(filepath.Join(dir, "whole.pcap"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer whole.Close()
+	want, err := trace.ReadAll(whole, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(merged) != len(want) {
+		t.Fatalf("merged %d packets, want %d", len(merged), len(want))
+	}
+	for i := range want {
+		if merged[i].Sec != want[i].Sec || merged[i].Usec != want[i].Usec ||
+			merged[i].WireLen != want[i].WireLen {
+			t.Fatalf("packet %d differs after shard+merge round trip", i)
+		}
+	}
+
+	if err := run("LAN", "", filepath.Join(dir, "z.pcap"), 10, 0, false, false); err == nil {
+		t.Error("zero shards accepted")
 	}
 }
 
@@ -32,28 +82,28 @@ func TestRunWithSpec(t *testing.T) {
 	if err := os.WriteFile(spec, []byte(body), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run("", spec, filepath.Join(dir, "t.pcap"), 40, false, false); err != nil {
+	if err := run("", spec, filepath.Join(dir, "t.pcap"), 40, 1, false, false); err != nil {
 		t.Fatal(err)
 	}
 	// Bad specs fail loudly.
 	bad := filepath.Join(dir, "bad.json")
 	_ = os.WriteFile(bad, []byte(`{"NotAField": 1}`), 0o644)
-	if err := run("", bad, filepath.Join(dir, "u.pcap"), 10, false, false); err == nil {
+	if err := run("", bad, filepath.Join(dir, "u.pcap"), 10, 1, false, false); err == nil {
 		t.Error("unknown spec field accepted")
 	}
-	if err := run("", filepath.Join(dir, "absent.json"), filepath.Join(dir, "v.pcap"), 10, false, false); err == nil {
+	if err := run("", filepath.Join(dir, "absent.json"), filepath.Join(dir, "v.pcap"), 10, 1, false, false); err == nil {
 		t.Error("missing spec accepted")
 	}
 }
 
 func TestRunErrors(t *testing.T) {
-	if err := run("MRA", "", "", 10, false, false); err == nil || !strings.Contains(err.Error(), "required") {
+	if err := run("MRA", "", "", 10, 1, false, false); err == nil || !strings.Contains(err.Error(), "required") {
 		t.Errorf("missing output accepted: %v", err)
 	}
-	if err := run("NOPE", "", t.TempDir()+"/x.pcap", 10, false, false); err == nil {
+	if err := run("NOPE", "", t.TempDir()+"/x.pcap", 10, 1, false, false); err == nil {
 		t.Error("unknown profile accepted")
 	}
-	if err := run("LAN", "", "/nonexistent-dir/x.pcap", 10, false, false); err == nil {
+	if err := run("LAN", "", "/nonexistent-dir/x.pcap", 10, 1, false, false); err == nil {
 		t.Error("unwritable path accepted")
 	}
 }

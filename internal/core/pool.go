@@ -33,10 +33,19 @@ import (
 // exactly as they would on hardware without shared memory.
 type Pool struct {
 	benches []*Bench
+	// batchSize is how many packets ride in one streaming job; see
+	// SetBatchSize.
+	batchSize int
 	// busy gauges how many cores are simulating a packet right now;
 	// nil (no-op) when telemetry is disabled.
 	busy *telemetry.Gauge
 }
+
+// poolBatchSize is the default packets-per-job for the streaming
+// scheduler: large enough to amortize channel synchronization to noise,
+// small enough that the re-sequencing window and a fault's wasted work
+// stay bounded.
+const poolBatchSize = 64
 
 // NewPool builds a pool of n cores running app. Each core runs the
 // application's Init independently. All cores share opts.Metrics, so
@@ -45,7 +54,7 @@ func NewPool(app *App, n int, opts Options) (*Pool, error) {
 	if n < 1 {
 		return nil, fmt.Errorf("core: pool needs at least one core")
 	}
-	p := &Pool{}
+	p := &Pool{batchSize: poolBatchSize}
 	for i := 0; i < n; i++ {
 		b, err := New(app, opts)
 		if err != nil {
@@ -64,6 +73,16 @@ func (p *Pool) Cores() int { return len(p.benches) }
 // Bench returns core i's bench (for table walks or coverage queries
 // after a run).
 func (p *Pool) Bench(i int) *Bench { return p.benches[i] }
+
+// SetBatchSize overrides how many packets the streaming scheduler hands
+// to a core per job (default 64). Values below 1 are clamped to 1, which
+// restores packet-granular scheduling.
+func (p *Pool) SetBatchSize(n int) {
+	if n < 1 {
+		n = 1
+	}
+	p.batchSize = n
+}
 
 // chunkFor sizes the work-queue claim: small enough that a handful of
 // expensive packets cannot serialize the run behind one core, large
@@ -194,27 +213,34 @@ func (p *Pool) RunPacketsContext(ctx context.Context, pkts []*trace.Packet, onRe
 	return records, nil
 }
 
-// poolJob is one packet handed to a worker by the streaming scheduler.
+// poolJob is one contiguous run of trace packets handed to a worker by
+// the streaming scheduler: packet i of the trace is pkts[i-base].
 type poolJob struct {
-	idx int
-	pkt *trace.Packet
+	base int
+	pkts []*trace.Packet
 }
 
-// poolResult is one worker outcome on its way to the aggregator.
+// poolResult carries a job's outcomes to the aggregator: res[k] is the
+// result for trace index base+k. On a core fault res holds the batch's
+// successful prefix, err the fault, and errIdx the trace index it hit.
 type poolResult struct {
-	idx int
-	res Result
-	err error
+	base   int
+	res    []Result
+	err    error
+	errIdx int
 }
 
 // RunTrace streams packets from the reader through the pool (up to limit
 // packets; limit <= 0 means all) without ever materializing the trace in
-// memory: a producer feeds a bounded channel, workers pull from it, and
-// results are re-sequenced so onResult observes packets in trace order
-// with Record.Index set to the trace position — the same contract as
-// single-core Bench.RunTrace. It returns the number of packets
-// processed. The first core error cancels the producer and the remaining
-// workers.
+// memory: a producer feeds a bounded channel of packet batches (read via
+// trace.ReadBatch, so batch-native readers fill them in one call),
+// workers pull whole batches, and results are re-sequenced so onResult
+// observes packets in trace order with Record.Index set to the trace
+// position — the same contract as single-core Bench.RunTrace. Batching
+// amortizes channel synchronization over SetBatchSize packets, which is
+// what lets ingestion keep 8+ cores fed at line rate. It returns the
+// number of packets processed. The first core error cancels the producer
+// and the remaining workers.
 func (p *Pool) RunTrace(r trace.Reader, limit int, onResult func(int, Result)) (int, error) {
 	return p.RunTraceContext(context.Background(), r, limit, onResult)
 }
@@ -227,22 +253,38 @@ func (p *Pool) RunTraceContext(ctx context.Context, r trace.Reader, limit int, o
 
 	var stop atomic.Bool
 	// The bounded job queue is what caps memory: a multi-gigabyte trace
-	// only ever has backlog+cores packets resident at once.
-	backlog := 32 * len(p.benches)
+	// only ever has backlog batches (plus the in-flight ones) resident
+	// at once.
+	backlog := 4 * len(p.benches)
 	jobs := make(chan poolJob, backlog)
 	results := make(chan poolResult, len(p.benches))
 
-	// Producer: read the trace until EOF, the limit, an error, or
-	// cancellation. readErr is published before jobs is closed and read
-	// after the results channel drains, so it needs no lock.
+	// Producer: read the trace in batches until EOF, the limit, an
+	// error, or cancellation. A fresh slice is allocated per job — the
+	// batch is owned by the worker from the moment it is sent. readErr
+	// is published before jobs is closed and read after the results
+	// channel drains, so it needs no lock.
 	var readErr error
 	go func() {
 		defer close(jobs)
-		for i := 0; limit <= 0 || i < limit; i++ {
+		for base := 0; limit <= 0 || base < limit; {
 			if stop.Load() {
 				return
 			}
-			pkt, err := r.Next()
+			size := p.batchSize
+			if limit > 0 && limit-base < size {
+				size = limit - base
+			}
+			dst := make([]*trace.Packet, size)
+			n, err := trace.ReadBatch(r, dst)
+			if n > 0 {
+				select {
+				case jobs <- poolJob{base: base, pkts: dst[:n]}:
+					base += n
+				case <-ctx.Done():
+					return
+				}
+			}
 			if err == io.EOF {
 				return
 			}
@@ -250,17 +292,14 @@ func (p *Pool) RunTraceContext(ctx context.Context, r trace.Reader, limit int, o
 				readErr = err
 				return
 			}
-			select {
-			case jobs <- poolJob{idx: i, pkt: pkt}:
-			case <-ctx.Done():
-				return
-			}
 		}
 	}()
 
-	// Workers: pull packets until the queue closes. After a fault (or
+	// Workers: pull batches until the queue closes. After a fault (or
 	// external cancellation) they keep draining the queue without
-	// simulating, so the producer can never deadlock on a full channel.
+	// simulating, so the producer can never deadlock on a full channel;
+	// a stop observed mid-batch abandons the batch's remainder the same
+	// way.
 	bud := newErrorBudget(p.benches[0].policy.ErrorBudget)
 	var wg sync.WaitGroup
 	for c, b := range p.benches {
@@ -271,17 +310,27 @@ func (p *Pool) RunTraceContext(ctx context.Context, r trace.Reader, limit int, o
 				if stop.Load() {
 					continue
 				}
-				p.busy.Inc()
-				res, err := b.processUnderPolicy(j.idx, j.pkt, bud)
-				p.busy.Dec()
-				if err != nil {
-					stop.Store(true)
-					cancel()
-					results <- poolResult{idx: j.idx, err: fmt.Errorf("core %d: %w", c, err)}
-					continue
+				out := poolResult{base: j.base, res: make([]Result, 0, len(j.pkts))}
+				for k, pkt := range j.pkts {
+					if stop.Load() {
+						break
+					}
+					p.busy.Inc()
+					res, err := b.processUnderPolicy(j.base+k, pkt, bud)
+					p.busy.Dec()
+					if err != nil {
+						stop.Store(true)
+						cancel()
+						out.err = fmt.Errorf("core %d: %w", c, err)
+						out.errIdx = j.base + k
+						break
+					}
+					res.Record.Index = j.base + k
+					out.res = append(out.res, res)
 				}
-				res.Record.Index = j.idx
-				results <- poolResult{idx: j.idx, res: res}
+				if len(out.res) > 0 || out.err != nil {
+					results <- out
+				}
 			}
 		}(c, b)
 	}
@@ -301,23 +350,25 @@ func (p *Pool) RunTraceContext(ctx context.Context, r trace.Reader, limit int, o
 		}
 	}()
 
-	// Aggregator (caller's goroutine): re-sequence out-of-order results
+	// Aggregator (caller's goroutine): re-sequence out-of-order batches
 	// so onResult fires in strict trace order. The pending map is bounded
-	// by the job backlog plus in-flight packets.
+	// by the job backlog plus in-flight batches. A faulted batch still
+	// contributes its successful prefix.
 	var fail firstFailure
 	processed := 0
 	next := 0
 	pending := make(map[int]Result)
 	for pr := range results {
 		if pr.err != nil {
-			fail.report(pr.idx, pr.err)
-			continue
+			fail.report(pr.errIdx, pr.err)
 		}
-		processed++
+		processed += len(pr.res)
 		if onResult == nil {
 			continue
 		}
-		pending[pr.idx] = pr.res
+		for k, res := range pr.res {
+			pending[pr.base+k] = res
+		}
 		for {
 			res, ok := pending[next]
 			if !ok {

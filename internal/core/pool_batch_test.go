@@ -1,0 +1,173 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// TestPoolBatchSizesMatchSingleCore pins the batch scheduler's contract
+// across batch sizes straddling the interesting boundaries (packet
+// granular, sub-batch trace, trace larger than one batch, one giant
+// batch): the streamed records must match a single-core run exactly and
+// arrive in order.
+func TestPoolBatchSizesMatchSingleCore(t *testing.T) {
+	pkts := make([]*trace.Packet, 53)
+	for i := range pkts {
+		pkts[i] = ipPacket(20 + i%40)
+	}
+	single, err := New(echoApp(3), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := single.RunPackets(pkts, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, batch := range []int{1, 7, 64, 1000} {
+		pool, err := NewPool(echoApp(3), 4, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		pool.SetBatchSize(batch)
+		var got []Result
+		processed, err := pool.RunTrace(trace.NewSliceReader(pkts), 0, func(i int, r Result) {
+			if i != len(got) {
+				t.Fatalf("batch=%d: out-of-order delivery: index %d at position %d", batch, i, len(got))
+			}
+			got = append(got, r)
+		})
+		if err != nil {
+			t.Fatalf("batch=%d: %v", batch, err)
+		}
+		if processed != len(pkts) || len(got) != len(pkts) {
+			t.Fatalf("batch=%d: processed %d, delivered %d, want %d", batch, processed, len(got), len(pkts))
+		}
+		for i := range want {
+			g := got[i].Record
+			if g.Index != i {
+				t.Errorf("batch=%d: record %d has index %d", batch, i, g.Index)
+			}
+			if g.Instructions != want[i].Instructions || g.Unique != want[i].Unique ||
+				g.PacketAccesses() != want[i].PacketAccesses() ||
+				g.NonPacketAccesses() != want[i].NonPacketAccesses() {
+				t.Errorf("batch=%d: record %d differs: stream %+v, single %+v", batch, i, g, want[i])
+			}
+		}
+	}
+}
+
+// TestPoolBatchFaultMidBatch places the faulting packet in the middle of
+// a batch: the batch's successful prefix still counts, delivery remains
+// the contiguous prefix before the fault, and the error names the fault.
+func TestPoolBatchFaultMidBatch(t *testing.T) {
+	pkts := make([]*trace.Packet, 128)
+	for i := range pkts {
+		pkts[i] = ipPacket(20)
+	}
+	const faultAt = 37 // inside the first 64-packet batch
+	pkts[faultAt].Data[0] = 0xFF
+	pool, err := NewPool(explodeApp(), 2, Options{StepLimit: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var delivered []int
+	processed, err := pool.RunTrace(trace.NewSliceReader(pkts), 0, func(i int, r Result) {
+		delivered = append(delivered, i)
+	})
+	if err == nil || !strings.Contains(err.Error(), "step limit") {
+		t.Fatalf("err = %v, want step limit fault", err)
+	}
+	if processed < faultAt {
+		t.Errorf("processed %d, want at least the faulting batch's prefix %d", processed, faultAt)
+	}
+	for pos, i := range delivered {
+		if i != pos || i >= faultAt {
+			t.Fatalf("delivered index %d at position %d despite fault at %d", i, pos, faultAt)
+		}
+	}
+}
+
+// TestPoolBatchReaderError checks a mid-trace reader error with batches
+// smaller than the failure point: every packet before the error is
+// processed, and the error surfaces wrapped.
+func TestPoolBatchReaderError(t *testing.T) {
+	boom := fmt.Errorf("truncated capture")
+	pool, err := NewPool(echoApp(0), 2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool.SetBatchSize(4)
+	processed, err := pool.RunTrace(&errorReader{n: 9, err: boom}, 0, nil)
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want the reader error", err)
+	}
+	if processed != 9 {
+		t.Errorf("processed %d packets before the reader error, want 9", processed)
+	}
+}
+
+// TestPoolBatchLimitClamp checks the limit is honored exactly when it is
+// not a multiple of the batch size.
+func TestPoolBatchLimitClamp(t *testing.T) {
+	pkts := make([]*trace.Packet, 100)
+	for i := range pkts {
+		pkts[i] = ipPacket(20)
+	}
+	pool, err := NewPool(echoApp(0), 3, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool.SetBatchSize(64)
+	processed, err := pool.RunTrace(trace.NewSliceReader(pkts), 70, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if processed != 70 {
+		t.Errorf("processed %d, want the 70-packet limit", processed)
+	}
+
+	// SetBatchSize clamps nonsense to packet granularity.
+	pool.SetBatchSize(-5)
+	if pool.batchSize != 1 {
+		t.Errorf("batchSize after SetBatchSize(-5) = %d, want 1", pool.batchSize)
+	}
+}
+
+// TestPoolBatchStreamsFromMerge runs the pool over a timestamp-merged
+// pair of shards and checks the merged order is what the pool observes.
+func TestPoolBatchStreamsFromMerge(t *testing.T) {
+	var even, odd []*trace.Packet
+	for i := 0; i < 40; i++ {
+		p := ipPacket(20 + i%30)
+		p.Sec = uint32(i)
+		if i%2 == 0 {
+			even = append(even, p)
+		} else {
+			odd = append(odd, p)
+		}
+	}
+	pool, err := NewPool(echoApp(0), 4, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := trace.NewMergeReader(trace.NewSliceReader(even), trace.NewSliceReader(odd))
+	lastSec := -1
+	processed, err := pool.RunTrace(m, 0, func(i int, r Result) {
+		// onResult fires in trace order; the merged trace is ordered by
+		// Sec, so Record.Index tracks it 1:1.
+		if r.Record.Index != i {
+			t.Fatalf("index %d delivered at position %d", r.Record.Index, i)
+		}
+		lastSec = i
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if processed != 40 || lastSec != 39 {
+		t.Errorf("processed %d (last %d), want all 40 merged packets", processed, lastSec)
+	}
+}

@@ -24,6 +24,7 @@ package gen
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 
 	"repro/internal/packet"
@@ -70,6 +71,36 @@ type Profile struct {
 	// TTLExpireProb is the probability a packet arrives with TTL 1, the
 	// case a forwarding application must hand to the slow path.
 	TTLExpireProb float64
+
+	// The fields below model data-centre traffic (heavy-tailed flow
+	// sizes, incast, rack-level skew) after "Traffic Generation for
+	// Benchmarking Data Centre Networks". They are all off (zero) in the
+	// paper's four profiles; leaving them zero keeps generation
+	// bit-identical to earlier versions of this package.
+
+	// FlowPackets, when > 0, gives every flow a finite lifetime drawn
+	// from a bounded Pareto distribution with this mean: most flows are
+	// mice, a heavy tail of elephants carries most bytes. A flow is
+	// retired (and replaced) once it has sent its budget.
+	FlowPackets int
+	// FlowAlpha is the Pareto tail index for flow lifetimes; values near
+	// 1 make elephants extreme. Only read when FlowPackets > 0; <= 1
+	// defaults to 1.5.
+	FlowAlpha float64
+	// IncastProb, when > 0, is the per-new-flow probability of opening an
+	// incast epoch: the next IncastFanIn new flows all converge on the
+	// epoch's victim destination (the many-to-one pattern of partition/
+	// aggregate workloads).
+	IncastProb float64
+	// IncastFanIn is the number of converging flows per incast epoch.
+	IncastFanIn int
+	// HotRackProb, when > 0, is the probability a new flow's destination
+	// is drawn from one of HotRacks hot /24 "racks" instead of the whole
+	// address population, modelling rack-level destination skew.
+	HotRackProb float64
+	// HotRacks is the number of hot /24 prefixes.
+	HotRacks int
+
 	// Seed makes the trace deterministic.
 	Seed int64
 }
@@ -110,6 +141,35 @@ var profiles = []Profile{
 	},
 }
 
+// Data-centre profiles enabled by the heavy-tail/incast/hot-rack fields:
+// a web-serving mix (many mice, shallow tail, strong incast) and a
+// data-mining mix (extreme elephants, rack-concentrated), the two
+// canonical workloads of the data-centre traffic literature.
+var dcProfiles = []Profile{
+	{
+		Name: "DCWEB", Link: "10GbE (data centre, web)", Packets: 1000000,
+		Flows: 4000, NewFlowProb: 0.10,
+		TCP: 0.96, UDP: 0.04,
+		Sizes:    []SizePoint{{40, 0.55}, {215, 0.20}, {1500, 0.25}},
+		AddrBits: 16, TTLExpireProb: 0.0005,
+		FlowPackets: 12, FlowAlpha: 1.4,
+		IncastProb: 0.02, IncastFanIn: 32,
+		HotRackProb: 0.25, HotRacks: 8,
+		Seed: 0x444357, // "DCW"
+	},
+	{
+		Name: "DCMINE", Link: "10GbE (data centre, mining)", Packets: 1000000,
+		Flows: 1200, NewFlowProb: 0.04,
+		TCP: 0.98, UDP: 0.02,
+		Sizes:    []SizePoint{{40, 0.35}, {576, 0.10}, {1500, 0.55}},
+		AddrBits: 16, TTLExpireProb: 0.0005,
+		FlowPackets: 80, FlowAlpha: 1.1,
+		IncastProb: 0.05, IncastFanIn: 64,
+		HotRackProb: 0.4, HotRacks: 4,
+		Seed: 0x44434D, // "DCM"
+	},
+}
+
 // Profiles returns the built-in trace profiles in paper order
 // (MRA, COS, ODU, LAN).
 func Profiles() []Profile {
@@ -118,9 +178,23 @@ func Profiles() []Profile {
 	return out
 }
 
+// DCProfiles returns the built-in data-centre profiles (DCWEB, DCMINE),
+// which exercise the heavy-tail, incast and hot-rack extensions.
+func DCProfiles() []Profile {
+	out := make([]Profile, len(dcProfiles))
+	copy(out, dcProfiles)
+	return out
+}
+
+// AllProfiles returns every built-in profile: the paper's four traces
+// followed by the data-centre profiles.
+func AllProfiles() []Profile {
+	return append(Profiles(), DCProfiles()...)
+}
+
 // ProfileByName looks up a built-in profile, case sensitively.
 func ProfileByName(name string) (Profile, error) {
-	for _, p := range profiles {
+	for _, p := range AllProfiles() {
 		if p.Name == name {
 			return p, nil
 		}
@@ -132,9 +206,18 @@ func ProfileByName(name string) (Profile, error) {
 type flowState struct {
 	tuple packet.FiveTuple
 	size  int // preferred packet size for the flow
+	// remaining is the flow's packet budget under heavy-tailed lifetimes
+	// (Profile.FlowPackets > 0); 0 means no budget is tracked.
+	remaining int
 }
 
 // Generator produces an endless synthetic packet stream for a profile.
+//
+// Determinism contract: for a profile with the data-centre fields zero,
+// the stream is bit-identical to what earlier versions of this package
+// produced — every new random draw below is gated behind a feature being
+// enabled, so the legacy draw sequence is untouched (pinned by the
+// fingerprint test).
 type Generator struct {
 	prof  Profile
 	rng   *rand.Rand
@@ -144,6 +227,9 @@ type Generator struct {
 	// cumulative size weights for sampling
 	sizeCum []float64
 	sizeTot float64
+	// incast epoch state: the next incastLeft new flows target incastDst.
+	incastLeft int
+	incastDst  uint32
 }
 
 // NewGenerator creates a generator in its deterministic start state.
@@ -223,11 +309,74 @@ func (g *Generator) newFlow() flowState {
 		Dst:      g.hostAddr(),
 		Protocol: proto,
 	}
+	// Data-centre destination skew, applied over the already-drawn Dst so
+	// the legacy draw sequence is preserved when the features are off.
+	if g.prof.HotRackProb > 0 && g.prof.HotRacks > 0 && g.rng.Float64() < g.prof.HotRackProb {
+		ft.Dst = g.hotRackAddr()
+	}
+	if g.prof.IncastProb > 0 && g.prof.IncastFanIn > 1 {
+		if g.incastLeft > 0 {
+			ft.Dst = g.incastDst
+			g.incastLeft--
+		} else if g.rng.Float64() < g.prof.IncastProb {
+			// This flow's destination becomes the epoch victim for the
+			// next fan-in worth of new flows.
+			g.incastDst = ft.Dst
+			g.incastLeft = g.prof.IncastFanIn - 1
+		}
+	}
 	if proto == packet.ProtoTCP || proto == packet.ProtoUDP {
 		ft.SrcPort = uint16(1024 + g.rng.Intn(64512))
 		ft.DstPort = wellKnownPorts[g.rng.Intn(len(wellKnownPorts))]
 	}
-	return flowState{tuple: ft, size: g.pickSize()}
+	fs := flowState{tuple: ft, size: g.pickSize()}
+	if g.prof.FlowPackets > 0 {
+		fs.remaining = g.paretoFlowLen()
+	}
+	return fs
+}
+
+// hotRackAddr draws a host inside one of the profile's hot /24 racks.
+// Rack prefixes are a deterministic function of the rack index, spread
+// over the same unicast range as hostAddr.
+func (g *Generator) hotRackAddr() uint32 {
+	rack := uint32(g.rng.Intn(g.prof.HotRacks))
+	v := rack*2654435761 + 0x9E3779B9
+	span := uint32(208) << 24
+	base := uint32(16)<<24 + uint32(uint64(v)%uint64(span))
+	base &^= 0xFF // align to the rack's /24
+	if base>>24 == 127 {
+		base += 1 << 24
+	}
+	return base | uint32(g.rng.Intn(256))
+}
+
+// paretoFlowLen samples a flow lifetime in packets from a bounded Pareto
+// distribution with mean Profile.FlowPackets and tail index FlowAlpha:
+// x = xmin / u^(1/alpha) with xmin = mean*(alpha-1)/alpha, capped so a
+// single elephant cannot monopolize the whole trace.
+func (g *Generator) paretoFlowLen() int {
+	alpha := g.prof.FlowAlpha
+	if alpha <= 1 {
+		alpha = 1.5
+	}
+	mean := float64(g.prof.FlowPackets)
+	xmin := mean * (alpha - 1) / alpha
+	if xmin < 1 {
+		xmin = 1
+	}
+	u := g.rng.Float64()
+	if u < 1e-9 {
+		u = 1e-9
+	}
+	x := xmin / math.Pow(u, 1/alpha)
+	if x > 1<<20 {
+		x = 1 << 20
+	}
+	if x < 1 {
+		x = 1
+	}
+	return int(x)
 }
 
 var wellKnownPorts = []uint16{80, 443, 25, 53, 110, 143, 22, 21, 123, 8080}
@@ -235,6 +384,7 @@ var wellKnownPorts = []uint16{80, 443, 25, 53, 110, 143, 22, 21, 123, 8080}
 // Next generates the next packet.
 func (g *Generator) Next() *trace.Packet {
 	var fl flowState
+	reused := -1
 	if g.rng.Float64() < g.prof.NewFlowProb {
 		fl = g.newFlow()
 		// Replace a random existing flow so the active set stays bounded,
@@ -251,6 +401,16 @@ func (g *Generator) Next() *trace.Packet {
 			idx = len(g.flows) - 1
 		}
 		fl = g.flows[idx]
+		reused = idx
+	}
+	// Heavy-tailed lifetimes: spend one packet of the flow's budget and
+	// retire it once exhausted, so flow sizes follow the Pareto draw
+	// rather than the geometric implied by random replacement.
+	if g.prof.FlowPackets > 0 && reused >= 0 {
+		g.flows[reused].remaining--
+		if g.flows[reused].remaining <= 0 {
+			g.flows[reused] = g.newFlow()
+		}
 	}
 
 	size := fl.size

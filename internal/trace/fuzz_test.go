@@ -12,6 +12,9 @@ import (
 // arbitrary input, in both fail-fast and skip-and-resync modes: every
 // corruption surfaces as a typed *MalformedRecordError (or a clean io
 // error), packet invariants hold, and skip mode never exceeds its budget.
+// It also runs the in-memory BytesPcapReader in lockstep as a
+// differential oracle: both readers must produce the same packets, the
+// same positions, and the same errors on every input.
 func FuzzPcapReader(f *testing.F) {
 	var buf bytes.Buffer
 	w, _ := NewPcapWriter(&buf)
@@ -29,14 +32,24 @@ func FuzzPcapReader(f *testing.F) {
 	f.Fuzz(func(t *testing.T, b []byte) {
 		for _, budget := range []int{-1, 0, 2} {
 			r, err := NewPcapReader(bytes.NewReader(b))
+			br, berr := NewBytesPcapReader(b)
+			if (err == nil) != (berr == nil) {
+				t.Fatalf("construction diverges: buffered %v, bytes %v", err, berr)
+			}
 			if err != nil {
 				continue // bad magic or truncated global header
 			}
 			if budget >= 0 {
 				r.SetSkipMalformed(budget)
+				br.SetSkipMalformed(budget)
 			}
 			for n := 0; n < 1000; n++ {
 				p, err := r.Next()
+				bp, berr := br.Next()
+				if (err == nil) != (berr == nil) ||
+					(err != nil && err.Error() != berr.Error()) {
+					t.Fatalf("error diverges at packet %d: buffered %v, bytes %v", n, err, berr)
+				}
 				if err == io.EOF {
 					break
 				}
@@ -50,9 +63,18 @@ func FuzzPcapReader(f *testing.F) {
 				if len(p.Data) == 0 || p.WireLen < len(p.Data) {
 					t.Fatalf("invariant broken: len(Data)=%d WireLen=%d", len(p.Data), p.WireLen)
 				}
+				if p.Sec != bp.Sec || p.Usec != bp.Usec || p.WireLen != bp.WireLen || !bytes.Equal(p.Data, bp.Data) {
+					t.Fatalf("packet %d diverges: buffered %+v, bytes %+v", n, p, bp)
+				}
+				if r.Pos() != br.Pos() {
+					t.Fatalf("Pos diverges at packet %d: buffered %d, bytes %d", n, r.Pos(), br.Pos())
+				}
 			}
 			if budget > 0 && r.Skipped() > budget {
 				t.Fatalf("Skipped %d exceeds budget %d", r.Skipped(), budget)
+			}
+			if r.Skipped() != br.Skipped() {
+				t.Fatalf("Skipped diverges: buffered %d, bytes %d", r.Skipped(), br.Skipped())
 			}
 		}
 	})

@@ -1,0 +1,668 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// --- reader bugfix regressions -----------------------------------------
+
+// TestPcapResyncExhaustedTyped pins the resync-exhaustion error shape:
+// it must be a *MalformedRecordError carrying the corrupt record's offset,
+// like every other malformed-record path, not a bare wrapped sentinel.
+func TestPcapResyncExhaustedTyped(t *testing.T) {
+	pkts := []*Packet{{Sec: 1, Data: ipv4Packet(1, 2, 8)}}
+	raw := buildPcap(t, pkts)
+	corruptOff := int64(len(raw))
+	// A corrupt record header followed by more than a full resync window
+	// of bytes that never form a plausible header (usec field stays
+	// 0xFFFFFFFF >= 1e6).
+	rec := make([]byte, pcapRecordLen)
+	binary.LittleEndian.PutUint32(rec[8:], 0xFFFFFFFF)
+	raw = append(raw, rec...)
+	raw = append(raw, bytes.Repeat([]byte{0xFF}, pcapResyncWindow+64)...)
+
+	r, err := NewPcapReader(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.SetSkipMalformed(-1)
+	if _, err := r.Next(); err != nil {
+		t.Fatal(err)
+	}
+	_, err = r.Next()
+	var mr *MalformedRecordError
+	if !errors.As(err, &mr) {
+		t.Fatalf("resync exhaustion err = %v, want *MalformedRecordError", err)
+	}
+	if mr.Offset != corruptOff {
+		t.Errorf("Offset = %d, want corrupt record start %d", mr.Offset, corruptOff)
+	}
+	if !strings.Contains(mr.Reason, "no plausible record header") {
+		t.Errorf("Reason = %q, want resync exhaustion reason", mr.Reason)
+	}
+	if !errors.Is(err, ErrMalformedRecord) {
+		t.Error("resync exhaustion does not unwrap to ErrMalformedRecord")
+	}
+}
+
+// TestPcapResyncRejectsUnconfirmableCandidate covers the stale-recOff /
+// unconfirmed-candidate interaction: a resync scan that slides onto a
+// header whose claimed body exceeds the lookahead buffer must reject it
+// (it cannot be confirmed) rather than lock on. On the pre-fix reader the
+// candidate was accepted unconfirmed and its truncated body surfaced as a
+// malformed-body error attributed to the original corrupt record's offset
+// — both the acceptance and the offset were wrong.
+func TestPcapResyncRejectsUnconfirmableCandidate(t *testing.T) {
+	// Hand-rolled header with snaplen 0 (no snap bound), so the oversize
+	// candidate below is length-plausible and only confirmability decides.
+	var buf bytes.Buffer
+	hdr := make([]byte, pcapHeaderLen)
+	binary.LittleEndian.PutUint32(hdr[0:], pcapMagic)
+	binary.LittleEndian.PutUint32(hdr[20:], LinkTypeRaw)
+	buf.Write(hdr)
+	body := ipv4Packet(1, 2, 8)
+	rec := make([]byte, pcapRecordLen)
+	binary.LittleEndian.PutUint32(rec[0:], 1)
+	binary.LittleEndian.PutUint32(rec[8:], uint32(len(body)))
+	binary.LittleEndian.PutUint32(rec[12:], uint32(len(body)))
+	buf.Write(rec)
+	buf.Write(body)
+	// Corrupt record header, then a plausible-looking header claiming a
+	// body larger than the lookahead buffer, then only part of that body
+	// (enough to fill the lookahead so the end is not visible) before EOF.
+	corrupt := make([]byte, pcapRecordLen)
+	binary.LittleEndian.PutUint32(corrupt[8:], 0xFFFFFFFF)
+	buf.Write(corrupt)
+	cand := make([]byte, pcapRecordLen)
+	binary.LittleEndian.PutUint32(cand[0:], 2)              // sec
+	binary.LittleEndian.PutUint32(cand[8:], pcapBufSize*2)  // incl > lookahead
+	binary.LittleEndian.PutUint32(cand[12:], pcapBufSize*2) // orig
+	buf.Write(cand)
+	buf.Write(bytes.Repeat([]byte{0xFF}, pcapBufSize+1024)) // partial body
+	raw := buf.Bytes()
+
+	r, err := NewPcapReader(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.SetSkipMalformed(1)
+	if _, err := r.Next(); err != nil {
+		t.Fatal(err)
+	}
+	// The candidate is unconfirmable, the scan runs to EOF, and the
+	// corrupt tail is absorbed by the skip that was already consumed.
+	if _, err := r.Next(); err != io.EOF {
+		t.Errorf("Next = %v, want EOF (unconfirmable candidate rejected)", err)
+	}
+	if r.Skipped() != 1 {
+		t.Errorf("Skipped = %d, want 1", r.Skipped())
+	}
+}
+
+// TestPcapWriterSnapLenMatchesReader pins bugfix c: the writer's declared
+// snap length must equal the reader's maximum supported record length, so
+// every record the writer accepts reads back instead of being rejected by
+// recHeaderProblem as over-snap.
+func TestPcapWriterSnapLenMatchesReader(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewPcapWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap := binary.LittleEndian.Uint32(buf.Bytes()[16:]); snap != pcapMaxRecordLen {
+		t.Errorf("declared snaplen = %d, want %d", snap, pcapMaxRecordLen)
+	}
+
+	// A >64 KiB packet: rejected as over-snap on read-back pre-fix.
+	big := ipv4Packet(9, 10, 70000)
+	if err := w.WritePacket(&Packet{Sec: 7, Data: big}); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewPcapReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := r.Next()
+	if err != nil {
+		t.Fatalf("reading back 70000-byte record: %v", err)
+	}
+	if !bytes.Equal(p.Data, big) {
+		t.Error("big record data corrupted in round trip")
+	}
+
+	// The writer still rejects what the reader could never accept.
+	err = w.WritePacket(&Packet{Data: make([]byte, pcapMaxRecordLen+1)})
+	if err == nil {
+		t.Error("over-maximum packet accepted by writer")
+	}
+}
+
+// TestSkipBudgetSemanticsShared pins the budget semantics both formats
+// now share through skipState: <= 0 unlimited, > 0 an exact cap, with
+// Skipped reporting the count.
+func TestSkipBudgetSemanticsShared(t *testing.T) {
+	var s skipState
+	if s.consumeSkip() {
+		t.Error("skip consumed while disabled")
+	}
+	s.enableSkip(2)
+	for i := 0; i < 2; i++ {
+		if !s.consumeSkip() {
+			t.Fatalf("skip %d rejected within budget", i+1)
+		}
+	}
+	if s.consumeSkip() {
+		t.Error("skip consumed beyond budget")
+	}
+	if s.Skipped() != 2 {
+		t.Errorf("Skipped = %d, want 2", s.Skipped())
+	}
+	var unlimited skipState
+	unlimited.enableSkip(0)
+	for i := 0; i < 100; i++ {
+		if !unlimited.consumeSkip() {
+			t.Fatalf("unlimited budget refused skip %d", i)
+		}
+	}
+
+	// Cross-format parity: budget 2 against 3 malformed records behaves
+	// identically for pcap and TSH — two skips, then a typed error.
+	// Corruptions at records 1, 4, 7 are spaced by two good records so
+	// each costs exactly one pcap skip (resync confirmation needs the
+	// record after the recovered one to be intact too).
+	var pcapBuf bytes.Buffer
+	w, _ := NewPcapWriter(&pcapBuf)
+	good := ipv4Packet(1, 2, 4)
+	for i := 0; i < 10; i++ {
+		_ = w.WritePacket(&Packet{Sec: uint32(i), Data: good})
+	}
+	raw := pcapBuf.Bytes()
+	recLen := pcapRecordLen + len(good)
+	for _, i := range []int{1, 4, 7} {
+		binary.LittleEndian.PutUint32(raw[pcapHeaderLen+i*recLen+8:], 0xFFFFFFFF)
+	}
+	pr, err := NewPcapReader(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr.SetSkipMalformed(2)
+
+	var tshBuf bytes.Buffer
+	tw := NewTSHWriter(&tshBuf)
+	for i := 0; i < 10; i++ {
+		_ = tw.WritePacket(&Packet{Sec: uint32(i), Data: good})
+	}
+	traw := tshBuf.Bytes()
+	for _, i := range []int{1, 4, 7} {
+		traw[i*TSHRecordLen+8] = 0x60 // IP version 6
+	}
+	tr := NewTSHReader(bytes.NewReader(traw))
+	tr.SetSkipMalformed(2)
+
+	for name, r := range map[string]interface {
+		Reader
+		Skipped() int
+	}{"pcap": pr, "tsh": tr} {
+		n := 0
+		var last error
+		for {
+			_, err := r.Next()
+			if err != nil {
+				last = err
+				break
+			}
+			n++
+		}
+		if !errors.Is(last, ErrMalformedRecord) {
+			t.Errorf("%s: err after budget = %v, want malformed", name, last)
+		}
+		if r.Skipped() != 2 {
+			t.Errorf("%s: Skipped = %d, want 2", name, r.Skipped())
+		}
+		// Records 0, 2, 3, 5, 6 are recovered; the third corruption at
+		// record 7 exhausts the budget and errors.
+		if n != 5 {
+			t.Errorf("%s: recovered %d packets, want 5", name, n)
+		}
+	}
+}
+
+// --- batch / bytes / file reader equivalence ---------------------------
+
+type pcapLike interface {
+	Reader
+	Positioned
+	Skipped() int
+	SetSkipMalformed(int)
+}
+
+type drainResult struct {
+	pkts    []*Packet
+	pos     []int64
+	err     error
+	skipped int
+}
+
+func drain(r pcapLike, budget int, useBudget bool) drainResult {
+	var d drainResult
+	if useBudget {
+		r.SetSkipMalformed(budget)
+	}
+	for i := 0; i < 100000; i++ {
+		p, err := r.Next()
+		if err != nil {
+			if err != io.EOF {
+				d.err = err
+			}
+			break
+		}
+		d.pkts = append(d.pkts, p)
+		d.pos = append(d.pos, r.Pos())
+	}
+	d.skipped = r.Skipped()
+	return d
+}
+
+func errString(e error) string {
+	if e == nil {
+		return "<nil>"
+	}
+	return e.Error()
+}
+
+func compareDrains(t *testing.T, name string, want, got drainResult) {
+	t.Helper()
+	if errString(want.err) != errString(got.err) {
+		t.Errorf("%s: err = %q, want %q", name, errString(got.err), errString(want.err))
+	}
+	var wantMR, gotMR *MalformedRecordError
+	if errors.As(want.err, &wantMR) != errors.As(got.err, &gotMR) {
+		t.Errorf("%s: typed-error shape diverges", name)
+	} else if wantMR != nil && (wantMR.Offset != gotMR.Offset || wantMR.Reason != gotMR.Reason) {
+		t.Errorf("%s: malformed error %v vs %v", name, gotMR, wantMR)
+	}
+	if want.skipped != got.skipped {
+		t.Errorf("%s: skipped = %d, want %d", name, got.skipped, want.skipped)
+	}
+	if len(want.pkts) != len(got.pkts) {
+		t.Fatalf("%s: %d packets, want %d", name, len(got.pkts), len(want.pkts))
+	}
+	for i := range want.pkts {
+		if !reflect.DeepEqual(want.pkts[i], got.pkts[i]) {
+			t.Fatalf("%s: packet %d = %+v, want %+v", name, i, got.pkts[i], want.pkts[i])
+		}
+		if want.pos[i] != got.pos[i] {
+			t.Errorf("%s: Pos after packet %d = %d, want %d", name, i, got.pos[i], want.pos[i])
+		}
+	}
+}
+
+// equivalenceCorpora builds captures covering the interesting reader
+// paths: clean files, both link types, mixed/non-IP frames, corruption
+// with and without recoverable records, and truncated tails.
+func equivalenceCorpora(t *testing.T) map[string][]byte {
+	t.Helper()
+	corp := map[string][]byte{}
+
+	var pkts []*Packet
+	for i := 0; i < 50; i++ {
+		pkts = append(pkts, &Packet{Sec: uint32(i), Usec: uint32(i * 7 % 1000000),
+			Data: ipv4Packet(uint32(i), uint32(i+1), i%64), WireLen: 2000})
+	}
+	clean := buildPcap(t, pkts)
+	corp["clean"] = clean
+
+	corrupt := bytes.Clone(clean)
+	recLen := func(i int) int { return pcapRecordLen + len(pkts[i].Data) }
+	off := pcapHeaderLen
+	for i := 0; i < 3; i++ {
+		off += recLen(i)
+	}
+	binary.LittleEndian.PutUint32(corrupt[off+8:], 0xFFFFFFFF)
+	corp["corrupt-mid"] = corrupt
+
+	corp["trunc-header"] = clean[:len(clean)-len(pkts[len(pkts)-1].Data)-3]
+	corp["trunc-body"] = clean[:len(clean)-5]
+	corp["empty-records"] = clean[:pcapHeaderLen]
+	corp["garbage-tail"] = append(bytes.Clone(clean), 0xDE, 0xAD, 0xBE, 0xEF, 0x01, 0x02)
+
+	// Ethernet link type with IPv4, non-IPv4, and runt frames mixed in.
+	var eth bytes.Buffer
+	hdr := make([]byte, pcapHeaderLen)
+	binary.LittleEndian.PutUint32(hdr[0:], pcapMagic)
+	binary.LittleEndian.PutUint32(hdr[16:], 65536)
+	binary.LittleEndian.PutUint32(hdr[20:], LinkTypeEthernet)
+	eth.Write(hdr)
+	writeEthRec := func(etherType uint16, payload []byte, runt bool) {
+		frame := make([]byte, ethernetHeaderLen+len(payload))
+		binary.BigEndian.PutUint16(frame[12:], etherType)
+		copy(frame[ethernetHeaderLen:], payload)
+		if runt {
+			frame = frame[:8]
+		}
+		rec := make([]byte, pcapRecordLen)
+		binary.LittleEndian.PutUint32(rec[0:], 9)
+		binary.LittleEndian.PutUint32(rec[8:], uint32(len(frame)))
+		binary.LittleEndian.PutUint32(rec[12:], uint32(len(frame)))
+		eth.Write(rec)
+		eth.Write(frame)
+	}
+	writeEthRec(etherTypeIPv4, ipv4Packet(1, 2, 10), false)
+	writeEthRec(0x0806, make([]byte, 28), false) // ARP: skipped
+	writeEthRec(etherTypeIPv4, nil, true)        // runt: skipped
+	writeEthRec(etherTypeIPv4, ipv4Packet(3, 4, 0), false)
+	corp["ethernet-mixed"] = eth.Bytes()
+
+	// Big-endian capture, hand-rolled.
+	var be bytes.Buffer
+	behdr := make([]byte, pcapHeaderLen)
+	binary.BigEndian.PutUint32(behdr[0:], pcapMagic)
+	binary.BigEndian.PutUint32(behdr[16:], 65536)
+	binary.BigEndian.PutUint32(behdr[20:], LinkTypeRaw)
+	be.Write(behdr)
+	for i := 0; i < 5; i++ {
+		body := ipv4Packet(uint32(i), 9, 4)
+		rec := make([]byte, pcapRecordLen)
+		binary.BigEndian.PutUint32(rec[0:], uint32(i))
+		binary.BigEndian.PutUint32(rec[8:], uint32(len(body)))
+		binary.BigEndian.PutUint32(rec[12:], uint32(len(body)))
+		be.Write(rec)
+		be.Write(body)
+	}
+	corp["big-endian"] = be.Bytes()
+
+	under := bytes.Clone(clean)
+	binary.LittleEndian.PutUint32(under[pcapHeaderLen+12:], 1) // origLen < inclLen
+	corp["undersized-origlen"] = under
+
+	return corp
+}
+
+// TestBytesPcapReaderEquivalence locksteps the mmap-style bytes reader
+// against the buffered reader over every corpus and skip configuration:
+// same packets, same Pos accounting, same typed errors, same skip counts.
+func TestBytesPcapReaderEquivalence(t *testing.T) {
+	budgets := []struct {
+		name      string
+		budget    int
+		useBudget bool
+	}{
+		{"failfast", 0, false},
+		{"skip-unlimited", -1, true},
+		{"skip-1", 1, true},
+		{"skip-2", 2, true},
+	}
+	for name, raw := range equivalenceCorpora(t) {
+		for _, b := range budgets {
+			br, err := NewPcapReader(bytes.NewReader(raw))
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			mr, err := NewBytesPcapReader(raw)
+			if err != nil {
+				t.Fatalf("%s: bytes reader: %v", name, err)
+			}
+			want := drain(br, b.budget, b.useBudget)
+			got := drain(mr, b.budget, b.useBudget)
+			compareDrains(t, name+"/"+b.name, want, got)
+		}
+	}
+}
+
+// TestBytesPcapReaderZeroCopy pins the aliasing contract: packet data
+// must be sub-slices of the input buffer, not copies.
+func TestBytesPcapReaderZeroCopy(t *testing.T) {
+	raw := buildPcap(t, []*Packet{{Sec: 1, Data: ipv4Packet(1, 2, 32)}})
+	r, err := NewBytesPcapReader(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := r.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mutating the backing buffer must show through the packet.
+	raw[pcapHeaderLen+pcapRecordLen] ^= 0xFF
+	if p.Data[0] != 0x45^0xFF {
+		t.Error("packet data does not alias the input buffer")
+	}
+	if cap(p.Data) != len(p.Data) {
+		t.Errorf("alias cap %d not clipped to len %d", cap(p.Data), len(p.Data))
+	}
+}
+
+// TestReadBatchEquivalence checks every reader's NextBatch yields the
+// same stream as Next, for batch sizes around the interesting boundaries.
+func TestReadBatchEquivalence(t *testing.T) {
+	var pkts []*Packet
+	for i := 0; i < 37; i++ {
+		pkts = append(pkts, &Packet{Sec: uint32(i), Data: ipv4Packet(uint32(i), 1, 8)})
+	}
+	raw := buildPcap(t, pkts)
+	var tshBuf bytes.Buffer
+	tw := NewTSHWriter(&tshBuf)
+	for _, p := range pkts {
+		if err := tw.WritePacket(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	readers := map[string]func() Reader{
+		"pcap": func() Reader { r, _ := NewPcapReader(bytes.NewReader(raw)); return r },
+		"bytes": func() Reader { r, _ := NewBytesPcapReader(raw); return r },
+		"tsh":   func() Reader { return NewTSHReader(bytes.NewReader(tshBuf.Bytes())) },
+		"slice": func() Reader { return NewSliceReader(pkts) },
+		"merge": func() Reader {
+			a, _ := NewBytesPcapReader(raw)
+			return NewMergeReader(a)
+		},
+	}
+	for name, mk := range readers {
+		want, err := ReadAll(mk(), 0)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		for _, size := range []int{1, 3, 37, 64} {
+			r := mk()
+			var got []*Packet
+			dst := make([]*Packet, size)
+			for {
+				n, err := ReadBatch(r, dst)
+				got = append(got, dst[:n]...)
+				if err == io.EOF {
+					break
+				}
+				if err != nil {
+					t.Fatalf("%s/batch=%d: %v", name, size, err)
+				}
+			}
+			if len(got) != len(want) {
+				t.Fatalf("%s/batch=%d: %d packets, want %d", name, size, len(got), len(want))
+			}
+			for i := range want {
+				if !reflect.DeepEqual(want[i], got[i]) {
+					t.Fatalf("%s/batch=%d: packet %d differs", name, size, i)
+				}
+			}
+		}
+	}
+}
+
+// TestOpenPcapEquivalence checks the file-level entry points (mmap and
+// buffered) agree with each other and with reading the raw bytes.
+func TestOpenPcapEquivalence(t *testing.T) {
+	var pkts []*Packet
+	for i := 0; i < 20; i++ {
+		pkts = append(pkts, &Packet{Sec: uint32(i), Usec: 3, Data: ipv4Packet(uint32(i), 2, 16)})
+	}
+	raw := buildPcap(t, pkts)
+	path := filepath.Join(t.TempDir(), "t.pcap")
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, tc := range []struct {
+		name string
+		open func(string) (FileReader, error)
+	}{
+		{"mmap", OpenPcap},
+		{"buffered", OpenPcapBuffered},
+	} {
+		r, err := tc.open(path)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if r.Total() != int64(len(raw)) {
+			t.Errorf("%s: Total = %d, want %d", tc.name, r.Total(), len(raw))
+		}
+		if lt := r.LinkType(); lt != LinkTypeRaw {
+			t.Errorf("%s: LinkType = %d, want %d", tc.name, lt, LinkTypeRaw)
+		}
+		got, err := ReadAll(r, 0)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if len(got) != len(pkts) {
+			t.Fatalf("%s: %d packets, want %d", tc.name, len(got), len(pkts))
+		}
+		for i := range pkts {
+			if !bytes.Equal(got[i].Data, pkts[i].Data) {
+				t.Fatalf("%s: packet %d data differs", tc.name, i)
+			}
+		}
+		if r.Pos() != int64(len(raw)) {
+			t.Errorf("%s: Pos at EOF = %d, want %d", tc.name, r.Pos(), len(raw))
+		}
+		if err := r.Close(); err != nil {
+			t.Errorf("%s: Close: %v", tc.name, err)
+		}
+	}
+}
+
+// --- merge reader ------------------------------------------------------
+
+func slicesOf(secs ...uint32) []*Packet {
+	out := make([]*Packet, len(secs))
+	for i, s := range secs {
+		out[i] = &Packet{Sec: s, Data: ipv4Packet(s, 1, 0), WireLen: 28}
+	}
+	return out
+}
+
+func TestMergeReaderOrdersByTimestamp(t *testing.T) {
+	m := NewMergeReader(
+		NewSliceReader(slicesOf(1, 4, 7)),
+		NewSliceReader(slicesOf(2, 5, 8)),
+		NewSliceReader(slicesOf(3, 6, 9)),
+	)
+	got, err := ReadAll(m, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range got {
+		if p.Sec != uint32(i+1) {
+			t.Fatalf("packet %d Sec = %d, want %d", i, p.Sec, i+1)
+		}
+	}
+	if len(got) != 9 {
+		t.Fatalf("merged %d packets, want 9", len(got))
+	}
+}
+
+func TestMergeReaderUsecAndTieBreak(t *testing.T) {
+	a := []*Packet{{Sec: 1, Usec: 500, Data: []byte{1}}, {Sec: 2, Usec: 0, Data: []byte{3}}}
+	b := []*Packet{{Sec: 1, Usec: 200, Data: []byte{0}}, {Sec: 2, Usec: 0, Data: []byte{2}}}
+	// Shard order (a, b): the Sec=2 tie must go to shard a (lower index).
+	m := NewMergeReader(NewSliceReader(a), NewSliceReader(b))
+	got, err := ReadAll(m, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ids []byte
+	for _, p := range got {
+		ids = append(ids, p.Data[0])
+	}
+	want := []byte{0, 1, 3, 2} // usec orders 0<1; tie at Sec=2 keeps shard a's packet first
+	if !bytes.Equal(ids, want) {
+		t.Errorf("merge order %v, want %v", ids, want)
+	}
+}
+
+func TestMergeReaderSingleShardTransparent(t *testing.T) {
+	pkts := slicesOf(5, 6, 7)
+	m := NewMergeReader(NewSliceReader(pkts))
+	got, err := ReadAll(m, 0)
+	if err != nil || len(got) != 3 {
+		t.Fatalf("ReadAll = %d pkts, %v", len(got), err)
+	}
+	for i := range pkts {
+		if !reflect.DeepEqual(pkts[i], got[i]) {
+			t.Fatalf("packet %d differs through single-shard merge", i)
+		}
+	}
+	if m.Pos() != 3 || m.Total() != 3 {
+		t.Errorf("Pos/Total = %d/%d, want 3/3", m.Pos(), m.Total())
+	}
+}
+
+func TestMergeReaderErrorPropagation(t *testing.T) {
+	raw := buildPcap(t, slicesOf(1, 2, 3))
+	binary.LittleEndian.PutUint32(raw[pcapHeaderLen+8:], 0xFFFFFFFF) // corrupt shard B's first record
+	bad, err := NewBytesPcapReader(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewMergeReader(NewSliceReader(slicesOf(10, 11)), bad)
+	var mr *MalformedRecordError
+	if _, err := m.Next(); !errors.As(err, &mr) {
+		t.Fatalf("merge Next = %v, want shard's typed malformed error", err)
+	}
+	// The failing shard is dropped; the healthy shard still drains.
+	rest, err := ReadAll(m, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rest) != 2 || rest[0].Sec != 10 || rest[1].Sec != 11 {
+		t.Errorf("after shard error, drained %d packets (%v), want shard A's 2", len(rest), rest)
+	}
+}
+
+func TestMergeReaderPositionedAndSkipped(t *testing.T) {
+	rawA := buildPcap(t, slicesOf(1, 3))
+	rawB := buildPcap(t, slicesOf(2, 4))
+	a, _ := NewBytesPcapReader(rawA)
+	b, _ := NewBytesPcapReader(rawB)
+	a.SetSkipMalformed(-1)
+	m := NewMergeReader(a, b)
+	if m.Total() != int64(len(rawA)+len(rawB)) {
+		t.Errorf("Total = %d, want %d", m.Total(), len(rawA)+len(rawB))
+	}
+	if _, err := ReadAll(m, 0); err != nil {
+		t.Fatal(err)
+	}
+	if m.Pos() != m.Total() {
+		t.Errorf("Pos at EOF = %d, want Total %d", m.Pos(), m.Total())
+	}
+	if m.Skipped() != 0 {
+		t.Errorf("Skipped = %d, want 0", m.Skipped())
+	}
+	// A shard without Positioned makes Total unknown but Pos still sums.
+	m2 := NewMergeReader(NewSliceReader(slicesOf(1)), opaqueReader{NewSliceReader(slicesOf(2))})
+	if m2.Total() != 0 {
+		t.Errorf("Total with opaque shard = %d, want 0", m2.Total())
+	}
+}
+
+// opaqueReader hides everything but Next, to model shards without
+// position reporting.
+type opaqueReader struct{ r Reader }
+
+func (r opaqueReader) Next() (*Packet, error) { return r.r.Next() }

@@ -1,0 +1,157 @@
+package trace
+
+import "io"
+
+// MergeReader merges several trace readers into one stream ordered by
+// capture timestamp, so a trace sharded across files (tracegen -shards,
+// or per-interface captures) replays as a single time-ordered sequence.
+//
+// Ordering: the head packets of all shards are compared by (Sec, Usec);
+// ties go to the lower shard index, which keeps merges deterministic.
+// Shards are assumed internally time-ordered — the merge never reorders
+// within a shard, it only interleaves across them (a k-way merge, not a
+// sort).
+//
+// Errors are fail-fast in shard-arrival order: a shard's error surfaces
+// on the Next call after its preceding packets have been yielded, and the
+// failing shard is then dropped so a subsequent Next continues with the
+// remaining shards. To tolerate malformed records, enable skip-and-resync
+// on the underlying readers before merging.
+type MergeReader struct {
+	shards []Reader
+	heads  []*Packet // nil = needs refill or drained
+	errs   []error   // pending error per shard, surfaced once
+	done   []bool
+	primed bool
+}
+
+// NewMergeReader merges the given readers. With a single reader the
+// merge is a transparent pass-through (plus Positioned aggregation).
+func NewMergeReader(shards ...Reader) *MergeReader {
+	return &MergeReader{
+		shards: shards,
+		heads:  make([]*Packet, len(shards)),
+		errs:   make([]error, len(shards)),
+		done:   make([]bool, len(shards)),
+	}
+}
+
+// refill pulls the next packet from shard i into heads, recording EOF or
+// a pending error.
+func (m *MergeReader) refill(i int) {
+	p, err := m.shards[i].Next()
+	switch {
+	case err == io.EOF:
+		m.done[i] = true
+	case err != nil:
+		m.done[i] = true
+		m.errs[i] = err
+	default:
+		m.heads[i] = p
+	}
+}
+
+// Next implements Reader: the earliest-timestamped head across all
+// shards, io.EOF once every shard is drained.
+func (m *MergeReader) Next() (*Packet, error) {
+	if !m.primed {
+		m.primed = true
+		for i := range m.shards {
+			m.refill(i)
+		}
+	}
+	for i, err := range m.errs {
+		if err != nil {
+			m.errs[i] = nil
+			return nil, err
+		}
+	}
+	best := -1
+	for i, p := range m.heads {
+		if p == nil {
+			continue
+		}
+		if best < 0 || earlier(p, m.heads[best]) {
+			best = i
+		}
+	}
+	if best < 0 {
+		return nil, io.EOF
+	}
+	p := m.heads[best]
+	m.heads[best] = nil
+	if !m.done[best] {
+		m.refill(best)
+	}
+	return p, nil
+}
+
+// earlier reports whether a's timestamp strictly precedes b's. Ties are
+// not "earlier", so the linear scan keeps the lowest shard index on equal
+// timestamps.
+func earlier(a, b *Packet) bool {
+	if a.Sec != b.Sec {
+		return a.Sec < b.Sec
+	}
+	return a.Usec < b.Usec
+}
+
+// NextBatch implements BatchReader by repeated Next calls; the win from
+// batching a merge is on the consumer side (pool channel sync), not here.
+func (m *MergeReader) NextBatch(dst []*Packet) (int, error) { return readBatch(m, dst) }
+
+// Pos implements Positioned: the sum of all shard positions. Shards that
+// do not report positions contribute zero.
+func (m *MergeReader) Pos() int64 {
+	var sum int64
+	for _, s := range m.shards {
+		if p, ok := s.(Positioned); ok {
+			sum += p.Pos()
+		}
+	}
+	return sum
+}
+
+// Total implements Positioned: the sum of shard totals, or 0 (unknown)
+// unless every shard knows its total.
+func (m *MergeReader) Total() int64 {
+	var sum int64
+	for _, s := range m.shards {
+		p, ok := s.(Positioned)
+		if !ok {
+			return 0
+		}
+		t := p.Total()
+		if t <= 0 {
+			return 0
+		}
+		sum += t
+	}
+	return sum
+}
+
+// Skipped sums the skip counts of shards that track them, so callers can
+// report skip totals for a sharded replay the same way as for one file.
+func (m *MergeReader) Skipped() int {
+	n := 0
+	for _, s := range m.shards {
+		if sk, ok := s.(interface{ Skipped() int }); ok {
+			n += sk.Skipped()
+		}
+	}
+	return n
+}
+
+// Close closes every shard that is an io.Closer, returning the first
+// error. Useful when merging FileReaders from OpenPcap.
+func (m *MergeReader) Close() error {
+	var first error
+	for _, s := range m.shards {
+		if c, ok := s.(io.Closer); ok {
+			if err := c.Close(); err != nil && first == nil {
+				first = err
+			}
+		}
+	}
+	return first
+}

@@ -1,0 +1,11 @@
+//go:build !unix
+
+package trace
+
+import "os"
+
+// mmapFile reports mmap as unavailable on non-unix platforms; OpenPcap
+// falls back to the buffered reader.
+func mmapFile(_ *os.File, _ int64) ([]byte, func() error, error) {
+	return nil, nil, errMmapUnavailable
+}

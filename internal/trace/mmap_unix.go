@@ -1,0 +1,24 @@
+//go:build unix
+
+package trace
+
+import (
+	"os"
+	"syscall"
+)
+
+// mmapFile maps size bytes of f read-only, returning the mapping and an
+// unmap function. Callers treat any error as "mmap unavailable" and fall
+// back to buffered reads.
+func mmapFile(f *os.File, size int64) ([]byte, func() error, error) {
+	if size <= 0 || int64(int(size)) != size {
+		// Empty files cannot be mapped, and a size that overflows int
+		// (32-bit platforms) cannot be mapped in one piece.
+		return nil, nil, errMmapUnavailable
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, nil, err
+	}
+	return data, func() error { return syscall.Munmap(data) }, nil
+}

@@ -16,6 +16,11 @@ const (
 	pcapHeaderLen    = 24
 	pcapRecordLen    = 16
 
+	// pcapMaxRecordLen is the largest record body either pcap reader
+	// accepts, and the snap length the writer declares; keeping the two
+	// equal is what guarantees every written record reads back.
+	pcapMaxRecordLen = 1 << 24
+
 	// LinkTypeRaw means packets begin directly with the IP header
 	// (DLT_RAW). This is what the writer emits.
 	LinkTypeRaw = 101
@@ -35,6 +40,88 @@ const pcapResyncWindow = 1 << 20
 // lookahead resync can use to confirm a candidate record header.
 const pcapBufSize = 128 << 10
 
+// pcapMeta is the parsed global header shared by the buffered and
+// memory-mapped pcap readers; record-header validation lives here so
+// both readers apply identical rules and emit identical diagnostics.
+type pcapMeta struct {
+	order    binary.ByteOrder
+	linkType uint32
+	snapLen  uint32
+}
+
+// parsePcapMeta validates a 24-byte global header.
+func parsePcapMeta(hdr []byte) (pcapMeta, error) {
+	var m pcapMeta
+	switch binary.LittleEndian.Uint32(hdr[:4]) {
+	case pcapMagic:
+		m.order = binary.LittleEndian
+	case pcapMagicSwapped:
+		m.order = binary.BigEndian
+	default:
+		return m, ErrNotPcap
+	}
+	m.snapLen = m.order.Uint32(hdr[16:])
+	m.linkType = m.order.Uint32(hdr[20:])
+	switch m.linkType {
+	case LinkTypeRaw, LinkTypeEthernet:
+	default:
+		return m, fmt.Errorf("trace: unsupported pcap link type %d", m.linkType)
+	}
+	return m, nil
+}
+
+// recHeaderProblem validates a record header's lengths, returning a
+// non-empty reason when the record cannot be read.
+func (m *pcapMeta) recHeaderProblem(rec []byte) string {
+	inclLen := m.order.Uint32(rec[8:])
+	if inclLen > pcapMaxRecordLen {
+		return fmt.Sprintf("pcap record length %d exceeds the maximum supported length %d", inclLen, pcapMaxRecordLen)
+	}
+	if m.snapLen > 0 && inclLen > m.snapLen {
+		return fmt.Sprintf("pcap record length %d exceeds snap length %d", inclLen, m.snapLen)
+	}
+	if origLen := m.order.Uint32(rec[12:]); origLen < inclLen {
+		return fmt.Sprintf("pcap record original length %d below captured length %d", origLen, inclLen)
+	}
+	return ""
+}
+
+// plausibleHeader is the resync heuristic: a 16-byte window is accepted as
+// a record header when its lengths are consistent and the microsecond
+// field is in range. Stricter than recHeaderProblem on purpose — when
+// scanning a desynchronized byte stream, false positives cost far more
+// than skipping to the next real record.
+func (m *pcapMeta) plausibleHeader(rec []byte) bool {
+	usec := m.order.Uint32(rec[4:])
+	incl := m.order.Uint32(rec[8:])
+	orig := m.order.Uint32(rec[12:])
+	limit := uint32(pcapMaxRecordLen)
+	if m.snapLen > 0 && m.snapLen < limit {
+		limit = m.snapLen
+	}
+	return usec < 1_000_000 && incl > 0 && incl <= limit && orig >= incl && orig <= pcapMaxRecordLen
+}
+
+// The malformed-record error constructors below are shared by the
+// buffered and memory-mapped readers so the two emit byte-identical
+// diagnostics for the same corruption.
+
+func pcapTruncatedHeaderErr(off int64) *MalformedRecordError {
+	return &MalformedRecordError{Format: FormatPcap, Offset: off,
+		Reason: "truncated record header", Err: io.ErrUnexpectedEOF}
+}
+
+func pcapTruncatedBodyErr(off int64, n, inclLen int) *MalformedRecordError {
+	return &MalformedRecordError{Format: FormatPcap, Offset: off,
+		Reason: fmt.Sprintf("record body truncated at %d of %d bytes", n, inclLen),
+		Err:    io.ErrUnexpectedEOF}
+}
+
+func pcapResyncExhaustedErr(off int64) *MalformedRecordError {
+	return &MalformedRecordError{Format: FormatPcap, Offset: off,
+		Reason: fmt.Sprintf("no plausible record header within %d bytes of corrupt record", pcapResyncWindow)}
+}
+
 // PcapReader reads libpcap capture files. Both byte orders are accepted;
 // Ethernet and raw-IP link types are supported, with non-IPv4 frames
 // skipped silently (matching how header-processing tools consume mixed
@@ -45,17 +132,12 @@ const pcapBufSize = 128 << 10
 // corrupt records are skipped (scanning forward for the next plausible
 // record header) until the skip budget is exhausted.
 type PcapReader struct {
-	r        *bufio.Reader
-	order    binary.ByteOrder
-	linkType uint32
-	snapLen  uint32
+	pcapMeta
+	skipState
+	r *bufio.Reader
 
 	off   int64 // bytes consumed from r so far
 	total int64 // input size in bytes; 0 when unknown
-
-	skipEnabled bool
-	skipBudget  int // max skipped records; <= 0 means unlimited
-	skipped     int
 }
 
 // NewPcapReader parses the global header and returns a reader positioned
@@ -66,30 +148,11 @@ func NewPcapReader(r io.Reader) (*PcapReader, error) {
 	if _, err := io.ReadFull(br, hdr[:]); err != nil {
 		return nil, fmt.Errorf("trace: reading pcap header: %w", err)
 	}
-	var order binary.ByteOrder
-	switch binary.LittleEndian.Uint32(hdr[:4]) {
-	case pcapMagic:
-		order = binary.LittleEndian
-	case pcapMagicSwapped:
-		order = binary.BigEndian
-	default:
-		return nil, ErrNotPcap
+	meta, err := parsePcapMeta(hdr[:])
+	if err != nil {
+		return nil, err
 	}
-	p := &PcapReader{
-		r:        br,
-		order:    order,
-		snapLen:  0,
-		linkType: 0,
-	}
-	p.snapLen = order.Uint32(hdr[16:])
-	p.linkType = order.Uint32(hdr[20:])
-	p.off = pcapHeaderLen
-	switch p.linkType {
-	case LinkTypeRaw, LinkTypeEthernet:
-	default:
-		return nil, fmt.Errorf("trace: unsupported pcap link type %d", p.linkType)
-	}
-	return p, nil
+	return &PcapReader{pcapMeta: meta, r: br, off: pcapHeaderLen}, nil
 }
 
 // LinkType returns the capture's link type.
@@ -112,52 +175,7 @@ func (p *PcapReader) Total() int64 { return p.total }
 // the next plausible record header instead. At most budget records are
 // skipped (budget <= 0 means unlimited); once the budget is exhausted the
 // next malformed record is returned as a *MalformedRecordError again.
-func (p *PcapReader) SetSkipMalformed(budget int) {
-	p.skipEnabled = true
-	p.skipBudget = budget
-}
-
-// Skipped returns how many malformed records were skipped so far.
-func (p *PcapReader) Skipped() int { return p.skipped }
-
-// consumeSkip takes one unit of skip budget; false means the policy (or
-// budget) requires the malformed record to be surfaced as an error.
-func (p *PcapReader) consumeSkip() bool {
-	if !p.skipEnabled || (p.skipBudget > 0 && p.skipped >= p.skipBudget) {
-		return false
-	}
-	p.skipped++
-	return true
-}
-
-// recHeaderProblem validates a record header's lengths, returning a
-// non-empty reason when the record cannot be read.
-func (p *PcapReader) recHeaderProblem(rec []byte) string {
-	inclLen := p.order.Uint32(rec[8:])
-	if inclLen > 1<<24 {
-		return fmt.Sprintf("pcap record length %d exceeds the maximum supported length %d", inclLen, 1<<24)
-	}
-	if p.snapLen > 0 && inclLen > p.snapLen {
-		return fmt.Sprintf("pcap record length %d exceeds snap length %d", inclLen, p.snapLen)
-	}
-	return ""
-}
-
-// plausibleHeader is the resync heuristic: a 16-byte window is accepted as
-// a record header when its lengths are consistent and the microsecond
-// field is in range. Stricter than recHeaderProblem on purpose — when
-// scanning a desynchronized byte stream, false positives cost far more
-// than skipping to the next real record.
-func (p *PcapReader) plausibleHeader(rec []byte) bool {
-	usec := p.order.Uint32(rec[4:])
-	incl := p.order.Uint32(rec[8:])
-	orig := p.order.Uint32(rec[12:])
-	limit := uint32(1 << 24)
-	if p.snapLen > 0 && p.snapLen < limit {
-		limit = p.snapLen
-	}
-	return usec < 1_000_000 && incl > 0 && incl <= limit && orig >= incl && orig <= 1<<24
-}
+func (p *PcapReader) SetSkipMalformed(budget int) { p.enableSkip(budget) }
 
 // confirmCandidate strengthens a plausible resync window by peeking at
 // where the candidate's body would end: either the stream ends exactly
@@ -166,10 +184,11 @@ func (p *PcapReader) plausibleHeader(rec []byte) bool {
 // header; requiring the following record to line up too rejects nearly
 // all such aliases. The cost of that strictness: a genuine record whose
 // immediate successor is also corrupt fails confirmation and is
-// sacrificed to the same resync scan. Skip-and-resync is best-effort
-// recovery, and losing a record adjacent to corruption is the cheaper
-// failure mode than locking onto an alias mid-body and desynchronizing
-// the rest of the stream.
+// sacrificed to the same resync scan, and a genuine record whose body
+// exceeds the lookahead buffer can never be confirmed and is likewise
+// sacrificed. Skip-and-resync is best-effort recovery, and losing a
+// record adjacent to corruption is the cheaper failure mode than locking
+// onto an alias mid-body and desynchronizing the rest of the stream.
 func (p *PcapReader) confirmCandidate(w []byte) bool {
 	incl := int(p.order.Uint32(w[8:]))
 	peek, err := p.r.Peek(incl + pcapRecordLen)
@@ -177,8 +196,8 @@ func (p *PcapReader) confirmCandidate(w []byte) bool {
 		return p.plausibleHeader(peek[incl:])
 	}
 	if err == bufio.ErrBufferFull {
-		// Body longer than the lookahead buffer: accept unconfirmed.
-		return true
+		// Body longer than the lookahead buffer: unconfirmable, reject.
+		return false
 	}
 	// Stream ends before incl+header bytes: valid only as the exact
 	// final record.
@@ -187,9 +206,11 @@ func (p *PcapReader) confirmCandidate(w []byte) bool {
 
 // resync slides a one-byte-at-a-time window over the stream until it
 // finds a confirmed plausible record header, returning it. io.EOF means
-// the stream ended (trailing corruption); other errors mean resync
-// failed.
-func (p *PcapReader) resync(rec [pcapRecordLen]byte) ([pcapRecordLen]byte, error) {
+// the stream ended (trailing corruption). An exhausted scan window is a
+// typed *MalformedRecordError carrying recOff, the offset of the corrupt
+// record that triggered the scan, so callers matching with errors.As see
+// the same Offset/Reason shape as every other malformed-record path.
+func (p *PcapReader) resync(rec [pcapRecordLen]byte, recOff int64) ([pcapRecordLen]byte, error) {
 	w := rec
 	for scanned := 0; scanned < pcapResyncWindow; scanned++ {
 		var b [1]byte
@@ -206,8 +227,7 @@ func (p *PcapReader) resync(rec [pcapRecordLen]byte) ([pcapRecordLen]byte, error
 			return w, nil
 		}
 	}
-	return w, fmt.Errorf("trace: no plausible pcap record header within %d bytes of corrupt record: %w",
-		pcapResyncWindow, ErrMalformedRecord)
+	return w, pcapResyncExhaustedErr(recOff)
 }
 
 // Next returns the next IPv4 packet, skipping non-IP frames. It returns
@@ -228,8 +248,7 @@ func (p *PcapReader) Next() (*Packet, error) {
 				if p.consumeSkip() {
 					return nil, io.EOF
 				}
-				return nil, &MalformedRecordError{Format: FormatPcap, Offset: recOff,
-					Reason: "truncated record header", Err: err}
+				return nil, pcapTruncatedHeaderErr(recOff)
 			}
 			return nil, fmt.Errorf("trace: reading pcap record header: %w", err)
 		}
@@ -238,7 +257,7 @@ func (p *PcapReader) Next() (*Packet, error) {
 			if !p.consumeSkip() {
 				return nil, &MalformedRecordError{Format: FormatPcap, Offset: recOff, Reason: reason}
 			}
-			nrec, err := p.resync(rec)
+			nrec, err := p.resync(rec, recOff)
 			if err != nil {
 				if err == io.EOF {
 					return nil, io.EOF
@@ -246,6 +265,10 @@ func (p *PcapReader) Next() (*Packet, error) {
 				return nil, err
 			}
 			rec = nrec
+			// The resynced header replaced the corrupt one: recompute the
+			// record start so a failure in the *resynced* record's body is
+			// reported at its own offset, not the corrupt record's.
+			recOff = p.off - pcapRecordLen
 		}
 		sec := p.order.Uint32(rec[0:])
 		usec := p.order.Uint32(rec[4:])
@@ -260,37 +283,50 @@ func (p *PcapReader) Next() (*Packet, error) {
 				if p.consumeSkip() {
 					return nil, io.EOF
 				}
-				return nil, &MalformedRecordError{Format: FormatPcap, Offset: recOff,
-					Reason: fmt.Sprintf("record body truncated at %d of %d bytes", n, inclLen),
-					Err:    io.ErrUnexpectedEOF}
+				return nil, pcapTruncatedBodyErr(recOff, n, int(inclLen))
 			}
 			return nil, fmt.Errorf("trace: reading pcap record body: %w", err)
 		}
 		p.off += int64(inclLen)
-		wire := int(origLen)
-		if p.linkType == LinkTypeEthernet {
-			if len(data) < ethernetHeaderLen {
-				continue // runt frame
-			}
-			etherType := binary.BigEndian.Uint16(data[12:])
-			if etherType != etherTypeIPv4 {
-				continue // not IPv4; skip
-			}
-			data = data[ethernetHeaderLen:]
-			wire -= ethernetHeaderLen
-		}
-		if len(data) == 0 {
+		pkt, ok := p.finishPacket(sec, usec, origLen, data)
+		if !ok {
 			continue
 		}
-		// A malformed capture can record an origLen shorter than the
-		// bytes present (or, for Ethernet, shorter than the stripped
-		// header, which would go negative above); clamp so WireLen keeps
-		// its >= len(Data) invariant.
-		if wire < len(data) {
-			wire = len(data)
-		}
-		return &Packet{Sec: sec, Usec: usec, Data: data, WireLen: wire}, nil
+		return pkt, nil
 	}
+}
+
+// NextBatch implements BatchReader by repeated Next calls; batching a
+// buffered reader amortizes only the caller's per-packet overhead (the
+// pool's channel synchronization), not the reads themselves.
+func (p *PcapReader) NextBatch(dst []*Packet) (int, error) { return readBatch(p, dst) }
+
+// finishPacket applies link-layer stripping and the WireLen invariant to
+// a decoded record, shared by the buffered and memory-mapped readers.
+// ok is false when the frame is not an IPv4 packet and must be skipped.
+func (m *pcapMeta) finishPacket(sec, usec, origLen uint32, data []byte) (*Packet, bool) {
+	wire := int(origLen)
+	if m.linkType == LinkTypeEthernet {
+		if len(data) < ethernetHeaderLen {
+			return nil, false // runt frame
+		}
+		etherType := binary.BigEndian.Uint16(data[12:])
+		if etherType != etherTypeIPv4 {
+			return nil, false // not IPv4; skip
+		}
+		data = data[ethernetHeaderLen:]
+		wire -= ethernetHeaderLen
+	}
+	if len(data) == 0 {
+		return nil, false
+	}
+	// A malformed capture can record an origLen shorter than the stripped
+	// Ethernet header (which would go negative above); clamp so WireLen
+	// keeps its >= len(Data) invariant.
+	if wire < len(data) {
+		wire = len(data)
+	}
+	return &Packet{Sec: sec, Usec: usec, Data: data, WireLen: wire}, true
 }
 
 // PcapWriter writes libpcap capture files with raw-IP framing, so records
@@ -306,7 +342,10 @@ func NewPcapWriter(w io.Writer) (*PcapWriter, error) {
 	binary.LittleEndian.PutUint16(hdr[4:], pcapVersionMajor)
 	binary.LittleEndian.PutUint16(hdr[6:], pcapVersionMinor)
 	// thiszone (8:12) and sigfigs (12:16) stay zero.
-	binary.LittleEndian.PutUint32(hdr[16:], 1<<16) // snaplen
+	// The declared snap length is the reader's maximum supported record
+	// length: WritePacket accepts packets up to that size, so declaring
+	// anything smaller would make our own reader reject our own records.
+	binary.LittleEndian.PutUint32(hdr[16:], pcapMaxRecordLen)
 	binary.LittleEndian.PutUint32(hdr[20:], LinkTypeRaw)
 	if _, err := w.Write(hdr[:]); err != nil {
 		return nil, fmt.Errorf("trace: writing pcap header: %w", err)
@@ -314,8 +353,13 @@ func NewPcapWriter(w io.Writer) (*PcapWriter, error) {
 	return &PcapWriter{w: w}, nil
 }
 
-// WritePacket appends one record.
+// WritePacket appends one record. Packets longer than the declared snap
+// length (the maximum record length the readers support) are rejected
+// rather than silently writing a capture that cannot be read back.
 func (p *PcapWriter) WritePacket(pkt *Packet) error {
+	if len(pkt.Data) > pcapMaxRecordLen {
+		return fmt.Errorf("trace: packet of %d bytes exceeds the pcap snap length %d", len(pkt.Data), pcapMaxRecordLen)
+	}
 	var rec [pcapRecordLen]byte
 	binary.LittleEndian.PutUint32(rec[0:], pkt.Sec)
 	binary.LittleEndian.PutUint32(rec[4:], pkt.Usec)

@@ -1,0 +1,162 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+)
+
+// BytesPcapReader reads a pcap capture held entirely in memory — in
+// practice a read-only mmap of the trace file (see OpenPcap). Packet.Data
+// values are sub-slices of the backing buffer, not copies: the reader
+// performs zero allocations per record beyond the Packet header itself.
+// That aliasing is safe for PacketBench because the VM copies packet
+// bytes into simulated packet memory at load time and never writes
+// through the input slice; callers holding packets must keep the buffer
+// (the mapping) alive and unmodified while any packet is in use.
+//
+// Behavior is bit-identical to PcapReader over the same bytes: same
+// packets, same Pos accounting, same typed errors with the same offsets
+// and reasons, and the same skip-and-resync decisions — including
+// PcapReader's lookahead cap during resync confirmation, which this
+// reader deliberately mimics even though it could see further. The
+// equivalence tests in pcap_bytes_test.go and the differential fuzz
+// target hold the two readers to that contract.
+type BytesPcapReader struct {
+	pcapMeta
+	skipState
+	buf []byte
+	off int64
+}
+
+// NewBytesPcapReader parses the global header and returns a reader
+// positioned at the first record. The buffer is retained and aliased by
+// every returned packet.
+func NewBytesPcapReader(buf []byte) (*BytesPcapReader, error) {
+	if len(buf) < pcapHeaderLen {
+		err := io.ErrUnexpectedEOF
+		if len(buf) == 0 {
+			err = io.EOF
+		}
+		return nil, fmt.Errorf("trace: reading pcap header: %w", err)
+	}
+	meta, err := parsePcapMeta(buf[:pcapHeaderLen])
+	if err != nil {
+		return nil, err
+	}
+	return &BytesPcapReader{pcapMeta: meta, buf: buf, off: pcapHeaderLen}, nil
+}
+
+// LinkType returns the capture's link type.
+func (p *BytesPcapReader) LinkType() uint32 { return p.linkType }
+
+// Pos implements Positioned with the same accounting as PcapReader.
+func (p *BytesPcapReader) Pos() int64 { return p.off }
+
+// Total implements Positioned; an in-memory capture always knows its size.
+func (p *BytesPcapReader) Total() int64 { return int64(len(p.buf)) }
+
+// SetSkipMalformed switches the reader from fail-fast to skip-and-resync,
+// with the same budget semantics as PcapReader.SetSkipMalformed.
+func (p *BytesPcapReader) SetSkipMalformed(budget int) { p.enableSkip(budget) }
+
+// confirmCandidate mirrors PcapReader.confirmCandidate, including its
+// lookahead cap: the buffered reader can only peek pcapBufSize bytes, so
+// a candidate whose body extends past that is unconfirmable and rejected
+// (bufio.ErrBufferFull there). This reader could inspect the whole
+// buffer, but doing so would make the two readers resync differently on
+// the same input, breaking the equivalence contract.
+func (p *BytesPcapReader) confirmCandidate(w []byte) bool {
+	incl := int(p.order.Uint32(w[8:]))
+	rest := p.buf[p.off:]
+	if n := incl + pcapRecordLen; n <= pcapBufSize {
+		if len(rest) >= n {
+			return p.plausibleHeader(rest[incl:n])
+		}
+	} else if len(rest) >= pcapBufSize {
+		return false // lookahead cap: unconfirmable, reject
+	}
+	// Input ends before incl+header bytes: valid only as the exact final
+	// record.
+	return len(rest) == incl
+}
+
+// resync mirrors PcapReader.resync over the in-memory buffer.
+func (p *BytesPcapReader) resync(rec []byte, recOff int64) ([]byte, error) {
+	w := make([]byte, pcapRecordLen)
+	copy(w, rec)
+	for scanned := 0; scanned < pcapResyncWindow; scanned++ {
+		if p.off >= int64(len(p.buf)) {
+			return w, io.EOF
+		}
+		copy(w, w[1:])
+		w[pcapRecordLen-1] = p.buf[p.off]
+		p.off++
+		if p.plausibleHeader(w) && p.confirmCandidate(w) {
+			return w, nil
+		}
+	}
+	return w, pcapResyncExhaustedErr(recOff)
+}
+
+// Next returns the next IPv4 packet, skipping non-IP frames. It returns
+// io.EOF at the end of the capture. The returned packet's Data aliases
+// the backing buffer.
+func (p *BytesPcapReader) Next() (*Packet, error) {
+	for {
+		recOff := p.off
+		rest := p.buf[p.off:]
+		if len(rest) == 0 {
+			return nil, io.EOF
+		}
+		if len(rest) < pcapRecordLen {
+			// Truncated trailing record header; consume the partial bytes
+			// so Pos advances past them, matching PcapReader.
+			p.off = int64(len(p.buf))
+			if p.consumeSkip() {
+				return nil, io.EOF
+			}
+			return nil, pcapTruncatedHeaderErr(recOff)
+		}
+		rec := rest[:pcapRecordLen]
+		p.off += pcapRecordLen
+		if reason := p.recHeaderProblem(rec); reason != "" {
+			if !p.consumeSkip() {
+				return nil, &MalformedRecordError{Format: FormatPcap, Offset: recOff, Reason: reason}
+			}
+			nrec, err := p.resync(rec, recOff)
+			if err != nil {
+				if err == io.EOF {
+					return nil, io.EOF
+				}
+				return nil, err
+			}
+			rec = nrec
+			// As in PcapReader: the resynced record starts pcapRecordLen
+			// bytes back from the current position.
+			recOff = p.off - pcapRecordLen
+		}
+		sec := p.order.Uint32(rec[0:])
+		usec := p.order.Uint32(rec[4:])
+		inclLen := p.order.Uint32(rec[8:])
+		origLen := p.order.Uint32(rec[12:])
+		body := p.buf[p.off:]
+		if len(body) < int(inclLen) {
+			n := len(body)
+			p.off = int64(len(p.buf))
+			if p.consumeSkip() {
+				return nil, io.EOF
+			}
+			return nil, pcapTruncatedBodyErr(recOff, n, int(inclLen))
+		}
+		data := body[:inclLen:inclLen] // zero-copy alias into the buffer
+		p.off += int64(inclLen)
+		pkt, ok := p.finishPacket(sec, usec, origLen, data)
+		if !ok {
+			continue
+		}
+		return pkt, nil
+	}
+}
+
+// NextBatch implements BatchReader. Each packet still aliases the buffer.
+func (p *BytesPcapReader) NextBatch(dst []*Packet) (int, error) { return readBatch(p, dst) }

@@ -1,0 +1,32 @@
+package trace
+
+// skipState is the shared skip-and-resync budget every trace reader
+// embeds. The semantics are defined once here so they cannot drift
+// between formats: skipping is off until enabled, a budget above zero
+// caps how many malformed records may be skipped, and a budget of zero
+// or below means unlimited.
+type skipState struct {
+	skipEnabled bool
+	skipBudget  int // max skipped records; <= 0 means unlimited
+	skipped     int
+}
+
+// enableSkip switches the reader from fail-fast to skip-and-resync with
+// the given budget.
+func (s *skipState) enableSkip(budget int) {
+	s.skipEnabled = true
+	s.skipBudget = budget
+}
+
+// consumeSkip takes one unit of skip budget; false means the policy (or
+// budget) requires the malformed record to be surfaced as an error.
+func (s *skipState) consumeSkip() bool {
+	if !s.skipEnabled || (s.skipBudget > 0 && s.skipped >= s.skipBudget) {
+		return false
+	}
+	s.skipped++
+	return true
+}
+
+// Skipped returns how many malformed records were skipped so far.
+func (s *skipState) Skipped() int { return s.skipped }

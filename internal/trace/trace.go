@@ -67,6 +67,44 @@ func Progress(r Reader) (float64, bool) {
 	return frac, true
 }
 
+// BatchReader is implemented by readers that can yield many packets per
+// call, letting streaming consumers amortize per-packet overhead (channel
+// synchronization in the pool, interface dispatch) over a batch.
+//
+// NextBatch fills dst from the front and returns how many entries were
+// written. Like io.Reader, it may return n > 0 alongside an error — the
+// packets are valid and the error applies after them. io.EOF signals the
+// end of the trace; n == 0 with a nil error only occurs for len(dst) == 0.
+type BatchReader interface {
+	Reader
+	NextBatch(dst []*Packet) (int, error)
+}
+
+// ReadBatch fills dst from r, using the reader's native NextBatch when it
+// has one and falling back to repeated Next calls otherwise. Semantics
+// match BatchReader.NextBatch.
+func ReadBatch(r Reader, dst []*Packet) (int, error) {
+	if br, ok := r.(BatchReader); ok {
+		return br.NextBatch(dst)
+	}
+	return readBatch(r, dst)
+}
+
+// readBatch is the generic NextBatch loop shared by readers whose batch
+// method is just repeated Next calls.
+func readBatch(r Reader, dst []*Packet) (int, error) {
+	n := 0
+	for n < len(dst) {
+		p, err := r.Next()
+		if err != nil {
+			return n, err
+		}
+		dst[n] = p
+		n++
+	}
+	return n, nil
+}
+
 // Writer appends packets to a trace.
 type Writer interface {
 	WritePacket(*Packet) error
@@ -189,6 +227,17 @@ func (s *SliceReader) Next() (*Packet, error) {
 	p := s.pkts[s.next]
 	s.next++
 	return p, nil
+}
+
+// NextBatch implements BatchReader with a single copy from the backing
+// slice.
+func (s *SliceReader) NextBatch(dst []*Packet) (int, error) {
+	if s.next >= len(s.pkts) {
+		return 0, io.EOF
+	}
+	n := copy(dst, s.pkts[s.next:])
+	s.next += n
+	return n, nil
 }
 
 // Pos implements Positioned; the unit is packets.

@@ -329,40 +329,59 @@ func TestReadAllLimit(t *testing.T) {
 	}
 }
 
-func TestPcapRuntEthernetWireLenClamped(t *testing.T) {
-	// A frame whose recorded origLen is shorter than the Ethernet header
-	// used to yield a negative WireLen after header stripping; it must be
-	// clamped to the payload length instead.
-	var buf bytes.Buffer
-	hdr := make([]byte, pcapHeaderLen)
-	binary.LittleEndian.PutUint32(hdr[0:], pcapMagic)
-	binary.LittleEndian.PutUint32(hdr[16:], 65536)
-	binary.LittleEndian.PutUint32(hdr[20:], LinkTypeEthernet)
-	buf.Write(hdr)
+func TestPcapUndersizedOrigLenRejected(t *testing.T) {
+	// A record claiming origLen < inclLen is self-contradictory (a capture
+	// cannot hold more bytes than were on the wire). plausibleHeader has
+	// always rejected such headers during resync; recHeaderProblem must
+	// reject them on the normal path too, as a typed malformed-record
+	// error carrying the record's offset.
+	build := func() *bytes.Buffer {
+		var buf bytes.Buffer
+		hdr := make([]byte, pcapHeaderLen)
+		binary.LittleEndian.PutUint32(hdr[0:], pcapMagic)
+		binary.LittleEndian.PutUint32(hdr[16:], 65536)
+		binary.LittleEndian.PutUint32(hdr[20:], LinkTypeEthernet)
+		buf.Write(hdr)
 
-	ip := ipv4Packet(3, 4, 0)
-	frame := make([]byte, ethernetHeaderLen+len(ip))
-	binary.BigEndian.PutUint16(frame[12:], etherTypeIPv4)
-	copy(frame[ethernetHeaderLen:], ip)
-	rec := make([]byte, pcapRecordLen)
-	binary.LittleEndian.PutUint32(rec[8:], uint32(len(frame)))
-	binary.LittleEndian.PutUint32(rec[12:], 10) // lying origLen < 14
-	buf.Write(rec)
-	buf.Write(frame)
+		ip := ipv4Packet(3, 4, 0)
+		frame := make([]byte, ethernetHeaderLen+len(ip))
+		binary.BigEndian.PutUint16(frame[12:], etherTypeIPv4)
+		copy(frame[ethernetHeaderLen:], ip)
+		rec := make([]byte, pcapRecordLen)
+		binary.LittleEndian.PutUint32(rec[8:], uint32(len(frame)))
+		binary.LittleEndian.PutUint32(rec[12:], 10) // lying origLen < inclLen
+		buf.Write(rec)
+		buf.Write(frame)
+		return &buf
+	}
 
-	r, err := NewPcapReader(&buf)
+	r, err := NewPcapReader(build())
 	if err != nil {
 		t.Fatal(err)
 	}
-	p, err := r.Next()
+	_, err = r.Next()
+	var mr *MalformedRecordError
+	if !errors.As(err, &mr) {
+		t.Fatalf("undersized origLen err = %v, want *MalformedRecordError", err)
+	}
+	if mr.Offset != pcapHeaderLen {
+		t.Errorf("Offset = %d, want %d", mr.Offset, pcapHeaderLen)
+	}
+	if !strings.Contains(mr.Reason, "original length") {
+		t.Errorf("Reason = %q, want mention of original length", mr.Reason)
+	}
+
+	// Under skip mode the record is skipped like any other malformed one.
+	r, err = NewPcapReader(build())
 	if err != nil {
 		t.Fatal(err)
 	}
-	if p.WireLen < len(p.Data) {
-		t.Errorf("WireLen = %d < len(Data) = %d", p.WireLen, len(p.Data))
+	r.SetSkipMalformed(-1)
+	if _, err := r.Next(); err != io.EOF {
+		t.Errorf("skip-mode Next = %v, want EOF (sole record skipped)", err)
 	}
-	if p.WireLen != len(ip) {
-		t.Errorf("WireLen = %d, want clamp to %d", p.WireLen, len(ip))
+	if r.Skipped() != 1 {
+		t.Errorf("Skipped = %d, want 1", r.Skipped())
 	}
 }
 

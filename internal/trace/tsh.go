@@ -33,13 +33,10 @@ const tshHeaderBytes = 36
 // header sanity checks and skips records failing them — the fixed record
 // size makes resync trivial: advance one record.
 type TSHReader struct {
+	skipState
 	r     io.Reader
 	off   int64
 	total int64
-
-	skipEnabled bool
-	skipBudget  int // max skipped records; <= 0 means unlimited
-	skipped     int
 }
 
 // NewTSHReader wraps r.
@@ -62,13 +59,7 @@ func (t *TSHReader) Total() int64 { return t.total }
 // most budget of them (budget <= 0 means unlimited). Once the budget is
 // exhausted, the next malformed record is returned as a
 // *MalformedRecordError.
-func (t *TSHReader) SetSkipMalformed(budget int) {
-	t.skipEnabled = true
-	t.skipBudget = budget
-}
-
-// Skipped returns how many malformed records were skipped so far.
-func (t *TSHReader) Skipped() int { return t.skipped }
+func (t *TSHReader) SetSkipMalformed(budget int) { t.enableSkip(budget) }
 
 // recordProblem applies the skip-mode sanity checks to the captured IPv4
 // header bytes, returning a non-empty reason for a malformed record.
@@ -102,8 +93,7 @@ func (t *TSHReader) Next() (*Packet, error) {
 				// tracked start of the truncated record, not a recomputed
 				// position.
 				t.off += int64(n)
-				if t.skipEnabled && (t.skipBudget <= 0 || t.skipped < t.skipBudget) {
-					t.skipped++
+				if t.consumeSkip() {
 					return nil, io.EOF
 				}
 				return nil, &MalformedRecordError{Format: FormatTSH, Offset: recOff,
@@ -114,8 +104,7 @@ func (t *TSHReader) Next() (*Packet, error) {
 		t.off += TSHRecordLen
 		if t.skipEnabled {
 			if reason := recordProblem(rec[8:]); reason != "" {
-				if t.skipBudget <= 0 || t.skipped < t.skipBudget {
-					t.skipped++
+				if t.consumeSkip() {
 					continue // fixed-size records: resync is the next record
 				}
 				return nil, &MalformedRecordError{Format: FormatTSH, Offset: recOff, Reason: reason}
@@ -132,6 +121,9 @@ func (t *TSHReader) Next() (*Packet, error) {
 		return &Packet{Sec: sec, Usec: usec, Data: data, WireLen: wire}, nil
 	}
 }
+
+// NextBatch implements BatchReader by repeated Next calls.
+func (t *TSHReader) NextBatch(dst []*Packet) (int, error) { return readBatch(t, dst) }
 
 // Interface extracts the capture interface number of the most recent
 // record layout from raw record bytes; exposed for tooling that needs it.
