@@ -15,6 +15,7 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
@@ -72,6 +73,14 @@ type config struct {
 	inject      string // faultinject.ParsePlan spec
 	seed        int64  // seed for injected randomness
 
+	// Crash-only operation.
+	checkpoint      string        // checkpoint file path; enables periodic checkpoints
+	checkpointEvery int           // committed packets between checkpoint writes
+	resume          bool          // resume from the checkpoint file
+	deadline        time.Duration // whole-run wall-clock deadline; 0 = none
+	stallTimeout    time.Duration // per-worker progress watchdog; 0 = off
+	shed            string        // overload shed policy: block, drop-newest, drop-oldest
+
 	// Observability.
 	progress   bool   // live status line on stderr
 	debugAddr  string // /metrics + expvar + pprof HTTP endpoint
@@ -103,8 +112,14 @@ func main() {
 	flag.StringVar(&cfg.faultPolicy, "fault-policy", "fail-fast", "reaction to per-packet faults: fail-fast, skip (quarantine and continue), or retry")
 	flag.IntVar(&cfg.errorBudget, "error-budget", 0, "max packets one run may quarantine under -fault-policy skip/retry (0 = unlimited); also bounds malformed trace records skipped by the readers")
 	flag.IntVar(&cfg.maxAttempts, "max-attempts", 2, "total attempts per packet under -fault-policy retry")
-	flag.StringVar(&cfg.inject, "inject", "", "deterministic fault injection plan, e.g. \"flip@3,trunc@7:20,vmfault@11\" (kinds: flip, trunc, clamp, vmfault)")
+	flag.StringVar(&cfg.inject, "inject", "", "deterministic fault injection plan, e.g. \"flip@3,vmfault@11,panic@19,stall@31,readerr@40\" (kinds: flip, trunc, clamp, vmfault, panic, delay, stall, readerr, tearckpt)")
 	flag.Int64Var(&cfg.seed, "seed", 1, "seed for -inject randomness (unspecified offsets, masks, step counts)")
+	flag.StringVar(&cfg.checkpoint, "checkpoint", "", "write periodic resume checkpoints of a streaming pool run to this file (atomic rename; see -resume)")
+	flag.IntVar(&cfg.checkpointEvery, "checkpoint-every", 8192, "committed packets between checkpoint writes")
+	flag.BoolVar(&cfg.resume, "resume", false, "resume the run from the -checkpoint file instead of starting over")
+	flag.DurationVar(&cfg.deadline, "deadline", 0, "cancel the run after this wall-clock duration (0 = none)")
+	flag.DurationVar(&cfg.stallTimeout, "stall-timeout", 0, "cancel a pool run when a worker makes no progress for this long (0 = watchdog off)")
+	flag.StringVar(&cfg.shed, "shed", "block", "pool overload policy when the backlog is full: block (lossless), drop-newest, or drop-oldest")
 	flag.BoolVar(&cfg.progress, "progress", false, "render a live status line on stderr: packets/sec, instrs/sec, faults, %% complete")
 	flag.StringVar(&cfg.debugAddr, "debug-addr", "", "serve /metrics (Prometheus text), /debug/vars (expvar) and /debug/pprof on this address (e.g. :6060)")
 	flag.StringVar(&cfg.profileOut, "profile-out", "", "write guest-program profiles to <path>.folded (flamegraph) and <path>.pb.gz (go tool pprof)")
@@ -205,6 +220,25 @@ func openTrace(cfg *config, skipMalformed, useMmap bool) (trace.Reader, func() e
 	return trace.NewMergeReader(readers...), cleanup, skipped, nil
 }
 
+// traceFingerprints fingerprints every shard of cfg.traceFile in shard
+// order — the same order openTrace builds its readers — so checkpoints
+// refuse to resume against a different or rewritten capture.
+func traceFingerprints(cfg *config) ([]core.TraceID, error) {
+	var ids []core.TraceID
+	for _, path := range strings.Split(cfg.traceFile, ",") {
+		path = strings.TrimSpace(path)
+		if path == "" {
+			continue
+		}
+		id, err := core.FingerprintFile(path)
+		if err != nil {
+			return nil, err
+		}
+		ids = append(ids, id)
+	}
+	return ids, nil
+}
+
 func loadPackets(cfg *config, skipMalformed bool) ([]*trace.Packet, error) {
 	if cfg.traceFile != "" {
 		// Preloaded packets outlive the reader, so never mmap here: a
@@ -258,6 +292,19 @@ func reportFaults(s stats.Summary) {
 	}
 }
 
+// printVerdicts prints the per-verdict packet tally in verdict order.
+func printVerdicts(verdicts map[uint32]int) {
+	fmt.Printf("\n  verdicts:\n")
+	vs := make([]uint32, 0, len(verdicts))
+	for v := range verdicts {
+		vs = append(vs, v)
+	}
+	sort.Slice(vs, func(i, j int) bool { return vs[i] < vs[j] })
+	for _, v := range vs {
+		fmt.Printf("    %4d: %d packets\n", v, verdicts[v])
+	}
+}
+
 func run(cfg config) error {
 	policy, err := cfg.errorPolicy()
 	if err != nil {
@@ -282,12 +329,17 @@ func run(cfg config) error {
 		fmt.Fprintf(os.Stderr, "debug endpoint on http://%s/ (/metrics, /debug/vars, /debug/pprof)\n", dbg.Addr)
 	}
 	// Streaming ingestion: with a multi-core pool reading from trace
-	// files, no fault injection (which rewrites loaded packets), and an
-	// application that does not need the packets up front to derive its
-	// routing table, the trace flows from the reader straight into the
-	// pool without ever materializing in memory.
-	streaming := cfg.pool > 1 && cfg.traceFile != "" && cfg.inject == "" &&
+	// files and an application that does not need the packets up front
+	// to derive its routing table, the trace flows from the reader
+	// straight into the pool without ever materializing in memory.
+	streaming := cfg.pool > 1 && cfg.traceFile != "" &&
 		(cfg.tableFile != "" || cfg.app == "flow" || cfg.app == "tsa")
+	if cfg.resume && cfg.checkpoint == "" {
+		return fmt.Errorf("-resume requires -checkpoint")
+	}
+	if cfg.checkpoint != "" && !streaming {
+		return fmt.Errorf("-checkpoint needs a streaming pool run: -pool > 1, -trace, and an application that does not preload the trace (-table, flow, or tsa)")
+	}
 
 	var pkts []*trace.Packet
 	if !streaming {
@@ -300,8 +352,9 @@ func run(cfg config) error {
 		}
 	}
 
-	// Fault injection: corrupt the loaded packets deterministically and
-	// keep the injector around to arm VM-fault tracers on every core.
+	// Fault injection: the injector corrupts packets deterministically —
+	// up front for preloaded runs, through a reader wrapper for
+	// streaming ones — and arms execution-fault tracers on every core.
 	var inj *faultinject.Injector
 	if cfg.inject != "" {
 		plan, err := faultinject.ParsePlan(cfg.inject)
@@ -309,8 +362,10 @@ func run(cfg config) error {
 			return err
 		}
 		inj = faultinject.New(cfg.seed, plan)
-		if pkts, err = trace.ReadAll(inj.Reader(trace.NewSliceReader(pkts)), 0); err != nil {
-			return err
+		if !streaming {
+			if pkts, err = trace.ReadAll(inj.Reader(trace.NewSliceReader(pkts)), 0); err != nil {
+				return err
+			}
 		}
 		fmt.Printf("fault injection: %d planned injections, seed %d\n", len(inj.Plan()), cfg.seed)
 	}
@@ -358,7 +413,7 @@ func run(cfg config) error {
 			if err != nil {
 				return err
 			}
-			runErr := runPool(app, r, cfg.count, &cfg, policy, engine, inj, reg)
+			runErr := runPool(app, r, cfg.count, &cfg, policy, engine, inj, reg, true, skipped)
 			cerr := cleanup()
 			if n := skipped(); n > 0 {
 				fmt.Printf("trace: skipped %d malformed records\n", n)
@@ -368,7 +423,7 @@ func run(cfg config) error {
 			}
 			return cerr
 		}
-		return runPool(app, trace.NewSliceReader(pkts), 0, &cfg, policy, engine, inj, reg)
+		return runPool(app, trace.NewSliceReader(pkts), 0, &cfg, policy, engine, inj, reg, false, nil)
 	}
 
 	bench, err := core.New(app, core.Options{
@@ -477,10 +532,7 @@ func run(cfg config) error {
 	fmt.Printf("    min %d (%.2f%%), max %d (%.2f%%), mean %.1f\n",
 		occ.Min.Value, occ.Min.Pct(occ.Total), occ.Max.Value, occ.Max.Pct(occ.Total), occ.Mean)
 
-	fmt.Printf("\n  verdicts:\n")
-	for v, n := range verdicts {
-		fmt.Printf("    %4d: %d packets\n", v, n)
-	}
+	printVerdicts(verdicts)
 
 	if prof != nil {
 		prof.Flush()
@@ -643,8 +695,20 @@ func dumpTrace(bench *core.Bench, idx int, res core.Result) {
 // verdicts are counted exactly as in the single-core path. Stateful
 // applications (flow classification) keep per-core tables in this mode,
 // as real replicated-state engines would.
-func runPool(app *core.App, reader trace.Reader, limit int, cfg *config, policy core.ErrorPolicy, engine core.EngineKind, inj *faultinject.Injector, reg *telemetry.Registry) error {
-	pool, err := core.NewPool(app, cfg.pool, core.Options{Errors: policy, Engine: engine, NoVerify: cfg.noVerify, Metrics: reg})
+func runPool(app *core.App, reader trace.Reader, limit int, cfg *config, policy core.ErrorPolicy, engine core.EngineKind, inj *faultinject.Injector, reg *telemetry.Registry, streaming bool, skipped func() int) error {
+	shed, err := core.ParseShedPolicy(cfg.shed)
+	if err != nil {
+		return err
+	}
+	pool, err := core.NewPool(app, cfg.pool, core.Options{
+		Errors:       policy,
+		Engine:       engine,
+		NoVerify:     cfg.noVerify,
+		Metrics:      reg,
+		RunDeadline:  cfg.deadline,
+		StallTimeout: cfg.stallTimeout,
+		Shed:         shed,
+	})
 	if err != nil {
 		return describeVerifyError(err)
 	}
@@ -657,22 +721,69 @@ func runPool(app *core.App, reader trace.Reader, limit int, cfg *config, policy 
 		}
 		pool.Bench(i).Collector().CountPCs = cfg.profileOut != ""
 	}
+	agg := &stats.Running{KeepInstructionCounts: true}
+	var ck *core.Checkpointer
+	if cfg.checkpoint != "" {
+		ck = core.NewCheckpointer(cfg.checkpoint, cfg.checkpointEvery, agg)
+		ids, err := traceFingerprints(cfg)
+		if err != nil {
+			return err
+		}
+		ck.SetTraceID(ids)
+		if skipped != nil {
+			ck.SetSkippedFunc(skipped)
+		}
+		if inj != nil {
+			ck.TearWrite = inj.CheckpointTearFunc()
+		}
+		if cfg.resume {
+			cp, err := core.LoadCheckpoint(cfg.checkpoint)
+			if err != nil {
+				return err
+			}
+			if err := cp.ValidateTrace(ids); err != nil {
+				return err
+			}
+			sk, ok := reader.(trace.Seeker)
+			if !ok {
+				return fmt.Errorf("trace reader %T cannot seek to a checkpoint", reader)
+			}
+			if err := sk.SeekTo(cp.ReaderPos); err != nil {
+				return err
+			}
+			ck.Restore(cp)
+			fmt.Printf("resuming from %s: %d packets already committed\n", cfg.checkpoint, cp.NextIndex)
+		}
+	}
+	// In streaming mode the injector's packet corruptions apply through a
+	// reader wrapper (preloaded runs corrupt up front instead). The wrap
+	// happens after any resume seek, with the restored start index, so
+	// plan entries keep their absolute trace positions.
+	if inj != nil && streaming {
+		start := 0
+		if ck != nil {
+			start = ck.StartIndex()
+		}
+		reader = inj.ReaderFrom(reader, start)
+	}
 	if cfg.progress {
 		stopProgress := startProgress(reg, func() (float64, bool) { return trace.Progress(reader) })
 		defer stopProgress()
 	}
-	agg := &stats.Running{KeepInstructionCounts: true}
-	verdicts := make(map[uint32]int)
-	if _, err := pool.RunTrace(reader, limit, func(i int, res core.Result) {
+	if _, err := pool.RunTraceCheckpointed(context.Background(), reader, limit, func(i int, res core.Result) {
+		if res.Shed {
+			agg.AddShed(1)
+			return
+		}
 		agg.Add(&res.Record)
 		if !res.Faulted() {
-			verdicts[res.Verdict]++
+			agg.AddVerdict(res.Verdict)
 		}
-	}); err != nil {
+	}, ck); err != nil {
 		return err
 	}
 	s := agg.Summary()
-	if s.Packets == 0 {
+	if s.Packets == 0 && s.Shed == 0 {
 		return fmt.Errorf("no packets to process")
 	}
 	fmt.Printf("\n%s over %d packets on %d simulated cores\n", app.Name, s.Packets, cfg.pool)
@@ -680,13 +791,18 @@ func runPool(app *core.App, reader trace.Reader, limit int, cfg *config, policy 
 	fmt.Printf("  unique instructions/packet: %10.1f\n", s.MeanUnique)
 	fmt.Printf("  packet mem accesses/packet: %10.1f\n", s.MeanPacketAcc)
 	fmt.Printf("  non-packet accesses/packet: %10.1f\n", s.MeanNonPacketAcc)
+	if s.Shed > 0 {
+		fmt.Printf("  shed packets (overload):    %10d\n", s.Shed)
+	}
 	reportFaults(s)
 	occ := analysis.Occurrences(agg.InstructionCounts(), cfg.topK)
-	fmt.Printf("  most frequent count: %d instructions (%.2f%%)\n",
-		occ.Top[0].Value, occ.Top[0].Pct(occ.Total))
-	fmt.Printf("\n  verdicts:\n")
-	for v, c := range verdicts {
-		fmt.Printf("    %4d: %d packets\n", v, c)
+	if len(occ.Top) > 0 {
+		fmt.Printf("  most frequent count: %d instructions (%.2f%%)\n",
+			occ.Top[0].Value, occ.Top[0].Pct(occ.Total))
+	}
+	printVerdicts(agg.Verdicts())
+	if ck != nil && ck.Written() > 0 {
+		fmt.Printf("\ncheckpoints: %d written to %s\n", ck.Written(), cfg.checkpoint)
 	}
 	if cfg.profileOut != "" {
 		// Sum the per-core PC counters: one profile for the pooled run.

@@ -191,6 +191,81 @@ type ErrorPolicy struct {
 	// MaxAttempts is the total number of attempts per packet under
 	// Retry; values below 2 mean 2 (one retry).
 	MaxAttempts int
+	// RetryBackoff is the base pause before the first retry of a packet
+	// under Retry. Each further attempt doubles it (capped at 64x) and
+	// adds deterministic jitter derived from the packet index and attempt
+	// number, so retry storms across packets decorrelate without making
+	// runs irreproducible. Zero keeps the historical immediate retry.
+	RetryBackoff time.Duration
+}
+
+// retryDelay computes the pause before attempt a (a >= 1 retries) of the
+// packet at idx: capped exponential backoff over the policy's base plus
+// jitter in [0, delay/2] from a splitmix64-style hash of (idx, a). The
+// same packet backs off on the same schedule no matter which core it
+// lands on — determinism the chaos tests and resume equivalence rely on.
+func retryDelay(base time.Duration, idx, a int) time.Duration {
+	if base <= 0 || a < 1 {
+		return 0
+	}
+	shift := uint(a - 1)
+	if shift > 6 {
+		shift = 6
+	}
+	d := base << shift
+	h := (uint64(idx) + 1) * 0x9E3779B97F4A7C15
+	h ^= uint64(a) * 0xBF58476D1CE4E5B9
+	h ^= h >> 30
+	h *= 0xBF58476D1CE4E5B9
+	h ^= h >> 27
+	return d + time.Duration(h%uint64(d/2+1))
+}
+
+// ShedPolicy selects what a streaming pool run does when the bounded
+// backlog is full: the producer has a batch ready but every job slot is
+// occupied, meaning the source is outrunning the pool.
+type ShedPolicy int
+
+// The shed policies.
+const (
+	// ShedBlock applies backpressure: the producer waits for a free job
+	// slot. The default, and the right choice whenever the source can
+	// wait (a file replay).
+	ShedBlock ShedPolicy = iota
+	// ShedDropNewest drops the just-read batch when the backlog is full
+	// — the arriving traffic is sacrificed, queued work is preserved
+	// (tail drop).
+	ShedDropNewest
+	// ShedDropOldest evicts the oldest queued batch to make room for the
+	// just-read one — queued work is sacrificed for fresher traffic
+	// (head drop).
+	ShedDropOldest
+)
+
+// String returns the CLI name of the policy.
+func (s ShedPolicy) String() string {
+	switch s {
+	case ShedBlock:
+		return "block"
+	case ShedDropNewest:
+		return "drop-newest"
+	case ShedDropOldest:
+		return "drop-oldest"
+	}
+	return fmt.Sprintf("shed?%d", int(s))
+}
+
+// ParseShedPolicy parses a CLI shed policy name.
+func ParseShedPolicy(s string) (ShedPolicy, error) {
+	switch s {
+	case "block", "":
+		return ShedBlock, nil
+	case "drop-newest", "newest":
+		return ShedDropNewest, nil
+	case "drop-oldest", "oldest":
+		return ShedDropOldest, nil
+	}
+	return ShedBlock, fmt.Errorf("core: unknown shed policy %q (want block, drop-newest or drop-oldest)", s)
 }
 
 // errorBudget is a run-scoped quarantine allowance, shared by every core
@@ -207,6 +282,17 @@ func newErrorBudget(limit int) *errorBudget { return &errorBudget{limit: limit} 
 func (e *errorBudget) take() bool {
 	return e.limit <= 0 || e.used.Add(1) <= int64(e.limit)
 }
+
+// takeN claims n slots at once (a shed batch); false means the budget
+// cannot cover them and the run must abort.
+func (e *errorBudget) takeN(n int) bool {
+	return e.limit <= 0 || e.used.Add(int64(n)) <= int64(e.limit)
+}
+
+// preload marks n slots as already spent — how a resumed run carries the
+// quarantines and sheds committed before the crash, so the budget spans
+// the whole logical run rather than resetting per process.
+func (e *errorBudget) preload(n int64) { e.used.Store(n) }
 
 // Options configures a Bench.
 type Options struct {
@@ -237,6 +323,17 @@ type Options struct {
 	// Pool share one registry, so the series aggregate across cores.
 	// Nil disables telemetry at zero hot-path cost.
 	Metrics *telemetry.Registry
+	// RunDeadline bounds a pool run's wall-clock duration: the run is
+	// cancelled when it elapses and returns a deadline error. Zero means
+	// no deadline.
+	RunDeadline time.Duration
+	// StallTimeout enables the pool's progress watchdog: a worker that
+	// makes no packet progress for this long has the run cancelled with
+	// a *StallError naming it. Zero disables the watchdog.
+	StallTimeout time.Duration
+	// Shed selects the overload policy of streaming pool runs (zero
+	// value: ShedBlock — backpressure, never drop).
+	Shed ShedPolicy
 }
 
 // VerifyError is returned by New when the static verifier refuses an
@@ -362,6 +459,11 @@ type Result struct {
 	// Fault is the fault that quarantined the packet under a skip or
 	// retry policy; nil for measured packets.
 	Fault *vm.Fault
+	// Shed marks a packet dropped unprocessed by the overload shed
+	// policy: Record carries only the Index and Fault is nil. onResult
+	// still observes the packet in trace order, preserving the
+	// exactly-once index contract.
+	Shed bool
 }
 
 // Faulted reports whether the packet was quarantined instead of measured.
@@ -545,6 +647,11 @@ func (b *Bench) processUnderPolicy(idx int, p *trace.Packet, bud *errorBudget) (
 	var fault *vm.Fault
 	var err error
 	for a := 0; a < attempts; a++ {
+		if a > 0 {
+			if d := retryDelay(b.policy.RetryBackoff, idx, a); d > 0 {
+				time.Sleep(d)
+			}
+		}
 		var res Result
 		res, fault, err = b.processOnce(idx, p)
 		if err == nil {

@@ -2,10 +2,12 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"io"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/stats"
 	"repro/internal/telemetry"
@@ -39,6 +41,17 @@ type Pool struct {
 	// busy gauges how many cores are simulating a packet right now;
 	// nil (no-op) when telemetry is disabled.
 	busy *telemetry.Gauge
+
+	// Crash-only run options (Options.RunDeadline / StallTimeout / Shed).
+	deadline     time.Duration
+	stallTimeout time.Duration
+	shed         ShedPolicy
+
+	// Telemetry handles for the crash-only paths; nil-safe no-ops when
+	// telemetry is disabled.
+	shedPkts *telemetry.Counter
+	stalls   *telemetry.Counter
+	ckpts    *telemetry.Counter
 }
 
 // poolBatchSize is the default packets-per-job for the streaming
@@ -54,7 +67,12 @@ func NewPool(app *App, n int, opts Options) (*Pool, error) {
 	if n < 1 {
 		return nil, fmt.Errorf("core: pool needs at least one core")
 	}
-	p := &Pool{batchSize: poolBatchSize}
+	p := &Pool{
+		batchSize:    poolBatchSize,
+		deadline:     opts.RunDeadline,
+		stallTimeout: opts.StallTimeout,
+		shed:         opts.Shed,
+	}
 	for i := 0; i < n; i++ {
 		b, err := New(app, opts)
 		if err != nil {
@@ -64,6 +82,15 @@ func NewPool(app *App, n int, opts Options) (*Pool, error) {
 	}
 	p.busy = opts.Metrics.Gauge(telemetry.MetricPoolWorkersBusy, "Pool cores currently simulating a packet.")
 	opts.Metrics.Gauge(telemetry.MetricPoolCores, "Simulated cores in the pool.").Set(int64(n))
+	if opts.Shed != ShedBlock {
+		p.shedPkts = opts.Metrics.Counter(telemetry.MetricPacketsShed,
+			"Packets dropped unprocessed by the overload shed policy.",
+			telemetry.L("policy", opts.Shed.String()))
+	}
+	p.stalls = opts.Metrics.Counter(telemetry.MetricWatchdogStalls,
+		"Pool runs cancelled by the progress watchdog.")
+	p.ckpts = opts.Metrics.Counter(telemetry.MetricCheckpointsWritten,
+		"Run checkpoints committed to disk.")
 	return p, nil
 }
 
@@ -134,6 +161,11 @@ func (p *Pool) RunPackets(pkts []*trace.Packet, onResult func(int, Result)) ([]s
 // ctx stops every worker at its next packet boundary and the run returns
 // ctx's error.
 func (p *Pool) RunPacketsContext(ctx context.Context, pkts []*trace.Packet, onResult func(int, Result)) ([]stats.PacketRecord, error) {
+	if p.deadline > 0 {
+		var cancelT context.CancelFunc
+		ctx, cancelT = context.WithTimeout(ctx, p.deadline)
+		defer cancelT()
+	}
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
@@ -203,6 +235,9 @@ func (p *Pool) RunPacketsContext(ctx context.Context, pkts []*trace.Packet, onRe
 		return nil, err
 	}
 	if err := ctx.Err(); err != nil {
+		if p.deadline > 0 && errors.Is(err, context.DeadlineExceeded) {
+			return nil, fmt.Errorf("core: run deadline %v exceeded: %w", p.deadline, err)
+		}
 		return nil, err
 	}
 	if onResult != nil {
@@ -218,17 +253,36 @@ func (p *Pool) RunPacketsContext(ctx context.Context, pkts []*trace.Packet, onRe
 type poolJob struct {
 	base int
 	pkts []*trace.Packet
+	// pos is the reader's Seeker state captured right after this batch
+	// was read — the resume point of a checkpoint committing at
+	// base+len(pkts). nil when the run is not checkpointing.
+	pos []int64
 }
 
 // poolResult carries a job's outcomes to the aggregator: res[k] is the
 // result for trace index base+k. On a core fault res holds the batch's
-// successful prefix, err the fault, and errIdx the trace index it hit.
+// successful prefix (the fault itself goes to firstFailure directly).
+// shed > 0 marks a dropped batch: indexes [base, base+shed) were never
+// processed.
 type poolResult struct {
-	base   int
-	res    []Result
-	err    error
-	errIdx int
+	base int
+	n    int // intended batch size (len of the job's pkts)
+	res  []Result
+	shed int
+	pos  []int64
 }
+
+// runBoundTracer is implemented by extra tracers that want the run's
+// cancellation context (a fault injector's deliberate stalls select on
+// it, so cancellation unwedges the stuck worker). The pool broadcasts
+// the context to every core's tracers before the first packet executes.
+type runBoundTracer interface{ BeginRun(ctx context.Context) }
+
+// maxConsecutiveReadFaults bounds how many times the producer retries a
+// malformed read with no packet progress in between, so an unlimited
+// error budget cannot spin forever on a reader that fails without ever
+// advancing.
+const maxConsecutiveReadFaults = 100
 
 // RunTrace streams packets from the reader through the pool (up to limit
 // packets; limit <= 0 means all) without ever materializing the trace in
@@ -248,26 +302,150 @@ func (p *Pool) RunTrace(r trace.Reader, limit int, onResult func(int, Result)) (
 // RunTraceContext is RunTrace under an external context: cancelling ctx
 // stops the producer and every worker, and the run returns ctx's error.
 func (p *Pool) RunTraceContext(ctx context.Context, r trace.Reader, limit int, onResult func(int, Result)) (int, error) {
+	return p.runTrace(ctx, r, limit, onResult, nil)
+}
+
+// RunTraceCheckpointed is RunTraceContext with crash-safe periodic
+// checkpoints: ck captures committed progress (reader position, next
+// in-order index, aggregate statistics) at batch boundaries, and a ck
+// primed with Checkpointer.Restore makes this run resume where a
+// previous one stopped — the caller must already have seeked the reader
+// to the checkpoint's position (cmd/packetbench wires both ends).
+// onResult and the returned count cover only this process's packets; the
+// restored aggregate carries the earlier ones, which is what makes the
+// final Summary identical to an uninterrupted run.
+func (p *Pool) RunTraceCheckpointed(ctx context.Context, r trace.Reader, limit int, onResult func(int, Result), ck *Checkpointer) (int, error) {
+	return p.runTrace(ctx, r, limit, onResult, ck)
+}
+
+// runTrace is the streaming run engine behind RunTraceContext and
+// RunTraceCheckpointed.
+func (p *Pool) runTrace(ctx context.Context, r trace.Reader, limit int, onResult func(int, Result), ck *Checkpointer) (int, error) {
+	deadline := p.deadline
+	if deadline > 0 {
+		var cancelT context.CancelFunc
+		ctx, cancelT = context.WithTimeout(ctx, deadline)
+		defer cancelT()
+	}
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
+
+	start := 0
+	var seek trace.Seeker
+	if ck != nil {
+		start = ck.StartIndex()
+		sk, ok := r.(trace.Seeker)
+		if !ok || sk.PosState() == nil {
+			return 0, fmt.Errorf("core: checkpointing needs a resumable reader, and %T is not one", r)
+		}
+		seek = sk
+	}
+
+	// Hand the run context to context-aware tracers before any packet
+	// executes, so an injected stall can block on it and cancellation
+	// (watchdog, deadline, external) unwedges the worker immediately.
+	for _, b := range p.benches {
+		for _, t := range b.extraTracers {
+			if rt, ok := t.(runBoundTracer); ok {
+				rt.BeginRun(ctx)
+			}
+		}
+	}
 
 	var stop atomic.Bool
 	// The bounded job queue is what caps memory: a multi-gigabyte trace
 	// only ever has backlog batches (plus the in-flight ones) resident
-	// at once.
+	// at once. It is also the overload signal: a full queue on a
+	// streaming source is what triggers the shed policy.
 	backlog := 4 * len(p.benches)
 	jobs := make(chan poolJob, backlog)
 	results := make(chan poolResult, len(p.benches))
+	bud := newErrorBudget(p.benches[0].policy.ErrorBudget)
+	if ck != nil {
+		// The budget spans the whole logical run: quarantines and sheds
+		// committed before the crash still count against it.
+		bud.preload(int64(ck.agg.Faulted() + ck.agg.Shed()))
+	}
+	policy := p.benches[0].policy.Policy
+
+	var fail firstFailure
+
+	// Producer state. readErr is published before jobs is closed and
+	// read after the results channel drains, so it needs no lock; all
+	// the closures below run on the producer goroutine only.
+	var readErr error
+	abortRun := func(err error) {
+		readErr = err
+		stop.Store(true)
+		cancel()
+	}
+
+	// shedBatch drops a whole batch under the shed policy: the drop is
+	// charged to the shared error budget (shedding is a degradation,
+	// like quarantine, and must be bounded by the same knob) and the
+	// aggregator is notified so the dropped indexes still commit in
+	// order. Returns false when the run must abort. Sending on results
+	// here is safe: results closes only after the workers exit, which
+	// requires jobs to close, which requires this producer to return.
+	shedBatch := func(j poolJob) bool {
+		if !bud.takeN(len(j.pkts)) {
+			abortRun(fmt.Errorf("core: error budget of %d exhausted: shedding %d packets at index %d",
+				p.benches[0].policy.ErrorBudget, len(j.pkts), j.base))
+			return false
+		}
+		p.shedPkts.Add(uint64(len(j.pkts)))
+		select {
+		case results <- poolResult{base: j.base, n: len(j.pkts), shed: len(j.pkts), pos: j.pos}:
+			return true
+		case <-ctx.Done():
+			return false
+		}
+	}
+
+	// offerJob enqueues a batch, applying the shed policy when the
+	// backlog is full. Returns false when the run is over.
+	offerJob := func(j poolJob) bool {
+		if p.shed == ShedBlock {
+			select {
+			case jobs <- j:
+				return true
+			case <-ctx.Done():
+				return false
+			}
+		}
+		for {
+			select {
+			case jobs <- j:
+				return true
+			case <-ctx.Done():
+				return false
+			default:
+			}
+			if p.shed == ShedDropNewest {
+				// The arriving batch is the victim; shedding counts as
+				// handling it, so the producer advances past it.
+				return shedBatch(j)
+			}
+			// DropOldest: evict a queued batch to make room. A worker can
+			// win the race and empty the queue first; then the send above
+			// is retried.
+			select {
+			case old := <-jobs:
+				if !shedBatch(old) {
+					return false
+				}
+			default:
+			}
+		}
+	}
 
 	// Producer: read the trace in batches until EOF, the limit, an
 	// error, or cancellation. A fresh slice is allocated per job — the
-	// batch is owned by the worker from the moment it is sent. readErr
-	// is published before jobs is closed and read after the results
-	// channel drains, so it needs no lock.
-	var readErr error
+	// batch is owned by the worker from the moment it is sent.
 	go func() {
 		defer close(jobs)
-		for base := 0; limit <= 0 || base < limit; {
+		readFaults := 0
+		for base := start; limit <= 0 || base < limit; {
 			if stop.Load() {
 				return
 			}
@@ -278,29 +456,70 @@ func (p *Pool) RunTraceContext(ctx context.Context, r trace.Reader, limit int, o
 			dst := make([]*trace.Packet, size)
 			n, err := trace.ReadBatch(r, dst)
 			if n > 0 {
-				select {
-				case jobs <- poolJob{base: base, pkts: dst[:n]}:
-					base += n
-				case <-ctx.Done():
+				readFaults = 0
+				j := poolJob{base: base, pkts: dst[:n]}
+				if seek != nil {
+					j.pos = seek.PosState()
+				}
+				if !offerJob(j) {
 					return
 				}
+				base += n
 			}
 			if err == io.EOF {
 				return
 			}
 			if err != nil {
+				// A malformed (or injected transient) record error is
+				// survivable under a skip or retry policy: it costs one
+				// error-budget slot, like a quarantined packet, and the
+				// read is retried. The consecutive-fault cap keeps an
+				// unlimited budget from spinning on a reader that fails
+				// without ever advancing; anything else is an I/O failure
+				// no policy may absorb.
+				if policy != FailFast && errors.Is(err, trace.ErrMalformedRecord) {
+					readFaults++
+					if readFaults <= maxConsecutiveReadFaults && bud.take() {
+						continue
+					}
+					abortRun(fmt.Errorf("core: error budget of %d exhausted reading trace: %w",
+						p.benches[0].policy.ErrorBudget, err))
+					return
+				}
 				readErr = err
 				return
 			}
 		}
 	}()
 
+	// Watchdog: fires once when a worker stays inside one packet past
+	// the stall timeout, then cancels the run with a typed StallError.
+	// dead is the abandon signal: the wedged worker may never return, so
+	// everything that could otherwise wait on it forever — result sends,
+	// the aggregator — escapes on dead instead, and the run returns the
+	// StallError rather than hanging. (Cooperative stalls — the injected
+	// kind listening on the run context — unwedge on the cancel and shut
+	// down cleanly; dead is the guarantee for the non-cooperative ones
+	// Go cannot interrupt.)
+	var wd *watchdog
+	watchDone := make(chan struct{})
+	dead := make(chan struct{})
+	if p.stallTimeout > 0 {
+		wd = newWatchdog(len(p.benches), p.stallTimeout)
+		go wd.run(watchDone, func(worker, idx int, stalled time.Duration) {
+			p.stalls.Inc()
+			fail.report(idx, &StallError{Worker: worker, Index: idx, Stalled: stalled})
+			stop.Store(true)
+			cancel()
+			close(dead)
+		})
+	}
+
 	// Workers: pull batches until the queue closes. After a fault (or
 	// external cancellation) they keep draining the queue without
 	// simulating, so the producer can never deadlock on a full channel;
 	// a stop observed mid-batch abandons the batch's remainder the same
 	// way.
-	bud := newErrorBudget(p.benches[0].policy.ErrorBudget)
 	var wg sync.WaitGroup
 	for c, b := range p.benches {
 		wg.Add(1)
@@ -310,26 +529,34 @@ func (p *Pool) RunTraceContext(ctx context.Context, r trace.Reader, limit int, o
 				if stop.Load() {
 					continue
 				}
-				out := poolResult{base: j.base, res: make([]Result, 0, len(j.pkts))}
+				out := poolResult{base: j.base, n: len(j.pkts), pos: j.pos, res: make([]Result, 0, len(j.pkts))}
 				for k, pkt := range j.pkts {
 					if stop.Load() {
 						break
 					}
+					if wd != nil {
+						wd.begin(c, j.base+k)
+					}
 					p.busy.Inc()
 					res, err := b.processUnderPolicy(j.base+k, pkt, bud)
 					p.busy.Dec()
+					if wd != nil {
+						wd.end(c)
+					}
 					if err != nil {
+						fail.report(j.base+k, fmt.Errorf("core %d: %w", c, err))
 						stop.Store(true)
 						cancel()
-						out.err = fmt.Errorf("core %d: %w", c, err)
-						out.errIdx = j.base + k
 						break
 					}
 					res.Record.Index = j.base + k
 					out.res = append(out.res, res)
 				}
-				if len(out.res) > 0 || out.err != nil {
-					results <- out
+				if len(out.res) > 0 {
+					select {
+					case results <- out:
+					case <-dead:
+					}
 				}
 			}
 		}(c, b)
@@ -341,44 +568,100 @@ func (p *Pool) RunTraceContext(ctx context.Context, r trace.Reader, limit int, o
 
 	// Propagate external cancellation to the stop flag the workers and
 	// producer poll.
-	watchDone := make(chan struct{})
+	cancelDone := make(chan struct{})
 	go func() {
 		select {
 		case <-ctx.Done():
 			stop.Store(true)
-		case <-watchDone:
+		case <-cancelDone:
 		}
 	}()
 
 	// Aggregator (caller's goroutine): re-sequence out-of-order batches
 	// so onResult fires in strict trace order. The pending map is bounded
 	// by the job backlog plus in-flight batches. A faulted batch still
-	// contributes its successful prefix.
-	var fail firstFailure
+	// contributes its successful prefix; a shed batch commits as a run of
+	// Shed-marked results, keeping the exactly-once index contract.
+	// Checkpoints are taken only when the in-order cursor reaches the end
+	// of a fully-committed batch, because that is the only point where
+	// "every packet below next is committed" and "the reader state
+	// resumes at next" are simultaneously true.
 	processed := 0
-	next := 0
+	next := start
+	track := onResult != nil || ck != nil
 	pending := make(map[int]Result)
-	for pr := range results {
-		if pr.err != nil {
-			fail.report(pr.errIdx, pr.err)
+	var shedAt map[int]int
+	var posAt map[int][]int64
+	if ck != nil {
+		posAt = make(map[int][]int64)
+	}
+	var ckErr error
+aggregate:
+	for {
+		var pr poolResult
+		var ok bool
+		select {
+		case pr, ok = <-results:
+			if !ok {
+				break aggregate
+			}
+		case <-dead:
+			// A wedged worker will never finish its batch; abandon
+			// re-sequencing and let the run return the StallError.
+			break aggregate
 		}
 		processed += len(pr.res)
-		if onResult == nil {
+		if posAt != nil && pr.pos != nil && (pr.shed > 0 || len(pr.res) == pr.n) {
+			// Only a complete batch's end is a valid resume point; a
+			// partial batch (fault, stop) never registers one.
+			posAt[pr.base+pr.n] = pr.pos
+		}
+		if !track {
 			continue
+		}
+		if pr.shed > 0 {
+			if shedAt == nil {
+				shedAt = make(map[int]int)
+			}
+			shedAt[pr.base] = pr.shed
 		}
 		for k, res := range pr.res {
 			pending[pr.base+k] = res
 		}
 		for {
-			res, ok := pending[next]
-			if !ok {
+			if n, ok := shedAt[next]; ok {
+				delete(shedAt, next)
+				for end := next + n; next < end; next++ {
+					if onResult != nil {
+						onResult(next, Result{Shed: true, Record: stats.PacketRecord{Index: next}})
+					}
+				}
+			} else if res, ok := pending[next]; ok {
+				delete(pending, next)
+				if onResult != nil {
+					onResult(next, res)
+				}
+				next++
+			} else {
 				break
 			}
-			delete(pending, next)
-			onResult(next, res)
-			next++
+			if posAt != nil && ckErr == nil {
+				if pos, ok := posAt[next]; ok {
+					delete(posAt, next)
+					wrote, err := ck.maybeWrite(next, pos)
+					if err != nil {
+						ckErr = err
+						fail.report(next, err)
+						stop.Store(true)
+						cancel()
+					} else if wrote {
+						p.ckpts.Inc()
+					}
+				}
+			}
 		}
 	}
+	close(cancelDone)
 	close(watchDone)
 
 	if err := fail.get(); err != nil {
@@ -388,6 +671,9 @@ func (p *Pool) RunTraceContext(ctx context.Context, r trace.Reader, limit int, o
 		return processed, readErr
 	}
 	if err := ctx.Err(); err != nil {
+		if deadline > 0 && errors.Is(err, context.DeadlineExceeded) {
+			return processed, fmt.Errorf("core: run deadline %v exceeded: %w", deadline, err)
+		}
 		return processed, err
 	}
 	return processed, nil

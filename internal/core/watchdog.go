@@ -1,0 +1,117 @@
+package core
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+)
+
+// StallError reports a pool worker that made no packet progress for at
+// least the configured Options.StallTimeout. The run engine cancels the
+// run and surfaces this as the run error, so a wedged worker (a stuck
+// tracer, a pathological guest under an effectively unlimited step
+// budget, an injected stall) ends the run instead of hanging it.
+type StallError struct {
+	// Worker is the pool core index that stalled.
+	Worker int
+	// Index is the trace index of the packet it was processing.
+	Index int
+	// Stalled is how long the worker had made no progress when the
+	// watchdog fired.
+	Stalled time.Duration
+}
+
+func (e *StallError) Error() string {
+	return fmt.Sprintf("core: worker %d stalled for %v on packet %d", e.Worker, e.Stalled.Round(time.Millisecond), e.Index)
+}
+
+// workerBeat is one worker's progress heartbeat: seq bumps at every
+// packet boundary (begin and end), idx is the trace index in flight (-1
+// when idle). Padded out to a cache line so beats of adjacent workers
+// never false-share.
+type workerBeat struct {
+	seq atomic.Int64
+	idx atomic.Int64
+	_   [48]byte
+}
+
+// watchdog detects pool workers that stop making progress. Workers write
+// heartbeats at packet boundaries (two atomic stores — cheap enough to
+// sit on the hot path only when a timeout is configured); a single
+// monitor goroutine polls them and fires once when a busy worker's beat
+// stays unchanged for the timeout.
+type watchdog struct {
+	timeout time.Duration
+	beats   []workerBeat
+}
+
+func newWatchdog(workers int, timeout time.Duration) *watchdog {
+	w := &watchdog{timeout: timeout, beats: make([]workerBeat, workers)}
+	for i := range w.beats {
+		w.beats[i].idx.Store(-1)
+	}
+	return w
+}
+
+// begin marks worker c as processing trace index idx.
+func (w *watchdog) begin(c, idx int) {
+	w.beats[c].idx.Store(int64(idx))
+	w.beats[c].seq.Add(1)
+}
+
+// end marks worker c idle.
+func (w *watchdog) end(c int) {
+	w.beats[c].idx.Store(-1)
+	w.beats[c].seq.Add(1)
+}
+
+// run polls the beats until done closes, reporting the first worker that
+// stays busy on one packet for at least the timeout. It calls onStall at
+// most once and then returns. The poll period is timeout/8 clamped to
+// [1ms, 250ms], so detection lands within ~12% past the timeout without
+// burning CPU on long timeouts.
+func (w *watchdog) run(done <-chan struct{}, onStall func(worker, idx int, stalled time.Duration)) {
+	period := w.timeout / 8
+	if period < time.Millisecond {
+		period = time.Millisecond
+	}
+	if period > 250*time.Millisecond {
+		period = 250 * time.Millisecond
+	}
+	tick := time.NewTicker(period)
+	defer tick.Stop()
+	lastSeq := make([]int64, len(w.beats))
+	lastChange := make([]time.Time, len(w.beats))
+	now := time.Now()
+	for c := range w.beats {
+		lastSeq[c] = w.beats[c].seq.Load()
+		lastChange[c] = now
+	}
+	for {
+		select {
+		case <-done:
+			return
+		case <-tick.C:
+		}
+		now = time.Now()
+		for c := range w.beats {
+			seq := w.beats[c].seq.Load()
+			idx := w.beats[c].idx.Load()
+			if seq != lastSeq[c] {
+				lastSeq[c] = seq
+				lastChange[c] = now
+				continue
+			}
+			if idx < 0 {
+				// Idle (waiting for work) is not a stall; only a worker
+				// stuck inside a packet trips the watchdog.
+				lastChange[c] = now
+				continue
+			}
+			if stalled := now.Sub(lastChange[c]); stalled >= w.timeout {
+				onStall(c, int(idx), stalled)
+				return
+			}
+		}
+	}
+}

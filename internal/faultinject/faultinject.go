@@ -1,17 +1,23 @@
-// Package faultinject deterministically corrupts a packet stream and the
-// simulated execution of chosen packets, so the run engine's error
-// policies can be exercised without hand-crafting broken capture files.
+// Package faultinject deterministically corrupts a packet stream, the
+// simulated execution of chosen packets, and the host-side machinery
+// around them, so the run engine's error policies and crash-only paths
+// can be exercised without hand-crafting broken capture files or racy
+// test doubles.
 //
 // An Injector is built from a seed and a plan of Injections, each pinned
-// to a packet index in the trace. Two attachment points cover the two
-// fault surfaces:
+// to a packet index in the trace (or, for CkptTear, a checkpoint write
+// ordinal). Three attachment points cover the three fault surfaces:
 //
 //   - Injector.Reader wraps a trace.Reader and mutates packets as they
-//     are read: flipping header bytes, truncating the captured data, or
-//     clamping the capture length.
+//     are read: flipping header bytes, truncating the captured data,
+//     clamping the capture length, or returning transient read errors
+//     before a chosen packet.
 //   - Injector.Tracer returns a vm.Tracer that, armed at a packet
-//     boundary, panics with a *vm.Fault after a chosen number of
-//     simulated instructions, forcing a VM fault mid-execution.
+//     boundary, fires mid-execution: a *vm.Fault panic, a plain host
+//     panic (simulating a worker bug), or an injected latency spike or
+//     full stall that exercises the pool's progress watchdog.
+//   - Injector.CheckpointTearFunc plugs into core.Checkpointer.TearWrite
+//     and simulates a crash mid-checkpoint at planned write ordinals.
 //
 // All randomness (unspecified offsets, masks, step counts) is resolved
 // from the seed when the Injector is built, so a plan replays identically
@@ -19,12 +25,14 @@
 package faultinject
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sort"
 	"strconv"
 	"strings"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/isa"
 	"repro/internal/trace"
@@ -47,6 +55,26 @@ const (
 	// VMFault forces a *vm.Fault partway through the packet's simulated
 	// execution, via the tracer hook.
 	VMFault
+	// WorkerPanic panics with a plain (non-fault) value partway through
+	// the packet's execution, simulating a host-side worker bug; the run
+	// engine's panic barrier must attribute it to exactly this packet.
+	WorkerPanic
+	// Delay sleeps inside the packet's execution for Arg milliseconds
+	// (seed-chosen, 1-25ms, when Arg is negative) — a latency spike that
+	// is slow but makes progress, so the watchdog must NOT fire.
+	Delay
+	// Stall blocks inside the packet's execution for Arg milliseconds
+	// (effectively forever when Arg is negative) or until the run is
+	// cancelled — the wedged worker the progress watchdog exists for.
+	Stall
+	// ReadErr makes the wrapping reader return a transient malformed-
+	// record error before the packet is read. Times bounds how many
+	// attempts fail (default one), after which the read succeeds.
+	ReadErr
+	// CkptTear makes checkpoint write ordinal Index crash mid-write,
+	// leaving a torn temp file and the previous checkpoint intact. It
+	// attaches via CheckpointTearFunc, not the reader or tracer.
+	CkptTear
 )
 
 // String returns the spec-syntax name of the kind.
@@ -60,6 +88,16 @@ func (k Kind) String() string {
 		return "clamp"
 	case VMFault:
 		return "vmfault"
+	case WorkerPanic:
+		return "panic"
+	case Delay:
+		return "delay"
+	case Stall:
+		return "stall"
+	case ReadErr:
+		return "readerr"
+	case CkptTear:
+		return "tearckpt"
 	}
 	return fmt.Sprintf("kind?%d", int(k))
 }
@@ -67,17 +105,21 @@ func (k Kind) String() string {
 // Injection is one planned corruption.
 type Injection struct {
 	// Index is the 0-based packet index in the trace the injection
-	// applies to.
+	// applies to — except for CkptTear, where it is the checkpoint
+	// write ordinal.
 	Index int
 	// Kind selects the corruption.
 	Kind Kind
 	// Arg refines it: the byte offset for FlipByte, the new length for
-	// Truncate/ClampLen, or the instruction count before the fault for
-	// VMFault. Negative means "choose from the seed".
+	// Truncate/ClampLen, the instruction count before the fault for
+	// VMFault/WorkerPanic, or the sleep in milliseconds for Delay/Stall.
+	// Negative means "choose from the seed" (for Stall: block until
+	// cancelled).
 	Arg int
 	// Times bounds how many executions of the packet the injection
-	// fires on; <= 0 means every one. Only meaningful for VMFault —
-	// with Times: 1 a retry policy gets a clean second attempt.
+	// fires on; <= 0 means every one. With Times: 1 a VMFault gives a
+	// retry policy a clean second attempt, and a ReadErr is a single
+	// transient glitch.
 	Times int
 }
 
@@ -88,6 +130,12 @@ type resolved struct {
 	mask byte   // FlipByte XOR mask
 
 	fired atomic.Int32 // executions the injection has fired on so far
+}
+
+// take reports whether the injection should fire on one more execution,
+// atomically consuming a slot of its Times bound.
+func (r *resolved) take() bool {
+	return r.Times <= 0 || r.fired.Add(1) <= int32(r.Times)
 }
 
 // Injector applies a plan. It is safe for concurrent use: the packet
@@ -127,11 +175,19 @@ func (inj *Injector) Plan() []Injection {
 	return out
 }
 
-// Reader wraps r so that planned packet corruptions (every kind except
-// VMFault) are applied as packets are read. Packet data is copied before
-// mutation; the underlying reader's packets are never modified.
+// Reader wraps r so that planned packet-surface injections (FlipByte,
+// Truncate, ClampLen, ReadErr) are applied as packets are read. Packet
+// data is copied before mutation; the underlying reader's packets are
+// never modified.
 func (inj *Injector) Reader(r trace.Reader) trace.Reader {
-	return &injectReader{inj: inj, r: r}
+	return inj.ReaderFrom(r, 0)
+}
+
+// ReaderFrom is Reader for an underlying reader already positioned at
+// trace index start — a resumed run wraps its seeked reader with the
+// restored start index so plan entries keep their absolute positions.
+func (inj *Injector) ReaderFrom(r trace.Reader, start int) trace.Reader {
+	return &injectReader{inj: inj, r: r, next: start}
 }
 
 type injectReader struct {
@@ -140,18 +196,65 @@ type injectReader struct {
 	next int
 }
 
-// Next implements trace.Reader.
+// Next implements trace.Reader. Planned ReadErr entries fire before the
+// underlying read, so they are transient: the underlying reader does not
+// advance, and once the entry's Times bound is spent the same packet
+// reads cleanly.
 func (ir *injectReader) Next() (*trace.Packet, error) {
+	idx := ir.next
+	for _, res := range ir.inj.byIndex[idx] {
+		if res.Kind != ReadErr {
+			continue
+		}
+		if !res.take() {
+			continue
+		}
+		return nil, fmt.Errorf("faultinject: injected reader error at packet %d: %w", idx, trace.ErrMalformedRecord)
+	}
 	p, err := ir.r.Next()
 	if err != nil {
 		return p, err
 	}
-	idx := ir.next
 	ir.next++
 	for _, res := range ir.inj.byIndex[idx] {
 		p = res.applyPacket(p)
 	}
 	return p, nil
+}
+
+// NextBatch implements trace.BatchReader by repeated Next calls, so the
+// per-packet injection checks run for every packet of the batch.
+func (ir *injectReader) NextBatch(dst []*trace.Packet) (int, error) {
+	n := 0
+	for n < len(dst) {
+		p, err := ir.Next()
+		if err != nil {
+			return n, err
+		}
+		dst[n] = p
+		n++
+	}
+	return n, nil
+}
+
+// Progress implements trace.Progresser by delegating to the underlying
+// reader.
+func (ir *injectReader) Progress() (float64, bool) { return trace.Progress(ir.r) }
+
+// PosState implements trace.Seeker by delegating to the underlying
+// reader, so a checkpointed run can stream through an injector.
+func (ir *injectReader) PosState() []int64 {
+	if sk, ok := ir.r.(trace.Seeker); ok {
+		return sk.PosState()
+	}
+	return nil
+}
+
+// SeekTo is not supported on the wrapper: the injector cannot recover
+// the packet index from reader state. Seek the underlying reader, then
+// re-wrap it with ReaderFrom and the restored start index.
+func (ir *injectReader) SeekTo(state []int64) error {
+	return fmt.Errorf("faultinject: seek the underlying reader and re-wrap it with ReaderFrom")
 }
 
 // applyPacket applies a packet-surface injection, returning the (possibly
@@ -194,72 +297,156 @@ func (r *resolved) applyPacket(p *trace.Packet) *trace.Packet {
 
 // Tracer returns a vm.Tracer for one core. The run engine must call
 // BeginPacket with the trace index before each packet executes; when the
-// plan holds a VMFault for that index, the tracer panics with a
-// *vm.Fault{Kind: FaultBadInstr} once the armed instruction count
-// elapses. Create one Tracer per core; they share the plan's fire
-// counters, so a Times bound holds across the whole run.
+// plan holds an execution-surface fault for that index, the tracer fires
+// once the armed instruction count elapses: VMFault panics with a
+// *vm.Fault, WorkerPanic panics with a plain string, Delay and Stall
+// sleep inside the instruction stream. Create one Tracer per core; they
+// share the plan's fire counters, so a Times bound holds across the
+// whole run.
 func (inj *Injector) Tracer() *Tracer {
 	return &Tracer{inj: inj}
 }
 
-// Tracer forces VM faults at planned packet indexes. It implements
-// vm.Tracer plus the BeginPacket boundary hook the run engine feeds
-// per-packet indexes through.
-type Tracer struct {
-	inj       *Injector
-	armed     *resolved
+// armedFault is one execution-surface injection armed for the packet in
+// flight, with its remaining instruction countdown.
+type armedFault struct {
+	res       *resolved
 	countdown int
 }
 
-// BeginPacket arms or disarms the tracer for the packet at the given
-// trace index.
+// Tracer forces execution-surface faults at planned packet indexes. It
+// implements vm.Tracer plus the BeginPacket boundary hook the run engine
+// feeds per-packet indexes through, and the BeginRun hook the pool uses
+// to hand it the run context so injected stalls unblock on cancellation.
+type Tracer struct {
+	inj   *Injector
+	ctx   context.Context
+	armed []armedFault
+}
+
+// BeginRun hands the tracer the run's context. Injected stalls and
+// delays select on its Done channel, so a watchdog-cancelled run
+// unwedges the stalled worker instead of leaking it for the full sleep.
+func (t *Tracer) BeginRun(ctx context.Context) { t.ctx = ctx }
+
+// BeginPacket arms the tracer's execution-surface injections for the
+// packet at the given trace index.
 func (t *Tracer) BeginPacket(index int) {
-	t.armed = nil
+	t.armed = t.armed[:0]
 	for _, res := range t.inj.byIndex[index] {
-		if res.Kind != VMFault {
+		switch res.Kind {
+		case VMFault, WorkerPanic, Delay, Stall:
+		default:
 			continue
 		}
-		if res.Times > 0 && res.fired.Add(1) > int32(res.Times) {
+		if !res.take() {
 			continue
 		}
-		t.armed = res
-		t.countdown = res.Arg
-		if t.countdown < 0 {
+		countdown := res.Arg
+		if res.Kind == Delay || res.Kind == Stall || countdown < 0 {
 			// A small seeded count keeps the fault inside even short
-			// applications' instruction budgets.
-			t.countdown = int(res.salt % 16)
+			// applications' instruction budgets. For Delay/Stall the Arg
+			// is the sleep, never the countdown.
+			countdown = int(res.salt % 16)
 		}
-		return
+		t.armed = append(t.armed, armedFault{res: res, countdown: countdown})
 	}
 }
 
-// Instr implements vm.Tracer; it panics with a *vm.Fault when an armed
-// countdown elapses. The run engine recovers the panic into an error.
+// Instr implements vm.Tracer; it fires armed injections as their
+// countdowns elapse. Each entry is removed before firing, so a panic
+// that unwinds the VM cannot re-fire the same arming on a later
+// instruction.
 func (t *Tracer) Instr(pc uint32, in isa.Instruction) {
-	if t.armed == nil {
-		return
+	for i := 0; i < len(t.armed); {
+		a := &t.armed[i]
+		if a.countdown > 0 {
+			a.countdown--
+			i++
+			continue
+		}
+		res := a.res
+		t.armed = append(t.armed[:i], t.armed[i+1:]...)
+		t.fire(res, pc)
 	}
-	if t.countdown > 0 {
-		t.countdown--
-		return
+}
+
+// fire executes one armed injection at the current pc.
+func (t *Tracer) fire(res *resolved, pc uint32) {
+	switch res.Kind {
+	case VMFault:
+		panic(&vm.Fault{Kind: vm.FaultBadInstr, PC: pc})
+	case WorkerPanic:
+		panic(fmt.Sprintf("faultinject: injected worker panic at pc %#x", pc))
+	case Delay, Stall:
+		d := time.Duration(res.Arg) * time.Millisecond
+		if res.Arg < 0 {
+			if res.Kind == Delay {
+				d = time.Duration(1+res.salt%25) * time.Millisecond
+			} else {
+				// An unbounded stall: in practice "until the watchdog
+				// cancels the run", far past any sane stall timeout.
+				d = time.Hour
+			}
+		}
+		ctx := t.ctx
+		if ctx == nil {
+			ctx = context.Background()
+		}
+		timer := time.NewTimer(d)
+		defer timer.Stop()
+		select {
+		case <-timer.C:
+		case <-ctx.Done():
+		}
 	}
-	t.armed = nil
-	panic(&vm.Fault{Kind: vm.FaultBadInstr, PC: pc})
 }
 
 // Mem implements vm.Tracer.
 func (t *Tracer) Mem(pc, addr uint32, size uint8, write bool, region vm.Region) {}
 
+// CheckpointTearFunc returns a core.Checkpointer.TearWrite hook firing
+// the plan's CkptTear entries, or nil when the plan holds none. The
+// ordinal handed in is matched against the entries' Index.
+func (inj *Injector) CheckpointTearFunc() func(ordinal int) bool {
+	has := false
+	for _, in := range inj.plan {
+		if in.Kind == CkptTear {
+			has = true
+			break
+		}
+	}
+	if !has {
+		return nil
+	}
+	return func(ordinal int) bool {
+		for _, res := range inj.byIndex[ordinal] {
+			if res.Kind != CkptTear {
+				continue
+			}
+			if !res.take() {
+				continue
+			}
+			return true
+		}
+		return false
+	}
+}
+
 // ParsePlan parses the CLI injection spec: a comma-separated list of
-// kind@index entries with an optional argument, e.g.
+// kind@index entries with optional arguments, e.g.
 //
-//	flip@3,trunc@7:20,vmfault@11
+//	flip@3,trunc@7:20,vmfault@11,panic@19,delay@23:5,stall@31,readerr@40,tearckpt@1
 //
-// Kinds are flip, trunc, clamp and vmfault. The argument after ':' is the
-// Injection Arg (byte offset, new length, or instruction count); omit it
-// to let the seed choose. A vmfault entry takes an optional second
-// argument bounding how many executions it fires on: vmfault@11:20:1
-// faults the first attempt only, so a retry succeeds.
+// Packet-surface kinds are flip, trunc and clamp; the argument after ':'
+// is the byte offset or new length (omit it to let the seed choose).
+// Execution-surface kinds are vmfault and panic (argument: instruction
+// count before firing) and delay and stall (argument: milliseconds to
+// sleep); vmfault, panic, delay and stall take an optional second
+// argument bounding how many executions they fire on: vmfault@11:20:1
+// faults the first attempt only, so a retry succeeds. readerr@i[:times]
+// fails `times` reads of packet i (default one) with a transient
+// malformed-record error. tearckpt@n tears checkpoint write ordinal n.
 func ParsePlan(spec string) ([]Injection, error) {
 	var plan []Injection
 	for _, ent := range strings.Split(spec, ",") {
@@ -281,11 +468,28 @@ func ParsePlan(spec string) ([]Injection, error) {
 			kind = ClampLen
 		case "vmfault":
 			kind = VMFault
+		case "panic":
+			kind = WorkerPanic
+		case "delay":
+			kind = Delay
+		case "stall":
+			kind = Stall
+		case "readerr":
+			kind = ReadErr
+		case "tearckpt":
+			kind = CkptTear
 		default:
-			return nil, fmt.Errorf("faultinject: entry %q: unknown kind %q (want flip, trunc, clamp or vmfault)", ent, kindStr)
+			return nil, fmt.Errorf("faultinject: entry %q: unknown kind %q (want flip, trunc, clamp, vmfault, panic, delay, stall, readerr or tearckpt)", ent, kindStr)
+		}
+		maxParts := 2
+		switch kind {
+		case VMFault, WorkerPanic, Delay, Stall:
+			maxParts = 3
+		case CkptTear:
+			maxParts = 1
 		}
 		parts := strings.Split(rest, ":")
-		if len(parts) > 3 || (kind != VMFault && len(parts) > 2) {
+		if len(parts) > maxParts {
 			return nil, fmt.Errorf("faultinject: entry %q: too many arguments", ent)
 		}
 		idx, err := strconv.Atoi(parts[0])
@@ -302,6 +506,16 @@ func ParsePlan(spec string) ([]Injection, error) {
 			if in.Times, err = strconv.Atoi(parts[2]); err != nil || in.Times < 0 {
 				return nil, fmt.Errorf("faultinject: entry %q: bad fire count %q", ent, parts[2])
 			}
+		}
+		if kind == ReadErr {
+			// The argument is the failure count, not an Arg: a readerr
+			// entry must stop firing eventually or the packet could
+			// never be read.
+			in.Times = 1
+			if in.Arg >= 0 {
+				in.Times = in.Arg
+			}
+			in.Arg = -1
 		}
 		plan = append(plan, in)
 	}

@@ -353,6 +353,11 @@ type Summary struct {
 	// FaultCounts maps fault kind to quarantined-record count; nil when
 	// the run had no faults.
 	FaultCounts map[vm.FaultKind]int
+	// Shed counts packets dropped unprocessed by an overload shed policy.
+	// Shed packets keep their index slots in the streaming contract but
+	// were never attempted, so — unlike quarantined records — they are not
+	// counted in Packets and contribute to no other figure.
+	Shed int
 }
 
 // Measured returns the number of non-quarantined records the means are
@@ -405,8 +410,110 @@ type Running struct {
 	nonPktAcc         uint64
 	counts            []uint64
 	faultCounts       map[vm.FaultKind]int
+	verdicts          map[uint32]int
 	faulted           int
+	shed              int
 }
+
+// RunningState is the portable snapshot of a Running aggregate — the
+// piece of per-run state a checkpoint serializes. Fields mirror
+// Running's accumulators; FaultCounts integer keys marshal as JSON
+// string keys per encoding/json's integer-keyed-map rule.
+type RunningState struct {
+	Packets           int                  `json:"packets"`
+	Faulted           int                  `json:"faulted"`
+	Shed              int                  `json:"shed,omitempty"`
+	TotalInstructions uint64               `json:"total_instructions"`
+	Unique            uint64               `json:"unique"`
+	PacketAcc         uint64               `json:"packet_acc"`
+	NonPacketAcc      uint64               `json:"non_packet_acc"`
+	FaultCounts       map[vm.FaultKind]int `json:"fault_counts,omitempty"`
+	Verdicts          map[uint32]int       `json:"verdicts,omitempty"`
+	Counts            []uint64             `json:"counts,omitempty"`
+}
+
+// State snapshots the aggregate for a checkpoint. The snapshot owns its
+// memory (maps and slices are copied), so it stays stable across further
+// Adds. Call from the goroutine that Adds.
+func (a *Running) State() RunningState {
+	st := RunningState{
+		Packets:           a.packets,
+		Faulted:           a.faulted,
+		Shed:              a.shed,
+		TotalInstructions: a.totalInstructions,
+		Unique:            a.unique,
+		PacketAcc:         a.pktAcc,
+		NonPacketAcc:      a.nonPktAcc,
+		FaultCounts:       a.FaultCounts(),
+		Verdicts:          a.Verdicts(),
+	}
+	if a.KeepInstructionCounts && len(a.counts) > 0 {
+		st.Counts = append([]uint64(nil), a.counts...)
+	}
+	return st
+}
+
+// SetState replaces the aggregate's contents with a snapshot — the
+// resume half of checkpointing. After SetState, further Adds continue
+// the restored run exactly where the snapshot left it.
+func (a *Running) SetState(st RunningState) {
+	a.packets = st.Packets
+	a.faulted = st.Faulted
+	a.shed = st.Shed
+	a.totalInstructions = st.TotalInstructions
+	a.unique = st.Unique
+	a.pktAcc = st.PacketAcc
+	a.nonPktAcc = st.NonPacketAcc
+	a.faultCounts = nil
+	if len(st.FaultCounts) > 0 {
+		a.faultCounts = make(map[vm.FaultKind]int, len(st.FaultCounts))
+		for k, n := range st.FaultCounts {
+			a.faultCounts[k] = n
+		}
+	}
+	a.verdicts = nil
+	if len(st.Verdicts) > 0 {
+		a.verdicts = make(map[uint32]int, len(st.Verdicts))
+		for v, n := range st.Verdicts {
+			a.verdicts[v] = n
+		}
+	}
+	a.counts = nil
+	if len(st.Counts) > 0 {
+		a.counts = append([]uint64(nil), st.Counts...)
+	}
+}
+
+// AddVerdict tallies one measured packet's application verdict. Kept in
+// the aggregate (rather than by the caller) so verdict counts survive a
+// checkpoint/resume cycle like every other run figure.
+func (a *Running) AddVerdict(v uint32) {
+	if a.verdicts == nil {
+		a.verdicts = make(map[uint32]int)
+	}
+	a.verdicts[v]++
+}
+
+// Verdicts returns the per-verdict packet tally as a copy safe to retain
+// across further Adds; nil when no verdict was recorded.
+func (a *Running) Verdicts() map[uint32]int {
+	if len(a.verdicts) == 0 {
+		return nil
+	}
+	out := make(map[uint32]int, len(a.verdicts))
+	for v, n := range a.verdicts {
+		out[v] = n
+	}
+	return out
+}
+
+// AddShed counts n packets dropped unprocessed by an overload shed
+// policy. Shed packets appear only in Summary.Shed; see that field for
+// why they are kept out of every other figure.
+func (a *Running) AddShed(n int) { a.shed += n }
+
+// Shed returns how many packets were shed so far.
+func (a *Running) Shed() int { return a.shed }
 
 // Add folds one packet record into the aggregate. Quarantined records
 // only advance the fault counters.
@@ -485,7 +592,7 @@ func (w Window) Throughput(prev Window) (packetsPerSec, instrsPerSec float64) {
 // Summary returns the aggregate, identical to Summarize over the same
 // records.
 func (a *Running) Summary() Summary {
-	s := Summary{Packets: a.packets, Faulted: a.faulted, TotalInstructions: a.totalInstructions}
+	s := Summary{Packets: a.packets, Faulted: a.faulted, TotalInstructions: a.totalInstructions, Shed: a.shed}
 	if a.faulted > 0 {
 		s.FaultCounts = make(map[vm.FaultKind]int, len(a.faultCounts))
 		for k, n := range a.faultCounts {

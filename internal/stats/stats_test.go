@@ -1,6 +1,7 @@
 package stats
 
 import (
+	"encoding/json"
 	"reflect"
 	"testing"
 	"time"
@@ -320,6 +321,52 @@ func TestRunningMatchesSummarize(t *testing.T) {
 		if counts[i] != want[i] {
 			t.Errorf("count %d = %d, want %d", i, counts[i], want[i])
 		}
+	}
+}
+
+// TestRunningStateRoundTrip: serializing an aggregate through its
+// checkpoint snapshot (including a JSON cycle, as a real checkpoint
+// does) and restoring into a fresh Running preserves every figure.
+func TestRunningStateRoundTrip(t *testing.T) {
+	agg := &Running{KeepInstructionCounts: true}
+	records := []PacketRecord{
+		{Index: 0, Instructions: 100, Unique: 40, PacketReads: 5, NonPacketReads: 20},
+		{Index: 1, Fault: vm.FaultUnmapped},
+		{Index: 2, Instructions: 250, Unique: 60, PacketWrites: 8, NonPacketWrites: 31},
+	}
+	for i := range records {
+		agg.Add(&records[i])
+		if !records[i].Faulted() {
+			agg.AddVerdict(uint32(9 - i))
+		}
+	}
+	agg.AddShed(2)
+
+	raw, err := json.Marshal(agg.State())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st RunningState
+	if err := json.Unmarshal(raw, &st); err != nil {
+		t.Fatal(err)
+	}
+	restored := &Running{KeepInstructionCounts: true}
+	restored.SetState(st)
+	if got, want := restored.Summary(), agg.Summary(); !reflect.DeepEqual(got, want) {
+		t.Errorf("restored Summary = %+v, want %+v", got, want)
+	}
+	if got, want := restored.Verdicts(), agg.Verdicts(); !reflect.DeepEqual(got, want) {
+		t.Errorf("restored Verdicts = %v, want %v", got, want)
+	}
+	if !reflect.DeepEqual(restored.InstructionCounts(), agg.InstructionCounts()) {
+		t.Errorf("restored counts = %v, want %v", restored.InstructionCounts(), agg.InstructionCounts())
+	}
+	// Restored aggregates must keep accumulating, not just report.
+	restored.Add(&records[0])
+	restored.AddVerdict(9)
+	if restored.Packets() != 4 || restored.Verdicts()[9] != 2 {
+		t.Errorf("restored aggregate does not continue: %d packets, verdicts %v",
+			restored.Packets(), restored.Verdicts())
 	}
 }
 

@@ -28,4 +28,12 @@ const (
 	MetricPoolWorkersBusy = "pool_workers_busy"
 	// MetricPoolCores gauges the pool size of the current run.
 	MetricPoolCores = "pool_cores"
+	// MetricPacketsShed counts packets dropped unprocessed by the
+	// overload shed policy, labeled by policy=drop-newest|drop-oldest.
+	MetricPacketsShed = "packets_shed_total"
+	// MetricWatchdogStalls counts pool runs cancelled by the progress
+	// watchdog after a worker exceeded the stall timeout.
+	MetricWatchdogStalls = "watchdog_stalls_total"
+	// MetricCheckpointsWritten counts run checkpoints committed to disk.
+	MetricCheckpointsWritten = "checkpoints_written_total"
 )

@@ -456,7 +456,7 @@ func TestReadBatchEquivalence(t *testing.T) {
 	}
 
 	readers := map[string]func() Reader{
-		"pcap": func() Reader { r, _ := NewPcapReader(bytes.NewReader(raw)); return r },
+		"pcap":  func() Reader { r, _ := NewPcapReader(bytes.NewReader(raw)); return r },
 		"bytes": func() Reader { r, _ := NewBytesPcapReader(raw); return r },
 		"tsh":   func() Reader { return NewTSHReader(bytes.NewReader(tshBuf.Bytes())) },
 		"slice": func() Reader { return NewSliceReader(pkts) },

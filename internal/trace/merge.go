@@ -1,6 +1,9 @@
 package trace
 
-import "io"
+import (
+	"fmt"
+	"io"
+)
 
 // MergeReader merges several trace readers into one stream ordered by
 // capture timestamp, so a trace sharded across files (tracegen -shards,
@@ -23,22 +26,35 @@ type MergeReader struct {
 	errs   []error   // pending error per shard, surfaced once
 	done   []bool
 	primed bool
+
+	// posBefore[i] is shard i's Seeker state captured just before its
+	// buffered head was read. A merge sits one packet ahead of the caller
+	// on every shard, so the resumable position of a shard with a pending
+	// head is the offset that re-reads that head — not the shard's
+	// current position.
+	posBefore []int64
 }
 
 // NewMergeReader merges the given readers. With a single reader the
 // merge is a transparent pass-through (plus Positioned aggregation).
 func NewMergeReader(shards ...Reader) *MergeReader {
 	return &MergeReader{
-		shards: shards,
-		heads:  make([]*Packet, len(shards)),
-		errs:   make([]error, len(shards)),
-		done:   make([]bool, len(shards)),
+		shards:    shards,
+		heads:     make([]*Packet, len(shards)),
+		errs:      make([]error, len(shards)),
+		done:      make([]bool, len(shards)),
+		posBefore: make([]int64, len(shards)),
 	}
 }
 
 // refill pulls the next packet from shard i into heads, recording EOF or
 // a pending error.
 func (m *MergeReader) refill(i int) {
+	if sk, ok := m.shards[i].(Seeker); ok {
+		if st := sk.PosState(); len(st) == 1 {
+			m.posBefore[i] = st[0]
+		}
+	}
 	p, err := m.shards[i].Next()
 	switch {
 	case err == io.EOF:
@@ -128,6 +144,82 @@ func (m *MergeReader) Total() int64 {
 		sum += t
 	}
 	return sum
+}
+
+// Progress implements Progresser: the completed fraction over the
+// shards that know their size. Unlike Total (which reports unknown
+// unless every shard knows its size), a partial fraction is still a
+// useful progress signal for sharded replay, so shards with unknown
+// totals are simply left out of the ratio.
+func (m *MergeReader) Progress() (float64, bool) {
+	var pos, total int64
+	for _, s := range m.shards {
+		p, ok := s.(Positioned)
+		if !ok {
+			continue
+		}
+		t := p.Total()
+		if t <= 0 {
+			continue
+		}
+		total += t
+		pp := p.Pos()
+		if pp > t {
+			pp = t
+		}
+		pos += pp
+	}
+	if total == 0 {
+		return 0, false
+	}
+	return float64(pos) / float64(total), true
+}
+
+// PosState implements Seeker: one element per shard, in shard order. It
+// returns nil unless every shard is itself single-stream seekable
+// (nested merges are not resumable).
+func (m *MergeReader) PosState() []int64 {
+	out := make([]int64, len(m.shards))
+	for i, s := range m.shards {
+		sk, ok := s.(Seeker)
+		if !ok {
+			return nil
+		}
+		st := sk.PosState()
+		if len(st) != 1 {
+			return nil
+		}
+		if m.heads[i] != nil {
+			out[i] = m.posBefore[i]
+		} else {
+			out[i] = st[0]
+		}
+	}
+	return out
+}
+
+// SeekTo implements Seeker: every shard is repositioned and the merge's
+// head buffers discarded, so the next Next re-primes from the
+// checkpointed per-shard offsets.
+func (m *MergeReader) SeekTo(state []int64) error {
+	if len(state) != len(m.shards) {
+		return fmt.Errorf("trace: merge seek state has %d positions for %d shards", len(state), len(m.shards))
+	}
+	for i, s := range m.shards {
+		sk, ok := s.(Seeker)
+		if !ok {
+			return fmt.Errorf("trace: merge shard %d (%T) is not seekable", i, s)
+		}
+		if err := sk.SeekTo(state[i : i+1]); err != nil {
+			return fmt.Errorf("trace: merge shard %d: %w", i, err)
+		}
+		m.heads[i] = nil
+		m.errs[i] = nil
+		m.done[i] = false
+		m.posBefore[i] = state[i]
+	}
+	m.primed = false
+	return nil
 }
 
 // Skipped sums the skip counts of shards that track them, so callers can

@@ -134,7 +134,8 @@ func pcapResyncExhaustedErr(off int64) *MalformedRecordError {
 type PcapReader struct {
 	pcapMeta
 	skipState
-	r *bufio.Reader
+	r   *bufio.Reader
+	src io.Reader // unbuffered source, retained so SeekTo can reposition it
 
 	off   int64 // bytes consumed from r so far
 	total int64 // input size in bytes; 0 when unknown
@@ -152,7 +153,7 @@ func NewPcapReader(r io.Reader) (*PcapReader, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &PcapReader{pcapMeta: meta, r: br, off: pcapHeaderLen}, nil
+	return &PcapReader{pcapMeta: meta, r: br, src: r, off: pcapHeaderLen}, nil
 }
 
 // LinkType returns the capture's link type.

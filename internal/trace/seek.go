@@ -1,0 +1,113 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+)
+
+// Seeker is implemented by readers whose position can be captured and
+// later restored — the substrate of run checkpointing. PosState returns
+// the reader's resumable position: single-stream readers return one
+// element (a byte offset for the file formats, a packet index for
+// SliceReader — the same unit as Positioned.Pos), and MergeReader
+// returns one element per shard. A nil PosState means the reader cannot
+// be resumed (an unseekable source); callers must check it before
+// promising resumability.
+//
+// SeekTo repositions the reader to a state previously returned by
+// PosState on an equivalent reader over the same input, after which the
+// reader yields exactly the packets it would have yielded from that
+// point. States are only meaningful against the same input bytes —
+// checkpoints pair them with a content fingerprint for that reason.
+type Seeker interface {
+	PosState() []int64
+	SeekTo(state []int64) error
+}
+
+// Progresser is implemented by readers that can report their completed
+// fraction directly. Progress prefers it over the Positioned-derived
+// ratio; MergeReader uses it to report progress even when only some
+// shards know their size.
+type Progresser interface {
+	// Progress returns the completed fraction in [0, 1] and whether it
+	// is known.
+	Progress() (float64, bool)
+}
+
+// PosState implements Seeker; the unit is packets.
+func (s *SliceReader) PosState() []int64 { return []int64{int64(s.next)} }
+
+// SeekTo implements Seeker.
+func (s *SliceReader) SeekTo(state []int64) error {
+	if len(state) != 1 || state[0] < 0 || state[0] > int64(len(s.pkts)) {
+		return fmt.Errorf("trace: bad slice seek state %v for %d packets", state, len(s.pkts))
+	}
+	s.next = int(state[0])
+	return nil
+}
+
+// PosState implements Seeker when the underlying source is seekable (a
+// file): one element, the byte offset of the next unread record. It
+// returns nil for unseekable sources (a network stream), which marks the
+// reader non-resumable.
+func (p *PcapReader) PosState() []int64 {
+	if _, ok := p.src.(io.Seeker); !ok {
+		return nil
+	}
+	return []int64{p.off}
+}
+
+// SeekTo implements Seeker: the source is repositioned and the read
+// buffer discarded, so the next record read starts exactly at the
+// checkpointed boundary.
+func (p *PcapReader) SeekTo(state []int64) error {
+	sk, ok := p.src.(io.Seeker)
+	if !ok {
+		return fmt.Errorf("trace: pcap source %T is not seekable", p.src)
+	}
+	if len(state) != 1 || state[0] < pcapHeaderLen {
+		return fmt.Errorf("trace: bad pcap seek state %v", state)
+	}
+	if _, err := sk.Seek(state[0], io.SeekStart); err != nil {
+		return fmt.Errorf("trace: seeking pcap source: %w", err)
+	}
+	p.r.Reset(p.src)
+	p.off = state[0]
+	return nil
+}
+
+// PosState implements Seeker; an in-memory capture is always resumable.
+func (p *BytesPcapReader) PosState() []int64 { return []int64{p.off} }
+
+// SeekTo implements Seeker.
+func (p *BytesPcapReader) SeekTo(state []int64) error {
+	if len(state) != 1 || state[0] < pcapHeaderLen || state[0] > int64(len(p.buf)) {
+		return fmt.Errorf("trace: bad pcap seek state %v for %d-byte capture", state, len(p.buf))
+	}
+	p.off = state[0]
+	return nil
+}
+
+// PosState implements Seeker when the underlying source is seekable.
+func (t *TSHReader) PosState() []int64 {
+	if _, ok := t.r.(io.Seeker); !ok {
+		return nil
+	}
+	return []int64{t.off}
+}
+
+// SeekTo implements Seeker.
+func (t *TSHReader) SeekTo(state []int64) error {
+	sk, ok := t.r.(io.Seeker)
+	if !ok {
+		return fmt.Errorf("trace: TSH source %T is not seekable", t.r)
+	}
+	if len(state) != 1 || state[0] < 0 {
+		return fmt.Errorf("trace: bad TSH seek state %v", state)
+	}
+	if _, err := sk.Seek(state[0], io.SeekStart); err != nil {
+		return fmt.Errorf("trace: seeking TSH source: %w", err)
+	}
+	t.off = state[0]
+	return nil
+}

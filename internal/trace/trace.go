@@ -49,9 +49,14 @@ type Positioned interface {
 }
 
 // Progress returns the completed fraction of r's input in [0, 1] and
-// whether it is known: the reader must implement Positioned and know
-// its total size.
+// whether it is known. Readers implementing Progresser report it
+// directly (MergeReader computes a fraction even when only some shards
+// know their size); otherwise the reader must implement Positioned and
+// know its total size.
 func Progress(r Reader) (float64, bool) {
+	if pr, ok := r.(Progresser); ok {
+		return pr.Progress()
+	}
 	p, ok := r.(Positioned)
 	if !ok {
 		return 0, false

@@ -68,6 +68,10 @@ type (
 	PacketRecord = stats.PacketRecord
 	// Summary aggregates a run.
 	Summary = stats.Summary
+	// RunningStats aggregates packet records on the fly (streaming pool
+	// runs feed one from their onResult callback); it also backs the
+	// Checkpointer's serialized statistics.
+	RunningStats = stats.Running
 	// Packet is one captured packet (layer-3 bytes plus metadata).
 	Packet = trace.Packet
 	// RouteTable is a prefix table for the forwarding applications.
@@ -110,6 +114,22 @@ type (
 	// differentially validated against. Both produce bit-identical
 	// results.
 	EngineKind = core.EngineKind
+	// ShedPolicy selects how a streaming pool reacts when its bounded
+	// backlog is full (Options.Shed): block the producer (lossless) or
+	// drop whole batches, newest- or oldest-first.
+	ShedPolicy = core.ShedPolicy
+	// StallError is the typed run error surfaced when the progress
+	// watchdog (Options.StallTimeout) cancels a run because a worker
+	// made no progress; use errors.As to recover worker and packet.
+	StallError = core.StallError
+	// Checkpoint is the on-disk resume state of a streaming pool run.
+	Checkpoint = core.Checkpoint
+	// Checkpointer periodically persists a streaming run's committed
+	// state; pass it to Pool.RunTraceCheckpointed.
+	Checkpointer = core.Checkpointer
+	// TraceID fingerprints a trace input so checkpoints refuse to resume
+	// against the wrong capture.
+	TraceID = core.TraceID
 )
 
 // The execution engines.
@@ -131,6 +151,13 @@ const (
 	FailFast      = core.FailFast
 	SkipAndRecord = core.SkipAndRecord
 	Retry         = core.Retry
+)
+
+// The overload shed policies for streaming pool runs.
+const (
+	ShedBlock      = core.ShedBlock
+	ShedDropNewest = core.ShedDropNewest
+	ShedDropOldest = core.ShedDropOldest
 )
 
 // The fault kinds a packet can be quarantined (or a run aborted) with;
@@ -161,9 +188,30 @@ func Verify(app *App) (Diagnostics, error) {
 }
 
 // ParseInjectionPlan parses a comma-separated fault injection spec
-// ("kind@index[:arg[:times]]", kinds flip/trunc/clamp/vmfault) — the
-// format of cmd/packetbench's -inject flag.
+// ("kind@index[:arg[:times]]", kinds flip/trunc/clamp/vmfault plus the
+// host-fault kinds panic/delay/stall/readerr/tearckpt) — the format of
+// cmd/packetbench's -inject flag.
 func ParseInjectionPlan(spec string) ([]Injection, error) { return faultinject.ParsePlan(spec) }
+
+// ParseShedPolicy parses an overload shed policy name: "block",
+// "drop-newest"/"newest", or "drop-oldest"/"oldest" — the format of
+// cmd/packetbench's -shed flag.
+func ParseShedPolicy(s string) (ShedPolicy, error) { return core.ParseShedPolicy(s) }
+
+// NewCheckpointer writes resume checkpoints of a streaming pool run to
+// path at most every `every` committed packets, snapshotting agg — the
+// same Running the run's onResult callback must feed.
+func NewCheckpointer(path string, every int, agg *stats.Running) *Checkpointer {
+	return core.NewCheckpointer(path, every, agg)
+}
+
+// LoadCheckpoint reads and validates a checkpoint file written by a
+// previous run.
+func LoadCheckpoint(path string) (*Checkpoint, error) { return core.LoadCheckpoint(path) }
+
+// FingerprintTraceFile fingerprints a trace file for
+// Checkpointer.SetTraceID / Checkpoint.ValidateTrace.
+func FingerprintTraceFile(path string) (TraceID, error) { return core.FingerprintFile(path) }
 
 // NewFaultInjector builds a deterministic injector: every unspecified
 // choice (byte offset, mask, step count) is drawn from seed at
