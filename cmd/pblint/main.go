@@ -1,0 +1,105 @@
+// Command pblint runs PacketBench's repo-specific Go checks (see
+// internal/lint): telemetry series must be registered via the canonical
+// name constants, and the per-packet hot path must stay free of
+// wall-clock reads and per-call allocation.
+//
+// Usage:
+//
+//	pblint path ...        # files or directories (directories recurse)
+//	pblint -tests path ... # include _test.go files
+//
+// Generated trees are skipped (testdata, hidden directories, vendor).
+// The exit status is 1 if there are findings, 2 on usage or parse
+// errors, and 0 otherwise.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"go/parser"
+	"go/token"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("pblint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	tests := fs.Bool("tests", false, "also check _test.go files")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() == 0 {
+		fmt.Fprintln(stderr, "usage: pblint [-tests] path ...")
+		return 2
+	}
+
+	var files []string
+	for _, path := range fs.Args() {
+		got, err := collect(path, *tests)
+		if err != nil {
+			fmt.Fprintln(stderr, "pblint:", err)
+			return 2
+		}
+		files = append(files, got...)
+	}
+
+	status := 0
+	fset := token.NewFileSet()
+	for _, path := range files {
+		file, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			fmt.Fprintln(stderr, "pblint:", err)
+			return 2
+		}
+		for _, d := range lint.CheckFile(fset, file) {
+			fmt.Fprintln(stdout, d)
+			status = 1
+		}
+	}
+	return status
+}
+
+// collect expands path into the Go files to check: a single file, or a
+// recursive directory walk skipping hidden directories (.git, editor
+// state), testdata fixtures, and vendored code.
+func collect(path string, tests bool) ([]string, error) {
+	info, err := os.Stat(path)
+	if err != nil {
+		return nil, err
+	}
+	if !info.IsDir() {
+		return []string{path}, nil
+	}
+	var files []string
+	err = filepath.WalkDir(path, func(p string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		name := d.Name()
+		if d.IsDir() {
+			if p != path && (strings.HasPrefix(name, ".") || name == "testdata" || name == "vendor") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(name, ".go") {
+			return nil
+		}
+		if !tests && strings.HasSuffix(name, "_test.go") {
+			return nil
+		}
+		files = append(files, p)
+		return nil
+	})
+	return files, err
+}

@@ -1,0 +1,94 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeTree(t *testing.T, files map[string]string) string {
+	t.Helper()
+	dir := t.TempDir()
+	for name, src := range files {
+		path := filepath.Join(dir, name)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+func TestLintFindsLiteralSeries(t *testing.T) {
+	dir := writeTree(t, map[string]string{
+		"core/metrics.go": `package core
+
+func f(r *Registry) { r.Counter("packets_total", "") }
+`,
+	})
+	var out, errb bytes.Buffer
+	if status := run([]string{dir}, &out, &errb); status != 1 {
+		t.Fatalf("status = %d, want 1; stderr: %s", status, errb.String())
+	}
+	if !bytes.Contains(out.Bytes(), []byte("telemetry-series")) {
+		t.Errorf("missing telemetry-series finding:\n%s", out.String())
+	}
+}
+
+func TestLintCleanTreeAndSkips(t *testing.T) {
+	dir := writeTree(t, map[string]string{
+		"ok.go": `package p
+
+func g(r *Registry) { r.Counter(telemetry.MetricPacketsProcessed, "") }
+`,
+		// _test.go, testdata and hidden directories are skipped by
+		// default, so the violations inside them must not surface.
+		"bad_test.go":        "package p\n\nfunc h(r *Registry) { r.Counter(\"x\", \"\") }\n",
+		"testdata/bad.go":    "package fixture\n\nfunc h(r *Registry) { r.Counter(\"x\", \"\") }\n",
+		".hidden/bad.go":     "package hidden\n\nfunc h(r *Registry) { r.Counter(\"x\", \"\") }\n",
+		"sub/vendor/bad.go":  "package vendored\n\nfunc h(r *Registry) { r.Counter(\"x\", \"\") }\n",
+		"sub/note/README.md": "not go\n",
+	})
+	var out, errb bytes.Buffer
+	if status := run([]string{dir}, &out, &errb); status != 0 {
+		t.Fatalf("status = %d, want 0; out: %s", status, out.String())
+	}
+	// -tests pulls the _test.go violation back in.
+	out.Reset()
+	if status := run([]string{"-tests", dir}, &out, &errb); status != 1 {
+		t.Fatalf("-tests status = %d, want 1; out: %s", status, out.String())
+	}
+}
+
+func TestLintSingleFileAndHotPath(t *testing.T) {
+	dir := writeTree(t, map[string]string{
+		"hot.go": `package vm
+
+func (c *CPU) runFast() { _ = time.Now() }
+`,
+	})
+	var out, errb bytes.Buffer
+	if status := run([]string{filepath.Join(dir, "hot.go")}, &out, &errb); status != 1 {
+		t.Fatalf("status = %d, want 1", status)
+	}
+	if !bytes.Contains(out.Bytes(), []byte("hotpath")) {
+		t.Errorf("missing hotpath finding:\n%s", out.String())
+	}
+}
+
+func TestLintBadUsage(t *testing.T) {
+	var out, errb bytes.Buffer
+	if status := run(nil, &out, &errb); status != 2 {
+		t.Errorf("no-args status = %d, want 2", status)
+	}
+	if status := run([]string{filepath.Join(t.TempDir(), "missing")}, &out, &errb); status != 2 {
+		t.Errorf("missing-path status = %d, want 2", status)
+	}
+	dir := writeTree(t, map[string]string{"broken.go": "package\n"})
+	if status := run([]string{dir}, &out, &errb); status != 2 {
+		t.Errorf("parse-error status = %d, want 2", status)
+	}
+}

@@ -12,6 +12,14 @@
 //	pbvet file.s [file2.s ...]     # diagnostics; exit 1 on errors
 //	pbvet -entry main file.s       # verify from a specific entry symbol
 //	pbvet -dot file.s              # print the CFG in Graphviz format
+//	pbvet -facts file.s            # dump the abstract-interpretation facts
+//
+// Diagnostic runs include the facts pipeline's warn-severity findings
+// (constant branches, redundant masks, value-analysis dead code) on top
+// of the structural checks. -facts instead dumps the per-instruction
+// facts the proof-guided translator acts on: proven memory regions with
+// address intervals, constant branch directions, redundant masks, and
+// unreachable instructions.
 //
 // The exit status is 2 on usage or assembly errors, 1 if any file has
 // error-severity findings, and 0 otherwise (warnings do not fail the
@@ -39,6 +47,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs.SetOutput(stderr)
 	var (
 		dot     = fs.Bool("dot", false, "print the control-flow graph in Graphviz format instead of diagnostics")
+		facts   = fs.Bool("facts", false, "dump the abstract-interpretation facts instead of diagnostics")
 		entries = fs.String("entry", "", "comma-separated entry symbols (default: the file's .global text symbols)")
 		heap    = fs.Uint("heap", 0, "heap size in bytes for the memory map (default: the framework default)")
 	)
@@ -46,7 +55,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 	if fs.NArg() == 0 {
-		fmt.Fprintln(stderr, "usage: pbvet [-dot] [-entry syms] [-heap n] file.s ...")
+		fmt.Fprintln(stderr, "usage: pbvet [-dot] [-facts] [-entry syms] [-heap n] file.s ...")
 		return 2
 	}
 
@@ -62,7 +71,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintf(stderr, "pbvet: %s: %v\n", path, err)
 			return 2
 		}
-		opts := staticcheck.Options{Layout: core.LayoutFor(prog, uint32(*heap))}
+		opts := staticcheck.Options{Layout: core.LayoutFor(prog, uint32(*heap)), FactsDiags: true}
 		if *entries != "" {
 			opts.Entries = strings.Split(*entries, ",")
 		}
@@ -72,6 +81,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 				fmt.Fprintf(stderr, "%s:%s\n", path, strings.TrimPrefix(d.String(), "line "))
 			}
 			fmt.Fprint(stdout, cfg.Dot())
+			continue
+		}
+		if *facts {
+			_, fx := staticcheck.VerifyWithFacts(prog, opts)
+			fmt.Fprintf(stdout, "%s:\n", path)
+			fx.Dump(stdout)
 			continue
 		}
 		ds := staticcheck.Verify(prog, opts)

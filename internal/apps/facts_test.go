@@ -1,0 +1,39 @@
+package apps
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/route"
+)
+
+// TestFactsFireOnApps pins down that the proof-guided translator is not
+// vacuous: the verifier's facts pipeline must prove enough about the
+// bundled applications for the threaded engine to actually fuse
+// superinstructions and elide memory checks. If a verifier change makes
+// every program untame, correctness tests all still pass (untame just
+// means fully-checked translation) — this test is what fails.
+func TestFactsFireOnApps(t *testing.T) {
+	tbl := route.GenerateTable(route.GenOptions{})
+	list := All(tbl, 64, 1)
+	list = append(list, PayloadScan([4]byte{0xde, 0xad, 0xbe, 0xef}), Frag(576))
+	anyUnchecked := false
+	for _, app := range list {
+		b, err := core.New(app, core.Options{Engine: core.EngineThreaded})
+		if err != nil {
+			t.Fatalf("%s: %v", app.Name, err)
+		}
+		st := b.TranslationStats()
+		t.Logf("%-14s fused=%d triples=%d wide=%d uncheckedLoads=%d uncheckedStores=%d foldedBranches=%d elidedMasks=%d deadBlocks=%d",
+			app.Name, st.FusedPairs, st.FusedTriples, st.FusedWide, st.UncheckedLoads, st.UncheckedStores, st.FoldedBranches, st.ElidedMasks, st.DeadBlocks)
+		if st.FusedPairs == 0 {
+			t.Errorf("%s: no superinstructions fused", app.Name)
+		}
+		if st.UncheckedLoads+st.UncheckedStores > 0 {
+			anyUnchecked = true
+		}
+	}
+	if !anyUnchecked {
+		t.Errorf("no bundled app got a single unchecked memory op: the facts pipeline proved nothing")
+	}
+}

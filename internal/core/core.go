@@ -527,10 +527,16 @@ func New(app *App, opts Options) (*Bench, error) {
 		stepLimit = DefaultStepLimit
 	}
 
+	var tf *vm.TranslationFacts
 	if !opts.NoVerify {
-		if ds := verifyProg(prog, app, opts); ds.HasErrors() {
+		ds, facts := staticcheck.VerifyWithFacts(prog, staticcheck.Options{
+			Layout:  LayoutFor(prog, heap),
+			Entries: []string{app.Entry},
+		})
+		if ds.HasErrors() {
 			return nil, &VerifyError{App: app.Name, Diags: ds}
 		}
+		tf = facts.Translation()
 	}
 
 	mem := vm.NewMemory()
@@ -562,7 +568,13 @@ func New(app *App, opts Options) (*Bench, error) {
 	var tprog *vm.Program
 	switch opts.Engine {
 	case EngineThreaded:
-		tprog = vm.Translate(prog.Text, prog.TextBase, blocks)
+		if opts.NoVerify {
+			// No verifier run means no proofs and no optimized body: the
+			// fully-checked translation is the only sound choice.
+			tprog = vm.Translate(prog.Text, prog.TextBase, blocks)
+		} else {
+			tprog = vm.TranslateWithFacts(prog.Text, prog.TextBase, blocks, tf)
+		}
 		// The threaded engine reports block entries itself; the
 		// collector must not re-derive them per instruction.
 		col.BlocksFromEngine = true
@@ -591,6 +603,17 @@ func (b *Bench) Metrics() *telemetry.Registry { return b.reg }
 
 // Engine returns the execution engine the bench was built with.
 func (b *Bench) Engine() EngineKind { return b.engine }
+
+// TranslationStats reports what the proof-guided translator did with
+// this program: fused superinstruction pairs, unchecked memory micro-ops
+// and folded branches. Zero for the interpreter engine and for
+// unverified programs (no proofs, fully-checked translation).
+func (b *Bench) TranslationStats() vm.TranslateStats {
+	if b.tprog == nil {
+		return vm.TranslateStats{}
+	}
+	return b.tprog.Stats()
+}
 
 // Program returns the assembled application image.
 func (b *Bench) Program() *asm.Program { return b.prog }

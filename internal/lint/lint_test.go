@@ -1,0 +1,152 @@
+package lint
+
+import (
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+func check(t *testing.T, src string) []Diagnostic {
+	t.Helper()
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "x.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return CheckFile(fset, file)
+}
+
+func rules(ds []Diagnostic) []string {
+	var rs []string
+	for _, d := range ds {
+		rs = append(rs, d.Rule)
+	}
+	return rs
+}
+
+func TestTelemetrySeriesLiteral(t *testing.T) {
+	ds := check(t, `package core
+
+func f(r *Registry) {
+	r.Counter("packets_total", "help")
+	r.Gauge("busy", "")
+	r.Histogram("lat", "", nil)
+}
+`)
+	if len(ds) != 3 {
+		t.Fatalf("want 3 findings, got %v", ds)
+	}
+	for _, d := range ds {
+		if d.Rule != "telemetry-series" {
+			t.Errorf("rule = %q, want telemetry-series", d.Rule)
+		}
+		if !strings.Contains(d.Msg, "names.go") {
+			t.Errorf("message should point at the constants file: %s", d.Msg)
+		}
+	}
+}
+
+func TestTelemetrySeriesConstantIsClean(t *testing.T) {
+	ds := check(t, `package core
+
+func f(r *Registry) {
+	r.Counter(telemetry.MetricPacketsProcessed, "help")
+	r.Histogram(name, "", nil)
+}
+`)
+	if len(ds) != 0 {
+		t.Fatalf("constant-named series flagged: %v", ds)
+	}
+}
+
+func TestTelemetryPackageExempt(t *testing.T) {
+	ds := check(t, `package telemetry
+
+func f(r *Registry) { r.Counter("throwaway", "") }
+`)
+	if len(ds) != 0 {
+		t.Fatalf("telemetry package's own literals flagged: %v", ds)
+	}
+}
+
+func TestHotPathBuiltinName(t *testing.T) {
+	ds := check(t, `package vm
+
+func (c *CPU) runFast() {
+	t := time.Now()
+	_ = t
+}
+`)
+	if len(ds) != 1 || ds[0].Rule != "hotpath" || !strings.Contains(ds[0].Msg, "time.Now") {
+		t.Fatalf("want one hotpath time.Now finding, got %v", ds)
+	}
+}
+
+func TestHotPathDirective(t *testing.T) {
+	ds := check(t, `package core
+
+// dispatch is the inner loop.
+//
+// pblint:hotpath
+func dispatch() {
+	b := make([]byte, 16)
+	b = append(b, 0)
+	_ = fmt.Sprintf("%d", len(b))
+	f := func() {}
+	defer f()
+	go f()
+}
+`)
+	want := 6 // make, append, fmt.Sprintf, closure, defer, go
+	if len(ds) != want {
+		t.Fatalf("want %d findings, got %d: %v", want, len(ds), ds)
+	}
+	for _, d := range ds {
+		if d.Rule != "hotpath" {
+			t.Errorf("rule = %q, want hotpath", d.Rule)
+		}
+	}
+}
+
+func TestHotPathClosureBodyNotDoubleCounted(t *testing.T) {
+	// The closure's own body belongs to the closure; only the literal
+	// itself is the hot function's cost.
+	ds := check(t, `package vm
+
+func runFused() {
+	f := func() { _ = time.Now() }
+	_ = f
+}
+`)
+	if len(ds) != 1 || !strings.Contains(ds[0].Msg, "closure") {
+		t.Fatalf("want only the closure finding, got %v", ds)
+	}
+}
+
+func TestColdFunctionsNotChecked(t *testing.T) {
+	ds := check(t, `package core
+
+func report() {
+	_ = time.Now()
+	_ = fmt.Sprintf("x")
+	_ = make([]byte, 1)
+}
+`)
+	if len(ds) != 0 {
+		t.Fatalf("cold function flagged: %v", ds)
+	}
+}
+
+func TestAllowWaiver(t *testing.T) {
+	ds := check(t, `package vm
+
+func runTraced() {
+	defer f() //pblint:allow — once per run
+	_ = time.Now()
+}
+`)
+	if len(ds) != 1 || !strings.Contains(ds[0].Msg, "time.Now") {
+		t.Fatalf("waiver should suppress only the defer line, got %v", ds)
+	}
+}

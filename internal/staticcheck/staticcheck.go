@@ -79,6 +79,12 @@ type Options struct {
 	Entries []string
 	// EntryAddrs overrides Entries with explicit addresses.
 	EntryAddrs []uint32
+	// FactsDiags additionally surfaces the facts pipeline's findings as
+	// warn-severity diagnostics (const-branch, redundant-mask,
+	// facts-dead-code). Off by default: these describe optimization
+	// opportunities the translator exploits automatically, so only
+	// explicit lint runs (pbvet) ask for them.
+	FactsDiags bool
 }
 
 // Verify runs every analysis over an assembled program and returns the
@@ -86,17 +92,31 @@ type Options struct {
 // assembler's own lint findings (prog.Lint) are folded in, so callers
 // get one report. Use List.HasErrors to gate loading.
 func Verify(prog *asm.Program, opts Options) List {
+	ds, _ := VerifyWithFacts(prog, opts)
+	return ds
+}
+
+// VerifyWithFacts runs Verify and additionally returns the proofs of
+// the abstract-interpretation facts pipeline (see facts.go), which the
+// threaded translator consumes via Facts.Translation. The returned
+// Facts is never nil; an unverifiable (untame) program yields one with
+// Tame == false, claiming nothing.
+func VerifyWithFacts(prog *asm.Program, opts Options) (List, *Facts) {
 	var ds diag.List
 	ds = append(ds, prog.Lint...)
 	if len(prog.Text) == 0 {
 		ds = append(ds, Diagnostic{Severity: Error, Check: "empty-text",
 			Msg: "program has no instructions in the text segment"})
-		return ds.Sort()
+		return ds.Sort(), &Facts{}
 	}
 	cfg, entryDiags := BuildCFG(prog, opts)
 	ds = append(ds, entryDiags...)
 	ds = append(ds, cfg.structural()...)
 	ds = append(ds, cfg.nonTermination()...)
 	ds = append(ds, newDataflow(cfg, opts).run()...)
-	return ds.Sort()
+	facts := computeFacts(cfg, opts)
+	if opts.FactsDiags {
+		ds = append(ds, surfaceFactsDiags(cfg, facts)...)
+	}
+	return ds.Sort(), facts
 }

@@ -49,10 +49,28 @@ func (t *countingTracer) Mem(pc, addr uint32, size uint8, write bool, region Reg
 func BenchmarkVMDispatch(b *testing.B) {
 	text := dispatchProgram()
 	const textBase = 0x00400000
-	tprog := Translate(text, textBase, analysis.NewBlockMap(text, textBase))
+	blocks := analysis.NewBlockMap(text, textBase)
+	tprog := Translate(text, textBase, blocks)
 
-	for _, engine := range []string{"threaded", "interp"} {
+	// kernelFacts is what the verifier's facts pipeline would prove about
+	// dispatchProgram (built by hand — the vm package cannot import the
+	// verifier): the LW cursor stays inside the packet region (base +
+	// (counter & 0x3C), word-aligned) and the SW target is sp-8 on the
+	// stack. The threaded-fused row applies superinstruction fusion alone
+	// (nil facts), and threaded-proof adds the bounds-check elision, so
+	// the three untraced threaded rows separate dispatch, fusion, and
+	// checking costs.
+	kernelFacts := &TranslationFacts{Mem: make([]Region, len(text))}
+	kernelFacts.Mem[3] = RegionPacket
+	kernelFacts.Mem[6] = RegionStack
+	fusedProg := TranslateWithFacts(text, textBase, blocks, nil)
+	proofProg := TranslateWithFacts(text, textBase, blocks, kernelFacts)
+
+	for _, engine := range []string{"threaded", "threaded-fused", "threaded-proof", "interp"} {
 		for _, traced := range []bool{false, true} {
+			if traced && (engine == "threaded-fused" || engine == "threaded-proof") {
+				continue // tracing always runs the unfused checked body
+			}
 			b.Run(fmt.Sprintf("%s/traced=%v", engine, traced), func(b *testing.B) {
 				mem := NewMemory()
 				cpu := New(text, textBase, mem)
@@ -73,9 +91,14 @@ func BenchmarkVMDispatch(b *testing.B) {
 					cpu.PC = textBase
 					before := cpu.Steps()
 					var err error
-					if engine == "threaded" {
+					switch engine {
+					case "threaded":
 						_, _, err = cpu.RunProgram(tprog, 1<<30)
-					} else {
+					case "threaded-fused":
+						_, _, err = cpu.RunProgram(fusedProg, 1<<30)
+					case "threaded-proof":
+						_, _, err = cpu.RunProgram(proofProg, 1<<30)
+					default:
 						_, _, err = cpu.Run(1 << 30)
 					}
 					if err != nil {

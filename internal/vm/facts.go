@@ -1,0 +1,70 @@
+package vm
+
+// TranslationFacts carries verifier-proven properties of a program into
+// the block-threaded translator. The facts are produced by the static
+// verifier (internal/staticcheck) from an abstract interpretation of the
+// program under the framework's entry contract; the translator consumes
+// them to elide runtime fault checks and fold branches it could never
+// prove safe on its own.
+//
+// Soundness contract: every claim in a TranslationFacts must hold on
+// EVERY execution that enters the program at one of the entry points and
+// with the ABI register state declared to the verifier. The translator
+// trusts the facts blindly — an unchecked micro-op performs no
+// alignment or region validation at all — so facts must only ever come
+// from a sound analysis. A nil *TranslationFacts (or any per-entry zero
+// value) always means "no proof", which degrades to the fully-checked
+// translation; it can never make a program less safe, only slower.
+type TranslationFacts struct {
+	// Mem[i] is the proven memory region of instruction i's load/store
+	// operand: on every run the access is entirely inside this mapped
+	// region and naturally aligned, so the simulator's alignment and
+	// classification checks cannot fire. RegionNone means no proof.
+	Mem []Region
+	// Branch[i] records a conditional branch whose direction is the
+	// same on every run.
+	Branch []BranchFact
+	// Redundant[i] marks an AND/ANDI at i that provably leaves its
+	// source value unchanged (every possibly-set bit of the source is
+	// kept by the mask), so it can be translated as a register move.
+	Redundant []bool
+	// Dead[b] marks basic block b (in the translator's own block
+	// numbering) as unreachable from the declared entry points. Dead
+	// blocks keep their fully-checked translation and are skipped by
+	// the optimizer.
+	Dead []bool
+}
+
+// BranchFact is the statically proven direction of a conditional branch.
+type BranchFact uint8
+
+// Branch direction facts.
+const (
+	BranchUnknown BranchFact = iota // direction depends on the input
+	BranchAlways                    // taken on every run
+	BranchNever                     // never taken on any run
+)
+
+// memAt returns the proven region for instruction i, RegionNone when the
+// facts are absent or silent.
+func (tf *TranslationFacts) memAt(i int) Region {
+	if tf == nil || i >= len(tf.Mem) {
+		return RegionNone
+	}
+	return tf.Mem[i]
+}
+
+func (tf *TranslationFacts) branchAt(i int) BranchFact {
+	if tf == nil || i >= len(tf.Branch) {
+		return BranchUnknown
+	}
+	return tf.Branch[i]
+}
+
+func (tf *TranslationFacts) redundantAt(i int) bool {
+	return tf != nil && i < len(tf.Redundant) && tf.Redundant[i]
+}
+
+func (tf *TranslationFacts) deadAt(b int) bool {
+	return tf != nil && b < len(tf.Dead) && tf.Dead[b]
+}

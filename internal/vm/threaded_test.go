@@ -54,7 +54,10 @@ func runEngine(t *testing.T, text []isa.Instruction, textBase uint32, maxSteps u
 		err    error
 	)
 	if threaded {
-		p := Translate(text, textBase, analysis.NewBlockMap(text, textBase))
+		// Nil facts: superinstruction fusion is on (it needs no proofs)
+		// but nothing is elided or unchecked, so the differential tests
+		// exercise the fused dispatch loop against the interpreter.
+		p := TranslateWithFacts(text, textBase, analysis.NewBlockMap(text, textBase), nil)
 		steps, reason, err = cpu.RunProgram(p, maxSteps)
 	} else {
 		steps, reason, err = cpu.Run(maxSteps)
@@ -413,6 +416,72 @@ func TestThreadedStepsAccumulate(t *testing.T) {
 	}
 	if cpu.Steps() != 9 {
 		t.Fatalf("lifetime steps = %d, want 9", cpu.Steps())
+	}
+}
+
+// TestNoProofNoUncheckedOps is the hostile half of the proof-guided
+// translation contract: without verifier proofs, no memory check may be
+// elided and no branch folded, no matter how fusable the program looks.
+// Plain Translate (the Options.NoVerify path) must additionally emit no
+// proof-guided micro-ops at all — not even superinstructions.
+func TestNoProofNoUncheckedOps(t *testing.T) {
+	const base = 0x00400000
+	// Loads, stores, a fusable ALU chain, and a loop latch: everything
+	// the optimizer would love to touch.
+	text := []isa.Instruction{
+		ins(isa.LW, 4, 1, 0, 0),
+		ins(isa.SRLI, 5, 4, 0, 8),
+		ins(isa.SLLI, 5, 5, 0, 2),
+		ins(isa.ANDI, 6, 5, 0, 0xFF),
+		ins(isa.OR, 6, 6, 4, 0),
+		ins(isa.ADD, 6, 6, 1, 0),
+		ins(isa.SW, 6, 3, 0, -8),
+		ins(isa.ADDI, 7, 7, 0, 1),
+		ins(isa.BLT, 0, 7, 8, -8),
+		ins(isa.HALT, 0, 0, 0, 0),
+	}
+	blocks := analysis.NewBlockMap(text, base)
+
+	plain := Translate(text, base, blocks)
+	if plain.stats != (TranslateStats{}) {
+		t.Fatalf("plain Translate has non-zero stats: %+v", plain.stats)
+	}
+	for i, op := range plain.fops {
+		if op.code > uBAD {
+			t.Fatalf("plain Translate emitted proof-guided code %d at %d", op.code, i)
+		}
+	}
+
+	for _, tc := range []struct {
+		name  string
+		facts *TranslationFacts
+	}{
+		{"nil facts", nil},
+		{"empty facts", &TranslationFacts{}},
+	} {
+		p := TranslateWithFacts(text, base, blocks, tc.facts)
+		st := p.Stats()
+		if st.UncheckedLoads+st.UncheckedStores+st.FoldedBranches+st.ElidedMasks+st.DeadBlocks != 0 {
+			t.Fatalf("%s: elision without proof: %+v", tc.name, st)
+		}
+		for i, op := range p.fops {
+			if op.code >= uULB && op.code <= uGOTO {
+				t.Fatalf("%s: unchecked/folded code %d at %d", tc.name, op.code, i)
+			}
+		}
+		// Fusion itself needs no proofs and must still fire, and every
+		// consumed slot must keep its single-op form for mid-entry.
+		if st.FusedPairs+st.FusedTriples+st.FusedWide == 0 {
+			t.Fatalf("%s: no fusion on a fusable program", tc.name)
+		}
+		for i, op := range p.fops {
+			if op.code > uGOTO || i == 0 {
+				continue // fused heads diverge from the plain form by design
+			}
+			if op != plain.fops[i] && op.code <= uBAD && p.fops[i-1].code <= uGOTO {
+				t.Fatalf("%s: non-head slot %d changed: %+v vs %+v", tc.name, i, op, plain.fops[i])
+			}
+		}
 	}
 }
 

@@ -42,6 +42,15 @@ const (
 	RegionStack                // call stack
 
 	numRegions = int(RegionStack) + 1
+
+	// pageCacheSlots sizes the CPU's direct-mapped last-page cache; the
+	// hot working set of a packet program is a handful of pages (packet,
+	// stack, a table page or three), so 32 slots make collisions rare.
+	// Slots are picked by multiplicative hash, NOT by pidx low bits:
+	// region bases are large powers of two, so the hot pages' indexes
+	// share all their low bits and a low-bits scheme piles every region
+	// onto slot zero.
+	pageCacheSlots = 32
 )
 
 var regionNames = map[Region]string{
@@ -117,11 +126,6 @@ const (
 	FaultOversizePacket           // packet larger than the packet buffer
 	FaultHostPanic                // panic recovered during simulated execution
 )
-
-// FaultBadIinstr is the original, misspelled name of FaultBadInstr.
-//
-// Deprecated: use FaultBadInstr.
-const FaultBadIinstr = FaultBadInstr
 
 var faultNames = map[FaultKind]string{
 	FaultBadFetch:       "instruction fetch outside text segment",
@@ -218,16 +222,17 @@ type CPU struct {
 	// that were actually written.
 	packetWriteHigh uint32
 
-	// Per-region last-page cache used by the block-threaded engine:
+	// Direct-mapped last-page cache used by the block-threaded engine:
 	// consecutive accesses to the same 4 KiB page skip the Memory.pages
-	// map lookup. One slot per Region, because real workloads alternate
-	// between regions (packet header reads interleaved with stack
-	// spills) and a single shared slot would thrash. Pages are never
-	// freed or replaced once allocated, so a cached pointer can never go
-	// stale; only nil lookups are left uncached (a host write could
-	// allocate the page later).
-	pageCache    [numRegions]*page
-	pageCacheIdx [numRegions]uint32
+	// map lookup. Keyed by the low bits of the page index, so hot pages
+	// in the same region (a lookup table straddling pages, table reads
+	// interleaved with result stores) get separate slots instead of
+	// thrashing one shared per-region slot. Pages are never freed or
+	// replaced once allocated, so a cached pointer can never go stale;
+	// only nil lookups are left uncached (a host write could allocate
+	// the page later).
+	pageCache    [pageCacheSlots]*page
+	pageCacheIdx [pageCacheSlots]uint32
 }
 
 // New creates a CPU executing the given pre-decoded text segment. The

@@ -612,9 +612,6 @@ func TestFaultErrorsIsAs(t *testing.T) {
 }
 
 func TestFaultKindNames(t *testing.T) {
-	if FaultBadIinstr != FaultBadInstr {
-		t.Error("deprecated alias diverged from FaultBadInstr")
-	}
 	if got := FaultNone.String(); got != "none" {
 		t.Errorf("FaultNone.String() = %q", got)
 	}
