@@ -85,6 +85,7 @@ type config struct {
 	progress   bool   // live status line on stderr
 	debugAddr  string // /metrics + expvar + pprof HTTP endpoint
 	profileOut string // guest-profile output path prefix
+	profileIn  string // recorded counts sidecar feeding PGO compilation
 }
 
 func main() {
@@ -107,7 +108,7 @@ func main() {
 	flag.BoolVar(&cfg.annotate, "annotate", false, "print a gprof-style listing with per-instruction execution counts")
 	flag.StringVar(&cfg.flowDot, "flowgraph", "", "write the weighted basic-block flow graph to this Graphviz file")
 	flag.IntVar(&cfg.pool, "pool", 1, "run on this many simulated cores via the streaming work-queue scheduler (stateful applications keep per-core state)")
-	flag.StringVar(&cfg.engine, "engine", "threaded", "execution engine: threaded (block-threaded, default) or interp (reference interpreter)")
+	flag.StringVar(&cfg.engine, "engine", "threaded", "execution engine: threaded (block-threaded, default), compiled (profile-guided closure compilation over the threaded tier), or interp (reference interpreter)")
 	flag.BoolVar(&cfg.noVerify, "no-verify", false, "load the application even if the static verifier reports errors")
 	flag.StringVar(&cfg.faultPolicy, "fault-policy", "fail-fast", "reaction to per-packet faults: fail-fast, skip (quarantine and continue), or retry")
 	flag.IntVar(&cfg.errorBudget, "error-budget", 0, "max packets one run may quarantine under -fault-policy skip/retry (0 = unlimited); also bounds malformed trace records skipped by the readers")
@@ -122,7 +123,8 @@ func main() {
 	flag.StringVar(&cfg.shed, "shed", "block", "pool overload policy when the backlog is full: block (lossless), drop-newest, or drop-oldest")
 	flag.BoolVar(&cfg.progress, "progress", false, "render a live status line on stderr: packets/sec, instrs/sec, faults, %% complete")
 	flag.StringVar(&cfg.debugAddr, "debug-addr", "", "serve /metrics (Prometheus text), /debug/vars (expvar) and /debug/pprof on this address (e.g. :6060)")
-	flag.StringVar(&cfg.profileOut, "profile-out", "", "write guest-program profiles to <path>.folded (flamegraph) and <path>.pb.gz (go tool pprof)")
+	flag.StringVar(&cfg.profileOut, "profile-out", "", "write guest-program profiles to <path>.folded (flamegraph), <path>.pb.gz (go tool pprof) and <path>.counts (-profile-in sidecar)")
+	flag.StringVar(&cfg.profileIn, "profile-in", "", "seed -engine=compiled block selection from this recorded counts sidecar (written by a previous run's -profile-out)")
 	flag.Parse()
 	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "packetbench:", err)
@@ -426,13 +428,18 @@ func run(cfg config) error {
 		return runPool(app, trace.NewSliceReader(pkts), 0, &cfg, policy, engine, inj, reg, false, nil)
 	}
 
+	pgo, err := readProfileCounts(cfg.profileIn)
+	if err != nil {
+		return err
+	}
 	bench, err := core.New(app, core.Options{
-		Coverage: true,
-		Detail:   cfg.dumpPkt >= 0 || cfg.flowDot != "",
-		Errors:   policy,
-		Engine:   engine,
-		NoVerify: cfg.noVerify,
-		Metrics:  reg,
+		Coverage:      true,
+		Detail:        cfg.dumpPkt >= 0 || cfg.flowDot != "",
+		Errors:        policy,
+		Engine:        engine,
+		NoVerify:      cfg.noVerify,
+		Metrics:       reg,
+		ProfileCounts: pgo,
 	})
 	if err != nil {
 		return describeVerifyError(err)
@@ -620,9 +627,30 @@ func writeProfiles(base string, app *core.App, prog *asm.Program, counts []uint6
 	if err := write(base+".pb.gz", func(f *os.File) error { return p.WritePprof(f) }); err != nil {
 		return err
 	}
-	fmt.Printf("\nwrote guest profile (%d functions, %d instructions) to %s.folded and %s.pb.gz\n",
-		len(p.Funcs), p.Total, base, base)
+	if err := write(base+".counts", func(f *os.File) error { return profile.WriteCounts(f, counts) }); err != nil {
+		return err
+	}
+	fmt.Printf("\nwrote guest profile (%d functions, %d instructions) to %s.folded, %s.pb.gz and %s.counts\n",
+		len(p.Funcs), p.Total, base, base, base)
 	return nil
+}
+
+// readProfileCounts loads the -profile-in counts sidecar, nil when the
+// flag is unset.
+func readProfileCounts(path string) ([]uint64, error) {
+	if path == "" {
+		return nil, nil
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	counts, err := profile.ReadCounts(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return counts, nil
 }
 
 // describeVerifyError expands a static-verification rejection into the
@@ -700,14 +728,19 @@ func runPool(app *core.App, reader trace.Reader, limit int, cfg *config, policy 
 	if err != nil {
 		return err
 	}
+	pgo, err := readProfileCounts(cfg.profileIn)
+	if err != nil {
+		return err
+	}
 	pool, err := core.NewPool(app, cfg.pool, core.Options{
-		Errors:       policy,
-		Engine:       engine,
-		NoVerify:     cfg.noVerify,
-		Metrics:      reg,
-		RunDeadline:  cfg.deadline,
-		StallTimeout: cfg.stallTimeout,
-		Shed:         shed,
+		Errors:        policy,
+		Engine:        engine,
+		NoVerify:      cfg.noVerify,
+		Metrics:       reg,
+		RunDeadline:   cfg.deadline,
+		StallTimeout:  cfg.stallTimeout,
+		Shed:          shed,
+		ProfileCounts: pgo,
 	})
 	if err != nil {
 		return describeVerifyError(err)

@@ -28,10 +28,19 @@ func main() {
 		scale   = flag.Float64("scale", 1.0, "scale factor on the paper's packet counts")
 		outDir  = flag.String("out", "", "also write figure series as CSV files into this directory")
 		profM   = flag.Bool("profile", false, "profile each application's guest program instead of running experiments; with -out, also writes <app>.folded and <app>.pb.gz")
+		hotM    = flag.Bool("hot", false, "print each application's top-K hot basic blocks from a recorded profile run (the compiled tier's selection view)")
+		hotK    = flag.Int("k", 10, "rows per application in -hot mode")
 		profTr  = flag.String("profile-trace", "MRA", "trace the -profile mode runs each application over")
 		profPkt = flag.Int("profile-packets", 1000, "packets per application in -profile mode (scaled by -scale)")
 	)
 	flag.Parse()
+	if *hotM {
+		if err := runHot(*profTr, scaled(*profPkt, *scale), *hotK); err != nil {
+			fmt.Fprintln(os.Stderr, "pbreport:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *profM {
 		if err := runProfile(*profTr, scaled(*profPkt, *scale), *outDir); err != nil {
 			fmt.Fprintln(os.Stderr, "pbreport:", err)
@@ -43,6 +52,24 @@ func main() {
 		fmt.Fprintln(os.Stderr, "pbreport:", err)
 		os.Exit(1)
 	}
+}
+
+// runHot is the -hot mode: run every application over the named trace
+// with per-instruction counting and print the top-k basic blocks by
+// retired instructions — the blocks the compiled tier's profile-guided
+// selection would compile first.
+func runHot(traceName string, packets, k int) error {
+	cfg := report.Config{TablePackets: packets}
+	fmt.Fprintf(os.Stderr, "building environment (traces + routing tables)...\n")
+	env := report.NewEnv(cfg)
+	for _, app := range report.AppNames {
+		rows, err := env.HotBlocks(app, traceName, packets, k)
+		if err != nil {
+			return fmt.Errorf("ranking %s: %w", app, err)
+		}
+		fmt.Println(report.FormatHotBlocks(app, traceName, rows, packets))
+	}
+	return nil
 }
 
 // runProfile is the -profile mode: run every application over the named

@@ -18,6 +18,7 @@ func TestFactsFireOnApps(t *testing.T) {
 	list := All(tbl, 64, 1)
 	list = append(list, PayloadScan([4]byte{0xde, 0xad, 0xbe, 0xef}), Frag(576))
 	anyUnchecked := false
+	fusedApps := 0
 	for _, app := range list {
 		b, err := core.New(app, core.Options{Engine: core.EngineThreaded})
 		if err != nil {
@@ -26,8 +27,14 @@ func TestFactsFireOnApps(t *testing.T) {
 		st := b.TranslationStats()
 		t.Logf("%-14s fused=%d triples=%d wide=%d uncheckedLoads=%d uncheckedStores=%d foldedBranches=%d elidedMasks=%d deadBlocks=%d",
 			app.Name, st.FusedPairs, st.FusedTriples, st.FusedWide, st.UncheckedLoads, st.UncheckedStores, st.FoldedBranches, st.ElidedMasks, st.DeadBlocks)
-		if st.FusedPairs == 0 {
-			t.Errorf("%s: no superinstructions fused", app.Name)
+		// Fusion is gated per program (the fused body must clear a
+		// weighted dispatch-reduction threshold), so not every app keeps
+		// its superinstructions — but the hot table-walk apps must.
+		if st.FusedPairs+st.FusedTriples+st.FusedWide > 0 {
+			fusedApps++
+		}
+		if st.UncheckedLoads+st.UncheckedStores == 0 {
+			t.Errorf("%s: no unchecked memory ops: the facts pipeline proved nothing", app.Name)
 		}
 		if st.UncheckedLoads+st.UncheckedStores > 0 {
 			anyUnchecked = true
@@ -35,5 +42,8 @@ func TestFactsFireOnApps(t *testing.T) {
 	}
 	if !anyUnchecked {
 		t.Errorf("no bundled app got a single unchecked memory op: the facts pipeline proved nothing")
+	}
+	if fusedApps < 3 {
+		t.Errorf("only %d apps kept superinstruction fusion; the gate should keep it for the table-walk apps at least", fusedApps)
 	}
 }

@@ -18,6 +18,15 @@
 //     the dispatch benchmarks' 0-alloc guardrail would catch only for
 //     the paths they happen to exercise.
 //
+//   - compiled-closure: the bodies of function literals built by the
+//     compiled tier's closure factories (internal/vm compile.go's
+//     makeStep/makeFusedStep/buildChain, plus anything whose doc
+//     comment carries a "pblint:closurefactory" directive) execute
+//     per guest instruction, so they get the hot-path treatment even
+//     though the factory itself runs once at compile time: no
+//     time.Now, no fmt, no make/new/append, no defer, no goroutines,
+//     and no nested closure creation.
+//
 // A finding can be waived by putting a "pblint:allow" comment on the
 // same source line, ideally with a reason:
 //
@@ -34,7 +43,7 @@ import (
 // Diagnostic is one finding, in the familiar file:line:col form.
 type Diagnostic struct {
 	Pos  token.Position
-	Rule string // "telemetry-series" or "hotpath"
+	Rule string // "telemetry-series", "hotpath" or "compiled-closure"
 	Msg  string
 }
 
@@ -70,6 +79,7 @@ func CheckFile(fset *token.FileSet, file *ast.File) []Diagnostic {
 	}
 	checkTelemetrySeries(file, emit)
 	checkHotPaths(file, emit)
+	checkClosureFactories(file, emit)
 	return ds
 }
 
@@ -127,7 +137,44 @@ func checkHotPaths(file *ast.File, emit func(token.Pos, string, string)) {
 		if !hot {
 			continue
 		}
-		checkHotBody(fn, emit)
+		checkHotBody("hot path "+fn.Name.Name, fn.Body, "hotpath", emit)
+	}
+}
+
+// closureFactoryFuncs are the compiled tier's closure factories: every
+// function literal they build is dispatched per guest instruction, so
+// the literals' bodies are hot even though the factories run once.
+var closureFactoryFuncs = map[string]bool{
+	"makeStep":      true,
+	"makeFusedStep": true,
+	"buildChain":    true,
+}
+
+// checkClosureFactories applies the hot-body rule to every function
+// literal inside a closure factory (built-in list or the
+// pblint:closurefactory directive).
+func checkClosureFactories(file *ast.File, emit func(token.Pos, string, string)) {
+	for _, decl := range file.Decls {
+		fn, ok := decl.(*ast.FuncDecl)
+		if !ok || fn.Body == nil {
+			continue
+		}
+		factory := closureFactoryFuncs[fn.Name.Name]
+		if fn.Doc != nil && strings.Contains(fn.Doc.Text(), "pblint:closurefactory") {
+			factory = true
+		}
+		if !factory {
+			continue
+		}
+		where := "compiled closure built by " + fn.Name.Name
+		ast.Inspect(fn.Body, func(n ast.Node) bool {
+			lit, ok := n.(*ast.FuncLit)
+			if !ok {
+				return true
+			}
+			checkHotBody(where, lit.Body, "compiled-closure", emit)
+			return false // nested literals are findings of the outer body
+		})
 	}
 }
 
@@ -135,30 +182,29 @@ func checkHotPaths(file *ast.File, emit func(token.Pos, string, string)) {
 // worse) per packet; Since and Until call Now internally.
 var timePackageFuncs = map[string]bool{"Now": true, "Since": true, "Until": true, "Sleep": true}
 
-func checkHotBody(fn *ast.FuncDecl, emit func(token.Pos, string, string)) {
-	where := fmt.Sprintf("hot path %s", fn.Name.Name)
-	ast.Inspect(fn.Body, func(n ast.Node) bool {
+func checkHotBody(where string, body ast.Node, rule string, emit func(token.Pos, string, string)) {
+	ast.Inspect(body, func(n ast.Node) bool {
 		switch n := n.(type) {
 		case *ast.DeferStmt:
-			emit(n.Pos(), "hotpath", where+" defers (per-call cost on every packet; restructure or move to the caller)")
+			emit(n.Pos(), rule, where+" defers (per-call cost on every packet; restructure or move to the caller)")
 		case *ast.GoStmt:
-			emit(n.Pos(), "hotpath", where+" spawns a goroutine per call")
+			emit(n.Pos(), rule, where+" spawns a goroutine per call")
 		case *ast.FuncLit:
-			emit(n.Pos(), "hotpath", where+" creates a closure (escapes and allocates per call)")
+			emit(n.Pos(), rule, where+" creates a closure (escapes and allocates per call)")
 			return false // the literal's own body is the closure's problem
 		case *ast.CallExpr:
 			switch fun := n.Fun.(type) {
 			case *ast.Ident:
 				if fun.Name == "make" || fun.Name == "new" || fun.Name == "append" {
-					emit(n.Pos(), "hotpath", fmt.Sprintf("%s calls %s (allocates per call; preallocate in setup)", where, fun.Name))
+					emit(n.Pos(), rule, fmt.Sprintf("%s calls %s (allocates per call; preallocate in setup)", where, fun.Name))
 				}
 			case *ast.SelectorExpr:
 				if pkg, ok := fun.X.(*ast.Ident); ok {
 					if pkg.Name == "time" && timePackageFuncs[fun.Sel.Name] {
-						emit(n.Pos(), "hotpath", fmt.Sprintf("%s calls time.%s (wall-clock read per packet; hoist to the caller or gate behind metrics)", where, fun.Sel.Name))
+						emit(n.Pos(), rule, fmt.Sprintf("%s calls time.%s (wall-clock read per packet; hoist to the caller or gate behind metrics)", where, fun.Sel.Name))
 					}
 					if pkg.Name == "fmt" {
-						emit(n.Pos(), "hotpath", fmt.Sprintf("%s calls fmt.%s (formats and allocates per call)", where, fun.Sel.Name))
+						emit(n.Pos(), rule, fmt.Sprintf("%s calls fmt.%s (formats and allocates per call)", where, fun.Sel.Name))
 					}
 				}
 			}

@@ -1,0 +1,119 @@
+package profile
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/analysis"
+	"repro/internal/asm"
+)
+
+// HotBlock is one basic block ranked by retired instructions — the
+// selection unit of the compiled tier's offline profile-guided
+// compilation (vm.CompileConfig.Hot takes the Leader indexes).
+type HotBlock struct {
+	Block  int    // block id in the shared BlockMap numbering
+	Leader int    // instruction index of the block leader
+	Addr   uint32 // leader PC
+	Len    int    // block length in instructions
+	Count  uint64 // instructions retired inside the block
+}
+
+// HotBlocks ranks the program's basic blocks by exact retired
+// instruction count (stats.Collector.PCCounts), descending, ties by
+// address, and returns the top k. k <= 0 means all blocks with a
+// nonzero count. len(pcCounts) must equal len(prog.Text).
+func HotBlocks(prog *asm.Program, pcCounts []uint64, k int) ([]HotBlock, error) {
+	if len(pcCounts) != len(prog.Text) {
+		return nil, fmt.Errorf("profile: %d PC counts for %d instructions", len(pcCounts), len(prog.Text))
+	}
+	blocks := analysis.NewBlockMap(prog.Text, prog.TextBase)
+	out := make([]HotBlock, 0, blocks.NumBlocks())
+	for b := 0; b < blocks.NumBlocks(); b++ {
+		lead, end := blocks.LeaderIndex(b), blocks.EndIndex(b)
+		var count uint64
+		for i := lead; i < end; i++ {
+			count += pcCounts[i]
+		}
+		if count == 0 {
+			continue
+		}
+		out = append(out, HotBlock{
+			Block:  b,
+			Leader: lead,
+			Addr:   blocks.Leader(b),
+			Len:    end - lead,
+			Count:  count,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Addr < out[j].Addr
+	})
+	if k > 0 && len(out) > k {
+		out = out[:k]
+	}
+	return out, nil
+}
+
+// countsMagic heads the exact-counts sidecar that carries a recorded
+// run's PCCounts between processes — the offline half of the compiled
+// tier's profile-guided selection (-profile-out writes it, -profile-in
+// feeds it back).
+const countsMagic = "pb32-pccounts v1"
+
+// WriteCounts writes the per-instruction execution counts in the
+// sidecar format: a header with the instruction count, then one
+// "index count" line per instruction with a nonzero count.
+func WriteCounts(w io.Writer, counts []uint64) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "%s %d\n", countsMagic, len(counts)); err != nil {
+		return err
+	}
+	for i, c := range counts {
+		if c == 0 {
+			continue
+		}
+		if _, err := fmt.Fprintf(bw, "%d %d\n", i, c); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadCounts parses a sidecar written by WriteCounts, returning the
+// full-length per-instruction count slice.
+func ReadCounts(r io.Reader) ([]uint64, error) {
+	br := bufio.NewReader(r)
+	var magic1, magic2 string
+	var n int
+	if _, err := fmt.Fscanf(br, "%s %s %d\n", &magic1, &magic2, &n); err != nil {
+		return nil, fmt.Errorf("profile: bad counts header: %w", err)
+	}
+	if magic1+" "+magic2 != countsMagic {
+		return nil, fmt.Errorf("profile: bad counts magic %q", magic1+" "+magic2)
+	}
+	if n < 0 || n > 1<<24 {
+		return nil, fmt.Errorf("profile: unreasonable instruction count %d", n)
+	}
+	counts := make([]uint64, n)
+	for {
+		var i int
+		var c uint64
+		_, err := fmt.Fscanf(br, "%d %d\n", &i, &c)
+		if err == io.EOF {
+			return counts, nil
+		}
+		if err != nil {
+			return nil, fmt.Errorf("profile: bad counts line: %w", err)
+		}
+		if i < 0 || i >= n {
+			return nil, fmt.Errorf("profile: count index %d out of range [0,%d)", i, n)
+		}
+		counts[i] = c
+	}
+}

@@ -60,3 +60,20 @@ func TestGoldenTable4MemoryCoverage(t *testing.T) {
 	}
 	checkGolden(t, "table4_coverage", FormatTable4(rows, testConfig.CoveragePackets))
 }
+
+func TestGoldenHotBlocks(t *testing.T) {
+	rows, err := sharedEnv.HotBlocks("IPv4-radix", "MRA", testConfig.TablePackets, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) == 0 {
+		t.Fatal("no hot blocks ranked")
+	}
+	for i := 1; i < len(rows); i++ {
+		if rows[i].Block.Count > rows[i-1].Block.Count {
+			t.Fatalf("ranking not descending at %d: %d > %d", i, rows[i].Block.Count, rows[i-1].Block.Count)
+		}
+	}
+	checkGolden(t, "hot_blocks_radix",
+		FormatHotBlocks("IPv4-radix", "MRA", rows, testConfig.TablePackets))
+}

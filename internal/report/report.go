@@ -187,6 +187,88 @@ func (e *Env) Profile(appName, traceName string, n int) (*profile.Profile, error
 		profile.Options{Entries: entries, AppName: appName})
 }
 
+// HotBlockRow is one ranked basic block of a recorded profile: the
+// block, its enclosing function, and its per-packet cost — the
+// selection view the compiled tier's profile-guided compilation acts
+// on (pbreport -hot).
+type HotBlockRow struct {
+	Block profile.HotBlock
+	// Func names the enclosing function; Offset is the block leader's
+	// byte offset from the function entry.
+	Func   string
+	Offset uint32
+	// PerPacket is the block's retired instructions per packet;
+	// Share its fraction of every counted instruction.
+	PerPacket float64
+	Share     float64
+}
+
+// HotBlocks runs appName over the first n packets of the named trace
+// with per-instruction counting and returns the top k basic blocks by
+// retired instructions (profile.HotBlocks), annotated with their
+// enclosing function and per-packet cost.
+func (e *Env) HotBlocks(appName, traceName string, n, k int) ([]HotBlockRow, error) {
+	app := e.app(appName)
+	b, err := core.New(app, core.Options{})
+	if err != nil {
+		return nil, err
+	}
+	b.Collector().CountPCs = true
+	if _, err := b.RunPackets(e.Trace(traceName, n), nil); err != nil {
+		return nil, err
+	}
+	counts := b.Collector().PCCounts
+	hot, err := profile.HotBlocks(b.Program(), counts, k)
+	if err != nil {
+		return nil, err
+	}
+	var entries []string
+	if app.Entry != "" {
+		entries = []string{app.Entry}
+	}
+	p, err := profile.Build(b.Program(), counts, profile.Options{Entries: entries, AppName: appName})
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]HotBlockRow, 0, len(hot))
+	for _, hb := range hot {
+		row := HotBlockRow{Block: hb, Func: fmt.Sprintf("0x%08x", hb.Addr)}
+		// Funcs are ordered by entry address: the enclosing function is
+		// the last one starting at or below the block leader.
+		for _, f := range p.Funcs {
+			if f.Addr > hb.Addr {
+				break
+			}
+			row.Func, row.Offset = f.Name, hb.Addr-f.Addr
+		}
+		if n > 0 {
+			row.PerPacket = float64(hb.Count) / float64(n)
+		}
+		if p.Total > 0 {
+			row.Share = float64(hb.Count) / float64(p.Total)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// FormatHotBlocks renders one application's hot-block ranking.
+func FormatHotBlocks(appName, traceName string, rows []HotBlockRow, packets int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Hot blocks: %s on %s (first %d packets)\n", appName, traceName, packets)
+	fmt.Fprintf(&b, "%4s %-10s %-26s %6s %12s %12s %7s\n",
+		"rank", "block", "function", "len", "instrs", "instrs/pkt", "share")
+	for i, r := range rows {
+		loc := r.Func
+		if r.Offset != 0 {
+			loc = fmt.Sprintf("%s+0x%x", r.Func, r.Offset)
+		}
+		fmt.Fprintf(&b, "%4d 0x%08x %-26s %6d %12d %12.1f %6.1f%%\n",
+			i+1, r.Block.Addr, loc, r.Block.Len, r.Block.Count, r.PerPacket, 100*r.Share)
+	}
+	return b.String()
+}
+
 // ----------------------------------------------------------------------
 // Table I
 

@@ -247,3 +247,82 @@ func FuzzFactsEngineDiff(f *testing.F) {
 		}
 	})
 }
+
+// FuzzCompiledEngineDiff is the compiled tier's end-to-end differential:
+// any program the assembler accepts, compiled through the full pipeline
+// (assemble → verifier facts → proof-guided translation → closure
+// compilation with every block seeded hot) must be bit-identical to the
+// reference interpreter in every observable, including the materialized
+// fault state at side exits. CI runs this as a short -fuzz smoke next to
+// FuzzFactsEngineDiff.
+func FuzzCompiledEngineDiff(f *testing.F) {
+	for _, s := range asm.FuzzSeeds {
+		f.Add(s)
+	}
+	f.Add("process_packet:\n\tlbu t0, 0(a0)\n\tandi t0, t0, 0xFF\n\tsw t0, -4(sp)\n\tret")
+	f.Add("p:\n\tli t0, 64\n\tli t1, 0\nx:\n\tlw t2, 0(a0)\n\tadd t1, t1, t2\n\txor t1, t1, t0\n\tsw t1, -8(sp)\n\taddi t0, t0, -1\n\tbne t0, zero, x\n\tret")
+	f.Fuzz(func(t *testing.T, src string) {
+		prog, err := asm.Assemble(src, asm.Options{})
+		if err != nil || len(prog.Text) == 0 || len(prog.Text) > 4096 {
+			t.Skip()
+		}
+		layout := core.LayoutFor(prog, 1<<20)
+		_, facts := staticcheck.VerifyWithFacts(prog, staticcheck.Options{Layout: layout})
+		blocks := analysis.NewBlockMap(prog.Text, prog.TextBase)
+		tp := vm.TranslateWithFacts(prog.Text, prog.TextBase, blocks, facts.Translation())
+		hot := make([]int32, 0, blocks.NumBlocks())
+		for b := 0; b < blocks.NumBlocks(); b++ {
+			hot = append(hot, int32(blocks.LeaderIndex(b)))
+		}
+		cp := vm.Compile(tp, facts.Translation(), vm.CompileConfig{Hot: hot, PromoteAfter: 1})
+
+		run := func(compiled bool) (*vm.CPU, uint64, vm.StopReason, *vm.Fault) {
+			mem := vm.NewMemory()
+			mem.WriteBytes(prog.DataBase, prog.Data)
+			cpu := vm.New(prog.Text, prog.TextBase, mem)
+			cpu.Layout = layout
+			cpu.SetReg(isa.A0, layout.PacketBase)
+			cpu.SetReg(isa.A1, 64)
+			cpu.SetReg(isa.SP, layout.StackEnd)
+			cpu.SetReg(isa.RA, vm.ReturnAddress)
+			cpu.PC = entryAddr(prog)
+			var (
+				steps  uint64
+				reason vm.StopReason
+				rerr   error
+			)
+			if compiled {
+				steps, reason, rerr = cpu.RunCompiled(cp, 100_000)
+			} else {
+				steps, reason, rerr = cpu.Run(100_000)
+			}
+			var fault *vm.Fault
+			if rerr != nil && !errors.As(rerr, &fault) {
+				t.Fatalf("non-Fault error: %v", rerr)
+			}
+			return cpu, steps, reason, fault
+		}
+
+		ic, isteps, ireason, ifault := run(false)
+		cc, csteps, creason, cfault := run(true)
+		if ic.Regs != cc.Regs {
+			t.Fatalf("registers diverge:\ninterp   %v\ncompiled %v", ic.Regs, cc.Regs)
+		}
+		if ic.PC != cc.PC || isteps != csteps || ireason != creason {
+			t.Fatalf("pc/steps/reason diverge: interp (%#x,%d,%v) compiled (%#x,%d,%v)",
+				ic.PC, isteps, ireason, cc.PC, csteps, creason)
+		}
+		if (ifault == nil) != (cfault == nil) {
+			t.Fatalf("fault presence diverges: interp %v compiled %v", ifault, cfault)
+		}
+		if ifault != nil && (ifault.Kind != cfault.Kind || ifault.PC != cfault.PC || ifault.Addr != cfault.Addr) {
+			t.Fatalf("faults diverge: interp %+v compiled %+v", ifault, cfault)
+		}
+		if ic.PacketWriteHigh() != cc.PacketWriteHigh() {
+			t.Fatalf("packet watermark diverges: %d vs %d", ic.PacketWriteHigh(), cc.PacketWriteHigh())
+		}
+		if !ic.Mem.Equal(cc.Mem) {
+			t.Fatal("memory images diverge")
+		}
+	})
+}

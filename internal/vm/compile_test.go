@@ -1,0 +1,392 @@
+package vm
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/isa"
+)
+
+// compiledTestLayout is the standard memory map of the compiled-tier
+// tests, matching the dispatch benchmark's.
+func compiledTestLayout() Layout {
+	return Layout{
+		PacketBase: 0x20000000, PacketEnd: 0x20010000,
+		DataBase: 0x10000000, DataEnd: 0x10100000,
+		StackBase: 0x7FFF0000, StackEnd: 0x80000000,
+	}
+}
+
+// runEngine executes text on a fresh CPU with either the interpreter or
+// the compiled tier and returns every observable the side-exit contract
+// must materialize: the CPU (registers, PC, watermark, memory), the
+// retired-step count, the stop reason, and the fault.
+func runCompiledEngine(t *testing.T, text []isa.Instruction, cp *CompiledProgram,
+	maxSteps uint64, setup func(*CPU)) (*CPU, uint64, StopReason, *Fault) {
+	t.Helper()
+	const textBase = 0x00400000
+	mem := NewMemory()
+	cpu := New(text, textBase, mem)
+	cpu.Layout = compiledTestLayout()
+	payload := make([]byte, 256)
+	for i := range payload {
+		payload[i] = byte(i*3 + 1)
+	}
+	mem.WriteBytes(cpu.Layout.PacketBase, payload)
+	cpu.Regs[1] = cpu.Layout.PacketBase
+	cpu.Regs[3] = cpu.Layout.StackEnd - 0x8000
+	if setup != nil {
+		setup(cpu)
+	}
+	cpu.PC = textBase
+	var (
+		steps  uint64
+		reason StopReason
+		err    error
+	)
+	if cp != nil {
+		steps, reason, err = cpu.RunCompiled(cp, maxSteps)
+	} else {
+		steps, reason, err = cpu.Run(maxSteps)
+	}
+	var fault *Fault
+	if err != nil && !errors.As(err, &fault) {
+		t.Fatalf("non-Fault error: %v", err)
+	}
+	return cpu, steps, reason, fault
+}
+
+// compileAll builds the compiled tier for text with every block leader
+// pre-seeded hot, so the chains exist from the first packet and the test
+// exercises compiled closures rather than the cold tier.
+func compileAll(t *testing.T, text []isa.Instruction, facts *TranslationFacts) *CompiledProgram {
+	t.Helper()
+	const textBase = 0x00400000
+	blocks := analysis.NewBlockMap(text, textBase)
+	tprog := TranslateWithFacts(text, textBase, blocks, facts)
+	var hot []int32
+	for b := 0; b < blocks.NumBlocks(); b++ {
+		hot = append(hot, int32(blocks.LeaderIndex(b)))
+	}
+	cp := Compile(tprog, facts, CompileConfig{Hot: hot})
+	if cp == nil {
+		t.Fatal("Compile returned nil with non-nil facts")
+	}
+	if cp.Stats().BlocksCompiled == 0 {
+		t.Fatal("Compile built no chains")
+	}
+	return cp
+}
+
+// TestCompiledSideExits is the side-exit contract, table-driven: a
+// compiled region that stops mid-chain — a bad load, a misaligned
+// store, step-budget exhaustion (including inside the unrolled copies
+// of a loop latch), a halt, a return — must leave the CPU bit-identical
+// to the interpreter: registers, PC, retired steps, stop reason, fault
+// kind/PC/address, packet-store watermark, and the whole memory image.
+func TestCompiledSideExits(t *testing.T) {
+	// loopBody(n) is a counted packet-mix loop: load a packet word
+	// indexed off the counter, mix, store to the stack, decrement,
+	// branch back. With facts on the LW/SW it compiles to a fused,
+	// latch-unrolled chain; without facts the accesses stay checked.
+	loopBody := func(n int32, lwImm int32) []isa.Instruction {
+		return []isa.Instruction{
+			ins(isa.ADDI, 4, isa.Zero, 0, n), // counter
+			ins(isa.ADDI, 5, isa.Zero, 0, 0), // accumulator
+			ins(isa.ADDI, 7, 1, 0, 0),        // cursor = packet base
+			// loop:
+			ins(isa.LW, 6, 7, 0, lwImm),
+			ins(isa.ADD, 5, 5, 6, 0),
+			ins(isa.XOR, 5, 5, 4, 0),
+			ins(isa.SW, 5, 3, 0, -8),
+			ins(isa.ANDI, 8, 4, 0, 0x3C),
+			ins(isa.ADD, 7, 1, 8, 0),
+			ins(isa.ADDI, 4, 4, 0, -1),
+			ins(isa.BNE, 0, 4, isa.Zero, -8), // -> loop
+			ins(isa.HALT, 0, 0, 0, 0),
+		}
+	}
+	packetFacts := func(text []isa.Instruction) *TranslationFacts {
+		tf := &TranslationFacts{Mem: make([]Region, len(text))}
+		tf.Mem[3] = RegionPacket
+		tf.Mem[6] = RegionStack
+		return tf
+	}
+
+	cases := []struct {
+		name     string
+		text     []isa.Instruction
+		facts    func(text []isa.Instruction) *TranslationFacts
+		maxSteps uint64
+		setup    func(*CPU)
+		wantExit CompiledExitReason // an exit reason that must be observed
+	}{
+		{
+			// The checked LW reads an unmapped address on the very first
+			// iteration: the chain faults mid-body, after the three
+			// header instructions retired.
+			name: "bad load mid-chain",
+			text: loopBody(16, 0),
+			facts: func(text []isa.Instruction) *TranslationFacts {
+				return &TranslationFacts{} // accesses stay checked
+			},
+			maxSteps: 100_000,
+			setup:    func(c *CPU) { c.Regs[1] = 0x00000100 }, // unmapped cursor
+			wantExit: CexitFault,
+		},
+		{
+			// The checked SW hits a misaligned stack address.
+			name: "misaligned store mid-chain",
+			text: loopBody(16, 0),
+			facts: func(text []isa.Instruction) *TranslationFacts {
+				return &TranslationFacts{}
+			},
+			maxSteps: 100_000,
+			setup:    func(c *CPU) { c.Regs[3] = compiledTestLayout().StackEnd - 0x8000 + 2 },
+			wantExit: CexitFault,
+		},
+		{
+			// The budget runs out mid-loop: 50 steps into a 256-iteration
+			// loop, nowhere near a chain boundary.
+			name:     "budget exhaustion mid-chain",
+			text:     loopBody(256, 0),
+			facts:    packetFacts,
+			maxSteps: 50,
+			wantExit: CexitBudget,
+		},
+		{
+			// The budget lands inside the unrolled latch copies (not a
+			// multiple of 4 iterations' worth of steps), pinning the
+			// per-copy side-exit position rebasing.
+			name:     "budget exhaustion inside unrolled latch",
+			text:     loopBody(256, 0),
+			facts:    packetFacts,
+			maxSteps: 3 + 8*4 + 5, // header + 4 iterations + mid-body
+			wantExit: CexitBudget,
+		},
+		{
+			// The load goes bad on iteration 200 of 256 (the cursor
+			// walks off the packet page), i.e. deep inside the unrolled
+			// steady state — the materialized fault must still name the
+			// exact PC, address, and retire count.
+			name: "fault deep in unrolled loop",
+			text: loopBody(256, 0x0FFC),
+			facts: func(text []isa.Instruction) *TranslationFacts {
+				return &TranslationFacts{}
+			},
+			maxSteps: 100_000,
+			setup: func(c *CPU) {
+				// 0x0FFC + base + (counter&0x3C) crosses PacketEnd's last
+				// mapped word when counter&0x3C == 4 — but stays inside
+				// for 0: the fault fires when the masked index first
+				// exceeds the page.
+				c.Layout.PacketEnd = c.Layout.PacketBase + 0x1000
+			},
+			wantExit: CexitFault,
+		},
+		{
+			name:     "halt at chain end",
+			text:     loopBody(4, 0),
+			facts:    packetFacts,
+			maxSteps: 100_000,
+			wantExit: CexitHalt,
+		},
+		{
+			// A leaf return: jalr to the ABI return address stops the
+			// run with StopReturn.
+			name: "return to host",
+			text: []isa.Instruction{
+				ins(isa.LW, 6, 1, 0, 0),
+				ins(isa.ADD, 10, 6, 6, 0),
+				ins(isa.JALR, isa.Zero, 2, 0, 0),
+			},
+			facts: func(text []isa.Instruction) *TranslationFacts {
+				tf := &TranslationFacts{Mem: make([]Region, len(text))}
+				tf.Mem[0] = RegionPacket
+				return tf
+			},
+			maxSteps: 100_000,
+			setup:    func(c *CPU) { c.Regs[2] = ReturnAddress },
+			wantExit: CexitJalr,
+		},
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cp := compileAll(t, tc.text, tc.facts(tc.text))
+			ic, isteps, ireason, ifault := runCompiledEngine(t, tc.text, nil, tc.maxSteps, tc.setup)
+			cc, csteps, creason, cfault := runCompiledEngine(t, tc.text, cp, tc.maxSteps, tc.setup)
+
+			if ic.Regs != cc.Regs {
+				t.Errorf("registers diverge:\ninterp   %v\ncompiled %v", ic.Regs, cc.Regs)
+			}
+			if ic.PC != cc.PC || isteps != csteps || ireason != creason {
+				t.Errorf("pc/steps/reason diverge: interp (%#x,%d,%v) compiled (%#x,%d,%v)",
+					ic.PC, isteps, ireason, cc.PC, csteps, creason)
+			}
+			if (ifault == nil) != (cfault == nil) {
+				t.Fatalf("fault presence diverges: interp %v compiled %v", ifault, cfault)
+			}
+			if ifault != nil && *ifault != *cfault {
+				t.Errorf("faults diverge: interp %+v compiled %+v", ifault, cfault)
+			}
+			if ic.PacketWriteHigh() != cc.PacketWriteHigh() {
+				t.Errorf("packet watermark diverges: %#x vs %#x", ic.PacketWriteHigh(), cc.PacketWriteHigh())
+			}
+			if !ic.Mem.Equal(cc.Mem) {
+				t.Error("memory images diverge")
+			}
+			if n := cp.Stats().Exits[tc.wantExit]; n == 0 {
+				t.Errorf("expected at least one %v side exit, stats %+v", tc.wantExit, cp.Stats())
+			}
+		})
+	}
+}
+
+// TestCompiledMatchesInterpreterSweep sweeps the step budget over every
+// possible mid-chain stop point of a fused, unrolled loop: for each
+// budget from 1 to full completion, the compiled tier's materialized
+// state must equal the interpreter's. This catches off-by-one retire
+// counts at any side-exit position, including every unrolled copy.
+func TestCompiledMatchesInterpreterSweep(t *testing.T) {
+	text := []isa.Instruction{
+		ins(isa.ADDI, 4, isa.Zero, 0, 12),
+		ins(isa.ADDI, 5, isa.Zero, 0, 0),
+		ins(isa.ADDI, 7, 1, 0, 0),
+		ins(isa.LW, 6, 7, 0, 0),
+		ins(isa.ADD, 5, 5, 6, 0),
+		ins(isa.XOR, 5, 5, 4, 0),
+		ins(isa.SW, 5, 3, 0, -8),
+		ins(isa.ANDI, 8, 4, 0, 0x3C),
+		ins(isa.ADD, 7, 1, 8, 0),
+		ins(isa.ADDI, 4, 4, 0, -1),
+		ins(isa.BNE, 0, 4, isa.Zero, -8),
+		ins(isa.HALT, 0, 0, 0, 0),
+	}
+	tf := &TranslationFacts{Mem: make([]Region, len(text))}
+	tf.Mem[3] = RegionPacket
+	tf.Mem[6] = RegionStack
+	cp := compileAll(t, text, tf)
+
+	const fullRun = 3 + 12*8 + 1 // header + 12 iterations + halt
+	for budget := uint64(1); budget <= fullRun+1; budget++ {
+		ic, isteps, ireason, ifault := runCompiledEngine(t, text, nil, budget, nil)
+		cc, csteps, creason, cfault := runCompiledEngine(t, text, cp, budget, nil)
+		if ic.Regs != cc.Regs || ic.PC != cc.PC || isteps != csteps || ireason != creason {
+			t.Fatalf("budget %d: state diverges: interp (pc=%#x steps=%d reason=%v)\ncompiled (pc=%#x steps=%d reason=%v)\ninterp regs   %v\ncompiled regs %v",
+				budget, ic.PC, isteps, ireason, cc.PC, csteps, creason, ic.Regs, cc.Regs)
+		}
+		if (ifault == nil) != (cfault == nil) || (ifault != nil && *ifault != *cfault) {
+			t.Fatalf("budget %d: faults diverge: interp %+v compiled %+v", budget, ifault, cfault)
+		}
+		if !ic.Mem.Equal(cc.Mem) {
+			t.Fatalf("budget %d: memory images diverge", budget)
+		}
+	}
+}
+
+// TestCompiledOnlinePromotion checks the online tier-promotion path: with
+// no offline profile, a block must first run cold PromoteAfter times and
+// only then be compiled; after promotion the chain executes and the
+// stats say so.
+func TestCompiledOnlinePromotion(t *testing.T) {
+	text := []isa.Instruction{
+		ins(isa.LW, 6, 1, 0, 0),
+		ins(isa.ADD, 10, 6, 6, 0),
+		ins(isa.HALT, 0, 0, 0, 0),
+	}
+	const textBase = 0x00400000
+	blocks := analysis.NewBlockMap(text, textBase)
+	tf := &TranslationFacts{Mem: []Region{RegionPacket}}
+	tprog := TranslateWithFacts(text, textBase, blocks, tf)
+	cp := Compile(tprog, tf, CompileConfig{PromoteAfter: 3})
+	if cp == nil {
+		t.Fatal("Compile returned nil")
+	}
+
+	mem := NewMemory()
+	cpu := New(text, textBase, mem)
+	cpu.Layout = compiledTestLayout()
+	mem.WriteBytes(cpu.Layout.PacketBase, []byte{1, 2, 3, 4})
+	for run := 1; run <= 5; run++ {
+		cpu.Regs[1] = cpu.Layout.PacketBase
+		cpu.PC = textBase
+		if _, _, err := cpu.RunCompiled(cp, 1000); err != nil {
+			t.Fatalf("run %d: %v", run, err)
+		}
+		compiled := cp.Stats().BlocksCompiled
+		if run < 3 && compiled != 0 {
+			t.Fatalf("run %d: block promoted after %d executions, want %d", run, run, 3)
+		}
+		if run >= 3 && compiled == 0 {
+			t.Fatalf("run %d: block still cold, want promotion after 3 executions", run)
+		}
+	}
+	if cp.Stats().Exits[CexitHalt] == 0 {
+		t.Fatalf("promoted chain never executed: stats %+v", cp.Stats())
+	}
+}
+
+// TestCompileRequiresFacts is the hostile half of the compiled tier's
+// NoVerify contract, the compile-time analogue of
+// TestNoProofNoUncheckedOps: without verifier facts there is no compiled
+// tier at all — Compile refuses to build chains, so an unverified
+// program can never execute compiled code.
+func TestCompileRequiresFacts(t *testing.T) {
+	text := dispatchProgram()
+	const textBase = 0x00400000
+	blocks := analysis.NewBlockMap(text, textBase)
+	tprog := Translate(text, textBase, blocks)
+
+	if cp := Compile(tprog, nil, CompileConfig{Hot: []int32{0, 3}}); cp != nil {
+		t.Fatal("Compile built a program without facts")
+	}
+	if cp := Compile(nil, &TranslationFacts{}, CompileConfig{}); cp != nil {
+		t.Fatal("Compile built a program without a translation")
+	}
+}
+
+// TestCompiledChainEligibility checks that the verifier's
+// chain-eligibility facts gate compilation: a block marked ineligible
+// must never root a chain, even when seeded hot, and execution falls
+// back to the cold tier with identical results.
+func TestCompiledChainEligibility(t *testing.T) {
+	text := []isa.Instruction{
+		ins(isa.LW, 6, 1, 0, 0),
+		ins(isa.ADD, 10, 6, 6, 0),
+		ins(isa.HALT, 0, 0, 0, 0),
+	}
+	const textBase = 0x00400000
+	blocks := analysis.NewBlockMap(text, textBase)
+	tf := &TranslationFacts{
+		Mem:   []Region{RegionPacket},
+		Chain: make([]bool, blocks.NumBlocks()), // all ineligible
+	}
+	tprog := TranslateWithFacts(text, textBase, blocks, tf)
+	cp := Compile(tprog, tf, CompileConfig{Hot: []int32{0}, PromoteAfter: 1})
+	if cp == nil {
+		t.Fatal("Compile returned nil")
+	}
+	if got := cp.Stats().BlocksCompiled; got != 0 {
+		t.Fatalf("compiled %d ineligible blocks, want 0", got)
+	}
+
+	mem := NewMemory()
+	cpu := New(text, textBase, mem)
+	cpu.Layout = compiledTestLayout()
+	mem.WriteBytes(cpu.Layout.PacketBase, []byte{1, 2, 3, 4})
+	for run := 0; run < 4; run++ { // past any promotion threshold
+		cpu.Regs[1] = cpu.Layout.PacketBase
+		cpu.PC = textBase
+		if _, _, err := cpu.RunCompiled(cp, 1000); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := cp.Stats().BlocksCompiled; got != 0 {
+		t.Fatalf("online promotion compiled %d ineligible blocks, want 0", got)
+	}
+	if cpu.Regs[10] != 2*0x04030201 {
+		t.Fatalf("cold-tier fallback produced wrong result: r10 = %#x", cpu.Regs[10])
+	}
+}

@@ -65,10 +65,14 @@ func BenchmarkVMDispatch(b *testing.B) {
 	kernelFacts.Mem[6] = RegionStack
 	fusedProg := TranslateWithFacts(text, textBase, blocks, nil)
 	proofProg := TranslateWithFacts(text, textBase, blocks, kernelFacts)
+	// The compiled row re-compiles per sub-benchmark run (the
+	// CompiledProgram is per-CPU state), seeded hot so the chains exist
+	// from the first iteration like the other engines' programs do.
+	compiledHot := []int32{0, 3}
 
-	for _, engine := range []string{"threaded", "threaded-fused", "threaded-proof", "interp"} {
+	for _, engine := range []string{"threaded", "threaded-fused", "threaded-proof", "compiled", "interp"} {
 		for _, traced := range []bool{false, true} {
-			if traced && (engine == "threaded-fused" || engine == "threaded-proof") {
+			if traced && (engine == "threaded-fused" || engine == "threaded-proof" || engine == "compiled") {
 				continue // tracing always runs the unfused checked body
 			}
 			b.Run(fmt.Sprintf("%s/traced=%v", engine, traced), func(b *testing.B) {
@@ -83,6 +87,15 @@ func BenchmarkVMDispatch(b *testing.B) {
 				if traced {
 					cpu.Tracer = &countingTracer{}
 				}
+				// Place a payload at the packet base, like the framework
+				// does before every ProcessPacket: the kernel's loads hit
+				// allocated pages, not the never-written nil-page path.
+				payload := make([]byte, 64)
+				for i := range payload {
+					payload[i] = byte(i*7 + 3)
+				}
+				mem.WriteBytes(0x20000000, payload)
+				cprog := Compile(proofProg, kernelFacts, CompileConfig{Hot: compiledHot})
 				var steps uint64
 				b.ResetTimer()
 				for i := 0; i < b.N; i++ {
@@ -98,6 +111,8 @@ func BenchmarkVMDispatch(b *testing.B) {
 						_, _, err = cpu.RunProgram(fusedProg, 1<<30)
 					case "threaded-proof":
 						_, _, err = cpu.RunProgram(proofProg, 1<<30)
+					case "compiled":
+						_, _, err = cpu.RunCompiled(cprog, 1<<30)
 					default:
 						_, _, err = cpu.Run(1 << 30)
 					}

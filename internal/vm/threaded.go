@@ -395,6 +395,23 @@ func TranslateWithFacts(text []isa.Instruction, textBase uint32, blocks *analysi
 	// sequential execution skips them. Triples are matched before pairs:
 	// a triple always saves one more dispatch than any pairing of the
 	// same three instructions.
+	//
+	// Fusion is gated per program: the fused dispatch loop carries a
+	// bigger switch than the plain one, so a program whose hot loops
+	// barely fuse pays the larger-loop tax on every dispatch and wins
+	// nothing back. The trial below records the weighted dispatch
+	// reduction (loop bodies, where dispatches actually repeat, count
+	// fuseLoopWeight times) and the fused body is kept only when the
+	// estimated reduction clears fuseKeepPct.
+	rewrote := p.stats.UncheckedLoads+p.stats.UncheckedStores+
+		p.stats.FoldedBranches+p.stats.ElidedMasks > 0
+	base := make([]microOp, n)
+	copy(base, fops)
+	weight := loopWeights(fops, n)
+	var savedW, totalW uint64
+	for i := 0; i < n; i++ {
+		totalW += weight[i]
+	}
 	ext := make([]fusedExt, n)
 	for i := 0; i < n-1; i++ {
 		if p.endAt[i] != p.endAt[i+1] || facts.deadAt(int(p.blockOf[i])) {
@@ -409,6 +426,7 @@ func TranslateWithFacts(text []isa.Instruction, textBase uint32, blocks *analysi
 			}
 			fops[i].code, fops[i].aux = uF7SlliOrXorSlliOrAddiBlt, fops[i+6].aux
 			p.stats.FusedWide++
+			savedW += 6 * weight[i]
 			i += 6
 			continue
 		}
@@ -420,6 +438,7 @@ func TranslateWithFacts(text []isa.Instruction, textBase uint32, blocks *analysi
 			}
 			fops[i].code = uF5SrliSlliAndiOrAdd
 			p.stats.FusedWide++
+			savedW += 4 * weight[i]
 			i += 4
 			continue
 		}
@@ -433,6 +452,7 @@ func TranslateWithFacts(text []isa.Instruction, textBase uint32, blocks *analysi
 			// head is an ALU op, so the slot is free, same as for pairs).
 			fops[i].code, fops[i].aux = uF4SlliOrAddiBlt, fops[i+3].aux
 			p.stats.FusedWide++
+			savedW += 3 * weight[i]
 			i += 3
 			continue
 		}
@@ -443,6 +463,7 @@ func TranslateWithFacts(text []isa.Instruction, textBase uint32, blocks *analysi
 				ext[i+1] = singleExt(&fops[i+2])
 				fops[i].code = code
 				p.stats.FusedTriples++
+				savedW += 2 * weight[i]
 				i += 2 // neither consumed slot can also start a group
 				continue
 			}
@@ -450,11 +471,67 @@ func TranslateWithFacts(text []isa.Instruction, textBase uint32, blocks *analysi
 		if fused, fx, ok := fusePair(&fops[i], &fops[i+1]); ok {
 			fops[i], ext[i] = fused, fx
 			p.stats.FusedPairs++
+			savedW += weight[i]
 			i++ // the consumed slot cannot also start a pair
 		}
 	}
-	p.fops, p.ext = fops, ext
+	if savedW*100 >= totalW*fuseKeepPct {
+		p.fops, p.ext = fops, ext
+		return p
+	}
+	// Fusion gated off: the estimated dispatch reduction does not pay
+	// for the fused loop's larger switch. Keep the facts rewrites (they
+	// only remove work) on the pre-fusion body; a program with no
+	// rewrites either runs the plain loop with the plain body.
+	p.stats.FusedPairs, p.stats.FusedTriples, p.stats.FusedWide = 0, 0, 0
+	if rewrote {
+		// The trial's ext slots are unreachable: base has no fused heads,
+		// and only a fused head ever reads its ext slot.
+		p.fops, p.ext = base, ext
+	}
 	return p
+}
+
+// Fusion gate parameters: an instruction inside a statically detected
+// loop (spanned by a backward branch) counts fuseLoopWeight dispatches
+// against one for straight-line code, and the fused body is kept only
+// when it eliminates at least fuseKeepPct percent of the weighted
+// dispatches. 64 approximates the bundled apps' per-packet iteration
+// counts (table walks of 16-64 rounds); 20% is roughly where the
+// measured fused-loop tax breaks even on the dispatch benchmarks.
+const (
+	fuseLoopWeight = 64
+	fuseKeepPct    = 20
+)
+
+// loopWeights estimates each instruction's relative dynamic dispatch
+// frequency from the translated control flow alone: every backward
+// static control transfer (branch, folded uGOTO, or JAL with a target
+// at or before itself) marks its span as a loop, and instructions
+// inside at least one such span weigh fuseLoopWeight.
+func loopWeights(ops []microOp, n int) []uint64 {
+	depth := make([]int32, n+1)
+	for i := 0; i < n; i++ {
+		code := ops[i].code
+		if !isBranchCode(code) && code != uGOTO && code != uJAL {
+			continue
+		}
+		if t := ops[i].aux; t >= 0 && int(t) <= i {
+			depth[t]++
+			depth[i+1]--
+		}
+	}
+	w := make([]uint64, n)
+	var d int32
+	for i := 0; i < n; i++ {
+		d += depth[i]
+		if d > 0 {
+			w[i] = fuseLoopWeight
+		} else {
+			w[i] = 1
+		}
+	}
+	return w
 }
 
 // fuseAA maps specialized ALU+ALU pairs to their superinstruction.
