@@ -15,6 +15,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/gen"
+	"repro/internal/ptrace"
 	"repro/internal/report"
 	"repro/internal/telemetry"
 	"repro/internal/trace"
@@ -451,6 +452,31 @@ func BenchmarkProcessPacketSmall(b *testing.B) {
 			opts := core.Options{Engine: core.EngineThreaded}
 			if tel {
 				opts.Metrics = telemetry.NewRegistry()
+			}
+			bench, err := core.New(NewTSA(7), opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			bench.SetTracing(false)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := bench.ProcessPacket(pkts[i%len(pkts)]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+	// Packet-journey tracing guardrail, same contract as telemetry:
+	// disarmed (no Tracer in Options) the hot path pays only nil
+	// checks and must stay at zero allocations per packet; armed, every
+	// span lands in preallocated rings and must stay allocation-free
+	// too.
+	for _, traced := range []bool{false, true} {
+		b.Run(fmt.Sprintf("ptrace=%v", traced), func(b *testing.B) {
+			opts := core.Options{Engine: core.EngineThreaded}
+			if traced {
+				opts.Trace = ptrace.New(ptrace.Config{Lanes: 1, SampleEvery: 64})
 			}
 			bench, err := core.New(NewTSA(7), opts)
 			if err != nil {

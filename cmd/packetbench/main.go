@@ -35,6 +35,7 @@ import (
 	"repro/internal/microarch"
 	"repro/internal/packet"
 	"repro/internal/profile"
+	"repro/internal/ptrace"
 	"repro/internal/route"
 	"repro/internal/stats"
 	"repro/internal/telemetry"
@@ -82,10 +83,14 @@ type config struct {
 	shed            string        // overload shed policy: block, drop-newest, drop-oldest
 
 	// Observability.
-	progress   bool   // live status line on stderr
-	debugAddr  string // /metrics + expvar + pprof HTTP endpoint
-	profileOut string // guest-profile output path prefix
-	profileIn  string // recorded counts sidecar feeding PGO compilation
+	progress    bool          // live status line on stderr
+	debugAddr   string        // /metrics + expvar + pprof HTTP endpoint
+	profileOut  string        // guest-profile output path prefix
+	profileIn   string        // recorded counts sidecar feeding PGO compilation
+	traceOut    string        // packet-journey Chrome trace JSON output path
+	traceSample string        // head-sampling rate, "1/N" (or N); "off" disables
+	traceTail   time.Duration // always keep journeys slower than this
+	flightPath  string        // flight-recorder dump path, written on aborts
 }
 
 func main() {
@@ -121,10 +126,14 @@ func main() {
 	flag.DurationVar(&cfg.deadline, "deadline", 0, "cancel the run after this wall-clock duration (0 = none)")
 	flag.DurationVar(&cfg.stallTimeout, "stall-timeout", 0, "cancel a pool run when a worker makes no progress for this long (0 = watchdog off)")
 	flag.StringVar(&cfg.shed, "shed", "block", "pool overload policy when the backlog is full: block (lossless), drop-newest, or drop-oldest")
-	flag.BoolVar(&cfg.progress, "progress", false, "render a live status line on stderr: packets/sec, instrs/sec, faults, %% complete")
+	flag.BoolVar(&cfg.progress, "progress", false, "render a live status line on stderr: packets/sec, instrs/sec, faults, p99 latency, shed/stall counts, %% complete")
 	flag.StringVar(&cfg.debugAddr, "debug-addr", "", "serve /metrics (Prometheus text), /debug/vars (expvar) and /debug/pprof on this address (e.g. :6060)")
 	flag.StringVar(&cfg.profileOut, "profile-out", "", "write guest-program profiles to <path>.folded (flamegraph), <path>.pb.gz (go tool pprof) and <path>.counts (-profile-in sidecar)")
 	flag.StringVar(&cfg.profileIn, "profile-in", "", "seed -engine=compiled block selection from this recorded counts sidecar (written by a previous run's -profile-out)")
+	flag.StringVar(&cfg.traceOut, "trace-out", "", "write sampled packet-journey spans as Chrome trace-event JSON to this file (load in Perfetto or chrome://tracing)")
+	flag.StringVar(&cfg.traceSample, "trace-sample", "1/64", "packet-journey head-sampling rate, \"1/N\" or N (keep every Nth packet's span tree); \"off\" keeps only the slow-packet tail")
+	flag.DurationVar(&cfg.traceTail, "trace-tail", 0, "always keep journeys of packets slower than this host latency, regardless of sampling (0 = reservoir of slowest only)")
+	flag.StringVar(&cfg.flightPath, "flight-dump", "", "arm the flight recorder and write a post-mortem ring dump (Chrome trace JSON) to this file when the run aborts")
 	flag.Parse()
 	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "packetbench:", err)
@@ -316,10 +325,15 @@ func run(cfg config) error {
 	if err != nil {
 		return err
 	}
+	tracer, err := cfg.buildTracer()
+	if err != nil {
+		return err
+	}
 	// The registry exists only when something consumes it; a nil registry
-	// disables telemetry in the run engine at zero hot-path cost.
+	// disables telemetry in the run engine at zero hot-path cost. A
+	// -trace-out run wants it too, for the histogram→span exemplar links.
 	var reg *telemetry.Registry
-	if cfg.progress || cfg.debugAddr != "" {
+	if cfg.progress || cfg.debugAddr != "" || cfg.traceOut != "" {
 		reg = telemetry.NewRegistry()
 	}
 	if cfg.debugAddr != "" {
@@ -415,7 +429,7 @@ func run(cfg config) error {
 			if err != nil {
 				return err
 			}
-			runErr := runPool(app, r, cfg.count, &cfg, policy, engine, inj, reg, true, skipped)
+			runErr := runPool(app, r, cfg.count, &cfg, policy, engine, inj, reg, tracer, true, skipped)
 			cerr := cleanup()
 			if n := skipped(); n > 0 {
 				fmt.Printf("trace: skipped %d malformed records\n", n)
@@ -425,7 +439,7 @@ func run(cfg config) error {
 			}
 			return cerr
 		}
-		return runPool(app, trace.NewSliceReader(pkts), 0, &cfg, policy, engine, inj, reg, false, nil)
+		return runPool(app, trace.NewSliceReader(pkts), 0, &cfg, policy, engine, inj, reg, tracer, false, nil)
 	}
 
 	pgo, err := readProfileCounts(cfg.profileIn)
@@ -440,6 +454,7 @@ func run(cfg config) error {
 		NoVerify:      cfg.noVerify,
 		Metrics:       reg,
 		ProfileCounts: pgo,
+		Trace:         tracer,
 	})
 	if err != nil {
 		return describeVerifyError(err)
@@ -513,6 +528,9 @@ func run(cfg config) error {
 		}
 	})
 	if err != nil {
+		// Single-core aborts dump the flight recorder here; pool runs
+		// dump from inside the scheduler, closer to the failure.
+		writeFlightDump(&cfg, tracer, err)
 		return err
 	}
 	if outClose != nil {
@@ -560,7 +578,96 @@ func run(cfg config) error {
 			return err
 		}
 	}
+	return writeTraceOut(&cfg, tracer, reg, app.Name)
+}
+
+// buildTracer arms the packet-journey tracer when any consumer of its
+// data was requested; a nil tracer keeps the hot path allocation-free.
+func (cfg *config) buildTracer() (*ptrace.Tracer, error) {
+	if cfg.traceOut == "" && cfg.flightPath == "" {
+		return nil, nil
+	}
+	every, err := parseSampleRate(cfg.traceSample)
+	if err != nil {
+		return nil, err
+	}
+	lanes := cfg.pool
+	if lanes < 1 {
+		lanes = 1
+	}
+	return ptrace.New(ptrace.Config{
+		Lanes:       lanes,
+		SampleEvery: every,
+		TailNS:      int64(cfg.traceTail),
+	}), nil
+}
+
+// parseSampleRate reads -trace-sample: "1/N" or a bare N keeps every
+// Nth packet; "off" (or 0, or empty) disables head sampling.
+func parseSampleRate(s string) (int, error) {
+	s = strings.TrimSpace(s)
+	if s == "" || s == "off" {
+		return 0, nil
+	}
+	num := strings.TrimPrefix(s, "1/")
+	var n int
+	if _, err := fmt.Sscanf(num, "%d", &n); err != nil || n < 0 || fmt.Sprint(n) != num {
+		return 0, fmt.Errorf("bad -trace-sample %q (want \"1/N\", N, or \"off\")", s)
+	}
+	return n, nil
+}
+
+// writeTraceOut writes the run's kept packet journeys as Chrome
+// trace-event JSON, decorated with the latency histogram's exemplar
+// links when telemetry ran.
+func writeTraceOut(cfg *config, tracer *ptrace.Tracer, reg *telemetry.Registry, appName string) error {
+	if cfg.traceOut == "" || tracer == nil {
+		return nil
+	}
+	opts := ptrace.ExportOptions{App: appName, Trace: cfg.traceFile}
+	if reg != nil {
+		if h, ok := reg.Snapshot().HistogramFor(telemetry.MetricPacketLatency); ok {
+			for _, e := range h.Exemplars {
+				var le uint64
+				if e.Bucket < len(h.Bounds) {
+					le = h.Bounds[e.Bucket]
+				}
+				opts.Exemplars = append(opts.Exemplars, ptrace.Exemplar{
+					BucketLE: le, ValueNS: e.Value, Span: e.Span,
+				})
+			}
+		}
+	}
+	f, err := os.Create(cfg.traceOut)
+	if err != nil {
+		return err
+	}
+	if err := tracer.WriteTrace(f, opts); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("\nwrote packet-journey trace to %s (load in ui.perfetto.dev)\n", cfg.traceOut)
 	return nil
+}
+
+// writeFlightDump writes the post-mortem ring dump after a failed
+// single-core run. Best-effort: a dump failure never masks the run
+// error, which the caller is about to return.
+func writeFlightDump(cfg *config, tracer *ptrace.Tracer, runErr error) {
+	if cfg.flightPath == "" || tracer == nil || runErr == nil {
+		return
+	}
+	f, err := os.Create(cfg.flightPath)
+	if err != nil {
+		return
+	}
+	if tracer.WriteFlight(f, ptrace.FlightInfo{Cause: runErr.Error(), Worker: -1, Index: -1}) == nil {
+		fmt.Fprintf(os.Stderr, "packetbench: flight recorder dumped to %s\n", cfg.flightPath)
+	}
+	f.Close()
 }
 
 // startProgress launches the live status line and returns its stopper.
@@ -585,6 +692,15 @@ func startProgress(reg *telemetry.Registry, frac func() (float64, bool)) (stop f
 				cur.Rate(prev, telemetry.MetricPacketsProcessed),
 				cur.Rate(prev, telemetry.MetricInstrsExecuted),
 				cur.CounterTotal(telemetry.MetricPacketsFaulted))
+			if h, ok := cur.HistogramFor(telemetry.MetricPacketLatency); ok && h.Count > 0 {
+				line += fmt.Sprintf(" p99=%s", fmtLatency(h.P99()))
+			}
+			if n := cur.CounterTotal(telemetry.MetricPacketsShed); n > 0 {
+				line += fmt.Sprintf(" shed=%d", n)
+			}
+			if n := cur.CounterTotal(telemetry.MetricWatchdogStalls); n > 0 {
+				line += fmt.Sprintf(" stalls=%d", n)
+			}
 			if f, ok := frac(); ok {
 				line += fmt.Sprintf("  %5.1f%%", 100*f)
 			}
@@ -595,6 +711,18 @@ func startProgress(reg *telemetry.Registry, frac func() (float64, bool)) (stop f
 	return func() {
 		close(quit)
 		<-done
+	}
+}
+
+// fmtLatency renders a nanosecond quantile for the status line.
+func fmtLatency(ns float64) string {
+	switch {
+	case ns >= 1e6:
+		return fmt.Sprintf("%.1fms", ns/1e6)
+	case ns >= 1e3:
+		return fmt.Sprintf("%.1fµs", ns/1e3)
+	default:
+		return fmt.Sprintf("%.0fns", ns)
 	}
 }
 
@@ -723,7 +851,7 @@ func dumpTrace(bench *core.Bench, idx int, res core.Result) {
 // verdicts are counted exactly as in the single-core path. Stateful
 // applications (flow classification) keep per-core tables in this mode,
 // as real replicated-state engines would.
-func runPool(app *core.App, reader trace.Reader, limit int, cfg *config, policy core.ErrorPolicy, engine core.EngineKind, inj *faultinject.Injector, reg *telemetry.Registry, streaming bool, skipped func() int) error {
+func runPool(app *core.App, reader trace.Reader, limit int, cfg *config, policy core.ErrorPolicy, engine core.EngineKind, inj *faultinject.Injector, reg *telemetry.Registry, tracer *ptrace.Tracer, streaming bool, skipped func() int) error {
 	shed, err := core.ParseShedPolicy(cfg.shed)
 	if err != nil {
 		return err
@@ -741,6 +869,8 @@ func runPool(app *core.App, reader trace.Reader, limit int, cfg *config, policy 
 		StallTimeout:  cfg.stallTimeout,
 		Shed:          shed,
 		ProfileCounts: pgo,
+		Trace:         tracer,
+		FlightPath:    cfg.flightPath,
 	})
 	if err != nil {
 		return describeVerifyError(err)
@@ -813,6 +943,13 @@ func runPool(app *core.App, reader trace.Reader, limit int, cfg *config, policy 
 			agg.AddVerdict(res.Verdict)
 		}
 	}, ck); err != nil {
+		if cfg.flightPath != "" && tracer != nil {
+			// The pool dumps the flight recorder itself before the run
+			// error surfaces; just point the operator at the file.
+			if _, serr := os.Stat(cfg.flightPath); serr == nil {
+				fmt.Fprintf(os.Stderr, "packetbench: flight recorder dumped to %s\n", cfg.flightPath)
+			}
+		}
 		return err
 	}
 	s := agg.Summary()
@@ -849,5 +986,5 @@ func runPool(app *core.App, reader trace.Reader, limit int, cfg *config, policy 
 			return err
 		}
 	}
-	return nil
+	return writeTraceOut(cfg, tracer, reg, app.Name)
 }

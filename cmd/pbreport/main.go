@@ -29,13 +29,21 @@ func main() {
 		outDir  = flag.String("out", "", "also write figure series as CSV files into this directory")
 		profM   = flag.Bool("profile", false, "profile each application's guest program instead of running experiments; with -out, also writes <app>.folded and <app>.pb.gz")
 		hotM    = flag.Bool("hot", false, "print each application's top-K hot basic blocks from a recorded profile run (the compiled tier's selection view)")
-		hotK    = flag.Int("k", 10, "rows per application in -hot mode")
+		spansM  = flag.Bool("spans", false, "print each application's packet-journey breakdown: per-stage latency plus the slowest packets attributed to guest functions")
+		hotK    = flag.Int("k", 10, "rows per application in -hot and -spans modes")
 		profTr  = flag.String("profile-trace", "MRA", "trace the -profile mode runs each application over")
 		profPkt = flag.Int("profile-packets", 1000, "packets per application in -profile mode (scaled by -scale)")
 	)
 	flag.Parse()
 	if *hotM {
 		if err := runHot(*profTr, scaled(*profPkt, *scale), *hotK); err != nil {
+			fmt.Fprintln(os.Stderr, "pbreport:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *spansM {
+		if err := runSpans(*profTr, scaled(*profPkt, *scale), *hotK); err != nil {
 			fmt.Fprintln(os.Stderr, "pbreport:", err)
 			os.Exit(1)
 		}
@@ -68,6 +76,24 @@ func runHot(traceName string, packets, k int) error {
 			return fmt.Errorf("ranking %s: %w", app, err)
 		}
 		fmt.Println(report.FormatHotBlocks(app, traceName, rows, packets))
+	}
+	return nil
+}
+
+// runSpans is the -spans mode: run every application over the named
+// trace with the packet-journey tracer armed and print the per-stage
+// latency breakdown plus the top-k slowest journeys with function
+// attribution.
+func runSpans(traceName string, packets, k int) error {
+	cfg := report.Config{TablePackets: packets}
+	fmt.Fprintf(os.Stderr, "building environment (traces + routing tables)...\n")
+	env := report.NewEnv(cfg)
+	for _, app := range report.AppNames {
+		r, err := env.Spans(app, traceName, packets, k, nil)
+		if err != nil {
+			return fmt.Errorf("tracing %s: %w", app, err)
+		}
+		fmt.Println(report.FormatSpans(r))
 	}
 	return nil
 }

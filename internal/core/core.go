@@ -49,6 +49,7 @@ import (
 	"repro/internal/asm"
 	"repro/internal/isa"
 	"repro/internal/profile"
+	"repro/internal/ptrace"
 	"repro/internal/staticcheck"
 	"repro/internal/stats"
 	"repro/internal/telemetry"
@@ -352,6 +353,18 @@ type Options struct {
 	// Shed selects the overload policy of streaming pool runs (zero
 	// value: ShedBlock — backpressure, never drop).
 	Shed ShedPolicy
+	// Trace, when non-nil, arms the packet-journey tracer: each core
+	// records per-stage span events into its own ptrace lane (Pool core
+	// i uses Trace.Lane(i), so the tracer must be built with at least
+	// as many lanes as the pool has cores). Nil disables journey
+	// tracing at zero hot-path cost, the same contract as Metrics.
+	Trace *ptrace.Tracer
+	// FlightPath, when set alongside Trace, is where a pool run dumps
+	// the flight recorder (Chrome trace-event JSON) if it aborts —
+	// stall, panic, error-budget exhaustion, run deadline, torn
+	// checkpoint or any other run error. Best-effort: a dump that
+	// cannot be written never masks the run error.
+	FlightPath string
 	// ProfileCounts seeds the compiled engine's offline profile-guided
 	// block selection: per-instruction retired-instruction counts from
 	// a previous recorded run of the same program (the counts sidecar
@@ -524,7 +537,8 @@ type Bench struct {
 	policy       ErrorPolicy
 	budget       *errorBudget // for bare ProcessPacket calls; runs use their own
 	reg          *telemetry.Registry
-	metrics      *runMetrics // nil when telemetry is disabled
+	metrics      *runMetrics  // nil when telemetry is disabled
+	lane         *ptrace.Lane // nil when journey tracing is disabled
 
 	// dirtyLen is the number of bytes at PacketBase that may hold
 	// non-zero data from the previous packet: the previous placement
@@ -642,6 +656,7 @@ func New(app *App, opts Options) (*Bench, error) {
 		entry: entry, stepLimit: stepLimit,
 		policy: policy, budget: newErrorBudget(policy.ErrorBudget),
 		reg: opts.Metrics, metrics: newRunMetrics(opts.Metrics),
+		lane: opts.Trace.Lane(0),
 	}, nil
 }
 
@@ -721,15 +736,19 @@ func (b *Bench) processUnderPolicy(idx int, p *trace.Packet, bud *errorBudget) (
 		if a > 0 {
 			if d := retryDelay(b.policy.RetryBackoff, idx, a); d > 0 {
 				time.Sleep(d)
+				b.lane.RetryWait(int64(idx), a, int64(d))
 			}
 		}
 		var res Result
-		res, fault, err = b.processOnce(idx, p)
+		res, fault, err = b.processOnce(idx, p, a)
 		if err == nil {
+			b.lane.EndPacket(int64(idx), res.Verdict, 0, res.Record.Blocks)
 			return res, nil
 		}
 		if fault == nil || b.policy.Policy == FailFast {
-			// FailFast runs and non-fault errors abort immediately.
+			// FailFast runs and non-fault errors abort immediately. The
+			// open journey stays in the flight recorder, where the
+			// post-mortem dump picks it up.
 			return Result{}, err
 		}
 	}
@@ -738,13 +757,15 @@ func (b *Bench) processUnderPolicy(idx int, p *trace.Packet, bud *errorBudget) (
 		return Result{}, fmt.Errorf("core: error budget of %d exhausted: %w", b.policy.ErrorBudget, err)
 	}
 	b.metrics.fault(fault.Kind)
+	b.lane.Quarantine(int64(idx), uint8(fault.Kind)+1)
+	b.lane.EndPacket(int64(idx), 0, uint8(fault.Kind)+1, nil)
 	return Result{Record: b.col.AbortPacket(fault.Kind), Fault: fault}, nil
 }
 
 // processOnce runs one attempt: placement, dispatch, guarded execution.
 // On failure the *vm.Fault behind the error is returned alongside it
 // (nil for errors no policy may absorb).
-func (b *Bench) processOnce(idx int, p *trace.Packet) (Result, *vm.Fault, error) {
+func (b *Bench) processOnce(idx int, p *trace.Packet, attempt int) (Result, *vm.Fault, error) {
 	var start time.Time
 	if b.metrics != nil {
 		b.metrics.attempts.Inc()
@@ -756,6 +777,7 @@ func (b *Bench) processOnce(idx int, p *trace.Packet) (Result, *vm.Fault, error)
 		return Result{}, f, fmt.Errorf("core: %s: packet %d: packet of %d bytes exceeds buffer: %w",
 			b.app.Name, idx, n, f)
 	}
+	t0 := b.lane.ExecBegin(int64(idx), attempt)
 	// Place the packet. WriteBytes overwrites [0, n), so only the tail
 	// [n, dirtyLen) can still hold stale bytes from a longer previous
 	// packet (or from stores the previous run issued past its own
@@ -796,15 +818,29 @@ func (b *Bench) processOnce(idx int, p *trace.Packet) (Result, *vm.Fault, error)
 		}
 		var f *vm.Fault
 		errors.As(err, &f)
+		var fk uint8
+		if f != nil {
+			fk = uint8(f.Kind) + 1
+		}
+		b.lane.ExecEnd(t0, int64(idx), attempt, uint8(b.engine), 0, 0, fk)
 		return Result{}, f, fmt.Errorf("core: %s: packet %d: %w", b.app.Name, idx, err)
 	}
 	rec := b.col.EndPacket()
 	b.processed++
+	verdict := b.cpu.Reg(isa.A0)
+	b.lane.ExecEnd(t0, int64(idx), attempt, uint8(b.engine), rec.Instructions, verdict, 0)
 	if b.metrics != nil {
-		b.metrics.latency.Observe(uint64(time.Since(start)))
+		d := uint64(time.Since(start))
+		if b.lane != nil {
+			// A journey tracer links the latency histogram's buckets to
+			// span ids (the packet index) for exemplar chasing.
+			b.metrics.latency.ObserveEx(d, uint64(idx))
+		} else {
+			b.metrics.latency.Observe(d)
+		}
 		b.metrics.measured(&rec)
 	}
-	return Result{Verdict: b.cpu.Reg(isa.A0), Record: rec}, nil, nil
+	return Result{Verdict: verdict, Record: rec}, nil, nil
 }
 
 // runGuarded executes the simulator with a panic barrier: a panicking

@@ -1,0 +1,179 @@
+package core
+
+import (
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/ptrace"
+	"repro/internal/trace"
+)
+
+// flightDump mirrors the JSON shape of ptrace.WriteFlight output for
+// test parsing.
+type flightDump struct {
+	TraceEvents []struct {
+		Name string         `json:"name"`
+		Ph   string         `json:"ph"`
+		Tid  int            `json:"tid"`
+		Args map[string]any `json:"args"`
+	} `json:"traceEvents"`
+	OtherData struct {
+		Cause      string `json:"cause"`
+		FailWorker int    `json:"fail_worker"`
+		FailIndex  int64  `json:"fail_index"`
+		Lanes      []struct {
+			Lane      int    `json:"lane"`
+			Name      string `json:"name"`
+			Events    uint64 `json:"events"`
+			LastStage string `json:"last_stage"`
+			LastIndex int64  `json:"last_index"`
+			InFlight  bool   `json:"in_flight"`
+		} `json:"lanes"`
+	} `json:"otherData"`
+}
+
+func readFlightDump(t *testing.T, path string) flightDump {
+	t.Helper()
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("flight dump not written: %v", err)
+	}
+	var d flightDump
+	if err := json.Unmarshal(raw, &d); err != nil {
+		t.Fatalf("flight dump is not valid JSON: %v", err)
+	}
+	return d
+}
+
+// execEventsFor returns the packet indices of the exec events a lane's
+// ring dumped, in order.
+func (d *flightDump) execEventsFor(lane int) []int64 {
+	var out []int64
+	for _, ev := range d.TraceEvents {
+		if ev.Tid != lane || !strings.HasPrefix(ev.Name, "exec") {
+			continue
+		}
+		if idx, ok := ev.Args["index"].(float64); ok {
+			out = append(out, int64(idx))
+		}
+	}
+	return out
+}
+
+// TestFlightDumpOnStall: a watchdog-killed run must leave a flight dump
+// that reconstructs the wedged worker and the packet it was executing.
+func TestFlightDumpOnStall(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "flight.json")
+	inj := mustPlan(t, "stall@5")
+	tr := ptrace.New(ptrace.Config{Lanes: 2, RingEvents: 64})
+	pool := poolWithPlan(t, 2, Options{
+		StallTimeout: 100 * time.Millisecond,
+		Trace:        tr,
+		FlightPath:   path,
+	}, inj)
+	pool.SetBatchSize(1)
+	_, err := pool.RunTrace(trace.NewSliceReader(derefPackets(16)), 0, nil)
+	var se *StallError
+	if !errors.As(err, &se) {
+		t.Fatalf("err = %v, want *StallError", err)
+	}
+
+	d := readFlightDump(t, path)
+	if !strings.Contains(d.OtherData.Cause, "stalled") {
+		t.Errorf("dump cause = %q, want the stall error", d.OtherData.Cause)
+	}
+	if d.OtherData.FailIndex != 5 {
+		t.Errorf("fail_index = %d, want 5", d.OtherData.FailIndex)
+	}
+	if d.OtherData.FailWorker != se.Worker {
+		t.Errorf("fail_worker = %d, want %d", d.OtherData.FailWorker, se.Worker)
+	}
+	// The wedged worker's ring must contain the exec span of packet 5 —
+	// as the in-flight marker if the dump caught it wedged, or as the
+	// completed span if cancellation unwedged the cooperative stall
+	// first. Either way the failing packet is reconstructable.
+	evs := d.execEventsFor(se.Worker)
+	found := false
+	for _, idx := range evs {
+		if idx == 5 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("worker %d ring %v does not contain packet 5's exec span", se.Worker, evs)
+	}
+	lane := d.OtherData.Lanes[se.Worker]
+	if lane.LastIndex != 5 || lane.LastStage != "exec" {
+		t.Errorf("wedged lane digest = %+v, want last exec event on packet 5", lane)
+	}
+}
+
+// TestFlightDumpOnPanic: a fail-fast abort on a recovered guest panic
+// must dump the rings with the failing packet's journey intact.
+func TestFlightDumpOnPanic(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "flight.json")
+	inj := mustPlan(t, "panic@7")
+	tr := ptrace.New(ptrace.Config{Lanes: 2, RingEvents: 64})
+	pool := poolWithPlan(t, 2, Options{Trace: tr, FlightPath: path}, inj)
+	pool.SetBatchSize(1)
+	_, err := pool.RunTrace(trace.NewSliceReader(derefPackets(16)), 0, nil)
+	if err == nil {
+		t.Fatal("injected panic did not abort the fail-fast run")
+	}
+	if !strings.Contains(err.Error(), "panic") {
+		t.Fatalf("err = %v, want recovered panic", err)
+	}
+
+	d := readFlightDump(t, path)
+	if !strings.Contains(d.OtherData.Cause, "panic") {
+		t.Errorf("dump cause = %q, want the recovered panic", d.OtherData.Cause)
+	}
+	// Batch assignment is scheduler-dependent; find the lane that
+	// executed packet 7 and check the dump reconstructs the failure.
+	found := -1
+	for _, lane := range d.OtherData.Lanes {
+		for _, idx := range d.execEventsFor(lane.Lane) {
+			if idx == 7 {
+				found = lane.Lane
+			}
+		}
+	}
+	if found < 0 {
+		t.Fatalf("no lane's ring contains packet 7's exec span: %+v", d.OtherData.Lanes)
+	}
+	lane := d.OtherData.Lanes[found]
+	if lane.LastIndex != 7 || lane.LastStage != "exec" {
+		t.Errorf("failing lane digest = %+v, want last exec event on packet 7", lane)
+	}
+}
+
+// TestFlightDumpSeededDeterministicFailure: two identically seeded
+// runs must fail on the same packet and produce dumps naming the same
+// failure.
+func TestFlightDumpSeededDeterministicFailure(t *testing.T) {
+	causes := make([]string, 2)
+	for run := 0; run < 2; run++ {
+		path := filepath.Join(t.TempDir(), "flight.json")
+		inj := mustPlan(t, "panic@3")
+		tr := ptrace.New(ptrace.Config{Lanes: 1, RingEvents: 32})
+		pool := poolWithPlan(t, 1, Options{Trace: tr, FlightPath: path}, inj)
+		pool.SetBatchSize(1)
+		if _, err := pool.RunTrace(trace.NewSliceReader(derefPackets(8)), 0, nil); err == nil {
+			t.Fatal("injected panic did not abort the run")
+		}
+		d := readFlightDump(t, path)
+		causes[run] = d.OtherData.Cause
+		lane := d.OtherData.Lanes[0]
+		if lane.LastIndex != 3 || lane.LastStage != "exec" {
+			t.Fatalf("run %d: lane digest = %+v, want last exec on packet 3", run, lane)
+		}
+	}
+	if causes[0] != causes[1] {
+		t.Errorf("seeded runs disagree on cause: %q vs %q", causes[0], causes[1])
+	}
+}

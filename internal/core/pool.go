@@ -5,10 +5,12 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"os"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"repro/internal/ptrace"
 	"repro/internal/stats"
 	"repro/internal/telemetry"
 	"repro/internal/trace"
@@ -47,6 +49,13 @@ type Pool struct {
 	stallTimeout time.Duration
 	shed         ShedPolicy
 
+	// Journey tracing (Options.Trace / FlightPath). trace is nil when
+	// disabled; dumped makes the post-mortem dump once-only when a run
+	// fails on several paths at once.
+	trace      *ptrace.Tracer
+	flightPath string
+	dumped     atomic.Bool
+
 	// Telemetry handles for the crash-only paths; nil-safe no-ops when
 	// telemetry is disabled.
 	shedPkts *telemetry.Counter
@@ -72,12 +81,18 @@ func NewPool(app *App, n int, opts Options) (*Pool, error) {
 		deadline:     opts.RunDeadline,
 		stallTimeout: opts.StallTimeout,
 		shed:         opts.Shed,
+		trace:        opts.Trace,
+		flightPath:   opts.FlightPath,
 	}
 	for i := 0; i < n; i++ {
 		b, err := New(app, opts)
 		if err != nil {
 			return nil, fmt.Errorf("core: pool core %d: %w", i, err)
 		}
+		// Each core records into its own tracer lane (New gave every
+		// bench lane 0; a tracer built with fewer lanes than cores
+		// leaves the extra cores untraced).
+		b.lane = opts.Trace.Lane(i)
 		p.benches = append(p.benches, b)
 	}
 	p.busy = opts.Metrics.Gauge(telemetry.MetricPoolWorkersBusy, "Pool cores currently simulating a packet.")
@@ -146,6 +161,27 @@ func (f *firstFailure) get() error {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	return f.err
+}
+
+// flightDump writes the post-mortem flight-recorder dump for a failed
+// run: the last ring of stage events per lane plus the failure cause
+// (and, for a StallError, the wedged worker and packet). Best-effort
+// and once-only — a dump failure never masks runErr.
+func (p *Pool) flightDump(runErr error) {
+	if p.trace == nil || p.flightPath == "" || runErr == nil || !p.dumped.CompareAndSwap(false, true) {
+		return
+	}
+	info := ptrace.FlightInfo{Cause: runErr.Error(), Worker: -1, Index: -1}
+	var se *StallError
+	if errors.As(runErr, &se) {
+		info.Worker, info.Index = se.Worker, int64(se.Index)
+	}
+	f, err := os.Create(p.flightPath)
+	if err != nil {
+		return
+	}
+	_ = p.trace.WriteFlight(f, info)
+	_ = f.Close()
 }
 
 // RunPackets processes the packets across the pool's cores concurrently
@@ -232,12 +268,14 @@ func (p *Pool) RunPacketsContext(ctx context.Context, pkts []*trace.Packet, onRe
 	close(watchDone)
 
 	if err := fail.get(); err != nil {
+		p.flightDump(err)
 		return nil, err
 	}
 	if err := ctx.Err(); err != nil {
 		if p.deadline > 0 && errors.Is(err, context.DeadlineExceeded) {
-			return nil, fmt.Errorf("core: run deadline %v exceeded: %w", p.deadline, err)
+			err = fmt.Errorf("core: run deadline %v exceeded: %w", p.deadline, err)
 		}
+		p.flightDump(err)
 		return nil, err
 	}
 	if onResult != nil {
@@ -257,6 +295,12 @@ type poolJob struct {
 	// was read — the resume point of a checkpoint committing at
 	// base+len(pkts). nil when the run is not checkpointing.
 	pos []int64
+	// readNS and enq carry the batch's journey-tracing context when a
+	// tracer is armed: how long the producer's read took and when the
+	// batch entered the job queue (tracer-epoch ns). Zero when tracing
+	// is off.
+	readNS int64
+	enq    int64
 }
 
 // poolResult carries a job's outcomes to the aggregator: res[k] is the
@@ -394,6 +438,7 @@ func (p *Pool) runTrace(ctx context.Context, r trace.Reader, limit int, onResult
 			return false
 		}
 		p.shedPkts.Add(uint64(len(j.pkts)))
+		p.trace.Producer().Shed(int64(j.base), len(j.pkts))
 		select {
 		case results <- poolResult{base: j.base, n: len(j.pkts), shed: len(j.pkts), pos: j.pos}:
 			return true
@@ -444,6 +489,19 @@ func (p *Pool) runTrace(ctx context.Context, r trace.Reader, limit int, onResult
 	// batch is owned by the worker from the moment it is sent.
 	go func() {
 		defer close(jobs)
+		// With a tracer armed the producer reads through a timing
+		// wrapper: every batch read lands in the producer lane's ring,
+		// and its duration rides on the job so workers can prepend the
+		// read span to each packet journey of the batch.
+		rd := r
+		var lastReadNS, curBase int64
+		if t := p.trace; t != nil {
+			prod := t.Producer()
+			rd = trace.NewTimedReader(r, t.Now, func(n int, startNS, durNS int64) {
+				lastReadNS = durNS
+				prod.Read(curBase, n, startNS, durNS)
+			})
+		}
 		readFaults := 0
 		for base := start; limit <= 0 || base < limit; {
 			if stop.Load() {
@@ -454,10 +512,14 @@ func (p *Pool) runTrace(ctx context.Context, r trace.Reader, limit int, onResult
 				size = limit - base
 			}
 			dst := make([]*trace.Packet, size)
-			n, err := trace.ReadBatch(r, dst)
+			curBase = int64(base)
+			n, err := trace.ReadBatch(rd, dst)
 			if n > 0 {
 				readFaults = 0
 				j := poolJob{base: base, pkts: dst[:n]}
+				if p.trace != nil {
+					j.readNS, j.enq = lastReadNS, p.trace.Now()
+				}
 				if seek != nil {
 					j.pos = seek.PosState()
 				}
@@ -528,6 +590,9 @@ func (p *Pool) runTrace(ctx context.Context, r trace.Reader, limit int, onResult
 			for j := range jobs {
 				if stop.Load() {
 					continue
+				}
+				if b.lane != nil && j.enq != 0 {
+					b.lane.BatchStart(int64(j.base), len(j.pkts), j.readNS, p.trace.Now()-j.enq)
 				}
 				out := poolResult{base: j.base, n: len(j.pkts), pos: j.pos, res: make([]Result, 0, len(j.pkts))}
 				for k, pkt := range j.pkts {
@@ -648,6 +713,7 @@ aggregate:
 			if posAt != nil && ckErr == nil {
 				if pos, ok := posAt[next]; ok {
 					delete(posAt, next)
+					ckStart := p.trace.Now()
 					wrote, err := ck.maybeWrite(next, pos)
 					if err != nil {
 						ckErr = err
@@ -656,6 +722,7 @@ aggregate:
 						cancel()
 					} else if wrote {
 						p.ckpts.Inc()
+						p.trace.Committer().Checkpoint(int64(next), ckStart, p.trace.Now()-ckStart)
 					}
 				}
 			}
@@ -665,15 +732,18 @@ aggregate:
 	close(watchDone)
 
 	if err := fail.get(); err != nil {
+		p.flightDump(err)
 		return processed, err
 	}
 	if readErr != nil {
+		p.flightDump(readErr)
 		return processed, readErr
 	}
 	if err := ctx.Err(); err != nil {
 		if deadline > 0 && errors.Is(err, context.DeadlineExceeded) {
-			return processed, fmt.Errorf("core: run deadline %v exceeded: %w", deadline, err)
+			err = fmt.Errorf("core: run deadline %v exceeded: %w", deadline, err)
 		}
+		p.flightDump(err)
 		return processed, err
 	}
 	return processed, nil

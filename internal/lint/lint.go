@@ -27,6 +27,13 @@
 //     time.Now, no fmt, no make/new/append, no defer, no goroutines,
 //     and no nested closure creation.
 //
+//   - span-pairing: a function that opens a packet-journey execution
+//     span (ptrace's ExecBegin) must close it on every path: either
+//     defer the ExecEnd, or place an ExecEnd between the begin and
+//     every later return. An unclosed span leaves a permanent
+//     in-flight marker in the flight recorder, and a post-mortem dump
+//     would misreport the worker as wedged inside that packet.
+//
 // A finding can be waived by putting a "pblint:allow" comment on the
 // same source line, ideally with a reason:
 //
@@ -43,7 +50,7 @@ import (
 // Diagnostic is one finding, in the familiar file:line:col form.
 type Diagnostic struct {
 	Pos  token.Position
-	Rule string // "telemetry-series", "hotpath" or "compiled-closure"
+	Rule string // "telemetry-series", "hotpath", "compiled-closure" or "span-pairing"
 	Msg  string
 }
 
@@ -80,6 +87,7 @@ func CheckFile(fset *token.FileSet, file *ast.File) []Diagnostic {
 	checkTelemetrySeries(file, emit)
 	checkHotPaths(file, emit)
 	checkClosureFactories(file, emit)
+	checkSpanPairing(file, emit)
 	return ds
 }
 
@@ -175,6 +183,89 @@ func checkClosureFactories(file *ast.File, emit func(token.Pos, string, string))
 			checkHotBody(where, lit.Body, "compiled-closure", emit)
 			return false // nested literals are findings of the outer body
 		})
+	}
+}
+
+// spanPairs maps span-opening method names to the call that must close
+// them on every path out of the opening function.
+var spanPairs = map[string]string{"ExecBegin": "ExecEnd"}
+
+// checkSpanPairing enforces the span bracket discipline: in any
+// function that calls a span-opening method, the matching close must
+// either be deferred or appear lexically between the first open and
+// every subsequent return (and at least once after the open when the
+// function falls off its end). The ptrace package itself is exempt —
+// it defines the bracket, and its tests open spans on purpose.
+func checkSpanPairing(file *ast.File, emit func(token.Pos, string, string)) {
+	if file.Name.Name == "ptrace" {
+		return
+	}
+	for _, decl := range file.Decls {
+		fn, ok := decl.(*ast.FuncDecl)
+		if !ok || fn.Body == nil {
+			continue
+		}
+		for open, close := range spanPairs {
+			checkSpanPair(fn, open, close, emit)
+		}
+	}
+}
+
+// isSpanCall reports whether n is a method call named name (any
+// receiver — the rule is lexical, matching the codebase convention
+// that these names belong to ptrace lanes).
+func isSpanCall(n *ast.CallExpr, name string) bool {
+	sel, ok := n.Fun.(*ast.SelectorExpr)
+	return ok && sel.Sel.Name == name
+}
+
+func checkSpanPair(fn *ast.FuncDecl, open, close string, emit func(token.Pos, string, string)) {
+	var opens, closes []token.Pos
+	var rets []token.Pos
+	deferred := false
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.DeferStmt:
+			if isSpanCall(n.Call, close) {
+				deferred = true
+			}
+		case *ast.CallExpr:
+			if isSpanCall(n, open) {
+				opens = append(opens, n.Pos())
+			} else if isSpanCall(n, close) {
+				closes = append(closes, n.Pos())
+			}
+		case *ast.ReturnStmt:
+			rets = append(rets, n.Pos())
+		}
+		return true
+	})
+	if len(opens) == 0 || deferred {
+		return
+	}
+	first := opens[0]
+	closedBefore := func(ret token.Pos) bool {
+		for _, c := range closes {
+			if c > first && c < ret {
+				return true
+			}
+		}
+		return false
+	}
+	found := false
+	for _, ret := range rets {
+		if ret <= first {
+			continue
+		}
+		found = true
+		if !closedBefore(ret) {
+			emit(ret, "span-pairing",
+				fmt.Sprintf("%s returns with an open %s span (no %s between the begin and this return; defer the end or close before returning)", fn.Name.Name, open, close))
+		}
+	}
+	if !found && !closedBefore(fn.Body.End()) {
+		emit(first, "span-pairing",
+			fmt.Sprintf("%s opens an %s span it never closes (add a deferred or trailing %s)", fn.Name.Name, open, close))
 	}
 }
 

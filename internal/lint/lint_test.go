@@ -218,3 +218,95 @@ func makeFusedStep(s *cslot, nx cstep) cstep {
 		t.Fatalf("clean factory flagged: %v", ds)
 	}
 }
+
+func TestSpanPairingUnclosedReturn(t *testing.T) {
+	ds := check(t, `package core
+
+func (b *Bench) processOnce(idx int) error {
+	t0 := b.lane.ExecBegin(int64(idx), 0)
+	if bad {
+		return errFault // leaks the span
+	}
+	b.lane.ExecEnd(t0, int64(idx), 0, 0, n, v, 0)
+	return nil
+}
+`)
+	if len(ds) != 1 || ds[0].Rule != "span-pairing" {
+		t.Fatalf("want one span-pairing finding, got %v", ds)
+	}
+	if !strings.Contains(ds[0].Msg, "ExecEnd") {
+		t.Errorf("message should name the missing close: %s", ds[0].Msg)
+	}
+}
+
+func TestSpanPairingClosedOnEveryReturn(t *testing.T) {
+	ds := check(t, `package core
+
+func (b *Bench) processOnce(idx int) error {
+	t0 := b.lane.ExecBegin(int64(idx), 0)
+	if bad {
+		b.lane.ExecEnd(t0, int64(idx), 0, 0, 0, 0, fk)
+		return errFault
+	}
+	b.lane.ExecEnd(t0, int64(idx), 0, 0, n, v, 0)
+	return nil
+}
+`)
+	if len(ds) != 0 {
+		t.Fatalf("bracketed span flagged: %v", ds)
+	}
+}
+
+func TestSpanPairingDeferredClose(t *testing.T) {
+	ds := check(t, `package core
+
+func run(l *Lane) error {
+	t0 := l.ExecBegin(0, 0)
+	defer l.ExecEnd(t0, 0, 0, 0, 0, 0, 0)
+	if bad {
+		return errFault
+	}
+	return nil
+}
+`)
+	if len(ds) != 0 {
+		t.Fatalf("deferred close flagged: %v", ds)
+	}
+}
+
+func TestSpanPairingFallOffEnd(t *testing.T) {
+	ds := check(t, `package core
+
+func record(l *Lane) {
+	l.ExecBegin(0, 0)
+}
+`)
+	if len(ds) != 1 || ds[0].Rule != "span-pairing" {
+		t.Fatalf("want one span-pairing finding, got %v", ds)
+	}
+}
+
+func TestSpanPairingWaiver(t *testing.T) {
+	ds := check(t, `package core
+
+func abort(l *Lane) error {
+	l.ExecBegin(0, 0)
+	return errAbort //pblint:allow — FailFast keeps the span open for the flight recorder
+}
+`)
+	if len(ds) != 0 {
+		t.Fatalf("waived span leak flagged: %v", ds)
+	}
+}
+
+func TestSpanPairingPtracePackageExempt(t *testing.T) {
+	ds := check(t, `package ptrace
+
+func helper(l *Lane) {
+	l.ExecBegin(0, 0)
+}
+`)
+	if len(ds) != 0 {
+		t.Fatalf("ptrace package's own calls flagged: %v", ds)
+	}
+}

@@ -147,8 +147,21 @@ type Histogram struct {
 	name   string
 	bounds []uint64 // sorted upper bounds; an implicit +Inf bucket follows
 	counts []atomic.Uint64
-	sum    atomic.Uint64
-	count  atomic.Uint64
+	// exemplars holds one slowest-seen exemplar per bucket (ObserveEx);
+	// nil until the first ObserveEx arms the slice at registration.
+	exemplars []exemplarCell
+	sum       atomic.Uint64
+	count     atomic.Uint64
+}
+
+// exemplarCell is one bucket's exemplar: the largest value observed in
+// the bucket and the span id (packet index) that produced it. The two
+// words are updated without a lock, so a reader can pair a value with a
+// neighboring observation's span — a documented, benign race: exemplars
+// are debugging breadcrumbs, not accounting.
+type exemplarCell struct {
+	val  atomic.Uint64
+	span atomic.Uint64 // span id + 1; 0 means the cell was never set
 }
 
 // Observe records one value.
@@ -163,6 +176,28 @@ func (h *Histogram) Observe(v uint64) {
 	h.counts[i].Add(1)
 	h.sum.Add(v)
 	h.count.Add(1)
+}
+
+// ObserveEx records one value and links the bucket to a span id (a
+// packet's trace index) when the value is the largest the bucket has
+// seen — the exemplar a journey tracer uses to chase a histogram tail
+// bucket back to the concrete packet behind it.
+func (h *Histogram) ObserveEx(v, span uint64) {
+	if h == nil {
+		return
+	}
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.sum.Add(v)
+	h.count.Add(1)
+	c := &h.exemplars[i]
+	if v >= c.val.Load() {
+		c.val.Store(v)
+		c.span.Store(span + 1)
+	}
 }
 
 // Count returns the number of observations (0 on nil).
@@ -302,10 +337,23 @@ func (r *Registry) Histogram(name, help string, bounds []uint64, labels ...Label
 	r.register(name, "histogram", help)
 	bs := append([]uint64(nil), bounds...)
 	sort.Slice(bs, func(i, j int) bool { return bs[i] < bs[j] })
-	h := &Histogram{key: key, name: name, bounds: bs, counts: make([]atomic.Uint64, len(bs)+1)}
+	h := &Histogram{key: key, name: name, bounds: bs,
+		counts: make([]atomic.Uint64, len(bs)+1), exemplars: make([]exemplarCell, len(bs)+1)}
 	r.histograms[key] = h
 	r.order = append(r.order, key)
 	return h
+}
+
+// Exemplar is a snapshot of one bucket's exemplar cell: the largest
+// value the bucket observed via ObserveEx and the span id that produced
+// it.
+type Exemplar struct {
+	// Bucket indexes Counts (len(Bounds) is the +Inf bucket).
+	Bucket int
+	// Value is the observed value (nanoseconds for latency series).
+	Value uint64
+	// Span is the span id — the packet's trace index.
+	Span uint64
 }
 
 // HistogramSnapshot is the frozen state of one histogram series.
@@ -316,6 +364,9 @@ type HistogramSnapshot struct {
 	Counts []uint64
 	Sum    uint64
 	Count  uint64
+	// Exemplars holds the set exemplar cells, in bucket order. Empty
+	// unless the series was fed through ObserveEx.
+	Exemplars []Exemplar
 }
 
 // Snapshot is a point-in-time copy of every series in a registry,
@@ -360,6 +411,13 @@ func (r *Registry) Snapshot() *Snapshot {
 		}
 		for i := range h.counts {
 			hs.Counts[i] = h.counts[i].Load()
+		}
+		for i := range h.exemplars {
+			if span := h.exemplars[i].span.Load(); span != 0 {
+				hs.Exemplars = append(hs.Exemplars, Exemplar{
+					Bucket: i, Value: h.exemplars[i].val.Load(), Span: span - 1,
+				})
+			}
 		}
 		s.Histograms[k] = hs
 	}
@@ -428,4 +486,30 @@ func (h *HistogramSnapshot) Quantile(q float64) float64 {
 		cum += c
 	}
 	return float64(h.Bounds[len(h.Bounds)-1])
+}
+
+// P50, P99 and P999 are the standard latency summary points, estimated
+// like Quantile (NaN when empty).
+func (h *HistogramSnapshot) P50() float64 { return h.Quantile(0.50) }
+
+// P99 estimates the 99th percentile.
+func (h *HistogramSnapshot) P99() float64 { return h.Quantile(0.99) }
+
+// P999 estimates the 99.9th percentile.
+func (h *HistogramSnapshot) P999() float64 { return h.Quantile(0.999) }
+
+// HistogramFor returns the snapshot of the named histogram metric: the
+// unlabeled series if present, otherwise the first labeled series of
+// that name (map iteration order — fine for single-series metrics like
+// packet_latency_ns). ok is false when no series matches.
+func (s *Snapshot) HistogramFor(name string) (HistogramSnapshot, bool) {
+	if h, ok := s.Histograms[name]; ok {
+		return h, true
+	}
+	for k, h := range s.Histograms {
+		if strings.HasPrefix(k, name+"{") {
+			return h, true
+		}
+	}
+	return HistogramSnapshot{}, false
 }

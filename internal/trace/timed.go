@@ -1,0 +1,69 @@
+package trace
+
+import "fmt"
+
+// TimedReader wraps a Reader and reports the duration of every read to
+// an observer — the journey tracer's view of the ingestion stage. It
+// forwards the full reader surface: batch reads go through the wrapped
+// reader's native NextBatch when it has one, progress and seek state
+// come from the underlying reader unchanged, so a TimedReader is
+// transparent to checkpointing and progress display.
+//
+// The clock is injected (epoch nanoseconds, monotone) so deterministic
+// tests can drive it; the observer runs synchronously on the reading
+// goroutine.
+type TimedReader struct {
+	r     Reader
+	clock func() int64
+	// onRead observes one successful read: packets delivered, start
+	// timestamp and duration. Reads that deliver zero packets (EOF,
+	// errors) are not reported.
+	onRead func(n int, start, dur int64)
+}
+
+// NewTimedReader wraps r. clock and onRead must be non-nil.
+func NewTimedReader(r Reader, clock func() int64, onRead func(n int, start, dur int64)) *TimedReader {
+	return &TimedReader{r: r, clock: clock, onRead: onRead}
+}
+
+// Next reads one packet, reporting it as a batch of one.
+func (t *TimedReader) Next() (*Packet, error) {
+	start := t.clock()
+	p, err := t.r.Next()
+	if err == nil {
+		t.onRead(1, start, t.clock()-start)
+	}
+	return p, err
+}
+
+// NextBatch fills dst through the wrapped reader (its native batch
+// method when present), timing the whole call.
+func (t *TimedReader) NextBatch(dst []*Packet) (int, error) {
+	start := t.clock()
+	n, err := ReadBatch(t.r, dst)
+	if n > 0 {
+		t.onRead(n, start, t.clock()-start)
+	}
+	return n, err
+}
+
+// Progress forwards the wrapped reader's progress fraction.
+func (t *TimedReader) Progress() (float64, bool) { return Progress(t.r) }
+
+// PosState forwards the wrapped reader's resume state; nil when the
+// underlying reader is not a Seeker (the same "not resumable" signal
+// seekable readers use).
+func (t *TimedReader) PosState() []int64 {
+	if sk, ok := t.r.(Seeker); ok {
+		return sk.PosState()
+	}
+	return nil
+}
+
+// SeekTo forwards to the wrapped reader's Seeker.
+func (t *TimedReader) SeekTo(state []int64) error {
+	if sk, ok := t.r.(Seeker); ok {
+		return sk.SeekTo(state)
+	}
+	return fmt.Errorf("trace: timed reader source %T is not seekable", t.r)
+}
